@@ -1,0 +1,105 @@
+//! Ablation (beyond the paper's figures): how the flush-unit sizing the
+//! paper fixes — 8 FSHRs, a 16-entry flush queue (§5.2) — shapes writeback
+//! throughput, plus the marginal value of the Skip It bit at each size.
+//!
+//! Regenerates the design-choice analysis DESIGN.md §7 calls out.
+
+use skipit_bench::micro::{dirty_region, fig13_sample, system, writeback_region};
+use skipit_bench::{median, quick};
+use skipit_core::{DramConfig, Op, SystemBuilder};
+
+fn flush_32k_cycles(fshrs: usize, queue_depth: usize) -> u64 {
+    let mut sys = SystemBuilder::new()
+        .cores(1)
+        .fshrs(fshrs)
+        .flush_queue_depth(queue_depth)
+        .build();
+    let reps = if quick() { 3 } else { 10 };
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            dirty_region(&mut sys, 1, 32 * 1024);
+            writeback_region(&mut sys, 1, 32 * 1024, false)
+        })
+        .collect();
+    median(&mut samples)
+}
+
+fn main() {
+    println!("# Ablation: flush-unit sizing (32 KiB single-thread flush)");
+    println!("fshrs,queue_depth,cycles");
+    for fshrs in [1usize, 2, 4, 8, 16] {
+        for depth in [4usize, 16, 64] {
+            println!("{fshrs},{depth},{}", flush_32k_cycles(fshrs, depth));
+        }
+    }
+
+    println!("#");
+    println!("# Ablation: skip-bit value vs redundancy degree (single line)");
+    println!("redundant_writebacks,naive_cycles,skipit_cycles");
+    for redundant in [0usize, 1, 2, 5, 10, 20] {
+        let mut cycles = [0u64; 2];
+        for (i, skip_it) in [false, true].into_iter().enumerate() {
+            let mut sys = SystemBuilder::new().cores(1).skip_it(skip_it).build();
+            let mut prog = vec![
+                Op::Store {
+                    addr: 0x9000,
+                    value: 1,
+                },
+                Op::Clean { addr: 0x9000 },
+                Op::Fence,
+            ];
+            for _ in 0..redundant {
+                prog.push(Op::Clean { addr: 0x9000 });
+                prog.push(Op::Fence);
+            }
+            cycles[i] = sys.run_programs(vec![prog]);
+        }
+        println!("{redundant},{},{}", cycles[0], cycles[1]);
+    }
+
+    // §7.4: "A deeper cache hierarchy (i.e. L3 or L4) could show greater
+    // improvements due to the increased latencies." The equivalent lever in
+    // this model is the persistence-medium write latency: NVMM writes are
+    // several times slower than DRAM. Skip It's advantage on redundant
+    // writebacks grows with it.
+    println!("#");
+    println!("# Ablation: Fig.13 microbenchmark (4KiB, 1 thread) vs persistence write latency");
+    println!("write_latency_cycles,naive_cycles,skipit_cycles,speedup");
+    for wl in [30u64, 60, 120, 300, 600] {
+        let dram = DramConfig {
+            write_latency: wl,
+            ..DramConfig::default()
+        };
+        let mut naive = SystemBuilder::new().cores(1).dram(dram).build();
+        let mut skip = SystemBuilder::new().cores(1).skip_it(true).dram(dram).build();
+        let n = fig13_sample(&mut naive, 1, 4096, 10);
+        let s = fig13_sample(&mut skip, 1, 4096, 10);
+        println!("{wl},{n},{s},{:.2}", n as f64 / s.max(1) as f64);
+    }
+
+    // The direct "deeper hierarchy" proxy: the cost of the round trip a
+    // redundant writeback takes before the LLC's dirty bit catches it.
+    // Sweeping the LLC access latency emulates extra levels (L3/L4) between
+    // the flush unit and the point of trivial skipping — Skip It's gain
+    // grows with it, as §7.4 predicts.
+    println!("#");
+    println!("# Ablation: Fig.13 microbenchmark (4KiB, 1 thread) vs LLC trip cost");
+    println!("llc_access_cycles,naive_cycles,skipit_cycles,speedup");
+    for access in [6u64, 12, 24, 48, 96] {
+        let l2 = skipit_core::L2Config {
+            access_latency: access,
+            ..skipit_core::L2Config::default()
+        };
+        let mut naive = SystemBuilder::new().cores(1).l2(l2).build();
+        let mut skip = SystemBuilder::new().cores(1).skip_it(true).l2(l2).build();
+        let n = fig13_sample(&mut naive, 1, 4096, 10);
+        let s = fig13_sample(&mut skip, 1, 4096, 10);
+        println!("{access},{n},{s},{:.2}", n as f64 / s.max(1) as f64);
+    }
+
+    // And the hardware-vs-software comparison point at the default
+    // latency: a single system() call keeps this bench self-checking.
+    let mut sys = system(1, true);
+    let c = fig13_sample(&mut sys, 1, 1024, 10);
+    assert!(c > 0);
+}

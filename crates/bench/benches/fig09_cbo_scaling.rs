@@ -1,0 +1,50 @@
+//! Fig. 9 — CBO.X latency vs writeback size for 1/2/4/8 threads
+//! (non-contended regions, sequential flushes, one trailing fence).
+//!
+//! Paper's reported shape (§7.2): one line ≈ 100 cycles median (σ 13.2),
+//! 32 KiB single-thread ≈ 7460 cycles (σ 286.1), 8 threads ≈ 7.2× faster.
+
+use skipit_bench::micro::{fig9_sample, system};
+use skipit_bench::{fmt_size, median, quick, size_sweep, stddev};
+
+fn main() {
+    let reps = if quick() { 5 } else { 50 };
+    println!("# Fig. 9: CBO.X writeback latency (cycles), median of {reps} reps");
+    println!("threads,size,median_cycles,stddev");
+    let mut one_line_median = 0;
+    let mut full_1t = 0;
+    let mut full_8t = 0;
+    for threads in [1u64, 2, 4, 8] {
+        let mut sys = system(threads as usize, false);
+        for size in size_sweep() {
+            if size / 64 < threads {
+                continue; // fewer lines than threads: skip like the paper
+            }
+            let mut samples: Vec<u64> = (0..reps)
+                .map(|_| fig9_sample(&mut sys, threads, size, false))
+                .collect();
+            let sd = stddev(&samples);
+            let med = median(&mut samples);
+            println!("{threads},{},{med},{sd:.1}", fmt_size(size));
+            if threads == 1 && size == 64 {
+                one_line_median = med;
+            }
+            if size == 32 * 1024 {
+                if threads == 1 {
+                    full_1t = med;
+                }
+                if threads == 8 {
+                    full_8t = med;
+                }
+            }
+        }
+    }
+    println!("#");
+    println!("# headline comparison (paper → measured):");
+    println!("#   1 line, 1 thread median: 100 cy → {one_line_median} cy");
+    println!("#   32 KiB, 1 thread:       7460 cy → {full_1t} cy");
+    println!(
+        "#   8-thread speedup @32KiB:  7.2x → {:.2}x",
+        full_1t as f64 / full_8t.max(1) as f64
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 10 — write → {clean,flush}×10 → fence → read.
+//!
+//! Paper's reported shape (§7.2): reading after CBO.CLEAN is ≈2× faster
+//! than after CBO.FLUSH because the clean line still hits in the L1 while
+//! the flushed line must be refetched from memory; the behaviour holds for
+//! 1 and 8 threads.
+
+use skipit_bench::micro::{fig10_sample, system};
+use skipit_bench::{fmt_size, median, quick, size_sweep};
+
+fn main() {
+    let reps = if quick() { 3 } else { 15 };
+    println!("# Fig. 10: write - CBO.X x10 - fence - read (total cycles, median of {reps})");
+    println!("threads,size,clean_cycles,flush_cycles,flush_over_clean");
+    let mut ratios = Vec::new();
+    for threads in [1u64, 8] {
+        for size in size_sweep() {
+            if size / 64 < threads {
+                continue;
+            }
+            let mut clean_s: Vec<u64> = (0..reps)
+                .map(|_| {
+                    let mut sys = system(threads as usize, false);
+                    fig10_sample(&mut sys, threads, size, true)
+                })
+                .collect();
+            let mut flush_s: Vec<u64> = (0..reps)
+                .map(|_| {
+                    let mut sys = system(threads as usize, false);
+                    fig10_sample(&mut sys, threads, size, false)
+                })
+                .collect();
+            let c = median(&mut clean_s);
+            let f = median(&mut flush_s);
+            let ratio = f as f64 / c.max(1) as f64;
+            ratios.push(ratio);
+            println!("{threads},{},{c},{f},{ratio:.2}", fmt_size(size));
+        }
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("#");
+    println!("# paper: flush sequences ≈2x slower than clean (re-read refetches)");
+    println!("# measured mean flush/clean ratio: {avg:.2}x");
+}

@@ -1,0 +1,58 @@
+//! Fig. 11 — single-thread writeback latency: simulated SonicBOOM CBO.X vs
+//! analytic commercial-CPU models (see `skipit_bench::commercial` for the
+//! substitution rationale).
+//!
+//! Paper's reported shape: latencies are similar across architectures at
+//! small sizes; Intel `clflush` diverges badly at ≥4 KiB; Graviton grows
+//! sub-linearly and overtakes the SonicBOOM above 4 KiB.
+
+use skipit_bench::commercial::Machine;
+use skipit_bench::micro::{fig9_sample, system};
+use skipit_bench::{fmt_size, median, quick, size_sweep};
+
+fn main() {
+    let reps = if quick() { 3 } else { 20 };
+    println!("# Fig. 11: single-thread writeback latency (cycles, per machine's own clock)");
+    print!("size,boom-flush,boom-clean");
+    for m in Machine::ALL {
+        print!(",{}", m.name());
+    }
+    println!();
+    let mut boom_32k = 0.0;
+    let mut graviton_32k = 0.0;
+    for size in size_sweep() {
+        let mut flush_s: Vec<u64> = (0..reps)
+            .map(|_| {
+                let mut sys = system(1, false);
+                fig9_sample(&mut sys, 1, size, false)
+            })
+            .collect();
+        let mut clean_s: Vec<u64> = (0..reps)
+            .map(|_| {
+                let mut sys = system(1, false);
+                fig9_sample(&mut sys, 1, size, true)
+            })
+            .collect();
+        let boom_f = median(&mut flush_s) as f64;
+        let boom_c = median(&mut clean_s) as f64;
+        print!("{},{boom_f:.0},{boom_c:.0}", fmt_size(size));
+        for m in Machine::ALL {
+            print!(",{:.0}", m.cycles_1t(size));
+        }
+        println!();
+        if size == 32 * 1024 {
+            boom_32k = boom_f;
+            graviton_32k = Machine::GravitonDcCivac.cycles_1t(size);
+        }
+    }
+    println!("#");
+    println!("# paper shape checks:");
+    println!(
+        "#   intel clflush / clflushopt @4KiB: {:.1}x (paper: 'significantly worse')",
+        Machine::IntelClflush.cycles_1t(4096) / Machine::IntelClflushOpt.cycles_1t(4096)
+    );
+    println!(
+        "#   graviton vs BOOM @32KiB: {:.2}x (paper: Graviton faster above 4KiB)",
+        graviton_32k / boom_32k
+    );
+}

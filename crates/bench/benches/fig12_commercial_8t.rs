@@ -1,0 +1,50 @@
+//! Fig. 12 — eight-thread writeback latency: simulated SonicBOOM vs the
+//! analytic commercial-CPU models.
+//!
+//! Paper's reported shape: latencies are comparable across architectures;
+//! Intel `clflush` only shows its poor behaviour above 16 KiB at this
+//! thread count; the SonicBOOM is competitive across nearly all sizes.
+
+use skipit_bench::commercial::Machine;
+use skipit_bench::micro::{fig9_sample, system};
+use skipit_bench::{fmt_size, median, quick, size_sweep};
+
+fn main() {
+    let reps = if quick() { 3 } else { 15 };
+    println!("# Fig. 12: eight-thread writeback latency (cycles, per machine's own clock)");
+    print!("size,boom-flush,boom-clean");
+    for m in Machine::ALL {
+        print!(",{}", m.name());
+    }
+    println!();
+    for size in size_sweep() {
+        if size / 64 < 8 {
+            continue;
+        }
+        let mut flush_s: Vec<u64> = (0..reps)
+            .map(|_| {
+                let mut sys = system(8, false);
+                fig9_sample(&mut sys, 8, size, false)
+            })
+            .collect();
+        let mut clean_s: Vec<u64> = (0..reps)
+            .map(|_| {
+                let mut sys = system(8, false);
+                fig9_sample(&mut sys, 8, size, true)
+            })
+            .collect();
+        let boom_f = median(&mut flush_s) as f64;
+        let boom_c = median(&mut clean_s) as f64;
+        print!("{},{boom_f:.0},{boom_c:.0}", fmt_size(size));
+        for m in Machine::ALL {
+            print!(",{:.0}", m.cycles_8t(size));
+        }
+        println!();
+    }
+    println!("#");
+    println!(
+        "# paper shape check: intel clflush / clflushopt @8KiB, 8t: {:.1}x \
+         (gap much smaller than the 1-thread case)",
+        Machine::IntelClflush.cycles_8t(8192) / Machine::IntelClflushOpt.cycles_8t(8192)
+    );
+}

@@ -1,0 +1,68 @@
+//! Fig. 15 — throughput vs update percentage (0/5/20/50 %) across the four
+//! structures and the redundant-flush eliminations (NVTraverse discipline;
+//! the paper does not pin the algorithm for this figure — EXPERIMENTS.md
+//! documents the choice).
+//!
+//! Paper's reported shape: throughput falls as the update percentage grows
+//! (more writebacks on the critical path); the ordering between methods is
+//! preserved across the sweep.
+
+use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+
+const FLIT_TABLE: u64 = 0x0800_0000;
+
+fn main() {
+    let quick = skipit_bench::quick();
+    println!("# Fig. 15: throughput (ops per Mcycle) vs update percentage, 2 threads");
+    println!("structure,update_pct,method,ops_per_mcycle");
+    let opts: Vec<(&str, OptKind)> = vec![
+        ("plain", OptKind::Plain),
+        ("flit-adjacent", OptKind::FlitAdjacent),
+        (
+            "flit-hash",
+            OptKind::FlitHash {
+                base: FLIT_TABLE,
+                slots: 4096,
+            },
+        ),
+        ("link-and-persist", OptKind::LinkAndPersist),
+        ("skip-it", OptKind::SkipIt),
+    ];
+    for ds in DsKind::ALL {
+        for update_pct in [0u32, 5, 20, 50] {
+            for (name, opt) in &opts {
+                if !opt.applicable_to(ds) {
+                    println!("{},{update_pct},{name},n/a", ds.name());
+                    continue;
+                }
+                let (key_range, prefill) = if quick {
+                    match ds {
+                        DsKind::List => (128, 64),
+                        _ => (1024, 512),
+                    }
+                } else {
+                    match ds {
+                        DsKind::List => (1024, 512),
+                        _ => (16384, 8192),
+                    }
+                };
+                let r = run_set_benchmark(&WorkloadCfg {
+                    ds,
+                    mode: PersistMode::NvTraverse,
+                    opt: *opt,
+                    threads: 2,
+                    key_range,
+                    prefill,
+                    update_pct,
+                    budget_cycles: if quick { 30_000 } else { 200_000 },
+                    seed: 11,
+                    hash_buckets: if quick { 256 } else { 1024 },
+                });
+                println!("{},{update_pct},{name},{:.1}", ds.name(), r.throughput());
+            }
+        }
+    }
+    println!("#");
+    println!("# paper shape: throughput decreases with update percentage;");
+    println!("# method ordering is stable across the sweep");
+}

@@ -1,0 +1,58 @@
+//! Fig. 16 — sensitivity of the FliT hash-table variant to its counter
+//! table size (BST workload).
+//!
+//! Paper's reported shape: BST throughput varies markedly with the FliT
+//! table size — small tables alias many addresses onto each counter
+//! (spurious flushes + contention); very large tables pollute the small
+//! 544 KiB cache hierarchy, the effect the paper blames for FliT's overall
+//! weakness on SonicBOOM (§7.4).
+
+use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+
+const FLIT_TABLE: u64 = 0x0800_0000;
+
+fn main() {
+    let quick = skipit_bench::quick();
+    println!("# Fig. 16: BST throughput vs FliT hash-table size (2 threads, 5% updates)");
+    println!("slots,table_bytes,ops_per_mcycle");
+    let slot_sweep: &[usize] = if quick {
+        &[64, 4096, 262_144]
+    } else {
+        &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576]
+    };
+    let mut best = (0usize, 0.0f64);
+    let mut worst = (0usize, f64::MAX);
+    for &slots in slot_sweep {
+        let r = run_set_benchmark(&WorkloadCfg {
+            ds: DsKind::Bst,
+            mode: PersistMode::Automatic,
+            opt: OptKind::FlitHash {
+                base: FLIT_TABLE,
+                slots,
+            },
+            threads: 2,
+            // The paper's Fig. 16 uses a 10k-key BST: big enough that the
+            // counter table competes with the tree for the small caches.
+            key_range: if quick { 2048 } else { 20_000 },
+            prefill: if quick { 1024 } else { 10_000 },
+            update_pct: 20,
+            budget_cycles: if quick { 30_000 } else { 200_000 },
+            seed: 5,
+            hash_buckets: 256,
+        });
+        let t = r.throughput();
+        if t > best.1 {
+            best = (slots, t);
+        }
+        if t < worst.1 {
+            worst = (slots, t);
+        }
+        println!("{slots},{},{t:.1}", slots * 8);
+    }
+    println!("#");
+    println!(
+        "# paper shape: throughput is sensitive to the table size; measured \
+         best {} slots ({:.1}), worst {} slots ({:.1})",
+        best.0, best.1, worst.0, worst.1
+    );
+}

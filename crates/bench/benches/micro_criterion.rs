@@ -1,0 +1,63 @@
+//! Criterion microbenches: host-time cost of the simulator's hot paths.
+//!
+//! These are engineering benchmarks (how fast the *simulator* runs), not
+//! paper figures — the figure harnesses live in the sibling `figNN_*`
+//! bench targets and report simulated cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skipit_core::{Op, SystemBuilder};
+
+fn bench_tick_throughput(c: &mut Criterion) {
+    c.bench_function("idle_system_tick", |b| {
+        let mut sys = SystemBuilder::new().cores(2).build();
+        b.iter(|| sys.tick());
+    });
+}
+
+fn bench_store_flush_fence(c: &mut Criterion) {
+    c.bench_function("store_flush_fence_roundtrip", |b| {
+        let mut sys = SystemBuilder::new().cores(1).build();
+        let mut addr = 0x1_0000u64;
+        b.iter(|| {
+            addr += 64;
+            sys.run_programs(vec![vec![
+                Op::Store { addr, value: 1 },
+                Op::Flush { addr },
+                Op::Fence,
+            ]])
+        });
+    });
+}
+
+fn bench_skipit_drop(c: &mut Criterion) {
+    c.bench_function("skipit_redundant_clean_drop", |b| {
+        let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
+        sys.run_programs(vec![vec![
+            Op::Store { addr: 0x2_0000, value: 1 },
+            Op::Clean { addr: 0x2_0000 },
+            Op::Fence,
+        ]]);
+        b.iter(|| {
+            sys.run_programs(vec![vec![Op::Clean { addr: 0x2_0000 }, Op::Fence]])
+        });
+    });
+}
+
+fn bench_cross_core_pingpong(c: &mut Criterion) {
+    c.bench_function("cross_core_store_pingpong", |b| {
+        let mut sys = SystemBuilder::new().cores(2).build();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            sys.run_programs(vec![vec![Op::Store { addr: 0x3_0000, value: v }], vec![]]);
+            sys.run_programs(vec![vec![], vec![Op::Store { addr: 0x3_0000, value: v }]]);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tick_throughput, bench_store_flush_fence, bench_skipit_drop, bench_cross_core_pingpong
+}
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Thread-mode core handle: the blocking API workload threads use to drive a
+//! simulated core.
+//!
+//! Each handle owns one side of a strict rendezvous with the simulator: the
+//! thread sends one command, then blocks for its result; the simulator, after
+//! completing an op, blocks for the thread's next command. At every simulated
+//! cycle each core is therefore in a well-defined state, making simulated
+//! time independent of host scheduling.
+//!
+//! Workload threads must not synchronize with each other through host-side
+//! primitives — all shared state belongs in simulated memory.
+
+use crate::op::Op;
+use crossbeam::channel::{Receiver, Sender};
+use std::cell::Cell;
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Cmd {
+    Op(Op),
+    RdCycle,
+    Done,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Resp {
+    pub value: u64,
+    /// The run's cycle budget is exhausted; the workload should wind down.
+    pub halted: bool,
+}
+
+/// Blocking driver for one simulated core (thread mode).
+///
+/// Dropping the handle tells the simulator the workload is done.
+#[derive(Debug)]
+pub struct CoreHandle {
+    pub(crate) cmd: Sender<Cmd>,
+    pub(crate) res: Receiver<Resp>,
+    pub(crate) core: usize,
+    halted: Cell<bool>,
+    done_sent: Cell<bool>,
+}
+
+impl CoreHandle {
+    pub(crate) fn new(cmd: Sender<Cmd>, res: Receiver<Resp>, core: usize) -> Self {
+        CoreHandle {
+            cmd,
+            res,
+            core,
+            halted: Cell::new(false),
+            done_sent: Cell::new(false),
+        }
+    }
+
+    /// The simulated core this handle drives.
+    pub fn core_id(&self) -> usize {
+        self.core
+    }
+
+    fn exec(&self, op: Op) -> u64 {
+        self.cmd.send(Cmd::Op(op)).expect("simulator alive");
+        let resp = self.res.recv().expect("simulator alive");
+        if resp.halted {
+            self.halted.set(true);
+        }
+        resp.value
+    }
+
+    /// Performs a 64-bit load; blocks until the value is available.
+    pub fn load(&self, addr: u64) -> u64 {
+        self.exec(Op::Load { addr })
+    }
+
+    /// Performs a 64-bit store; blocks until the store is accepted by the
+    /// memory system (BOOM commit semantics, §3.3).
+    pub fn store(&self, addr: u64, value: u64) {
+        self.exec(Op::Store { addr, value });
+    }
+
+    /// Compare-and-swap; returns the old value (success iff it equals
+    /// `expected`).
+    pub fn cas(&self, addr: u64, expected: u64, new: u64) -> u64 {
+        self.exec(Op::Cas {
+            addr,
+            expected,
+            new,
+        })
+    }
+
+    /// Atomic fetch-and-add; returns the old value.
+    pub fn fetch_add(&self, addr: u64, operand: u64) -> u64 {
+        self.exec(Op::FetchAdd { addr, operand })
+    }
+
+    /// Atomic swap; returns the old value.
+    pub fn swap(&self, addr: u64, operand: u64) -> u64 {
+        self.exec(Op::Swap { addr, operand })
+    }
+
+    /// Issues `CBO.CLEAN`; blocks only until the flush unit buffers it
+    /// (§5.2) — the writeback itself proceeds asynchronously.
+    pub fn clean(&self, addr: u64) {
+        self.exec(Op::Clean { addr });
+    }
+
+    /// Issues `CBO.FLUSH`; blocks only until the flush unit buffers it.
+    pub fn flush(&self, addr: u64) {
+        self.exec(Op::Flush { addr });
+    }
+
+    /// Issues `CBO.INVAL` — discards every cached copy without writing
+    /// dirty data back (dangerous; exposes whatever main memory holds).
+    pub fn inval(&self, addr: u64) {
+        self.exec(Op::Inval { addr });
+    }
+
+    /// `FENCE RW, RW` extended with writeback completion (§5.3): blocks
+    /// until every older memory op *and every pending writeback* is done.
+    pub fn fence(&self) {
+        self.exec(Op::Fence);
+    }
+
+    /// Occupies the core for `cycles` of non-memory work (think time).
+    pub fn work(&self, cycles: u64) {
+        if cycles > 0 {
+            self.exec(Op::Nop { cycles });
+        }
+    }
+
+    /// Reads the cycle CSR (`RDCYCLE`, §7.1) without consuming simulated
+    /// time.
+    pub fn rdcycle(&self) -> u64 {
+        self.cmd.send(Cmd::RdCycle).expect("simulator alive");
+        let resp = self.res.recv().expect("simulator alive");
+        if resp.halted {
+            self.halted.set(true);
+        }
+        resp.value
+    }
+
+    /// Whether the run's cycle budget has been exhausted — workload loops
+    /// should poll this and return.
+    pub fn halted(&self) -> bool {
+        self.halted.get()
+    }
+
+    /// Explicitly ends the workload (also done automatically on drop).
+    pub fn finish(self) {
+        // Drop runs and sends Done.
+    }
+}
+
+impl Drop for CoreHandle {
+    fn drop(&mut self) {
+        if !self.done_sent.get() {
+            self.done_sent.set(true);
+            let _ = self.cmd.send(Cmd::Done);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! BOOM-style core model and the cycle-stepped multicore `System`.
+//!
+//! This crate supplies the processor-side machinery of the paper's
+//! evaluation platform (§3, §7.1): per-core load/store units with the
+//! LDQ/STQ semantics the flush-unit design relies on (§3.2, §5.1), fences
+//! extended to wait on the flush counter (§5.3), nack/retry behaviour, and a
+//! [`System`] that ties N cores, their L1 data caches, the shared inclusive
+//! L2 and DRAM into one deterministic cycle-stepped simulation.
+//!
+//! Two ways to drive a simulated core:
+//!
+//! * **Program mode** ([`System::run_programs`]): each core executes a fixed
+//!   [`Op`] sequence; loads fire out of order, stores/writebacks in order —
+//!   ideal for the paper's microbenchmarks (Figs. 9–13).
+//! * **Thread mode** ([`System::run_threads`]): each core is driven by a host
+//!   thread through a [`CoreHandle`] under a strict rendezvous protocol, so
+//!   value-dependent workloads (the persistent lock-free data structures of
+//!   §7.4) run as ordinary Rust code while simulated time stays
+//!   deterministic.
+
+pub mod handle;
+pub mod lsu;
+pub mod op;
+pub mod system;
+pub mod trace;
+
+pub use handle::CoreHandle;
+pub use lsu::Lsu;
+pub use op::{Op, OpToken};
+pub use system::{System, SystemConfig, SystemStats};
+pub use trace::{TraceLog, TraceRecord};

@@ -1,0 +1,792 @@
+//! The cycle-stepped multicore system: N BOOM-style cores with private L1
+//! data caches, a shared inclusive L2, and DRAM (the §7.1 platform).
+
+use crate::handle::{Cmd, CoreHandle, Resp};
+use crate::lsu::{Lsu, LsuConfig};
+use crate::op::{Op, OpToken};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use skipit_dcache::{DataCache, L1Config, L1Stats};
+use skipit_llc::{InclusiveCache, L2Config, L2Ports, L2Stats};
+use skipit_mem::{Dram, DramConfig, MemStats};
+use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link};
+
+/// Configuration of the whole simulated SoC.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Number of cores (each with a private L1 D-cache).
+    pub cores: usize,
+    /// Per-core L1 configuration (including the Skip It switch).
+    pub l1: L1Config,
+    /// Shared L2 configuration.
+    pub l2: L2Config,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Wire latency of every TileLink channel hop (cycles).
+    pub link_latency: u64,
+    /// Buffering per channel (messages).
+    pub link_capacity: usize,
+    /// Frontend issue width (ops entering the LSU per cycle).
+    pub issue_width: usize,
+    /// LSU sizing.
+    pub lsu: LsuConfig,
+}
+
+impl Default for SystemConfig {
+    /// The paper's evaluation platform (§7.1): dual-core, 32 KiB L1s,
+    /// 512 KiB shared L2.
+    fn default() -> Self {
+        SystemConfig {
+            cores: 2,
+            l1: L1Config::default(),
+            l2: L2Config::default(),
+            dram: DramConfig::default(),
+            link_latency: 1,
+            link_capacity: 8,
+            issue_width: 2,
+            lsu: LsuConfig::default(),
+        }
+    }
+}
+
+/// Aggregated counters of a system.
+#[derive(Clone, Debug)]
+pub struct SystemStats {
+    /// Current cycle.
+    pub cycles: u64,
+    /// Per-core L1 counters.
+    pub l1: Vec<L1Stats>,
+    /// L2 counters.
+    pub l2: L2Stats,
+    /// Memory counters.
+    pub mem: MemStats,
+}
+
+impl SystemStats {
+    /// Renders the counters as a human-readable report (used by examples
+    /// and benchmark summaries).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles: {}", self.cycles);
+        for (i, l1) in self.l1.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "core {i}: loads {} (hits {}), stores {} (hits {}), amos {}, nacks {}",
+                l1.loads, l1.load_hits, l1.stores, l1.store_hits, l1.amos, l1.nacks
+            );
+            let _ = writeln!(
+                out,
+                "  writebacks: enqueued {}, skipped(SkipIt) {}, coalesced {}, \
+                 RootReleases {} ({} with data)",
+                l1.writebacks_enqueued,
+                l1.writebacks_skipped,
+                l1.writebacks_coalesced,
+                l1.root_releases_sent,
+                l1.root_releases_with_data
+            );
+            let _ = writeln!(
+                out,
+                "  probes {} ({} with data), evictions {} ({} dirty), \
+                 flush-entry fixups: probe {} / evict {}",
+                l1.probes_handled,
+                l1.probes_with_data,
+                l1.evictions,
+                l1.dirty_evictions,
+                l1.flush_entries_probe_invalidated,
+                l1.flush_entries_evict_invalidated
+            );
+        }
+        let _ = writeln!(
+            out,
+            "L2: acquires {} (clean {}, dirty {}), RootRelease flush {} / clean {}, \
+             DRAM writes {} (trivially skipped {}), probes {}, releases {}, \
+             evictions {} ({} dirty), list-buffered {}",
+            self.l2.acquires,
+            self.l2.grants_clean,
+            self.l2.grants_dirty,
+            self.l2.root_release_flush,
+            self.l2.root_release_clean,
+            self.l2.root_release_dram_writes,
+            self.l2.root_release_dram_skipped,
+            self.l2.probes_sent,
+            self.l2.releases,
+            self.l2.evictions,
+            self.l2.dirty_evictions,
+            self.l2.list_buffered
+        );
+        let _ = writeln!(out, "DRAM: reads {}, writes {}", self.mem.reads, self.mem.writes);
+        out
+    }
+}
+
+enum Frontend {
+    Idle,
+    Program {
+        ops: Vec<Op>,
+        next: usize,
+        nop_until: u64,
+    },
+    Thread {
+        rx: Receiver<Cmd>,
+        tx: Sender<Resp>,
+        busy: Option<OpToken>,
+        nop_until: Option<u64>,
+        finished: bool,
+    },
+}
+
+/// The simulated SoC. See the [crate docs](crate) for the two drive modes.
+pub struct System {
+    cfg: SystemConfig,
+    now: u64,
+    lsus: Vec<Lsu>,
+    l1s: Vec<DataCache>,
+    l2: InclusiveCache,
+    dram: Dram,
+    frontends: Vec<Frontend>,
+    next_token: OpToken,
+    // Per-core channel links (L1 side index == core index).
+    a: Vec<Link<ChannelA>>,
+    b: Vec<Link<ChannelB>>,
+    c: Vec<Link<ChannelC>>,
+    d: Vec<Link<ChannelD>>,
+    e: Vec<Link<ChannelE>>,
+    /// Absolute cycle after which thread-mode responses carry `halted`.
+    deadline: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cfg.cores)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a quiesced system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is 0 or exceeds 32, or a sub-config is invalid.
+    pub fn new(cfg: SystemConfig) -> Self {
+        assert!((1..=32).contains(&cfg.cores), "1..=32 cores supported");
+        macro_rules! links {
+            () => {
+                (0..cfg.cores)
+                    .map(|_| Link::new(cfg.link_latency, cfg.link_capacity))
+                    .collect()
+            };
+        }
+        System {
+            now: 0,
+            lsus: (0..cfg.cores).map(|i| Lsu::new(i, cfg.lsu)).collect(),
+            l1s: (0..cfg.cores).map(|i| DataCache::new(i, cfg.l1)).collect(),
+            l2: InclusiveCache::new(cfg.cores, cfg.l2),
+            dram: Dram::new(cfg.dram),
+            frontends: (0..cfg.cores).map(|_| Frontend::Idle).collect(),
+            next_token: 0,
+            a: links!(),
+            b: links!(),
+            c: links!(),
+            d: links!(),
+            e: links!(),
+            deadline: u64::MAX,
+            cfg,
+        }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Aggregated counters.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            cycles: self.now,
+            l1: self.l1s.iter().map(|c| c.stats()).collect(),
+            l2: self.l2.stats(),
+            mem: self.dram.stats(),
+        }
+    }
+
+    /// The persisted memory image (what a crash-recovery procedure sees).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Direct (test/bench setup) access to memory.
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// Per-core L1 peek helpers for tests and examples.
+    pub fn l1(&self, core: usize) -> &DataCache {
+        &self.l1s[core]
+    }
+
+    /// L2 peek helpers for tests and examples.
+    pub fn l2(&self) -> &InclusiveCache {
+        &self.l2
+    }
+
+    /// Simulates a power failure: every cache's contents are lost; only the
+    /// DRAM (persistence domain) survives (§2.5).
+    pub fn crash(self) -> Dram {
+        self.dram
+    }
+
+    /// Starts recording per-op completion latencies on every core (bounded
+    /// to `capacity` records per core). See [`crate::trace`].
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        for lsu in &mut self.lsus {
+            lsu.enable_tracing(capacity);
+        }
+    }
+
+    /// All trace records across cores, in completion order per core.
+    pub fn trace_records(&self) -> Vec<crate::trace::TraceRecord> {
+        self.lsus
+            .iter()
+            .filter_map(|l| l.trace())
+            .flat_map(|t| t.records().iter().copied())
+            .collect()
+    }
+
+    /// Clears every core's trace log.
+    pub fn clear_traces(&mut self) {
+        for lsu in &mut self.lsus {
+            lsu.clear_trace();
+        }
+    }
+
+    /// Advances the system by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        {
+            let mut ports = L2Ports {
+                a: &mut self.a,
+                b: &mut self.b,
+                c: &mut self.c,
+                d: &mut self.d,
+                e: &mut self.e,
+                mem: &mut self.dram,
+            };
+            self.l2.step(now, &mut ports);
+        }
+        for i in 0..self.cfg.cores {
+            let mut ports = skipit_dcache::L1Ports {
+                a: &mut self.a[i],
+                b: &mut self.b[i],
+                c: &mut self.c[i],
+                d: &mut self.d[i],
+                e: &mut self.e[i],
+            };
+            self.l1s[i].step(now, &mut ports);
+            self.lsus[i].step(now, &mut self.l1s[i]);
+        }
+        self.step_frontends();
+        self.now += 1;
+    }
+
+
+    fn step_frontends(&mut self) {
+        let now = self.now;
+        let issue_width = self.cfg.issue_width;
+        for i in 0..self.cfg.cores {
+            // Take the frontend out to appease the borrow checker; put it
+            // back at the end.
+            let mut fe = std::mem::replace(&mut self.frontends[i], Frontend::Idle);
+            match &mut fe {
+                Frontend::Idle => {}
+                Frontend::Program {
+                    ops,
+                    next,
+                    nop_until,
+                } => {
+                    self.lsus[i].drain_finished();
+                    let mut issued = 0;
+                    while issued < issue_width && *next < ops.len() && now >= *nop_until {
+                        match ops[*next] {
+                            Op::Nop { cycles } => {
+                                *nop_until = now + cycles;
+                                *next += 1;
+                                issued += 1;
+                            }
+                            op => {
+                                if !self.lsus[i].has_room(op) {
+                                    break;
+                                }
+                                let tok = self.next_token + 1;
+                                self.next_token = tok;
+                                self.lsus[i].enqueue(tok, op, now);
+                                *next += 1;
+                                issued += 1;
+                            }
+                        }
+                    }
+                }
+                Frontend::Thread {
+                    rx,
+                    tx,
+                    busy,
+                    nop_until,
+                    finished,
+                } => {
+                    if !*finished {
+                        // Deliver a completed op's result.
+                        if let Some(tok) = *busy {
+                            match self.lsus[i].take_finished(tok) {
+                                Some(value) => {
+                                    *busy = None;
+                                    let _ = tx.send(Resp {
+                                        value,
+                                        halted: now >= self.deadline,
+                                    });
+                                }
+                                None => {
+                                    self.frontends[i] = fe;
+                                    continue;
+                                }
+                            }
+                        }
+                        if let Some(until) = *nop_until {
+                            if now < until {
+                                self.frontends[i] = fe;
+                                continue;
+                            }
+                            *nop_until = None;
+                            let _ = tx.send(Resp {
+                                value: 0,
+                                halted: now >= self.deadline,
+                            });
+                        }
+                        // Rendezvous: block until the workload's next
+                        // command (its host-side computation takes zero
+                        // simulated time).
+                        loop {
+                            match rx.recv() {
+                                Ok(Cmd::RdCycle) => {
+                                    let _ = tx.send(Resp {
+                                        value: now,
+                                        halted: now >= self.deadline,
+                                    });
+                                }
+                                Ok(Cmd::Op(Op::Nop { cycles })) => {
+                                    *nop_until = Some(now + cycles);
+                                    break;
+                                }
+                                Ok(Cmd::Op(op)) => {
+                                    let tok = self.next_token + 1;
+                                    self.next_token = tok;
+                                    // Thread mode has at most one op in
+                                    // flight; room is guaranteed.
+                                    self.lsus[i].enqueue(tok, op, now);
+                                    *busy = Some(tok);
+                                    break;
+                                }
+                                Ok(Cmd::Done) | Err(_) => {
+                                    *finished = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.frontends[i] = fe;
+        }
+    }
+
+    fn program_done(&self, core: usize) -> bool {
+        match &self.frontends[core] {
+            Frontend::Idle => true,
+            Frontend::Program {
+                ops,
+                next,
+                nop_until,
+            } => {
+                *next >= ops.len() && self.now >= *nop_until && self.lsus[core].is_empty()
+            }
+            Frontend::Thread { finished, .. } => *finished && self.lsus[core].is_empty(),
+        }
+    }
+
+    /// Runs one fixed [`Op`] sequence per core (missing cores idle) to
+    /// completion; returns the number of cycles elapsed. Callable repeatedly
+    /// — cache and memory state persists between runs, which is how
+    /// benchmarks separate warm-up from the measured phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than cores are supplied, or if the programs
+    /// fail to finish within a watchdog budget (an interlock bug).
+    pub fn run_programs(&mut self, programs: Vec<Vec<Op>>) -> u64 {
+        assert!(
+            programs.len() <= self.cfg.cores,
+            "{} programs for {} cores",
+            programs.len(),
+            self.cfg.cores
+        );
+        let start = self.now;
+        for (i, ops) in programs.into_iter().enumerate() {
+            self.frontends[i] = Frontend::Program {
+                ops,
+                next: 0,
+                nop_until: 0,
+            };
+        }
+        let watchdog = self.now + 2_000_000_000;
+        while !(0..self.cfg.cores).all(|i| self.program_done(i)) {
+            self.tick();
+            assert!(self.now < watchdog, "program run exceeded watchdog budget");
+        }
+        for fe in &mut self.frontends {
+            *fe = Frontend::Idle;
+        }
+        self.now - start
+    }
+
+    /// Runs the system until every cache and the L2 are quiescent (drains
+    /// asynchronous writebacks that no fence waited for).
+    pub fn quiesce(&mut self) {
+        let watchdog = self.now + 1_000_000;
+        while !(self.l1s.iter().all(|c| c.is_quiescent()) && self.l2.is_quiescent()) {
+            self.tick();
+            assert!(self.now < watchdog, "quiesce exceeded watchdog budget");
+        }
+    }
+
+    /// Runs one closure per core (missing cores idle), each driving its core
+    /// through a [`CoreHandle`] under the deterministic rendezvous protocol.
+    ///
+    /// `budget` (cycles, measured from the call) soft-stops the run: once
+    /// exceeded, every response carries `halted = true` and well-behaved
+    /// workloads return. Returns `(elapsed_cycles, per-worker results)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more workers than cores are supplied or a worker panics.
+    pub fn run_threads<R, F>(&mut self, workers: Vec<F>, budget: Option<u64>) -> (u64, Vec<R>)
+    where
+        R: Send,
+        F: FnOnce(CoreHandle) -> R + Send,
+    {
+        assert!(
+            workers.len() <= self.cfg.cores,
+            "{} workers for {} cores",
+            workers.len(),
+            self.cfg.cores
+        );
+        let start = self.now;
+        self.deadline = budget.map_or(u64::MAX, |b| start + b);
+        let n = workers.len();
+        let mut handles = Vec::with_capacity(n);
+        for (i, fe) in self.frontends.iter_mut().enumerate().take(n) {
+            let (cmd_tx, cmd_rx) = unbounded();
+            let (res_tx, res_rx) = unbounded();
+            *fe = Frontend::Thread {
+                rx: cmd_rx,
+                tx: res_tx,
+                busy: None,
+                nop_until: None,
+                finished: false,
+            };
+            handles.push(CoreHandle::new(cmd_tx, res_rx, i));
+        }
+        let results = std::thread::scope(|scope| {
+            let joins: Vec<_> = workers
+                .into_iter()
+                .zip(handles)
+                .map(|(w, h)| scope.spawn(move || w(h)))
+                .collect();
+            while !(0..self.cfg.cores).all(|i| self.program_done(i)) {
+                self.tick();
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("workload thread panicked"))
+                .collect()
+        });
+        for fe in &mut self.frontends {
+            *fe = Frontend::Idle;
+        }
+        self.deadline = u64::MAX;
+        (self.now - start, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize, skip_it: bool) -> System {
+        System::new(SystemConfig {
+            cores,
+            l1: L1Config {
+                skip_it,
+                ..L1Config::default()
+            },
+            ..SystemConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_core_store_flush_fence_persists() {
+        let mut s = sys(1, false);
+        let cycles = s.run_programs(vec![vec![
+            Op::Store {
+                addr: 0x1000,
+                value: 0xdead,
+            },
+            Op::Flush { addr: 0x1000 },
+            Op::Fence,
+        ]]);
+        assert!(cycles > 0);
+        assert_eq!(s.dram().read_word_direct(0x1000), 0xdead);
+    }
+
+    #[test]
+    fn store_without_writeback_is_not_persisted() {
+        let mut s = sys(1, false);
+        s.run_programs(vec![vec![Op::Store {
+            addr: 0x1000,
+            value: 7,
+        }]]);
+        s.quiesce();
+        let dram = s.crash();
+        assert_eq!(
+            dram.read_word_direct(0x1000),
+            0,
+            "unwritten-back data must be lost on crash"
+        );
+    }
+
+    #[test]
+    fn clean_persists_but_keeps_line() {
+        let mut s = sys(1, false);
+        s.run_programs(vec![vec![
+            Op::Store {
+                addr: 0x2000,
+                value: 3,
+            },
+            Op::Clean { addr: 0x2000 },
+            Op::Fence,
+            Op::Load { addr: 0x2000 },
+        ]]);
+        assert_eq!(s.dram().read_word_direct(0x2000), 3);
+        assert_eq!(s.stats().l1[0].load_hits, 1, "clean must not invalidate");
+    }
+
+    #[test]
+    fn flush_forces_refetch() {
+        let mut s = sys(1, false);
+        s.run_programs(vec![vec![
+            Op::Store {
+                addr: 0x3000,
+                value: 4,
+            },
+            Op::Flush { addr: 0x3000 },
+            Op::Fence,
+            Op::Load { addr: 0x3000 },
+        ]]);
+        let st = s.stats();
+        assert_eq!(st.l1[0].load_hits, 0, "flush must invalidate the line");
+        assert_eq!(st.l1[0].loads, 1);
+        assert_eq!(s.dram().read_word_direct(0x3000), 4);
+    }
+
+    #[test]
+    fn cross_core_coherence_transfers_value() {
+        let mut s = sys(2, false);
+        s.run_programs(vec![
+            vec![Op::Store {
+                addr: 0x4000,
+                value: 11,
+            }],
+            vec![],
+        ]);
+        let (_, vals) = s.run_threads(
+            vec![|h: CoreHandle| {
+                let v = h.load(0x4000);
+                h.finish();
+                v
+            }],
+            None,
+        );
+        // Core 0 wrote; core 1 must read 11 through coherence... but note
+        // the thread ran on core 0 here (workers map to cores in order), so
+        // run a proper 2-core variant below. This checks basic re-read.
+        assert_eq!(vals[0], 11);
+    }
+
+    #[test]
+    fn two_threads_communicate_through_simulated_memory() {
+        let mut s = sys(2, false);
+        let (_, results) = s.run_threads(
+            vec![
+                Box::new(|h: CoreHandle| {
+                    h.store(0x5000, 21);
+                    // Signal readiness through another line.
+                    h.store(0x5040, 1);
+                    h.finish();
+                    0u64
+                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                Box::new(|h: CoreHandle| {
+                    // Spin on the flag (coherent read).
+                    while h.load(0x5040) == 0 {
+                        if h.halted() {
+                            return u64::MAX;
+                        }
+                    }
+                    let v = h.load(0x5000);
+                    h.finish();
+                    v
+                }),
+            ],
+            Some(2_000_000),
+        );
+        assert_eq!(results[1], 21);
+    }
+
+    #[test]
+    fn skip_it_system_drops_redundant_writebacks() {
+        let mut s = sys(1, true);
+        let mut prog = vec![
+            Op::Store {
+                addr: 0x6000,
+                value: 1,
+            },
+            Op::Clean { addr: 0x6000 },
+            Op::Fence,
+        ];
+        for _ in 0..10 {
+            prog.push(Op::Clean { addr: 0x6000 });
+            prog.push(Op::Fence);
+        }
+        s.run_programs(vec![prog]);
+        let st = s.stats();
+        assert_eq!(st.l1[0].writebacks_skipped, 10);
+        assert_eq!(st.l1[0].writebacks_enqueued, 1);
+    }
+
+    #[test]
+    fn naive_system_sends_all_writebacks_but_l2_skips_dram() {
+        let mut s = sys(1, false);
+        let mut prog = vec![
+            Op::Store {
+                addr: 0x6000,
+                value: 1,
+            },
+            Op::Clean { addr: 0x6000 },
+            Op::Fence,
+        ];
+        for _ in 0..10 {
+            prog.push(Op::Clean { addr: 0x6000 });
+            prog.push(Op::Fence);
+        }
+        s.run_programs(vec![prog]);
+        let st = s.stats();
+        assert_eq!(st.l1[0].writebacks_skipped, 0);
+        assert_eq!(st.l1[0].writebacks_enqueued, 11);
+        // The L2 dirty-bit check eliminates the redundant DRAM writes
+        // (§5.5): only the first clean writes memory.
+        assert_eq!(st.l2.root_release_dram_writes, 1);
+        assert_eq!(st.l2.root_release_dram_skipped, 10);
+    }
+
+    #[test]
+    fn fence_after_many_flushes_waits_for_all() {
+        let mut s = sys(1, false);
+        let mut prog = Vec::new();
+        for i in 0..32u64 {
+            prog.push(Op::Store {
+                addr: 0x8000 + i * 64,
+                value: i + 1,
+            });
+        }
+        for i in 0..32u64 {
+            prog.push(Op::Flush {
+                addr: 0x8000 + i * 64,
+            });
+        }
+        prog.push(Op::Fence);
+        s.run_programs(vec![prog]);
+        for i in 0..32u64 {
+            assert_eq!(s.dram().read_word_direct(0x8000 + i * 64), i + 1);
+        }
+    }
+
+    #[test]
+    fn flush_latency_is_near_paper_calibration() {
+        // §7.2: a single-line clean/flush has a median latency of ≈100
+        // cycles. Allow a generous band; EXPERIMENTS.md tracks the value.
+        let mut s = sys(1, false);
+        s.run_programs(vec![vec![Op::Store {
+            addr: 0x9000,
+            value: 1,
+        }]]);
+        let cycles = s.run_programs(vec![vec![Op::Flush { addr: 0x9000 }, Op::Fence]]);
+        assert!(
+            (40..=250).contains(&cycles),
+            "single-line flush+fence took {cycles} cycles"
+        );
+    }
+
+    #[test]
+    fn rdcycle_advances() {
+        let mut s = sys(1, false);
+        let (_, vals) = s.run_threads(
+            vec![|h: CoreHandle| {
+                let t0 = h.rdcycle();
+                h.store(0x100, 1);
+                let t1 = h.rdcycle();
+                h.finish();
+                (t0, t1)
+            }],
+            None,
+        );
+        assert!(vals[0].1 > vals[0].0);
+    }
+
+    #[test]
+    fn work_occupies_cycles() {
+        let mut s = sys(1, false);
+        let (_, vals) = s.run_threads(
+            vec![|h: CoreHandle| {
+                let t0 = h.rdcycle();
+                h.work(100);
+                let t1 = h.rdcycle();
+                h.finish();
+                t1 - t0
+            }],
+            None,
+        );
+        assert!(vals[0] >= 100, "work(100) took only {} cycles", vals[0]);
+    }
+
+    #[test]
+    fn budget_halts_threads() {
+        let mut s = sys(1, false);
+        let (_, ops) = s.run_threads(
+            vec![|h: CoreHandle| {
+                let mut n = 0u64;
+                while !h.halted() {
+                    h.store(0x100, n);
+                    n += 1;
+                }
+                h.finish();
+                n
+            }],
+            Some(10_000),
+        );
+        assert!(ops[0] > 0);
+    }
+}

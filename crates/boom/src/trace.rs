@@ -1,0 +1,135 @@
+//! Per-operation latency tracing.
+//!
+//! When enabled (see [`System::enable_tracing`]), the LSU records one
+//! [`TraceRecord`] per completed operation: what it was, when the frontend
+//! issued it, and when it completed. This is how the latency distributions
+//! behind the paper's medians/σ (§7.1: "we repeat all microbenchmarks 50
+//! times and report the median") are extracted from a run, and it is the
+//! first tool to reach for when a workload's cycle count looks wrong.
+//!
+//! Tracing is bounded: once `capacity` records exist, further completions
+//! are counted but not stored (check [`TraceLog::dropped`]).
+//!
+//! [`System::enable_tracing`]: crate::System::enable_tracing
+
+use crate::op::{Op, OpToken};
+
+/// One completed operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Core that executed the op.
+    pub core: usize,
+    /// Frontend token.
+    pub token: OpToken,
+    /// The operation.
+    pub op: Op,
+    /// Cycle the op entered the LSU.
+    pub issued_at: u64,
+    /// Cycle the op completed (result available / committed).
+    pub completed_at: u64,
+}
+
+impl TraceRecord {
+    /// Completion latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.completed_at - self.issued_at
+    }
+}
+
+/// A bounded log of completed operations.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    /// Completions that arrived after the log filled.
+    pub dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log bounded to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            records: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded operations, in completion order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Latencies of all records matching `pred`, sorted ascending.
+    pub fn latencies_where(&self, pred: impl Fn(&TraceRecord) -> bool) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .records
+            .iter()
+            .filter(|r| pred(r))
+            .map(TraceRecord::latency)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Median latency of records matching `pred` (`None` when no record
+    /// matches).
+    pub fn median_where(&self, pred: impl Fn(&TraceRecord) -> bool) -> Option<u64> {
+        let v = self.latencies_where(pred);
+        (!v.is_empty()).then(|| v[v.len() / 2])
+    }
+
+    /// Clears the log (keeping the capacity).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, lat: u64) -> TraceRecord {
+        TraceRecord {
+            core: 0,
+            token: t,
+            op: Op::Fence,
+            issued_at: 100,
+            completed_at: 100 + lat,
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_counts_drops() {
+        let mut log = TraceLog::new(2);
+        log.push(rec(1, 5));
+        log.push(rec(2, 7));
+        log.push(rec(3, 9));
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.dropped, 1);
+        log.clear();
+        assert!(log.records().is_empty());
+        assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn median_and_filters() {
+        let mut log = TraceLog::new(16);
+        for (t, l) in [(1, 10), (2, 30), (3, 20)] {
+            log.push(rec(t, l));
+        }
+        assert_eq!(log.median_where(|_| true), Some(20));
+        assert_eq!(log.median_where(|r| r.token == 2), Some(30));
+        assert_eq!(log.median_where(|r| r.token == 99), None);
+        assert_eq!(log.latencies_where(|_| true), vec![10, 20, 30]);
+    }
+}

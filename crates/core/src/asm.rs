@@ -1,0 +1,317 @@
+//! RISC-V instruction encodings for the simulated operations, and a small
+//! assembly-text front-end for writing simulator programs.
+//!
+//! The paper implements the CMO extension's `CBO.CLEAN` / `CBO.FLUSH`
+//! (§2.6), which are ratified RISC-V encodings in the `MISC-MEM` opcode
+//! space: `cbo.clean rs1` is `0x0010200F | rs1 << 15`, `cbo.flush rs1` is
+//! `0x0020200F | rs1 << 15` (funct12 = 1/2 in `imm[11:0]`, `rd = 0`,
+//! `funct3 = 010`). This module encodes/decodes the subset of RV64 the
+//! simulator executes, so programs can be written as assembly text and
+//! traced back to real instruction words.
+//!
+//! The text format is one instruction per line, with `x0`–`x31`-free
+//! operand syntax: addresses and values are immediates (the simulator has
+//! no register file — it is a memory-system model):
+//!
+//! ```text
+//! sd      0x1000, 42        # store 42 to 0x1000
+//! ld      0x1000            # load
+//! cbo.flush 0x1000          # CBO.FLUSH of the line containing 0x1000
+//! cbo.clean 0x1000
+//! fence                     # FENCE RW, RW
+//! nop     8                 # 8 cycles of non-memory work
+//! amoadd.d 0x2000, 5        # fetch-and-add
+//! amoswap.d 0x2000, 7       # swap
+//! cas     0x2000, 5, 9      # compare-and-swap (Zacas-style)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use skipit_core::asm;
+//!
+//! let prog = asm::assemble(
+//!     "sd 0x1000, 7\n cbo.flush 0x1000\n fence",
+//! ).unwrap();
+//! assert_eq!(prog.len(), 3);
+//! let mut sys = skipit_core::paper_platform(false);
+//! sys.run_programs(vec![prog]);
+//! assert_eq!(sys.dram().read_word_direct(0x1000), 7);
+//! ```
+
+use skipit_boom::Op;
+use std::fmt;
+
+/// Base machine encoding of `CBO.CLEAN x0` (rs1 = x0). OR `rs1 << 15` in.
+pub const CBO_CLEAN_BASE: u32 = 0x0010_200F;
+/// Base machine encoding of `CBO.FLUSH x0`.
+pub const CBO_FLUSH_BASE: u32 = 0x0020_200F;
+/// Base machine encoding of `CBO.INVAL x0` (funct12 = 0).
+pub const CBO_INVAL_BASE: u32 = 0x0000_200F;
+/// Machine encoding of `FENCE RW, RW` (pred = 0b0011, succ = 0b0011).
+pub const FENCE_RW_RW: u32 = 0x0330_000F;
+
+/// Returns the machine encoding of `cbo.clean` with address register `rs1`.
+///
+/// # Panics
+///
+/// Panics if `rs1 >= 32`.
+pub fn encode_cbo_clean(rs1: u32) -> u32 {
+    assert!(rs1 < 32, "rs1 out of range");
+    CBO_CLEAN_BASE | (rs1 << 15)
+}
+
+/// Returns the machine encoding of `cbo.flush` with address register `rs1`.
+///
+/// # Panics
+///
+/// Panics if `rs1 >= 32`.
+pub fn encode_cbo_flush(rs1: u32) -> u32 {
+    assert!(rs1 < 32, "rs1 out of range");
+    CBO_FLUSH_BASE | (rs1 << 15)
+}
+
+/// Returns the machine encoding of `cbo.inval` with address register `rs1`.
+///
+/// # Panics
+///
+/// Panics if `rs1 >= 32`.
+pub fn encode_cbo_inval(rs1: u32) -> u32 {
+    assert!(rs1 < 32, "rs1 out of range");
+    CBO_INVAL_BASE | (rs1 << 15)
+}
+
+/// Classifies a 32-bit instruction word as one of the cache-management
+/// operations the paper adds (or the fence they extend).
+pub fn decode_cmo(word: u32) -> Option<Cmo> {
+    const RS1_MASK: u32 = 0x1F << 15;
+    if word & !RS1_MASK == CBO_CLEAN_BASE {
+        return Some(Cmo::Clean {
+            rs1: (word >> 15) & 0x1F,
+        });
+    }
+    if word & !RS1_MASK == CBO_FLUSH_BASE {
+        return Some(Cmo::Flush {
+            rs1: (word >> 15) & 0x1F,
+        });
+    }
+    if word & !RS1_MASK == CBO_INVAL_BASE {
+        return Some(Cmo::Inval {
+            rs1: (word >> 15) & 0x1F,
+        });
+    }
+    if word == FENCE_RW_RW {
+        return Some(Cmo::Fence);
+    }
+    None
+}
+
+/// A decoded cache-management instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmo {
+    /// `cbo.clean rs1`.
+    Clean {
+        /// Address register index.
+        rs1: u32,
+    },
+    /// `cbo.flush rs1`.
+    Flush {
+        /// Address register index.
+        rs1: u32,
+    },
+    /// `cbo.inval rs1`.
+    Inval {
+        /// Address register index.
+        rs1: u32,
+    },
+    /// `fence rw, rw`.
+    Fence,
+}
+
+/// An error produced while assembling program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u64, ParseAsmError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| ParseAsmError {
+        line,
+        message: format!("invalid immediate `{tok}`"),
+    })
+}
+
+/// Assembles program text (see [module docs](self)) into an [`Op`] sequence
+/// runnable by [`System::run_programs`].
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] naming the first malformed line.
+///
+/// [`System::run_programs`]: skipit_boom::System::run_programs
+pub fn assemble(text: &str) -> Result<Vec<Op>, ParseAsmError> {
+    let mut ops = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty line");
+        let args: Vec<&str> = parts.collect();
+        let argn = |n: usize| -> Result<u64, ParseAsmError> {
+            args.get(n).map(|t| parse_imm(t, line_no)).ok_or(ParseAsmError {
+                line: line_no,
+                message: format!("`{mnemonic}` missing operand {n}"),
+            })?
+        };
+        let op = match mnemonic {
+            "sd" => Op::Store {
+                addr: argn(0)?,
+                value: argn(1)?,
+            },
+            "ld" => Op::Load { addr: argn(0)? },
+            "cbo.clean" => Op::Clean { addr: argn(0)? },
+            "cbo.flush" => Op::Flush { addr: argn(0)? },
+            "cbo.inval" => Op::Inval { addr: argn(0)? },
+            "fence" => Op::Fence,
+            "nop" => Op::Nop {
+                cycles: if args.is_empty() { 1 } else { argn(0)? },
+            },
+            "amoadd.d" => Op::FetchAdd {
+                addr: argn(0)?,
+                operand: argn(1)?,
+            },
+            "amoswap.d" => Op::Swap {
+                addr: argn(0)?,
+                operand: argn(1)?,
+            },
+            "cas" => Op::Cas {
+                addr: argn(0)?,
+                expected: argn(1)?,
+                new: argn(2)?,
+            },
+            other => {
+                return Err(ParseAsmError {
+                    line: line_no,
+                    message: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Renders an [`Op`] sequence back to assembly text (inverse of
+/// [`assemble`], modulo whitespace).
+pub fn disassemble(ops: &[Op]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        let line = match *op {
+            Op::Store { addr, value } => format!("sd 0x{addr:x}, {value}"),
+            Op::Load { addr } => format!("ld 0x{addr:x}"),
+            Op::Clean { addr } => format!("cbo.clean 0x{addr:x}"),
+            Op::Flush { addr } => format!("cbo.flush 0x{addr:x}"),
+            Op::Inval { addr } => format!("cbo.inval 0x{addr:x}"),
+            Op::Fence => "fence".to_string(),
+            Op::Nop { cycles } => format!("nop {cycles}"),
+            Op::FetchAdd { addr, operand } => format!("amoadd.d 0x{addr:x}, {operand}"),
+            Op::Swap { addr, operand } => format!("amoswap.d 0x{addr:x}, {operand}"),
+            Op::Cas {
+                addr,
+                expected,
+                new,
+            } => format!("cas 0x{addr:x}, {expected}, {new}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbo_encodings_match_ratified_values() {
+        // cbo.clean a0 (x10): imm=0x001, rs1=10, funct3=010, opcode=0001111.
+        assert_eq!(encode_cbo_clean(10), 0x0015_200F); // imm=1|rs1=a0|funct3=010|op=MISC-MEM
+        assert_eq!(encode_cbo_flush(0), 0x0020_200F);
+        assert_eq!(
+            decode_cmo(encode_cbo_clean(5)),
+            Some(Cmo::Clean { rs1: 5 })
+        );
+        assert_eq!(
+            decode_cmo(encode_cbo_flush(31)),
+            Some(Cmo::Flush { rs1: 31 })
+        );
+        assert_eq!(decode_cmo(FENCE_RW_RW), Some(Cmo::Fence));
+        assert_eq!(decode_cmo(0x0000_0013), None); // nop (addi) is not a CMO
+    }
+
+    #[test]
+    #[should_panic(expected = "rs1 out of range")]
+    fn encode_rejects_bad_register() {
+        encode_cbo_clean(32);
+    }
+
+    #[test]
+    fn assemble_roundtrip() {
+        let text = "\
+            # persist a value\n\
+            sd 0x1000, 42\n\
+            cbo.flush 0x1000\n\
+            fence\n\
+            ld 0x1000\n\
+            amoadd.d 0x2000, 5\n\
+            amoswap.d 0x2000, 7\n\
+            cas 0x2000, 7, 9\n\
+            nop 3\n\
+            cbo.clean 0x1000\n";
+        let ops = assemble(text).expect("valid program");
+        assert_eq!(ops.len(), 9);
+        assert_eq!(ops[0], Op::Store { addr: 0x1000, value: 42 });
+        assert_eq!(ops[1], Op::Flush { addr: 0x1000 });
+        assert_eq!(ops[2], Op::Fence);
+        let text2 = disassemble(&ops);
+        let ops2 = assemble(&text2).expect("disassembly reassembles");
+        assert_eq!(ops, ops2);
+    }
+
+    #[test]
+    fn assemble_reports_line_numbers() {
+        let err = assemble("sd 0x1000, 1\nbogus 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        let err = assemble("sd 0x1000\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = assemble("sd zzz, 3\n").unwrap_err();
+        assert!(err.message.contains("invalid immediate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let ops = assemble("\n# comment only\n   \nfence # trailing\n").unwrap();
+        assert_eq!(ops, vec![Op::Fence]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fluent construction of simulated systems.
+
+use skipit_boom::{System, SystemConfig};
+use skipit_dcache::L1Config;
+use skipit_llc::L2Config;
+use skipit_mem::DramConfig;
+
+/// Builder for a [`System`].
+///
+/// Defaults reproduce the paper's evaluation platform (§7.1) with Skip It
+/// disabled (the baseline flush-unit design).
+///
+/// # Example
+///
+/// ```
+/// use skipit_core::SystemBuilder;
+///
+/// let sys = SystemBuilder::new()
+///     .cores(4)
+///     .skip_it(true)
+///     .flush_queue_depth(32)
+///     .fshrs(8)
+///     .build();
+/// assert_eq!(sys.config().cores, 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemBuilder {
+    /// Starts from the paper's platform defaults.
+    pub fn new() -> Self {
+        SystemBuilder {
+            cfg: SystemConfig::default(),
+        }
+    }
+
+    /// Number of cores (1–32). Default 2.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cfg.cores = n;
+        self
+    }
+
+    /// Enables or disables the Skip It optimization (§6). Default off.
+    pub fn skip_it(mut self, on: bool) -> Self {
+        self.cfg.l1.skip_it = on;
+        self
+    }
+
+    /// Full L1 configuration override.
+    pub fn l1(mut self, l1: L1Config) -> Self {
+        self.cfg.l1 = l1;
+        self
+    }
+
+    /// Full L2 configuration override.
+    pub fn l2(mut self, l2: L2Config) -> Self {
+        self.cfg.l2 = l2;
+        self
+    }
+
+    /// DRAM timing override.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// Flush-queue depth (§5.2). Default 16.
+    pub fn flush_queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.l1.flush_queue_depth = depth;
+        self
+    }
+
+    /// Enables cross-kind CBO.X coalescing — the future-work optimization
+    /// named at the end of §5.3 (a queued clean is upgraded by an arriving
+    /// flush; a queued flush absorbs an arriving clean). Default off, as in
+    /// the paper's hardware.
+    pub fn cross_kind_coalescing(mut self, on: bool) -> Self {
+        self.cfg.l1.cross_kind_coalescing = on;
+        self
+    }
+
+    /// Number of FSHRs (§5.2). Default 8, as in the paper.
+    pub fn fshrs(mut self, n: usize) -> Self {
+        self.cfg.l1.fshrs = n;
+        self
+    }
+
+    /// TileLink hop latency in cycles. Default 2.
+    pub fn link_latency(mut self, cycles: u64) -> Self {
+        self.cfg.link_latency = cycles;
+        self
+    }
+
+    /// The assembled configuration (before building).
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled configuration is invalid (zero-sized
+    /// structures, non-power-of-two set counts, more than 32 cores).
+    pub fn build(self) -> System {
+        System::new(self.cfg)
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_applies_overrides() {
+        let b = SystemBuilder::new()
+            .cores(8)
+            .skip_it(true)
+            .flush_queue_depth(4)
+            .fshrs(2)
+            .link_latency(1);
+        assert_eq!(b.config().cores, 8);
+        assert!(b.config().l1.skip_it);
+        assert_eq!(b.config().l1.flush_queue_depth, 4);
+        assert_eq!(b.config().l1.fshrs, 2);
+        assert_eq!(b.config().link_latency, 1);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(
+            SystemBuilder::default().config().cores,
+            SystemBuilder::new().config().cores
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_rejected_at_build() {
+        SystemBuilder::new().cores(0).build();
+    }
+}

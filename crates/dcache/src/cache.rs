@@ -1,0 +1,1408 @@
+//! The L1 data cache proper: front-end request handling, MSHRs, writeback
+//! unit, probe unit, and orchestration of the flush unit.
+//!
+//! The request-acceptance rules implement §3.3 (MSHR secondary-request
+//! permissions, nacks) and §5.3 (loads/stores/fences against pending
+//! writebacks); [`DataCache::step`] wires the units together with the
+//! `probe_rdy` / `flush_rdy` / `wb_rdy` interlocks of §5.4.
+//!
+//! One deliberate, documented strengthening relative to the paper's text: a
+//! `CBO.X` presented while an MSHR is in flight for the same line is nacked.
+//! The flush queue snapshots line metadata at enqueue time, and an in-flight
+//! MSHR (e.g. a committed store still waiting for its refill, which BOOM
+//! already counts as complete, §3.3) would make that snapshot unreliable in a
+//! way none of the paper's three interference mechanisms (§5.4) covers. The
+//! LSU simply retries, exactly as it does for a full flush queue.
+
+use crate::config::L1Config;
+use crate::flush::{FlushEntry, FlushUnit};
+use crate::meta::CacheArrays;
+use crate::req::{AmoOp, DcReq, DcReqKind, DcResp, ReqOutcome};
+use crate::stats::L1Stats;
+use skipit_tilelink::{
+    AgentId, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, ClientState, GrantFlavor,
+    Grow, Link, LineAddr, LineData, Shrink,
+};
+use std::collections::VecDeque;
+
+/// The five TileLink channel endpoints the cache drives each cycle.
+///
+/// The `System` owns the links; the cache borrows them per [`DataCache::step`]
+/// call.
+#[derive(Debug)]
+pub struct L1Ports<'a> {
+    /// Channel A (to L2): Acquires.
+    pub a: &'a mut Link<ChannelA>,
+    /// Channel B (from L2): Probes.
+    pub b: &'a mut Link<ChannelB>,
+    /// Channel C (to L2): ProbeAcks, Releases, RootReleases.
+    pub c: &'a mut Link<ChannelC>,
+    /// Channel D (from L2): Grants, ReleaseAcks.
+    pub d: &'a mut Link<ChannelD>,
+    /// Channel E (to L2): GrantAcks.
+    pub e: &'a mut Link<ChannelE>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum MshrState {
+    #[default]
+    Free,
+    /// Waiting for the writeback unit to take the victim line (§5.4.2: held
+    /// while `flush_rdy` is low or the WBU is busy).
+    EvictWait,
+    /// Waiting for channel A to accept the Acquire.
+    SendAcquire,
+    /// Acquire sent; waiting for the Grant on channel D.
+    WaitGrant,
+    /// Grant received and installed; replaying the RPQ one entry per cycle.
+    Replay,
+    /// RPQ drained; waiting for channel E to accept the GrantAck.
+    SendGrantAck,
+}
+
+#[derive(Debug, Default)]
+struct Mshr {
+    state: MshrState,
+    addr: LineAddr,
+    way: usize,
+    /// Primary request needs write (Trunk) permission.
+    write: bool,
+    rpq: VecDeque<DcReq>,
+}
+
+impl Mshr {
+    fn active_on(&self, addr: LineAddr) -> bool {
+        self.state != MshrState::Free && self.addr == addr
+    }
+}
+
+#[derive(Debug)]
+struct WbJob {
+    addr: LineAddr,
+    data: Option<LineData>,
+    shrink: Shrink,
+    sent: bool,
+}
+
+#[derive(Debug, Default)]
+struct Wbu {
+    job: Option<WbJob>,
+}
+
+impl Wbu {
+    /// The `wb_rdy` signal: the WBU can accept a victim.
+    fn ready(&self) -> bool {
+        self.job.is_none()
+    }
+}
+
+#[derive(Debug, Default)]
+enum ProbePhase {
+    #[default]
+    Idle,
+    /// Cycle 1: invalidate matching flush-queue entries (§5.4.1).
+    Invalidate(ChannelB),
+    /// Cycle 2+: wait for `flush_rdy` / `wb_rdy`, then perform the downgrade
+    /// and send the ProbeAck.
+    Waiting(ChannelB),
+}
+
+/// A BOOM-style L1 data cache with the paper's flush unit and Skip It.
+///
+/// # Example
+///
+/// A store hit followed by a `CBO.CLEAN` buffered by the flush unit:
+///
+/// ```
+/// use skipit_dcache::{DataCache, L1Config, DcReq, ReqOutcome};
+/// use skipit_dcache::req::DcReqKind;
+/// use skipit_tilelink::WritebackKind;
+///
+/// let mut l1 = DataCache::new(0, L1Config::default());
+/// let out = l1.try_request(0, DcReq { id: 1, kind: DcReqKind::Writeback {
+///     addr: 0x1000, kind: WritebackKind::Clean } });
+/// assert_eq!(out, ReqOutcome::Accepted); // buffered; instruction may commit
+/// assert!(l1.is_flushing());
+/// ```
+#[derive(Debug)]
+pub struct DataCache {
+    cfg: L1Config,
+    core: AgentId,
+    arrays: CacheArrays,
+    mshrs: Vec<Mshr>,
+    wbu: Wbu,
+    probe: ProbePhase,
+    flush: FlushUnit,
+    resp: VecDeque<(u64, DcResp)>,
+    stats: L1Stats,
+}
+
+impl DataCache {
+    /// Creates a cache for agent `core` with configuration `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`L1Config::validate`].
+    pub fn new(core: AgentId, cfg: L1Config) -> Self {
+        cfg.validate();
+        DataCache {
+            core,
+            arrays: CacheArrays::new(&cfg),
+            mshrs: (0..cfg.mshrs).map(|_| Mshr::default()).collect(),
+            wbu: Wbu::default(),
+            probe: ProbePhase::Idle,
+            flush: FlushUnit::new(cfg.flush_queue_depth, cfg.fshrs),
+            resp: VecDeque::new(),
+            stats: L1Stats::default(),
+            cfg,
+        }
+    }
+
+    /// The `flushing` signal for fences (§5.3): true while any `CBO.X` is
+    /// pending in the flush queue or an FSHR.
+    pub fn is_flushing(&self) -> bool {
+        self.flush.is_flushing()
+    }
+
+    /// Cumulative event counters.
+    pub fn stats(&self) -> L1Stats {
+        self.stats
+    }
+
+    /// Configuration this cache was built with.
+    pub fn config(&self) -> &L1Config {
+        &self.cfg
+    }
+
+    /// Whether the cache has no in-flight work (tests / quiesce detection).
+    pub fn is_quiescent(&self) -> bool {
+        self.mshrs.iter().all(|m| m.state == MshrState::Free)
+            && self.wbu.ready()
+            && matches!(self.probe, ProbePhase::Idle)
+            && !self.flush.is_flushing()
+    }
+
+    /// Direct read of a resident word (test/debug helper; `None` on miss).
+    pub fn peek_word(&self, addr: u64) -> Option<u64> {
+        let line = LineAddr::containing(addr);
+        let way = self.arrays.lookup(line)?;
+        let set = self.arrays.set_index(line);
+        Some(self.arrays.line(set, way).word(LineAddr::word_index(addr)))
+    }
+
+    /// Coherence state of a line (test/debug helper).
+    pub fn peek_state(&self, addr: u64) -> ClientState {
+        let line = LineAddr::containing(addr);
+        match self.arrays.lookup(line) {
+            Some(way) => self.arrays.meta(self.arrays.set_index(line), way).state,
+            None => ClientState::Invalid,
+        }
+    }
+
+    /// Snapshot of every valid line: `(line, state, skip)` — used by
+    /// invariant checkers.
+    pub fn resident_lines(&self) -> Vec<(LineAddr, ClientState, bool)> {
+        self.arrays
+            .iter_valid()
+            .map(|(set, way, addr, state)| (addr, state, self.arrays.meta(set, way).skip))
+            .collect()
+    }
+
+    /// Skip bit of a line (test/debug helper; `false` on miss).
+    pub fn peek_skip(&self, addr: u64) -> bool {
+        let line = LineAddr::containing(addr);
+        match self.arrays.lookup(line) {
+            Some(way) => self.arrays.meta(self.arrays.set_index(line), way).skip,
+            None => false,
+        }
+    }
+
+    /// Pops the next response that is ready at cycle `now`.
+    pub fn pop_response(&mut self, now: u64) -> Option<DcResp> {
+        let idx = self.resp.iter().position(|&(ready, _)| ready <= now)?;
+        self.resp.remove(idx).map(|(_, r)| r)
+    }
+
+    fn respond(&mut self, ready: u64, resp: DcResp) {
+        self.resp.push_back((ready, resp));
+    }
+
+    /// Presents one LSU request to the cache. See [`ReqOutcome`] for the
+    /// accept/nack contract; accepted requests answer through
+    /// [`DataCache::pop_response`].
+    pub fn try_request(&mut self, now: u64, req: DcReq) -> ReqOutcome {
+        match req.kind {
+            DcReqKind::Writeback { addr, kind } => self.handle_writeback(now, req.id, addr, kind),
+            DcReqKind::Load { addr } => self.handle_load(now, req, addr),
+            DcReqKind::Store { addr, value } => self.handle_store(now, req, addr, value),
+            DcReqKind::Amo { addr, .. } => self.handle_amo(now, req, addr),
+        }
+    }
+
+    fn handle_writeback(
+        &mut self,
+        now: u64,
+        id: u64,
+        addr: u64,
+        kind: skipit_tilelink::WritebackKind,
+    ) -> ReqOutcome {
+        let line = LineAddr::containing(addr);
+        // See module docs: metadata snapshots cannot be kept consistent
+        // across an in-flight MSHR refill for the same line.
+        if self.mshrs.iter().any(|m| m.active_on(line)) {
+            self.stats.nacks += 1;
+            return ReqOutcome::Nack;
+        }
+        let (hit, dirty, skip) = match self.arrays.lookup(line) {
+            Some(way) => {
+                let m = self.arrays.meta(self.arrays.set_index(line), way);
+                (true, m.state.is_dirty(), m.skip)
+            }
+            None => (false, false, false),
+        };
+        // Skip It (§6.1): hit ∧ ¬dirty ∧ skip ⇒ the line is persisted; drop
+        // the request before it ever enters the flush queue. CBO.INVAL is
+        // never droppable — its local invalidation is architecturally
+        // required even when the line is persisted.
+        if self.cfg.skip_it && hit && !dirty && skip && kind.writes_back() {
+            self.stats.writebacks_skipped += 1;
+            self.respond(now + 1, DcResp::WritebackAccepted { id });
+            return ReqOutcome::Accepted;
+        }
+        // Coalescing (§5.3): a same-kind pending request to the same line
+        // absorbs this one.
+        if self.flush.can_coalesce(line, kind, dirty) {
+            self.stats.writebacks_coalesced += 1;
+            self.respond(now + 1, DcResp::WritebackAccepted { id });
+            return ReqOutcome::Accepted;
+        }
+        // Cross-kind coalescing — the future work §5.3 names, behind a
+        // config switch (off reproduces the paper's hardware).
+        if self.cfg.cross_kind_coalescing && self.flush.try_cross_kind_coalesce(line, kind) {
+            self.stats.writebacks_coalesced += 1;
+            self.respond(now + 1, DcResp::WritebackAccepted { id });
+            return ReqOutcome::Accepted;
+        }
+        if self.flush.queue_full() {
+            self.stats.nacks += 1;
+            return ReqOutcome::Nack;
+        }
+        self.flush.enqueue(FlushEntry {
+            addr: line,
+            is_hit: hit,
+            is_dirty: dirty,
+            kind,
+        });
+        self.stats.writebacks_enqueued += 1;
+        self.respond(now + 1, DcResp::WritebackAccepted { id });
+        ReqOutcome::Accepted
+    }
+
+    fn handle_load(&mut self, now: u64, req: DcReq, addr: u64) -> ReqOutcome {
+        let line = LineAddr::containing(addr);
+        let word = LineAddr::word_index(addr);
+        // A write MSHR on this line holds newer data than the (possibly
+        // still readable, stale Shared) array copy: the load must order
+        // behind it through the replay queue (§3.3's stronger-than-RVWMO
+        // same-line ordering).
+        if self
+            .mshrs
+            .iter()
+            .any(|m| m.active_on(line) && m.write && m.state != MshrState::SendGrantAck)
+        {
+            return self.miss_enqueue(req, line, false);
+        }
+        if let Some(way) = self.arrays.lookup(line) {
+            let set = self.arrays.set_index(line);
+            if self.arrays.meta(set, way).state.can_read() {
+                // Load hits proceed even against pending flush requests: a
+                // hit changes no line state (§5.3).
+                let value = self.arrays.line(set, way).word(word);
+                self.arrays.touch(set, way);
+                self.stats.loads += 1;
+                self.stats.load_hits += 1;
+                self.respond(now + self.cfg.hit_latency, DcResp::LoadDone { id: req.id, value });
+                return ReqOutcome::Accepted;
+            }
+        }
+        // Miss: FSHR forwarding (§5.3) — a filled data buffer serves the
+        // load directly; an unfilled one postpones it.
+        if let Some(fshr) = self.flush.fshr_for(line) {
+            return if let Some(buf) = fshr.buffer {
+                self.stats.loads += 1;
+                self.stats.load_fshr_forwards += 1;
+                self.respond(
+                    now + self.cfg.hit_latency,
+                    DcResp::LoadDone {
+                        id: req.id,
+                        value: buf.word(word),
+                    },
+                );
+                ReqOutcome::Accepted
+            } else {
+                self.stats.nacks += 1;
+                ReqOutcome::Nack
+            };
+        }
+        // A queued flush entry's metadata snapshot must not be invalidated
+        // by our own miss handling (§5.3).
+        if self.flush.queued_entry(line).is_some() {
+            self.stats.nacks += 1;
+            return ReqOutcome::Nack;
+        }
+        self.miss_enqueue(req, line, false)
+    }
+
+    /// Whether an MSHR on `line` may still hold buffered (unreplayed)
+    /// requests — in which case *all* new same-line traffic must order
+    /// through its replay queue, or a retried young op could slip ahead of
+    /// an older buffered one.
+    fn mshr_orders_line(&self, line: LineAddr) -> bool {
+        self.mshrs
+            .iter()
+            .any(|m| m.active_on(line) && m.state != MshrState::SendGrantAck)
+    }
+
+    fn handle_store(&mut self, now: u64, req: DcReq, addr: u64, value: u64) -> ReqOutcome {
+        let line = LineAddr::containing(addr);
+        if let Some(nack) = self.store_flush_conflict(line) {
+            return nack;
+        }
+        if self.mshr_orders_line(line) {
+            let outcome = self.miss_enqueue(req, line, true);
+            if outcome == ReqOutcome::Accepted {
+                self.stats.stores += 1;
+                self.respond(now + 1, DcResp::StoreDone { id: req.id });
+            }
+            return outcome;
+        }
+        let word = LineAddr::word_index(addr);
+        if let Some(way) = self.arrays.lookup(line) {
+            let set = self.arrays.set_index(line);
+            if self.arrays.meta(set, way).state.can_write() {
+                self.arrays.line_mut(set, way).set_word(word, value);
+                let m = self.arrays.meta_mut(set, way);
+                m.state = ClientState::Modified;
+                m.skip = false;
+                self.arrays.touch(set, way);
+                self.stats.stores += 1;
+                self.stats.store_hits += 1;
+                self.respond(now + self.cfg.hit_latency, DcResp::StoreDone { id: req.id });
+                return ReqOutcome::Accepted;
+            }
+        }
+        // Miss or upgrade: store becomes MSHR traffic; it is "complete" from
+        // the core's perspective the moment it is buffered (§3.3).
+        let outcome = self.miss_enqueue(req, line, true);
+        if outcome == ReqOutcome::Accepted {
+            self.stats.stores += 1;
+            self.respond(now + 1, DcResp::StoreDone { id: req.id });
+        }
+        outcome
+    }
+
+    fn handle_amo(&mut self, now: u64, req: DcReq, addr: u64) -> ReqOutcome {
+        let line = LineAddr::containing(addr);
+        if let Some(nack) = self.store_flush_conflict(line) {
+            return nack;
+        }
+        if self.mshr_orders_line(line) {
+            let outcome = self.miss_enqueue(req, line, true);
+            if outcome == ReqOutcome::Accepted {
+                self.stats.amos += 1;
+            }
+            return outcome;
+        }
+        if let Some(way) = self.arrays.lookup(line) {
+            let set = self.arrays.set_index(line);
+            if self.arrays.meta(set, way).state.can_write() {
+                let old = self.execute_amo(line, way, req);
+                self.stats.amos += 1;
+                self.respond(now + self.cfg.hit_latency, DcResp::AmoDone { id: req.id, old });
+                return ReqOutcome::Accepted;
+            }
+        }
+        let outcome = self.miss_enqueue(req, line, true);
+        if outcome == ReqOutcome::Accepted {
+            self.stats.amos += 1;
+        }
+        outcome
+    }
+
+    /// Applies an AMO to a resident, writable line; returns the old value.
+    fn execute_amo(&mut self, line: LineAddr, way: usize, req: DcReq) -> u64 {
+        let DcReqKind::Amo { addr, op, operand } = req.kind else {
+            panic!("execute_amo on non-AMO request {req:?}");
+        };
+        let set = self.arrays.set_index(line);
+        let word = LineAddr::word_index(addr);
+        let old = self.arrays.line(set, way).word(word);
+        let new = match op {
+            AmoOp::Cas { expected } => (old == expected).then_some(operand),
+            AmoOp::Add => Some(old.wrapping_add(operand)),
+            AmoOp::Swap => Some(operand),
+        };
+        if let Some(new) = new {
+            self.arrays.line_mut(set, way).set_word(word, new);
+            let m = self.arrays.meta_mut(set, way);
+            m.state = ClientState::Modified;
+            m.skip = false;
+        }
+        self.arrays.touch(set, way);
+        old
+    }
+
+    /// The §5.3 store rules against pending writebacks. Returns
+    /// `Some(Nack)` when the store must be refused.
+    fn store_flush_conflict(&mut self, line: LineAddr) -> Option<ReqOutcome> {
+        if self.flush.queued_entry(line).is_some() {
+            self.stats.nacks += 1;
+            return Some(ReqOutcome::Nack);
+        }
+        if let Some(fshr) = self.flush.fshr_for(line) {
+            let allowed = fshr.entry.kind == skipit_tilelink::WritebackKind::Clean
+                && (!fshr.entry.is_dirty || fshr.buffer.is_some());
+            if !allowed {
+                self.stats.nacks += 1;
+                return Some(ReqOutcome::Nack);
+            }
+        }
+        None
+    }
+
+    /// Allocates an MSHR or appends to an existing one's replay queue.
+    fn miss_enqueue(&mut self, req: DcReq, line: LineAddr, write: bool) -> ReqOutcome {
+        // Secondary request (§3.3): permissions required must not exceed the
+        // primary's.
+        if let Some(m) = self.mshrs.iter_mut().find(|m| m.active_on(line)) {
+            if write && !m.write {
+                // "if the MSHR was allocated as a result of a load, it is
+                // unable to accept a store as a secondary request" (§3.3).
+                self.stats.nacks += 1;
+                return ReqOutcome::Nack;
+            }
+            if m.rpq.len() >= self.cfg.rpq_depth {
+                self.stats.nacks += 1;
+                return ReqOutcome::Nack;
+            }
+            m.rpq.push_back(req);
+            self.stats.mshr_secondaries += 1;
+            return ReqOutcome::Accepted;
+        }
+        // Primary allocation.
+        let Some(slot) = self.mshrs.iter().position(|m| m.state == MshrState::Free) else {
+            self.stats.nacks += 1;
+            return ReqOutcome::Nack;
+        };
+        // Upgrade in place if the line is already resident (Shared); fresh
+        // victim otherwise.
+        let way = match self.arrays.lookup(line) {
+            Some(way) => way,
+            None => match self.arrays.victim_way(line) {
+                Some(way) => way,
+                None => {
+                    self.stats.nacks += 1;
+                    return ReqOutcome::Nack;
+                }
+            },
+        };
+        let set = self.arrays.set_index(line);
+        let victim_valid = {
+            let m = self.arrays.meta(set, way);
+            m.state != ClientState::Invalid && self.arrays.addr_of(set, way) != line
+        };
+        self.arrays.meta_mut(set, way).reserved = true;
+        let m = &mut self.mshrs[slot];
+        m.addr = line;
+        m.way = way;
+        m.write = write;
+        m.rpq.clear();
+        m.rpq.push_back(req);
+        m.state = if victim_valid {
+            MshrState::EvictWait
+        } else {
+            MshrState::SendAcquire
+        };
+        self.stats.mshr_allocs += 1;
+        ReqOutcome::Accepted
+    }
+
+    /// Advances the cache by one cycle against its TileLink ports.
+    pub fn step(&mut self, now: u64, ports: &mut L1Ports<'_>) {
+        self.drain_channel_d(now, ports);
+        self.step_mshrs(now, ports);
+        self.step_wbu(now, ports);
+        self.step_probe(now, ports);
+        // Flush-queue dequeue honours probe_rdy (probe unit idle) and wb_rdy
+        // (WBU free) — §5.4.
+        let probe_rdy = matches!(self.probe, ProbePhase::Idle);
+        let wb_rdy = self.wbu.ready();
+        self.flush.try_allocate(probe_rdy, wb_rdy);
+        self.flush
+            .step_fshrs(now, self.core, &mut self.arrays, ports.c, &mut self.stats);
+    }
+
+    fn drain_channel_d(&mut self, now: u64, ports: &mut L1Ports<'_>) {
+        while let Some(msg) = ports.d.pop(now) {
+            match msg {
+                ChannelD::Grant {
+                    addr,
+                    is_trunk,
+                    data,
+                    flavor,
+                    ..
+                } => {
+                    let Some(m) = self
+                        .mshrs
+                        .iter_mut()
+                        .find(|m| m.state == MshrState::WaitGrant && m.addr == addr)
+                    else {
+                        panic!("Grant for {addr:?} without a waiting MSHR");
+                    };
+                    let way = m.way;
+                    m.state = MshrState::Replay;
+                    let state = if is_trunk {
+                        ClientState::Exclusive
+                    } else {
+                        ClientState::Shared
+                    };
+                    // Skip It (§6.1): GrantData sets the skip bit,
+                    // GrantDataDirty clears it.
+                    let skip = self.cfg.skip_it && flavor == GrantFlavor::Clean;
+                    self.arrays.install(addr, way, state, skip, data);
+                    // Keep the way pinned until the MSHR retires so replayed
+                    // writes cannot race an eviction.
+                    let set = self.arrays.set_index(addr);
+                    self.arrays.meta_mut(set, way).reserved = true;
+                }
+                ChannelD::ReleaseAck { addr, root, .. } => {
+                    if root {
+                        let done =
+                            self.flush
+                                .complete_ack(addr, &mut self.arrays, self.cfg.skip_it);
+                        assert!(done, "RootReleaseAck for {addr:?} without a waiting FSHR");
+                    } else {
+                        let job = self.wbu.job.take();
+                        assert!(
+                            matches!(job, Some(WbJob { addr: a, .. }) if a == addr),
+                            "ReleaseAck for {addr:?} without a matching WBU job"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_mshrs(&mut self, now: u64, ports: &mut L1Ports<'_>) {
+        for i in 0..self.mshrs.len() {
+            match self.mshrs[i].state {
+                MshrState::Free | MshrState::WaitGrant => {}
+                MshrState::EvictWait => {
+                    // §5.4.2: evictions wait for flush_rdy (no FSHR between
+                    // allocation and release) and a free WBU.
+                    if !self.flush.flush_rdy() || !self.wbu.ready() {
+                        continue;
+                    }
+                    let (set, way) = {
+                        let m = &self.mshrs[i];
+                        (self.arrays.set_index(m.addr), m.way)
+                    };
+                    let victim = self.arrays.addr_of(set, way);
+                    let old = self.arrays.meta(set, way).state;
+                    if old == ClientState::Invalid {
+                        // Victim vanished (probed away) while we waited.
+                        self.mshrs[i].state = MshrState::SendAcquire;
+                        continue;
+                    }
+                    let dirty = old.is_dirty();
+                    let data = dirty.then(|| self.arrays.line(set, way));
+                    {
+                        let m = self.arrays.meta_mut(set, way);
+                        m.state = ClientState::Invalid;
+                        m.skip = false;
+                    }
+                    // §5.4.2: the WBU invalidates flush-queue entries for
+                    // evicted lines.
+                    self.stats.flush_entries_evict_invalidated +=
+                        self.flush.evict_invalidate(victim);
+                    self.stats.evictions += 1;
+                    if dirty {
+                        self.stats.dirty_evictions += 1;
+                    }
+                    self.wbu.job = Some(WbJob {
+                        addr: victim,
+                        data,
+                        shrink: Shrink::from_transition(old, ClientState::Invalid),
+                        sent: false,
+                    });
+                    self.mshrs[i].state = MshrState::SendAcquire;
+                }
+                MshrState::SendAcquire => {
+                    if ports.a.can_push() {
+                        let m = &self.mshrs[i];
+                        let grow = if m.write { Grow::NtoT } else { Grow::NtoB };
+                        ports.a.push(
+                            now,
+                            ChannelA::AcquireBlock {
+                                source: self.core,
+                                addr: m.addr,
+                                grow,
+                            },
+                        );
+                        self.mshrs[i].state = MshrState::WaitGrant;
+                    }
+                }
+                MshrState::Replay => {
+                    let addr = self.mshrs[i].addr;
+                    let way = self.mshrs[i].way;
+                    if let Some(req) = self.mshrs[i].rpq.pop_front() {
+                        self.replay(now, addr, way, req);
+                    }
+                    if self.mshrs[i].rpq.is_empty() {
+                        self.mshrs[i].state = MshrState::SendGrantAck;
+                    }
+                }
+                MshrState::SendGrantAck => {
+                    // A secondary request may have slipped in after the RPQ
+                    // drained; serve it before retiring.
+                    if !self.mshrs[i].rpq.is_empty() {
+                        self.mshrs[i].state = MshrState::Replay;
+                        continue;
+                    }
+                    if ports.e.can_push() {
+                        let addr = self.mshrs[i].addr;
+                        ports.e.push(
+                            now,
+                            ChannelE::GrantAck {
+                                source: self.core,
+                                addr,
+                            },
+                        );
+                        let set = self.arrays.set_index(addr);
+                        let way = self.mshrs[i].way;
+                        self.arrays.meta_mut(set, way).reserved = false;
+                        self.mshrs[i] = Mshr::default();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays one buffered request after a refill (§3.3: drained in arrival
+    /// order).
+    fn replay(&mut self, now: u64, line: LineAddr, way: usize, req: DcReq) {
+        let set = self.arrays.set_index(line);
+        match req.kind {
+            DcReqKind::Load { addr } => {
+                let value = self.arrays.line(set, way).word(LineAddr::word_index(addr));
+                self.arrays.touch(set, way);
+                self.stats.loads += 1;
+                self.respond(now + 1, DcResp::LoadDone { id: req.id, value });
+            }
+            DcReqKind::Store { addr, value } => {
+                // StoreDone was already delivered at acceptance (§3.3).
+                self.arrays
+                    .line_mut(set, way)
+                    .set_word(LineAddr::word_index(addr), value);
+                let m = self.arrays.meta_mut(set, way);
+                m.state = ClientState::Modified;
+                m.skip = false;
+                self.arrays.touch(set, way);
+                self.stats.store_hits += 1;
+            }
+            DcReqKind::Amo { .. } => {
+                let old = self.execute_amo(line, way, req);
+                self.respond(now + 1, DcResp::AmoDone { id: req.id, old });
+            }
+            DcReqKind::Writeback { .. } => {
+                unreachable!("CBO.X never enters an MSHR replay queue")
+            }
+        }
+    }
+
+    fn step_wbu(&mut self, now: u64, ports: &mut L1Ports<'_>) {
+        if let Some(job) = &mut self.wbu.job {
+            if !job.sent && ports.c.can_push() {
+                ports.c.push(
+                    now,
+                    ChannelC::Release {
+                        source: self.core,
+                        addr: job.addr,
+                        shrink: job.shrink,
+                        data: job.data,
+                    },
+                );
+                job.sent = true;
+            }
+        }
+    }
+
+    fn step_probe(&mut self, now: u64, ports: &mut L1Ports<'_>) {
+        match std::mem::take(&mut self.probe) {
+            ProbePhase::Idle => {
+                if let Some(p) = ports.b.pop(now) {
+                    // probe_rdy drops the moment the probe arrives (§5.4.1);
+                    // flush-queue invalidation happens this cycle, the
+                    // flush_rdy check only the next — the paper's
+                    // deadlock-freedom argument.
+                    self.probe = ProbePhase::Invalidate(p);
+                }
+            }
+            ProbePhase::Invalidate(p) => {
+                let ChannelB::Probe { addr, cap, .. } = p;
+                self.stats.flush_entries_probe_invalidated +=
+                    self.flush.probe_invalidate(addr, cap);
+                self.probe = ProbePhase::Waiting(p);
+            }
+            ProbePhase::Waiting(p) => {
+                let ChannelB::Probe { addr, cap, .. } = p;
+                // Held while an FSHR is mid-flight (flush_rdy), the WBU is
+                // busy (wb_rdy), an MSHR is replaying this line, or the C
+                // channel is full.
+                let mshr_busy = self.mshrs.iter().any(|m| {
+                    m.active_on(addr)
+                        && matches!(m.state, MshrState::Replay | MshrState::SendGrantAck)
+                });
+                if !self.flush.flush_rdy() || !self.wbu.ready() || mshr_busy
+                    || !ports.c.can_push()
+                {
+                    self.probe = ProbePhase::Waiting(p);
+                    return;
+                }
+                // Entries enqueued after the Invalidate phase but before
+                // this downgrade would otherwise snapshot stale metadata —
+                // re-run the invalidation at the downgrade point.
+                self.stats.flush_entries_probe_invalidated +=
+                    self.flush.probe_invalidate(addr, cap);
+                let (old, slot) = match self.arrays.lookup(addr) {
+                    Some(way) => {
+                        let set = self.arrays.set_index(addr);
+                        (self.arrays.meta(set, way).state, Some((set, way)))
+                    }
+                    None => (ClientState::Invalid, None),
+                };
+                let new = old.probed_to(cap);
+                let data = (old == ClientState::Modified && new != old)
+                    .then(|| {
+                        let (set, way) = slot.expect("modified line must be resident");
+                        self.arrays.line(set, way)
+                    });
+                if let Some((set, way)) = slot {
+                    let m = self.arrays.meta_mut(set, way);
+                    m.state = new;
+                    if new == ClientState::Invalid {
+                        m.skip = false;
+                    } else if data.is_some() {
+                        // Our dirty data just moved into the L2: the line is
+                        // now dirty *there*, hence not persisted (§6.2).
+                        m.skip = false;
+                    }
+                }
+                ports.c.push(
+                    now,
+                    ChannelC::ProbeAck {
+                        source: self.core,
+                        addr,
+                        shrink: Shrink::from_transition(old, new),
+                        data,
+                    },
+                );
+                self.stats.probes_handled += 1;
+                if data.is_some() {
+                    self.stats.probes_with_data += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skipit_tilelink::{Cap, WritebackKind};
+
+    struct Harness {
+        l1: DataCache,
+        a: Link<ChannelA>,
+        b: Link<ChannelB>,
+        c: Link<ChannelC>,
+        d: Link<ChannelD>,
+        e: Link<ChannelE>,
+        now: u64,
+    }
+
+    impl Harness {
+        fn new(skip_it: bool) -> Self {
+            Harness {
+                l1: DataCache::new(
+                    0,
+                    L1Config {
+                        skip_it,
+                        ..L1Config::default()
+                    },
+                ),
+                a: Link::new(1, 8),
+                b: Link::new(1, 8),
+                c: Link::new(1, 8),
+                d: Link::new(1, 8),
+                e: Link::new(1, 8),
+                now: 0,
+            }
+        }
+
+        fn step(&mut self) {
+            let mut ports = L1Ports {
+                a: &mut self.a,
+                b: &mut self.b,
+                c: &mut self.c,
+                d: &mut self.d,
+                e: &mut self.e,
+            };
+            self.l1.step(self.now, &mut ports);
+            self.now += 1;
+        }
+
+        /// Acts as a trivial L2: answers every Acquire with a Grant and every
+        /// Release/RootRelease with the matching ack.
+        fn serve_l2(&mut self, flavor: GrantFlavor) {
+            while let Some(msg) = self.a.pop(self.now) {
+                let ChannelA::AcquireBlock { addr, grow, .. } = msg;
+                self.d.push(
+                    self.now,
+                    ChannelD::Grant {
+                        target: 0,
+                        addr,
+                        is_trunk: grow.wants_write(),
+                        data: LineData::zeroed(),
+                        flavor,
+                    },
+                );
+            }
+            while let Some(msg) = self.c.pop(self.now) {
+                match msg {
+                    ChannelC::Release { addr, .. } => self.d.push(
+                        self.now,
+                        ChannelD::ReleaseAck {
+                            target: 0,
+                            addr,
+                            root: false,
+                        },
+                    ),
+                    ChannelC::RootRelease { addr, .. } => self.d.push(
+                        self.now,
+                        ChannelD::ReleaseAck {
+                            target: 0,
+                            addr,
+                            root: true,
+                        },
+                    ),
+                    ChannelC::ProbeAck { .. } => {}
+                }
+            }
+            while self.e.pop(self.now).is_some() {}
+        }
+
+        fn run_until_quiescent(&mut self, flavor: GrantFlavor) {
+            for _ in 0..2000 {
+                self.step();
+                self.serve_l2(flavor);
+                if self.l1.is_quiescent() {
+                    return;
+                }
+            }
+            panic!("cache failed to quiesce");
+        }
+
+        fn do_op(&mut self, kind: DcReqKind, flavor: GrantFlavor) -> Vec<DcResp> {
+            let mut id = 0;
+            loop {
+                id += 1;
+                match self.l1.try_request(self.now, DcReq { id, kind }) {
+                    ReqOutcome::Accepted => break,
+                    ReqOutcome::Nack => {
+                        self.step();
+                        self.serve_l2(flavor);
+                    }
+                }
+            }
+            self.run_until_quiescent(flavor);
+            // Let late-scheduled responses (hit latency) become visible.
+            for _ in 0..8 {
+                self.step();
+            }
+            let mut out = Vec::new();
+            while let Some(r) = self.l1.pop_response(self.now) {
+                out.push(r);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn store_miss_acquires_and_installs_modified() {
+        let mut h = Harness::new(false);
+        let resp = h.do_op(
+            DcReqKind::Store {
+                addr: 0x1000,
+                value: 99,
+            },
+            GrantFlavor::Clean,
+        );
+        assert!(resp
+            .iter()
+            .any(|r| matches!(r, DcResp::StoreDone { .. })));
+        assert_eq!(h.l1.peek_word(0x1000), Some(99));
+        assert_eq!(h.l1.peek_state(0x1000), ClientState::Modified);
+    }
+
+    #[test]
+    fn load_after_store_hits() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x2000,
+                value: 7,
+            },
+            GrantFlavor::Clean,
+        );
+        let resp = h.do_op(DcReqKind::Load { addr: 0x2000 }, GrantFlavor::Clean);
+        assert!(resp
+            .iter()
+            .any(|r| matches!(r, DcResp::LoadDone { value: 7, .. })));
+        assert_eq!(h.l1.stats().load_hits, 1);
+    }
+
+    #[test]
+    fn flush_invalidates_and_releases_dirty_data() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x3000,
+                value: 5,
+            },
+            GrantFlavor::Clean,
+        );
+        let resp = h.do_op(
+            DcReqKind::Writeback {
+                addr: 0x3000,
+                kind: WritebackKind::Flush,
+            },
+            GrantFlavor::Clean,
+        );
+        assert!(resp
+            .iter()
+            .any(|r| matches!(r, DcResp::WritebackAccepted { .. })));
+        assert_eq!(h.l1.peek_state(0x3000), ClientState::Invalid);
+        assert_eq!(h.l1.stats().root_releases_with_data, 1);
+        assert!(!h.l1.is_flushing());
+    }
+
+    #[test]
+    fn clean_keeps_line_valid() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x3000,
+                value: 5,
+            },
+            GrantFlavor::Clean,
+        );
+        h.do_op(
+            DcReqKind::Writeback {
+                addr: 0x3000,
+                kind: WritebackKind::Clean,
+            },
+            GrantFlavor::Clean,
+        );
+        assert_eq!(h.l1.peek_state(0x3000), ClientState::Exclusive);
+        assert_eq!(h.l1.peek_word(0x3000), Some(5));
+    }
+
+    #[test]
+    fn skip_it_drops_redundant_writeback_after_clean() {
+        let mut h = Harness::new(true);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x4000,
+                value: 1,
+            },
+            GrantFlavor::Clean,
+        );
+        h.do_op(
+            DcReqKind::Writeback {
+                addr: 0x4000,
+                kind: WritebackKind::Clean,
+            },
+            GrantFlavor::Clean,
+        );
+        assert!(h.l1.peek_skip(0x4000), "completed clean must set skip bit");
+        let before = h.l1.stats().root_releases_sent;
+        h.do_op(
+            DcReqKind::Writeback {
+                addr: 0x4000,
+                kind: WritebackKind::Clean,
+            },
+            GrantFlavor::Clean,
+        );
+        assert_eq!(h.l1.stats().writebacks_skipped, 1);
+        assert_eq!(
+            h.l1.stats().root_releases_sent,
+            before,
+            "skipped writeback must not reach the L2"
+        );
+    }
+
+    #[test]
+    fn naive_cache_does_not_skip() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x4000,
+                value: 1,
+            },
+            GrantFlavor::Clean,
+        );
+        for _ in 0..3 {
+            h.do_op(
+                DcReqKind::Writeback {
+                    addr: 0x4000,
+                    kind: WritebackKind::Clean,
+                },
+                GrantFlavor::Clean,
+            );
+        }
+        assert_eq!(h.l1.stats().writebacks_skipped, 0);
+        assert_eq!(h.l1.stats().root_releases_sent, 3);
+    }
+
+    #[test]
+    fn grant_data_dirty_leaves_skip_unset() {
+        let mut h = Harness::new(true);
+        h.do_op(DcReqKind::Load { addr: 0x5000 }, GrantFlavor::Dirty);
+        assert!(!h.l1.peek_skip(0x5000));
+        // And a skip-eligible writeback is therefore not dropped.
+        h.do_op(
+            DcReqKind::Writeback {
+                addr: 0x5000,
+                kind: WritebackKind::Clean,
+            },
+            GrantFlavor::Dirty,
+        );
+        assert_eq!(h.l1.stats().writebacks_skipped, 0);
+    }
+
+    #[test]
+    fn grant_data_clean_sets_skip_and_skips_writeback() {
+        let mut h = Harness::new(true);
+        h.do_op(DcReqKind::Load { addr: 0x5000 }, GrantFlavor::Clean);
+        assert!(h.l1.peek_skip(0x5000));
+        h.do_op(
+            DcReqKind::Writeback {
+                addr: 0x5000,
+                kind: WritebackKind::Flush,
+            },
+            GrantFlavor::Clean,
+        );
+        assert_eq!(h.l1.stats().writebacks_skipped, 1);
+    }
+
+    #[test]
+    fn store_clears_skip_bit() {
+        let mut h = Harness::new(true);
+        h.do_op(DcReqKind::Load { addr: 0x5000 }, GrantFlavor::Clean);
+        assert!(h.l1.peek_skip(0x5000));
+        // Upgrade to write: skip must drop with the dirty data.
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x5000,
+                value: 2,
+            },
+            GrantFlavor::Clean,
+        );
+        assert!(!h.l1.peek_skip(0x5000));
+    }
+
+    #[test]
+    fn amo_cas_success_and_failure() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x6000,
+                value: 10,
+            },
+            GrantFlavor::Clean,
+        );
+        let resp = h.do_op(
+            DcReqKind::Amo {
+                addr: 0x6000,
+                op: AmoOp::Cas { expected: 10 },
+                operand: 20,
+            },
+            GrantFlavor::Clean,
+        );
+        assert!(resp
+            .iter()
+            .any(|r| matches!(r, DcResp::AmoDone { old: 10, .. })));
+        assert_eq!(h.l1.peek_word(0x6000), Some(20));
+        let resp = h.do_op(
+            DcReqKind::Amo {
+                addr: 0x6000,
+                op: AmoOp::Cas { expected: 10 },
+                operand: 30,
+            },
+            GrantFlavor::Clean,
+        );
+        assert!(resp
+            .iter()
+            .any(|r| matches!(r, DcResp::AmoDone { old: 20, .. })));
+        assert_eq!(h.l1.peek_word(0x6000), Some(20), "failed CAS must not write");
+    }
+
+    #[test]
+    fn probe_to_n_invalidates_and_returns_dirty_data() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x7000,
+                value: 42,
+            },
+            GrantFlavor::Clean,
+        );
+        h.b.push(
+            h.now,
+            ChannelB::Probe {
+                target: 0,
+                addr: LineAddr::containing(0x7000),
+                cap: Cap::ToN,
+            },
+        );
+        for _ in 0..10 {
+            h.step();
+        }
+        assert_eq!(h.l1.peek_state(0x7000), ClientState::Invalid);
+        let mut saw_data = false;
+        while let Some(m) = h.c.pop(h.now) {
+            if let ChannelC::ProbeAck {
+                shrink: Shrink::TtoN,
+                data: Some(d),
+                ..
+            } = m
+            {
+                assert_eq!(d.word(0), 42);
+                saw_data = true;
+            }
+        }
+        assert!(saw_data, "probe of a modified line must carry data");
+        assert_eq!(h.l1.stats().probes_with_data, 1);
+    }
+
+    #[test]
+    fn probe_invalidates_queued_flush_entry() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0x8000,
+                value: 9,
+            },
+            GrantFlavor::Clean,
+        );
+        // Launch a probe so it is in flight, then enqueue the writeback the
+        // cycle the probe lands: probe_rdy drops before the flush queue can
+        // dequeue, so the entry must be invalidated in place (§5.4.1).
+        h.b.push(
+            h.now,
+            ChannelB::Probe {
+                target: 0,
+                addr: LineAddr::containing(0x8000),
+                cap: Cap::ToN,
+            },
+        );
+        h.step(); // probe now ready on channel B
+        let out = h.l1.try_request(
+            h.now,
+            DcReq {
+                id: 900,
+                kind: DcReqKind::Writeback {
+                    addr: 0x8000,
+                    kind: WritebackKind::Flush,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        h.run_until_quiescent(GrantFlavor::Clean);
+        assert_eq!(h.l1.stats().flush_entries_probe_invalidated, 1);
+        // The flush proceeded as a miss (RootRelease without data from us).
+        assert_eq!(h.l1.stats().root_releases_sent, 1);
+        assert_eq!(h.l1.stats().root_releases_with_data, 0);
+    }
+
+    #[test]
+    fn writeback_nacked_while_mshr_in_flight() {
+        let mut h = Harness::new(false);
+        let out = h.l1.try_request(
+            0,
+            DcReq {
+                id: 1,
+                kind: DcReqKind::Store {
+                    addr: 0x9000,
+                    value: 1,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        // MSHR outstanding; a CBO.X to the same line must nack.
+        let out = h.l1.try_request(
+            0,
+            DcReq {
+                id: 2,
+                kind: DcReqKind::Writeback {
+                    addr: 0x9000,
+                    kind: WritebackKind::Clean,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Nack);
+    }
+
+    #[test]
+    fn store_nacked_against_queued_flush_entry() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0xa000,
+                value: 1,
+            },
+            GrantFlavor::Clean,
+        );
+        let out = h.l1.try_request(
+            h.now,
+            DcReq {
+                id: 50,
+                kind: DcReqKind::Writeback {
+                    addr: 0xa000,
+                    kind: WritebackKind::Flush,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        let out = h.l1.try_request(
+            h.now,
+            DcReq {
+                id: 51,
+                kind: DcReqKind::Store {
+                    addr: 0xa000,
+                    value: 2,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Nack);
+    }
+
+    #[test]
+    fn coalescing_drops_back_to_back_same_kind_writebacks() {
+        let mut h = Harness::new(false);
+        h.do_op(
+            DcReqKind::Store {
+                addr: 0xb000,
+                value: 1,
+            },
+            GrantFlavor::Clean,
+        );
+        let out = h.l1.try_request(
+            h.now,
+            DcReq {
+                id: 60,
+                kind: DcReqKind::Writeback {
+                    addr: 0xb000,
+                    kind: WritebackKind::Flush,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        let out = h.l1.try_request(
+            h.now,
+            DcReq {
+                id: 61,
+                kind: DcReqKind::Writeback {
+                    addr: 0xb000,
+                    kind: WritebackKind::Flush,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        assert_eq!(h.l1.stats().writebacks_coalesced, 1);
+        h.run_until_quiescent(GrantFlavor::Clean);
+        assert_eq!(h.l1.stats().root_releases_sent, 1);
+    }
+
+    #[test]
+    fn eviction_releases_dirty_victim() {
+        let mut h = Harness::new(false);
+        // Fill one set (stride = sets * line = 4096) beyond its ways.
+        for i in 0..9u64 {
+            h.do_op(
+                DcReqKind::Store {
+                    addr: 0x10_0000 + i * 4096,
+                    value: i,
+                },
+                GrantFlavor::Clean,
+            );
+        }
+        assert_eq!(h.l1.stats().evictions, 1);
+        assert_eq!(h.l1.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn load_secondary_merges_into_mshr() {
+        let mut h = Harness::new(false);
+        let out = h.l1.try_request(
+            0,
+            DcReq {
+                id: 1,
+                kind: DcReqKind::Load { addr: 0xc000 },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        let out = h.l1.try_request(
+            0,
+            DcReq {
+                id: 2,
+                kind: DcReqKind::Load { addr: 0xc008 },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Accepted);
+        assert_eq!(h.l1.stats().mshr_allocs, 1);
+        assert_eq!(h.l1.stats().mshr_secondaries, 1);
+        h.run_until_quiescent(GrantFlavor::Clean);
+        let mut loads = 0;
+        while let Some(r) = h.l1.pop_response(h.now) {
+            if matches!(r, DcResp::LoadDone { .. }) {
+                loads += 1;
+            }
+        }
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn store_secondary_into_load_mshr_nacks() {
+        let mut h = Harness::new(false);
+        h.l1.try_request(
+            0,
+            DcReq {
+                id: 1,
+                kind: DcReqKind::Load { addr: 0xd000 },
+            },
+        );
+        let out = h.l1.try_request(
+            0,
+            DcReq {
+                id: 2,
+                kind: DcReqKind::Store {
+                    addr: 0xd000,
+                    value: 1,
+                },
+            },
+        );
+        assert_eq!(out, ReqOutcome::Nack, "§3.3: load MSHR cannot take a store");
+    }
+}

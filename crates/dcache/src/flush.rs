@@ -1,0 +1,780 @@
+//! The **Flush Unit** (§5.2): flush queue, FSHRs, and flush counter.
+//!
+//! The flush unit buffers incoming `CBO.X` requests in the *flush queue*
+//! (letting the LSU commit them immediately, §5.2), executes them
+//! asynchronously in *Flush Status Holding Registers* (FSHRs) that step
+//! through the state machine of the paper's Fig. 7, and tracks completion in
+//! the *flush counter* that gates fences.
+//!
+//! Queue entries snapshot the line's bookkeeping bits at enqueue time
+//! (`is_hit`, `is_dirty`, kind) so that dequeuing needs no metadata-array
+//! access; the snapshots are kept consistent by the probe unit
+//! ([`FlushUnit::probe_invalidate`], §5.4.1) and the writeback unit
+//! ([`FlushUnit::evict_invalidate`], §5.4.2), while dependent loads/stores
+//! are blocked by the cache front-end (§5.3).
+
+use crate::meta::CacheArrays;
+use crate::stats::L1Stats;
+use skipit_tilelink::{
+    AgentId, Cap, ChannelC, ClientState, Link, LineAddr, LineData, WritebackKind,
+};
+use std::collections::VecDeque;
+
+/// One buffered `CBO.X` request (§5.2: "relevant fields of a flush request").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushEntry {
+    /// The line to be written back.
+    pub addr: LineAddr,
+    /// Did the line hit in the L1 at enqueue time (kept up to date by
+    /// probe/evict invalidation)?
+    pub is_hit: bool,
+    /// Was the line dirty (only meaningful when `is_hit`)?
+    pub is_dirty: bool,
+    /// `CBO.CLEAN` or `CBO.FLUSH`.
+    pub kind: WritebackKind,
+}
+
+/// The Fig. 7 FSHR state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FshrState {
+    /// No request; ready to accept (`invalid` in Fig. 7).
+    #[default]
+    Free,
+    /// Modify the line's metadata: invalidate (flush) or clear dirty (clean).
+    MetaWrite,
+    /// Fill the data buffer from the data array — a single cycle thanks to
+    /// the widened data-array read port (§5.2).
+    FillBuffer,
+    /// Send `RootRelease` *with* data (four beats on the 16 B bus).
+    SendReleaseData,
+    /// Send `RootRelease` without data (one beat).
+    SendRelease,
+    /// Wait for `RootReleaseAck` (`root_release_ack` in Fig. 7).
+    WaitAck,
+}
+
+/// One Flush Status Holding Register.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fshr {
+    /// The request being executed (meaningful unless `state == Free`).
+    pub entry: FlushEntry,
+    /// Current FSM state.
+    pub state: FshrState,
+    /// Data buffer for dirty lines (§5.2); also the forwarding source for
+    /// loads that miss while the line is being flushed (§5.3).
+    pub buffer: Option<LineData>,
+    /// `(set, way)` latched at `meta_write` time so `fill_buffer` can read
+    /// the data array even after a flush invalidated the tag.
+    slot: Option<(usize, usize)>,
+}
+
+impl Default for FlushEntry {
+    fn default() -> Self {
+        FlushEntry {
+            addr: LineAddr::new(0),
+            is_hit: false,
+            is_dirty: false,
+            kind: WritebackKind::Clean,
+        }
+    }
+}
+
+impl Fshr {
+    /// Whether this FSHR is executing a request for `addr`.
+    pub fn active_on(&self, addr: LineAddr) -> bool {
+        self.state != FshrState::Free && self.entry.addr == addr
+    }
+}
+
+/// The flush unit. See [module docs](self).
+#[derive(Debug)]
+pub struct FlushUnit {
+    queue: VecDeque<FlushEntry>,
+    depth: usize,
+    fshrs: Vec<Fshr>,
+    /// Round-robin allocation pointer (§5.2).
+    next_fshr: usize,
+    /// The flush counter (§5.2): pending requests in the queue or in FSHRs.
+    counter: u64,
+}
+
+impl FlushUnit {
+    /// Creates a flush unit with the given queue depth and FSHR count.
+    pub fn new(depth: usize, fshrs: usize) -> Self {
+        FlushUnit {
+            queue: VecDeque::with_capacity(depth),
+            depth,
+            fshrs: vec![Fshr::default(); fshrs],
+            next_fshr: 0,
+            counter: 0,
+        }
+    }
+
+    /// The `flushing` signal (Fig. 6): true while any writeback is pending.
+    /// Fences may commit only when this is false (§5.3).
+    pub fn is_flushing(&self) -> bool {
+        self.counter > 0
+    }
+
+    /// The `flush_rdy` signal (§5.4.1): false while any FSHR is between
+    /// allocation and reaching `root_release_ack`. Probes and MSHR evictions
+    /// are held while low.
+    pub fn flush_rdy(&self) -> bool {
+        self.fshrs
+            .iter()
+            .all(|f| matches!(f.state, FshrState::Free | FshrState::WaitAck))
+    }
+
+    /// Whether the queue has no free slot.
+    pub fn queue_full(&self) -> bool {
+        self.queue.len() >= self.depth
+    }
+
+    /// Number of requests currently buffered in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a request to `addr` is pending in the queue or any FSHR.
+    pub fn has_pending(&self, addr: LineAddr) -> bool {
+        self.queued_entry(addr).is_some() || self.fshr_for(addr).is_some()
+    }
+
+    /// The queued entry for `addr`, if any.
+    pub fn queued_entry(&self, addr: LineAddr) -> Option<&FlushEntry> {
+        self.queue.iter().find(|e| e.addr == addr)
+    }
+
+    /// The FSHR handling `addr`, if any.
+    pub fn fshr_for(&self, addr: LineAddr) -> Option<&Fshr> {
+        self.fshrs.iter().find(|f| f.active_on(addr))
+    }
+
+    /// Whether a same-kind request for `addr` is pending *in the flush
+    /// queue* — the coalescing test of §5.3. A `CBO.CLEAN` may coalesce with
+    /// a pending `CBO.CLEAN` but not with a pending `CBO.FLUSH` (and vice
+    /// versa). Requests already being executed by an FSHR are not
+    /// coalescible ("pending flush request" = queued): the FSHR may already
+    /// have released the line, so a later writeback must take its own trip —
+    /// which is exactly the redundancy Skip It eliminates (§7.4).
+    pub fn can_coalesce(
+        &self,
+        addr: LineAddr,
+        kind: WritebackKind,
+        _line_dirty_now: bool,
+    ) -> bool {
+        self.queue
+            .iter()
+            .any(|e| e.addr == addr && e.kind == kind)
+    }
+
+    /// The §5.3 future-work optimization: coalesce a request with a queued
+    /// entry of the *other* kind. An arriving `CBO.FLUSH` upgrades a queued
+    /// `CBO.CLEAN` in place (flush subsumes clean — it writes back the same
+    /// data and additionally invalidates); an arriving `CBO.CLEAN` is
+    /// absorbed by a queued `CBO.FLUSH` (whose writeback already covers
+    /// every store ordered before the clean, since dependent stores are
+    /// blocked while the entry is queued).
+    ///
+    /// Returns `true` if the request was absorbed.
+    pub fn try_cross_kind_coalesce(&mut self, addr: LineAddr, kind: WritebackKind) -> bool {
+        if kind == WritebackKind::Inval {
+            // CBO.INVAL discards data: it can never be absorbed by (or
+            // absorb) a writeback-carrying request.
+            return false;
+        }
+        let Some(e) = self
+            .queue
+            .iter_mut()
+            .find(|e| e.addr == addr && e.kind != kind && e.kind != WritebackKind::Inval)
+        else {
+            return false;
+        };
+        if kind == WritebackKind::Flush {
+            // Upgrade: the queued clean becomes a flush.
+            e.kind = WritebackKind::Flush;
+        }
+        true
+    }
+
+    /// Buffers a request; increments the flush counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full — callers must check
+    /// [`FlushUnit::queue_full`] and nack the LSU instead (§5.2).
+    pub fn enqueue(&mut self, entry: FlushEntry) {
+        assert!(!self.queue_full(), "flush queue overflow");
+        self.queue.push_back(entry);
+        self.counter += 1;
+    }
+
+    /// Probe invalidation (§5.4.1): a coherence probe for `addr` with
+    /// capability `cap` updates the bookkeeping bits of matching queued
+    /// entries so they are executed with valid metadata. Returns the number
+    /// of entries adjusted.
+    pub fn probe_invalidate(&mut self, addr: LineAddr, cap: Cap) -> u64 {
+        let mut n = 0;
+        for e in self.queue.iter_mut().filter(|e| e.addr == addr) {
+            match cap {
+                Cap::ToN => {
+                    if e.is_hit || e.is_dirty {
+                        e.is_hit = false;
+                        e.is_dirty = false;
+                        n += 1;
+                    }
+                }
+                Cap::ToB => {
+                    // The dirty data travels upward with the ProbeAck; the
+                    // entry keeps its hit bit (a readable copy remains).
+                    if e.is_dirty {
+                        e.is_dirty = false;
+                        n += 1;
+                    }
+                }
+                Cap::ToT => {}
+            }
+        }
+        n
+    }
+
+    /// Eviction invalidation (§5.4.2): the writeback unit evicted `addr`, so
+    /// matching queued entries no longer hit. Returns entries adjusted.
+    pub fn evict_invalidate(&mut self, addr: LineAddr) -> u64 {
+        let mut n = 0;
+        for e in self.queue.iter_mut().filter(|e| e.addr == addr) {
+            if e.is_hit || e.is_dirty {
+                e.is_hit = false;
+                e.is_dirty = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Dequeues the head request into a free FSHR (round-robin, §5.2) if
+    /// permitted: the queue is non-empty, an FSHR is free, and the
+    /// `probe_rdy` / `wb_rdy` interlocks are high (§5.4). At most one
+    /// allocation per cycle.
+    pub fn try_allocate(&mut self, probe_rdy: bool, wb_rdy: bool) -> bool {
+        if self.queue.is_empty() || !probe_rdy || !wb_rdy {
+            return false;
+        }
+        // Same-line requests may occupy several FSHRs concurrently: each
+        // completed its metadata write before releasing, the L2 serializes
+        // them through its per-line MSHR conflict rules, and ack-completion
+        // re-checks line state before touching the skip bit. This is what
+        // lets a burst of redundant writebacks each take a full round trip
+        // on the baseline — the cost Skip It removes (§7.4).
+        let n = self.fshrs.len();
+        for i in 0..n {
+            let idx = (self.next_fshr + i) % n;
+            if self.fshrs[idx].state == FshrState::Free {
+                let entry = self.queue.pop_front().expect("nonempty");
+                self.fshrs[idx] = Fshr {
+                    entry,
+                    state: Self::initial_state(&entry),
+                    buffer: None,
+                    slot: None,
+                };
+                self.next_fshr = (idx + 1) % n;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The first state after `invalid` per Fig. 7: a miss goes straight to
+    /// `root_release` (the line may still be dirty elsewhere, §5.2); a hit on
+    /// a dirty line or an invalidating operation must write metadata first;
+    /// a `CBO.CLEAN` hit on a clean line releases without touching metadata.
+    fn initial_state(entry: &FlushEntry) -> FshrState {
+        if !entry.is_hit {
+            FshrState::SendRelease
+        } else if entry.is_dirty || entry.kind.invalidates() {
+            FshrState::MetaWrite
+        } else {
+            FshrState::SendRelease
+        }
+    }
+
+    /// Advances every active FSHR by one state transition (one cycle).
+    ///
+    /// `core` is this cache's agent id for outgoing messages; `arrays` is the
+    /// L1 metadata/data array the FSHR reads and writes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_fshrs(
+        &mut self,
+        now: u64,
+        core: AgentId,
+        arrays: &mut CacheArrays,
+        c: &mut Link<ChannelC>,
+        stats: &mut L1Stats,
+    ) {
+        for i in 0..self.fshrs.len() {
+            let state = self.fshrs[i].state;
+            let entry = self.fshrs[i].entry;
+            match state {
+                FshrState::Free | FshrState::WaitAck => {}
+                FshrState::MetaWrite => {
+                    let way = arrays.lookup(entry.addr).unwrap_or_else(|| {
+                        panic!(
+                            "FSHR meta_write: entry says hit but {:?} is absent — \
+                             interlock violation",
+                            entry.addr
+                        )
+                    });
+                    let set = arrays.set_index(entry.addr);
+                    self.fshrs[i].slot = Some((set, way));
+                    let m = arrays.meta_mut(set, way);
+                    match entry.kind {
+                        WritebackKind::Flush | WritebackKind::Inval => {
+                            m.state = ClientState::Invalid;
+                            m.skip = false;
+                        }
+                        WritebackKind::Clean => {
+                            if m.state == ClientState::Modified {
+                                m.state = ClientState::Exclusive;
+                            }
+                        }
+                    }
+                    // Keep later queued same-line entries (necessarily of
+                    // the *other* kind — same-kind ones coalesced, §5.3)
+                    // consistent with the metadata we just changed.
+                    for e in self.queue.iter_mut().filter(|e| e.addr == entry.addr) {
+                        match entry.kind {
+                            WritebackKind::Flush | WritebackKind::Inval => {
+                                e.is_hit = false;
+                                e.is_dirty = false;
+                            }
+                            WritebackKind::Clean => e.is_dirty = false,
+                        }
+                    }
+                    // CBO.INVAL discards dirty data: never fill the buffer.
+                    self.fshrs[i].state = if entry.is_dirty && entry.kind.writes_back() {
+                        FshrState::FillBuffer
+                    } else {
+                        FshrState::SendRelease
+                    };
+                }
+                FshrState::FillBuffer => {
+                    // The widened data array serves the whole line in one
+                    // cycle (§5.2), addressed by the (set, way) latched at
+                    // meta_write time — the SRAM bits survive a metadata
+                    // invalidation.
+                    let (set, way) = self.fshrs[i]
+                        .slot
+                        .expect("fill_buffer without a latched slot");
+                    self.fshrs[i].buffer = Some(arrays.line(set, way));
+                    self.fshrs[i].state = FshrState::SendReleaseData;
+                }
+                FshrState::SendReleaseData | FshrState::SendRelease => {
+                    if c.can_push() {
+                        let data = if state == FshrState::SendReleaseData {
+                            Some(self.fshrs[i].buffer.expect("buffer filled"))
+                        } else {
+                            None
+                        };
+                        c.push(
+                            now,
+                            ChannelC::RootRelease {
+                                source: core,
+                                addr: entry.addr,
+                                kind: entry.kind,
+                                data,
+                            },
+                        );
+                        stats.root_releases_sent += 1;
+                        if data.is_some() {
+                            stats.root_releases_with_data += 1;
+                        }
+                        self.fshrs[i].state = FshrState::WaitAck;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes the FSHR waiting on `addr` after a `RootReleaseAck`
+    /// (§5.2 state 6). For a completed `CBO.CLEAN` with Skip It enabled, the
+    /// line is now persisted, so its skip bit is set — provided the line is
+    /// still valid and clean (§6.2).
+    ///
+    /// Returns `true` if an FSHR was completed.
+    pub fn complete_ack(
+        &mut self,
+        addr: LineAddr,
+        arrays: &mut CacheArrays,
+        skip_it: bool,
+    ) -> bool {
+        let Some(i) = self
+            .fshrs
+            .iter()
+            .position(|f| f.state == FshrState::WaitAck && f.entry.addr == addr)
+        else {
+            return false;
+        };
+        let kind = self.fshrs[i].entry.kind;
+        self.fshrs[i] = Fshr::default();
+        debug_assert!(self.counter > 0, "flush counter underflow");
+        self.counter -= 1;
+        if skip_it && kind == WritebackKind::Clean {
+            if let Some(way) = arrays.lookup(addr) {
+                let set = arrays.set_index(addr);
+                let m = arrays.meta_mut(set, way);
+                if !m.state.is_dirty() {
+                    m.skip = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops one pending unit of work without executing it (used when a
+    /// request is eliminated after enqueue — not currently reachable, kept
+    /// for the dependability tests).
+    #[doc(hidden)]
+    pub fn counter_value(&self) -> u64 {
+        self.counter
+    }
+
+    /// View of all FSHRs (tests and forwarding logic).
+    pub fn fshrs(&self) -> &[Fshr] {
+        &self.fshrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::L1Config;
+
+    fn unit() -> FlushUnit {
+        FlushUnit::new(4, 2)
+    }
+
+    fn entry(addr: u64, hit: bool, dirty: bool, kind: WritebackKind) -> FlushEntry {
+        FlushEntry {
+            addr: LineAddr::new(addr),
+            is_hit: hit,
+            is_dirty: dirty,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counter_tracks_enqueue_and_ack() {
+        let mut fu = unit();
+        assert!(!fu.is_flushing());
+        fu.enqueue(entry(0x40, false, false, WritebackKind::Flush));
+        assert!(fu.is_flushing());
+        assert_eq!(fu.counter_value(), 1);
+    }
+
+    #[test]
+    fn queue_full_detection() {
+        let mut fu = unit();
+        for i in 0..4 {
+            fu.enqueue(entry(0x40 * (i + 1), false, false, WritebackKind::Flush));
+        }
+        assert!(fu.queue_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "flush queue overflow")]
+    fn enqueue_past_capacity_panics() {
+        let mut fu = unit();
+        for i in 0..5 {
+            fu.enqueue(entry(0x40 * (i + 1), false, false, WritebackKind::Flush));
+        }
+    }
+
+    #[test]
+    fn initial_state_paths_match_fig7() {
+        // Miss → root_release regardless of kind.
+        assert_eq!(
+            FlushUnit::initial_state(&entry(0, false, false, WritebackKind::Flush)),
+            FshrState::SendRelease
+        );
+        // Hit dirty → meta_write (then fill_buffer → release_data).
+        assert_eq!(
+            FlushUnit::initial_state(&entry(0, true, true, WritebackKind::Clean)),
+            FshrState::MetaWrite
+        );
+        // Hit clean flush → meta_write (invalidate) then release w/o data.
+        assert_eq!(
+            FlushUnit::initial_state(&entry(0, true, false, WritebackKind::Flush)),
+            FshrState::MetaWrite
+        );
+        // Hit clean clean → straight to release (metadata unchanged).
+        assert_eq!(
+            FlushUnit::initial_state(&entry(0, true, false, WritebackKind::Clean)),
+            FshrState::SendRelease
+        );
+    }
+
+    #[test]
+    fn coalescing_same_kind_only() {
+        let mut fu = unit();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        assert!(fu.can_coalesce(LineAddr::new(0x40), WritebackKind::Clean, true));
+        assert!(!fu.can_coalesce(LineAddr::new(0x40), WritebackKind::Flush, true));
+        assert!(!fu.can_coalesce(LineAddr::new(0x80), WritebackKind::Clean, true));
+    }
+
+    #[test]
+    fn probe_invalidate_to_n_clears_hit_and_dirty() {
+        let mut fu = unit();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Flush));
+        assert_eq!(fu.probe_invalidate(LineAddr::new(0x40), Cap::ToN), 1);
+        let e = fu.queued_entry(LineAddr::new(0x40)).unwrap();
+        assert!(!e.is_hit && !e.is_dirty);
+    }
+
+    #[test]
+    fn probe_invalidate_to_b_clears_only_dirty() {
+        let mut fu = unit();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        assert_eq!(fu.probe_invalidate(LineAddr::new(0x40), Cap::ToB), 1);
+        let e = fu.queued_entry(LineAddr::new(0x40)).unwrap();
+        assert!(e.is_hit && !e.is_dirty);
+    }
+
+    #[test]
+    fn evict_invalidate_clears_entry() {
+        let mut fu = unit();
+        fu.enqueue(entry(0x40, true, false, WritebackKind::Clean));
+        assert_eq!(fu.evict_invalidate(LineAddr::new(0x40)), 1);
+        let e = fu.queued_entry(LineAddr::new(0x40)).unwrap();
+        assert!(!e.is_hit);
+    }
+
+    #[test]
+    fn allocation_respects_interlocks() {
+        let mut fu = unit();
+        fu.enqueue(entry(0x40, false, false, WritebackKind::Flush));
+        assert!(!fu.try_allocate(false, true), "probe_rdy low must block");
+        assert!(!fu.try_allocate(true, false), "wb_rdy low must block");
+        assert!(fu.try_allocate(true, true));
+        assert!(fu.fshr_for(LineAddr::new(0x40)).is_some());
+    }
+
+    #[test]
+    fn same_line_requests_may_occupy_multiple_fshrs() {
+        let mut fu = unit();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        fu.enqueue(entry(0x40, true, false, WritebackKind::Flush));
+        assert!(fu.try_allocate(true, true));
+        // Round-robin allocation does not serialize same-line requests;
+        // the L2's per-line MSHR conflict rules order them.
+        assert!(fu.try_allocate(true, true));
+        assert_eq!(
+            fu.fshrs().iter().filter(|f| f.state != FshrState::Free).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn flush_rdy_low_while_fshr_mid_flight() {
+        let mut fu = unit();
+        assert!(fu.flush_rdy());
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        fu.try_allocate(true, true);
+        assert!(!fu.flush_rdy(), "MetaWrite state must hold flush_rdy low");
+    }
+
+    #[test]
+    fn fshr_full_dirty_clean_path_and_ack_sets_skip() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let addr = LineAddr::new(0x40);
+        let mut data = LineData::zeroed();
+        data.set_word(0, 0xabcd);
+        arrays.install(addr, 0, ClientState::Modified, false, data);
+
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        fu.try_allocate(true, true);
+
+        // MetaWrite: Modified → Exclusive.
+        fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
+        let set = arrays.set_index(addr);
+        let way = arrays.lookup(addr).unwrap();
+        assert_eq!(arrays.meta(set, way).state, ClientState::Exclusive);
+
+        // FillBuffer.
+        fu.step_fshrs(1, 0, &mut arrays, &mut c, &mut stats);
+        assert!(fu.fshr_for(addr).unwrap().buffer.is_some());
+
+        // SendReleaseData.
+        fu.step_fshrs(2, 0, &mut arrays, &mut c, &mut stats);
+        assert_eq!(stats.root_releases_sent, 1);
+        assert_eq!(stats.root_releases_with_data, 1);
+        let msg = c.pop(100).expect("RootRelease on C");
+        match msg {
+            ChannelC::RootRelease {
+                kind, data: Some(d), ..
+            } => {
+                assert_eq!(kind, WritebackKind::Clean);
+                assert_eq!(d.word(0), 0xabcd);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Ack completes and sets the skip bit (Skip It enabled).
+        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(arrays.meta(set, way).skip);
+        assert!(!fu.is_flushing());
+    }
+
+    #[test]
+    fn fshr_flush_invalidates_metadata() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let addr = LineAddr::new(0x80);
+        arrays.install(addr, 1, ClientState::Modified, false, LineData::zeroed());
+
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0x80, true, true, WritebackKind::Flush));
+        fu.try_allocate(true, true);
+        fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats); // MetaWrite
+        assert_eq!(arrays.lookup(addr), None, "flush must invalidate");
+        fu.step_fshrs(1, 0, &mut arrays, &mut c, &mut stats); // FillBuffer (data still readable)
+        fu.step_fshrs(2, 0, &mut arrays, &mut c, &mut stats); // SendReleaseData
+        assert!(matches!(
+            c.pop(100),
+            Some(ChannelC::RootRelease {
+                kind: WritebackKind::Flush,
+                data: Some(_),
+                ..
+            })
+        ));
+        assert!(fu.complete_ack(addr, &mut arrays, true));
+    }
+
+    #[test]
+    fn miss_sends_release_without_data() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0xc0, false, false, WritebackKind::Flush));
+        fu.try_allocate(true, true);
+        fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
+        assert!(matches!(
+            c.pop(100),
+            Some(ChannelC::RootRelease { data: None, .. })
+        ));
+    }
+
+    #[test]
+    fn clean_ack_does_not_set_skip_when_redirtied() {
+        // A store allowed through (§5.3 conditions) re-dirties the line
+        // before the ack arrives: skip must stay unset.
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let addr = LineAddr::new(0x40);
+        arrays.install(addr, 0, ClientState::Modified, false, LineData::zeroed());
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        fu.try_allocate(true, true);
+        for t in 0..3 {
+            fu.step_fshrs(t, 0, &mut arrays, &mut c, &mut stats);
+        }
+        // Re-dirty while waiting for the ack.
+        let set = arrays.set_index(addr);
+        let way = arrays.lookup(addr).unwrap();
+        arrays.meta_mut(set, way).state = ClientState::Modified;
+        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(!arrays.meta(set, way).skip);
+    }
+}
+
+#[cfg(test)]
+mod inval_tests {
+    use super::*;
+    use crate::config::L1Config;
+    use crate::stats::L1Stats;
+    use skipit_tilelink::{ChannelC, ClientState, Link, LineAddr, LineData};
+
+    fn entry(addr: u64, hit: bool, dirty: bool) -> FlushEntry {
+        FlushEntry {
+            addr: LineAddr::new(addr),
+            is_hit: hit,
+            is_dirty: dirty,
+            kind: WritebackKind::Inval,
+        }
+    }
+
+    #[test]
+    fn inval_hit_dirty_invalidates_without_filling_buffer() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let addr = LineAddr::new(0x40);
+        let mut data = LineData::zeroed();
+        data.set_word(0, 0xdead);
+        arrays.install(addr, 0, ClientState::Modified, false, data);
+
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0x40, true, true));
+        assert!(fu.try_allocate(true, true));
+        // MetaWrite invalidates; the dirty data is discarded (no FillBuffer).
+        fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
+        assert_eq!(arrays.lookup(addr), None, "inval must invalidate");
+        fu.step_fshrs(1, 0, &mut arrays, &mut c, &mut stats);
+        match c.pop(100) {
+            Some(ChannelC::RootRelease {
+                kind: WritebackKind::Inval,
+                data: None,
+                ..
+            }) => {}
+            other => panic!("expected dataless RootRelease(Inval), got {other:?}"),
+        }
+        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(!fu.is_flushing());
+    }
+
+    #[test]
+    fn inval_miss_still_sends_release() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0x80, false, false));
+        assert!(fu.try_allocate(true, true));
+        fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
+        assert!(matches!(
+            c.pop(100),
+            Some(ChannelC::RootRelease {
+                kind: WritebackKind::Inval,
+                data: None,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn inval_never_cross_kind_coalesces() {
+        let mut fu = FlushUnit::new(4, 2);
+        fu.enqueue(FlushEntry {
+            addr: LineAddr::new(0x40),
+            is_hit: true,
+            is_dirty: true,
+            kind: WritebackKind::Clean,
+        });
+        assert!(!fu.try_cross_kind_coalesce(LineAddr::new(0x40), WritebackKind::Inval));
+        fu.enqueue(entry(0x80, true, false));
+        assert!(!fu.try_cross_kind_coalesce(LineAddr::new(0x80), WritebackKind::Flush));
+        assert!(!fu.try_cross_kind_coalesce(LineAddr::new(0x80), WritebackKind::Clean));
+    }
+}

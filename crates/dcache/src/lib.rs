@@ -1,0 +1,33 @@
+//! BOOM-style non-blocking L1 data cache with the paper's **Flush Unit**.
+//!
+//! This crate reproduces, at cycle granularity, the SonicBOOM L1 D-cache of
+//! §3.3 of *Skip It: Take Control of Your Cache!* together with every
+//! microarchitectural extension the paper adds in §5 and §6:
+//!
+//! * metadata / data arrays (32 KiB, 8-way by default) with MESI states and
+//!   the **skip bit** per line;
+//! * MSHRs with replay queues, secondary-request permission rules and nacks;
+//! * a writeback unit (WBU) for evictions;
+//! * a probe unit with the paper's two-phase probe handling;
+//! * the **Flush Unit**: flush queue, FSHRs running the Fig. 7 state machine,
+//!   flush counter, request coalescing, FSHR→load data forwarding, and the
+//!   `probe_rdy` / `flush_rdy` / `wb_rdy` interlocks of §5.4;
+//! * **Skip It** (§6): dropping writebacks whose line hits, is clean, and has
+//!   the skip bit set; skip-bit maintenance from `GrantData` /
+//!   `GrantDataDirty`.
+//!
+//! The cache talks TileLink on five channels supplied each cycle through
+//! [`L1Ports`], and serves core-side requests through
+//! [`DataCache::try_request`].
+
+pub mod cache;
+pub mod config;
+pub mod flush;
+pub mod meta;
+pub mod req;
+pub mod stats;
+
+pub use cache::{DataCache, L1Ports};
+pub use config::L1Config;
+pub use req::{AmoOp, DcReq, DcResp, ReqId, ReqOutcome};
+pub use stats::L1Stats;

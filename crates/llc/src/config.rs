@@ -1,0 +1,63 @@
+//! L2 configuration.
+
+/// Geometry and timing of the inclusive L2.
+///
+/// The default matches the evaluation platform of §7.1: a 512 KiB shared
+/// inclusive L2 over 64 B lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L2Config {
+    /// Number of sets (default 1024 → 1024 × 8 × 64 B = 512 KiB).
+    pub sets: usize,
+    /// Associativity (default 8).
+    pub ways: usize,
+    /// Number of L2 MSHRs.
+    pub mshrs: usize,
+    /// Directory/banked-store access latency in cycles, applied once per
+    /// MSHR allocation.
+    pub access_latency: u64,
+    /// Capacity of the ListBuffer holding deferred TL-C requests (§3.4).
+    pub list_buffer_depth: usize,
+}
+
+impl Default for L2Config {
+    fn default() -> Self {
+        L2Config {
+            sets: 1024,
+            ways: 8,
+            mshrs: 64,
+            access_latency: 6,
+            list_buffer_depth: 64,
+        }
+    }
+}
+
+impl L2Config {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * skipit_tilelink::LINE_BYTES
+    }
+
+    /// Validates invariants the model relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero or `sets` is not a power of two.
+    pub fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.ways > 0, "ways must be nonzero");
+        assert!(self.mshrs > 0, "mshrs must be nonzero");
+        assert!(self.list_buffer_depth > 0, "list_buffer_depth must be nonzero");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_512kib() {
+        let c = L2Config::default();
+        c.validate();
+        assert_eq!(c.capacity_bytes(), 512 * 1024);
+    }
+}

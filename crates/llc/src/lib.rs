@@ -1,0 +1,29 @@
+//! SiFive-style inclusive last-level cache with the paper's `RootRelease`
+//! support (§3.4, §5.5).
+//!
+//! The L2 is the coherence manager for all L1 data caches and the client of
+//! main memory. It keeps a full-map directory (owner bitmask, exclusive
+//! owner, dirty bit) with every line, enforces inclusion, and implements:
+//!
+//! * `Acquire` handling with recursive probes of other owners;
+//! * voluntary `Release` handling (L1 evictions), including the
+//!   release-vs-probe race;
+//! * the paper's **`RootRelease{Flush,Clean}`** transactions: probe owners
+//!   (all for flush; only a foreign write-permission owner for clean, §5.5),
+//!   merge dirty data, write the line back to DRAM *only if dirty anywhere* —
+//!   "the last level cache already catches and eliminates unnecessary
+//!   writebacks by trivially checking its dirty bit" — then answer with
+//!   `RootReleaseAck`;
+//! * Skip It's `GrantData` vs `GrantDataDirty` selection from the L2 dirty
+//!   bit (§6.1);
+//! * a `ListBuffer` that defers TL-C requests that conflict with an active
+//!   MSHR (§3.4).
+
+pub mod arrays;
+pub mod cache;
+pub mod config;
+pub mod stats;
+
+pub use cache::{InclusiveCache, L2Ports};
+pub use config::L2Config;
+pub use stats::L2Stats;

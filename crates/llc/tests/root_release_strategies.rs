@@ -1,0 +1,231 @@
+//! Probe-strategy tests for the three RootRelease kinds (§5.5 + the
+//! CBO.INVAL extension), driven against the raw L2 with a scripted L1 side.
+
+use skipit_llc::{InclusiveCache, L2Config, L2Ports};
+use skipit_mem::{Dram, DramConfig};
+use skipit_tilelink::{
+    Cap, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Grow, Link, LineAddr, LineData,
+    Shrink, WritebackKind,
+};
+
+struct Bench {
+    l2: InclusiveCache,
+    a: Vec<Link<ChannelA>>,
+    b: Vec<Link<ChannelB>>,
+    c: Vec<Link<ChannelC>>,
+    d: Vec<Link<ChannelD>>,
+    e: Vec<Link<ChannelE>>,
+    mem: Dram,
+    now: u64,
+}
+
+impl Bench {
+    fn new(cores: usize) -> Self {
+        Bench {
+            l2: InclusiveCache::new(cores, L2Config::default()),
+            a: (0..cores).map(|_| Link::new(1, 8)).collect(),
+            b: (0..cores).map(|_| Link::new(1, 8)).collect(),
+            c: (0..cores).map(|_| Link::new(1, 8)).collect(),
+            d: (0..cores).map(|_| Link::new(1, 8)).collect(),
+            e: (0..cores).map(|_| Link::new(1, 8)).collect(),
+            mem: Dram::new(DramConfig {
+                read_latency: 5,
+                write_latency: 5,
+                issue_interval: 1,
+            }),
+            now: 0,
+        }
+    }
+
+    fn step(&mut self) {
+        let mut ports = L2Ports {
+            a: &mut self.a,
+            b: &mut self.b,
+            c: &mut self.c,
+            d: &mut self.d,
+            e: &mut self.e,
+            mem: &mut self.mem,
+        };
+        self.l2.step(self.now, &mut ports);
+        self.now += 1;
+    }
+
+    /// Completes an acquire for `core`, answering probes with `reply`.
+    fn acquire(&mut self, core: usize, addr: LineAddr, grow: Grow) {
+        self.a[core].push(
+            self.now,
+            ChannelA::AcquireBlock {
+                source: core,
+                addr,
+                grow,
+            },
+        );
+        for _ in 0..300 {
+            self.step();
+            for bc in 0..self.b.len() {
+                while let Some(ChannelB::Probe { target, addr, cap }) = self.b[bc].pop(self.now) {
+                    self.c[bc].push(
+                        self.now,
+                        ChannelC::ProbeAck {
+                            source: target,
+                            addr,
+                            shrink: match cap {
+                                Cap::ToN => Shrink::TtoN,
+                                Cap::ToB => Shrink::TtoB,
+                                Cap::ToT => Shrink::TtoT,
+                            },
+                            data: None,
+                        },
+                    );
+                }
+            }
+            if let Some(ChannelD::Grant { .. }) = self.d[core].peek(self.now) {
+                self.d[core].pop(self.now);
+                self.e[core].push(self.now, ChannelE::GrantAck { source: core, addr });
+                self.step();
+                self.step();
+                return;
+            }
+        }
+        panic!("acquire did not complete");
+    }
+}
+
+fn line(n: u64) -> LineAddr {
+    LineAddr::new(n * 64)
+}
+
+fn data(seed: u64) -> LineData {
+    let mut d = LineData::zeroed();
+    d.set_word(0, seed);
+    d
+}
+
+/// RootReleaseClean with a *foreign* Trunk owner probes exactly that owner
+/// with ToB (downgrade, not invalidate).
+#[test]
+fn clean_probes_only_the_foreign_trunk_owner() {
+    let mut b = Bench::new(3);
+    b.acquire(0, line(5), Grow::NtoT); // core 0 owns Trunk
+    // Core 2 issues a clean for the line it does not own.
+    b.c[2].push(
+        b.now,
+        ChannelC::RootRelease {
+            source: 2,
+            addr: line(5),
+            kind: WritebackKind::Clean,
+            data: None,
+        },
+    );
+    let mut probed = Vec::new();
+    for _ in 0..300 {
+        b.step();
+        for bc in 0..3 {
+            while let Some(ChannelB::Probe { target, addr, cap }) = b.b[bc].pop(b.now) {
+                probed.push((target, cap));
+                b.c[bc].push(
+                    b.now,
+                    ChannelC::ProbeAck {
+                        source: target,
+                        addr,
+                        shrink: Shrink::TtoB,
+                        data: Some(data(42)),
+                    },
+                );
+            }
+        }
+        if matches!(
+            b.d[2].peek(b.now),
+            Some(ChannelD::ReleaseAck { root: true, .. })
+        ) {
+            b.d[2].pop(b.now);
+            assert_eq!(probed, vec![(0, Cap::ToB)], "only the trunk owner, ToB");
+            assert_eq!(b.mem.read_direct(line(5)), data(42), "dirty data durable");
+            return;
+        }
+    }
+    panic!("clean did not complete");
+}
+
+/// RootReleaseInval probes every owner with ToN and discards their data.
+#[test]
+fn inval_revokes_all_owners_and_discards() {
+    let mut b = Bench::new(3);
+    b.acquire(0, line(9), Grow::NtoB);
+    b.acquire(1, line(9), Grow::NtoB);
+    b.c[2].push(
+        b.now,
+        ChannelC::RootRelease {
+            source: 2,
+            addr: line(9),
+            kind: WritebackKind::Inval,
+            data: None,
+        },
+    );
+    let mut probed = Vec::new();
+    for _ in 0..300 {
+        b.step();
+        for bc in 0..3 {
+            while let Some(ChannelB::Probe { target, addr, cap }) = b.b[bc].pop(b.now) {
+                probed.push((target, cap));
+                b.c[bc].push(
+                    b.now,
+                    ChannelC::ProbeAck {
+                        source: target,
+                        addr,
+                        shrink: Shrink::BtoN,
+                        data: None,
+                    },
+                );
+            }
+        }
+        if matches!(
+            b.d[2].peek(b.now),
+            Some(ChannelD::ReleaseAck { root: true, .. })
+        ) {
+            b.d[2].pop(b.now);
+            probed.sort();
+            assert_eq!(probed, vec![(0, Cap::ToN), (1, Cap::ToN)]);
+            assert!(!b.l2.peek_valid(line(9)), "inval removes the L2 copy");
+            assert_eq!(b.mem.stats().writes, 0, "inval never writes memory");
+            assert_eq!(b.l2.stats().root_release_inval, 1);
+            return;
+        }
+    }
+    panic!("inval did not complete");
+}
+
+/// A flush whose requester held the only copy probes nobody (the requester
+/// cleared its own permissions before sending, §5.2).
+#[test]
+fn flush_from_sole_owner_probes_nobody() {
+    let mut b = Bench::new(2);
+    b.acquire(0, line(3), Grow::NtoT);
+    b.c[0].push(
+        b.now,
+        ChannelC::RootRelease {
+            source: 0,
+            addr: line(3),
+            kind: WritebackKind::Flush,
+            data: Some(data(7)),
+        },
+    );
+    for _ in 0..300 {
+        b.step();
+        for bc in 0..2 {
+            assert!(
+                b.b[bc].pop(b.now).is_none(),
+                "no probes expected for a sole-owner flush"
+            );
+        }
+        if matches!(
+            b.d[0].peek(b.now),
+            Some(ChannelD::ReleaseAck { root: true, .. })
+        ) {
+            assert_eq!(b.mem.read_direct(line(3)), data(7));
+            assert!(!b.l2.peek_valid(line(3)));
+            return;
+        }
+    }
+    panic!("flush did not complete");
+}

@@ -1,0 +1,61 @@
+//! Persistent lock-free hash table (David et al., ATC '18 \[23\] style):
+//! a fixed array of buckets, each an independent Harris list.
+
+use crate::alloc::SimAlloc;
+use crate::list::HarrisList;
+use crate::persist::PHandle;
+use crate::ConcurrentSet;
+use std::sync::Arc;
+
+/// Fixed-size lock-free hash set.
+#[derive(Clone, Debug)]
+pub struct HashTable {
+    buckets: Vec<HarrisList>,
+}
+
+impl HashTable {
+    /// Builds a table with `buckets` chains (each with its own sentinels),
+    /// emitting initialization through `poke`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(
+        buckets: usize,
+        alloc: Arc<SimAlloc>,
+        mut poke: impl FnMut(u64, u64),
+    ) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        let chains = (0..buckets)
+            .map(|_| {
+                let head = HarrisList::init_sentinels(&alloc, &mut poke);
+                HarrisList::with_head(head, Arc::clone(&alloc))
+            })
+            .collect();
+        HashTable { buckets: chains }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket(&self, key: u64) -> &HarrisList {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13;
+        &self.buckets[(h % self.buckets.len() as u64) as usize]
+    }
+}
+
+impl ConcurrentSet for HashTable {
+    fn insert(&self, ph: &PHandle<'_>, key: u64) -> bool {
+        self.bucket(key).insert(ph, key)
+    }
+
+    fn remove(&self, ph: &PHandle<'_>, key: u64) -> bool {
+        self.bucket(key).remove(ph, key)
+    }
+
+    fn contains(&self, ph: &PHandle<'_>, key: u64) -> bool {
+        self.bucket(key).contains(ph, key)
+    }
+}

@@ -1,0 +1,65 @@
+//! Persistent lock-free data structures over the simulated Skip It platform.
+//!
+//! This crate reproduces the workload side of §7.4 of *Skip It: Take Control
+//! of Your Cache!*: persistent lock-free versions of four data structures —
+//! a Harris linked list, a hash table, an external (Natarajan–Mittal-style)
+//! binary search tree and a skiplist — whose every shared-memory access goes
+//! through the simulated memory hierarchy of [`skipit_core`].
+//!
+//! Three **persistence disciplines** decide *where* writebacks are placed
+//! (§7.4):
+//!
+//! * [`PersistMode::Automatic`] — flush + fence after every shared access;
+//! * [`PersistMode::NvTraverse`] — traversal reads unflushed, critical reads
+//!   and all updates persisted (the NVTraverse framework);
+//! * [`PersistMode::Manual`] — hand-placed persists on updates only
+//!   (log-free-data-structures style);
+//! * [`PersistMode::None`] — the non-persistent baseline (the dotted line in
+//!   Fig. 14).
+//!
+//! Five **redundant-flush eliminations** decide *how* each persist executes:
+//!
+//! * [`OptKind::Plain`] — always issue the writeback;
+//! * [`OptKind::FlitAdjacent`] — a FliT counter next to every word;
+//! * [`OptKind::FlitHash`] — FliT counters in a global hash table;
+//! * [`OptKind::LinkAndPersist`] — a dirty-mark in bit 63 of the word;
+//! * [`OptKind::SkipIt`] — identical software to `Plain`; the elision
+//!   happens in hardware (run it on a system built with `skip_it(true)`).
+
+pub mod alloc;
+pub mod bst;
+pub mod hash;
+pub mod list;
+pub mod persist;
+pub mod ptr;
+pub mod skiplist;
+pub mod workload;
+
+pub use alloc::SimAlloc;
+pub use bst::Bst;
+pub use hash::HashTable;
+pub use list::HarrisList;
+pub use persist::{OptKind, PersistMode, PHandle};
+pub use skiplist::SkipList;
+pub use workload::{run_set_benchmark, BenchResult, DsKind, WorkloadCfg};
+
+use skipit_core::CoreHandle;
+
+/// A concurrent set keyed by `u64`, driven through a persistence handle.
+///
+/// All three operations are linearizable and lock-free; keys must be below
+/// [`ptr::MAX_KEY`].
+pub trait ConcurrentSet: Sync {
+    /// Inserts `key`; returns `false` if already present.
+    fn insert(&self, ph: &PHandle<'_>, key: u64) -> bool;
+    /// Removes `key`; returns `false` if absent.
+    fn remove(&self, ph: &PHandle<'_>, key: u64) -> bool;
+    /// Membership test.
+    fn contains(&self, ph: &PHandle<'_>, key: u64) -> bool;
+}
+
+/// Convenience: wraps a raw [`CoreHandle`] in a non-persistent [`PHandle`]
+/// (useful in tests and examples that only need a correct concurrent set).
+pub fn plain_handle(h: &CoreHandle) -> PHandle<'_> {
+    PHandle::new(h, PersistMode::None, OptKind::Plain)
+}

@@ -1,0 +1,67 @@
+//! Tagged-pointer helpers for simulated-memory data structures.
+//!
+//! Simulated nodes are 64-byte aligned, so the low six bits of a pointer
+//! word are free for algorithm metadata, and bit 63 is reserved for the
+//! Link-and-Persist dirty mark (§7.4: "Link-and-persist has a bit *within*
+//! every cacheline"):
+//!
+//! * bit 0 — `DEL` / `FLAG`: logical-deletion mark (Harris list, skiplist)
+//!   or the Natarajan–Mittal *flag* (BST);
+//! * bit 1 — `TAG`: the Natarajan–Mittal *tag*;
+//! * bit 2 — `LEAF`: the pointee is a BST leaf;
+//! * bit 63 — `LP_MARK`: Link-and-Persist "not yet persisted" mark.
+
+/// Logical-deletion / NM-flag bit.
+pub const DEL: u64 = 1;
+/// NM tag bit.
+pub const TAG: u64 = 2;
+/// BST leaf-pointer bit.
+pub const LEAF: u64 = 4;
+/// Link-and-Persist dirty mark (bit 63).
+pub const LP_MARK: u64 = 1 << 63;
+/// All metadata bits a pointer word may carry.
+pub const META: u64 = DEL | TAG | LEAF | LP_MARK;
+
+/// Largest key usable in the set structures (sentinels live above it).
+pub const MAX_KEY: u64 = (1 << 62) - 16;
+
+/// Strips every metadata bit, leaving the address.
+pub fn addr(word: u64) -> u64 {
+    word & !META
+}
+
+/// Strips only the Link-and-Persist mark (value words).
+pub fn val(word: u64) -> u64 {
+    word & !LP_MARK
+}
+
+/// Whether the deletion/flag bit is set.
+pub fn is_del(word: u64) -> bool {
+    word & DEL != 0
+}
+
+/// Whether the NM tag bit is set.
+pub fn is_tag(word: u64) -> bool {
+    word & TAG != 0
+}
+
+/// Whether the pointee is a BST leaf.
+pub fn is_leaf(word: u64) -> bool {
+    word & LEAF != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_compose() {
+        let p = 0x1_0040u64;
+        assert_eq!(addr(p | DEL | TAG | LEAF | LP_MARK), p);
+        assert!(is_del(p | DEL));
+        assert!(is_tag(p | TAG));
+        assert!(is_leaf(p | LEAF));
+        assert!(!is_del(p));
+        assert_eq!(val(p | LP_MARK), p);
+    }
+}

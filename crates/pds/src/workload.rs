@@ -1,0 +1,284 @@
+//! The §7.4 workload driver: prefilled concurrent-set benchmarks with a
+//! read/update mix, run on the simulated platform.
+//!
+//! One call to [`run_set_benchmark`] reproduces one bar of Figs. 14/15/16:
+//! it builds a system (Skip It hardware iff the optimization is
+//! [`OptKind::SkipIt`]), constructs and prefills the chosen structure,
+//! runs one workload thread per core for a cycle budget, and reports
+//! throughput.
+
+use crate::alloc::{FieldStride, SimAlloc};
+use crate::persist::{OptKind, PersistMode, PHandle};
+use crate::{Bst, ConcurrentSet, HarrisList, HashTable, SkipList};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipit_core::{CoreHandle, LineAddr, System, SystemBuilder, SystemStats};
+use std::sync::Arc;
+
+/// Simulated heap base for data-structure nodes.
+const HEAP_BASE: u64 = 0x1000_0000;
+/// Simulated heap size.
+const HEAP_SIZE: u64 = 1 << 28;
+/// Simulated base of the FliT hash-table counter region.
+pub const FLIT_TABLE_BASE: u64 = 0x0800_0000;
+
+/// Which of the four §7.4 structures to benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DsKind {
+    /// Harris linked list \[31\].
+    List,
+    /// Hash table \[23\].
+    Hash,
+    /// External BST \[53\].
+    Bst,
+    /// Skiplist \[23\].
+    SkipList,
+}
+
+impl DsKind {
+    /// All four structures, in the paper's Fig. 14 order.
+    pub const ALL: [DsKind; 4] = [DsKind::Bst, DsKind::Hash, DsKind::List, DsKind::SkipList];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DsKind::List => "list",
+            DsKind::Hash => "hash",
+            DsKind::Bst => "bst",
+            DsKind::SkipList => "skiplist",
+        }
+    }
+}
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadCfg {
+    /// Structure under test.
+    pub ds: DsKind,
+    /// Persistence discipline.
+    pub mode: PersistMode,
+    /// Flush-elimination strategy.
+    pub opt: OptKind,
+    /// Worker threads (= cores). The paper uses 2 (§7.4).
+    pub threads: usize,
+    /// Keys are drawn uniformly from `1..=key_range`.
+    pub key_range: u64,
+    /// Number of keys inserted before measurement (typically
+    /// `key_range / 2`).
+    pub prefill: u64,
+    /// Percentage of operations that are updates (half inserts, half
+    /// deletes); the rest are lookups.
+    pub update_pct: u32,
+    /// Measured-phase cycle budget.
+    pub budget_cycles: u64,
+    /// RNG seed (runs are reproducible per seed).
+    pub seed: u64,
+    /// Hash-table buckets (only for [`DsKind::Hash`]).
+    pub hash_buckets: usize,
+}
+
+impl Default for WorkloadCfg {
+    fn default() -> Self {
+        WorkloadCfg {
+            ds: DsKind::List,
+            mode: PersistMode::Automatic,
+            opt: OptKind::Plain,
+            threads: 2,
+            key_range: 1024,
+            prefill: 512,
+            update_pct: 5,
+            budget_cycles: 300_000,
+            seed: 42,
+            hash_buckets: 512,
+        }
+    }
+}
+
+/// Result of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Completed set operations across all threads.
+    pub ops: u64,
+    /// Measured-phase cycles.
+    pub cycles: u64,
+    /// System counters at the end of the run.
+    pub stats: SystemStats,
+}
+
+impl BenchResult {
+    /// Operations per million cycles (proportional to ops/s at a fixed
+    /// clock; the paper's Enzian platform runs at 50 MHz, §7.1).
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 * 1_000_000.0 / self.cycles.max(1) as f64
+    }
+
+    /// Throughput in operations per second at the paper's 50 MHz clock.
+    pub fn ops_per_sec_at_50mhz(&self) -> f64 {
+        self.ops as f64 * 50_000_000.0 / self.cycles.max(1) as f64
+    }
+}
+
+/// Functional (zero-simulated-time) word write used for pre-run setup.
+fn poke(sys: &mut System, addr: u64, value: u64) {
+    let line = LineAddr::containing(addr);
+    let mut data = sys.dram().read_direct(line);
+    data.set_word(LineAddr::word_index(addr), value);
+    sys.dram_mut().write_direct(line, data);
+}
+
+enum AnySet {
+    List(HarrisList),
+    Hash(HashTable),
+    Bst(Bst),
+    Skip(SkipList),
+}
+
+impl AnySet {
+    fn as_set(&self) -> &dyn ConcurrentSet {
+        match self {
+            AnySet::List(s) => s,
+            AnySet::Hash(s) => s,
+            AnySet::Bst(s) => s,
+            AnySet::Skip(s) => s,
+        }
+    }
+}
+
+/// Builds the system + structure for `cfg` (shared by benchmarks and
+/// tests). Returns the system, the structure and its allocator.
+fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
+    assert!(
+        cfg.opt.applicable_to(cfg.ds),
+        "{:?} is not applicable to {:?} (§7.4)",
+        cfg.opt,
+        cfg.ds
+    );
+    let mut sys = SystemBuilder::new()
+        .cores(cfg.threads)
+        .skip_it(cfg.opt.wants_skip_it_hardware())
+        .build();
+    let stride = if matches!(cfg.opt, OptKind::FlitAdjacent) {
+        FieldStride::WordPlusCounter
+    } else {
+        FieldStride::Word
+    };
+    let alloc = Arc::new(SimAlloc::new(HEAP_BASE, HEAP_SIZE, stride));
+    let ds = {
+        let mut w = |a, v| poke(&mut sys, a, v);
+        match cfg.ds {
+            DsKind::List => AnySet::List(HarrisList::new(Arc::clone(&alloc), &mut w)),
+            DsKind::Hash => AnySet::Hash(HashTable::new(
+                cfg.hash_buckets,
+                Arc::clone(&alloc),
+                &mut w,
+            )),
+            DsKind::Bst => AnySet::Bst(Bst::new(Arc::clone(&alloc), &mut w)),
+            DsKind::SkipList => AnySet::Skip(SkipList::new(Arc::clone(&alloc), &mut w)),
+        }
+    };
+    (sys, ds, alloc)
+}
+
+/// Runs one §7.4-style benchmark. See the [module docs](self).
+pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
+    let (mut sys, ds, _alloc) = build(cfg);
+
+    // Prefill on core 0 (setup is not measured). The prefill *is*
+    // persistent — under the Manual discipline with the measured
+    // elimination strategy — so measurement starts from a fully persisted
+    // structure, as the paper's runs do. (An unpersisted prefill would
+    // leave every line dirty in the hierarchy and charge the measured
+    // phase for cleaning it up.)
+    {
+        let set = ds.as_set();
+        let prefill_cfg = *cfg;
+        let opt = cfg.opt;
+        sys.run_threads(
+            vec![move |h: CoreHandle| {
+                let ph = PHandle::new(&h, PersistMode::Manual, opt);
+                let mut rng = StdRng::seed_from_u64(prefill_cfg.seed);
+                let mut inserted = 0;
+                while inserted < prefill_cfg.prefill {
+                    let k = rng.gen_range(1..=prefill_cfg.key_range);
+                    if set.insert(&ph, k) {
+                        inserted += 1;
+                    }
+                }
+            }],
+            None,
+        );
+    }
+
+    // Measured phase: one worker per core.
+    let set = ds.as_set();
+    let mode = cfg.mode;
+    let opt = cfg.opt;
+    let (cycles, ops): (u64, Vec<u64>) = {
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let seed = cfg.seed ^ (0x5851_F42D_4C95_7F2D * (tid as u64 + 1));
+                let key_range = cfg.key_range;
+                let update_pct = cfg.update_pct as u64;
+                move |h: CoreHandle| {
+                    let ph = PHandle::new(&h, mode, opt);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut ops = 0u64;
+                    while !ph.halted() {
+                        let k = rng.gen_range(1..=key_range);
+                        let dice = rng.gen_range(0..100u64);
+                        if dice < update_pct {
+                            // Updates split evenly between inserts and
+                            // deletes (§7.4).
+                            if dice % 2 == 0 {
+                                set.insert(&ph, k);
+                            } else {
+                                set.remove(&ph, k);
+                            }
+                        } else {
+                            set.contains(&ph, k);
+                        }
+                        ops += 1;
+                    }
+                    ops
+                }
+            })
+            .collect();
+        sys.run_threads(workers, Some(cfg.budget_cycles))
+    };
+    BenchResult {
+        ops: ops.iter().sum(),
+        cycles,
+        stats: sys.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_list_benchmark_runs() {
+        let cfg = WorkloadCfg {
+            ds: DsKind::List,
+            key_range: 64,
+            prefill: 16,
+            budget_cycles: 40_000,
+            ..WorkloadCfg::default()
+        };
+        let r = run_set_benchmark(&cfg);
+        assert!(r.ops > 0, "no operations completed");
+        assert!(r.cycles >= 40_000);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not applicable")]
+    fn lap_on_bst_rejected() {
+        let cfg = WorkloadCfg {
+            ds: DsKind::Bst,
+            opt: OptKind::LinkAndPersist,
+            ..WorkloadCfg::default()
+        };
+        run_set_benchmark(&cfg);
+    }
+}

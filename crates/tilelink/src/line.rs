@@ -1,0 +1,191 @@
+//! Cache-line addressing and data.
+//!
+//! All agents in the simulated SoC move data at cache-line granularity
+//! (64 bytes = eight 64-bit words), matching the SonicBOOM configuration the
+//! paper evaluates (32 KiB 8-way L1 with 64 B lines, §3.3).
+
+use std::fmt;
+
+/// Size of a cache line in bytes.
+pub const LINE_BYTES: usize = 64;
+
+/// Number of 64-bit words in a cache line.
+pub const WORDS_PER_LINE: usize = LINE_BYTES / 8;
+
+/// The address of a cache line: a byte address with the low
+/// `log2(LINE_BYTES)` bits forced to zero.
+///
+/// Using a newtype (rather than a bare `u64`) statically separates
+/// line-granular addresses — which the coherence protocol, the flush unit and
+/// the directory operate on — from word-granular addresses used by loads and
+/// stores.
+///
+/// # Example
+///
+/// ```
+/// use skipit_tilelink::LineAddr;
+///
+/// let a = LineAddr::containing(0x1238);
+/// assert_eq!(a.base(), 0x1200);
+/// assert_eq!(LineAddr::word_index(0x1238), 7);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Returns the line containing byte address `byte_addr`.
+    pub fn containing(byte_addr: u64) -> Self {
+        LineAddr(byte_addr & !(LINE_BYTES as u64 - 1))
+    }
+
+    /// Constructs a line address from an already-aligned base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 64-byte aligned.
+    pub fn new(base: u64) -> Self {
+        assert_eq!(
+            base % LINE_BYTES as u64,
+            0,
+            "line address {base:#x} is not {LINE_BYTES}-byte aligned"
+        );
+        LineAddr(base)
+    }
+
+    /// The byte address of the first byte of the line.
+    pub fn base(self) -> u64 {
+        self.0
+    }
+
+    /// Index of the 64-bit word within its line for byte address `byte_addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_addr` is not 8-byte aligned (the simulator operates on
+    /// whole words, like the paper's microbenchmarks).
+    pub fn word_index(byte_addr: u64) -> usize {
+        assert_eq!(byte_addr % 8, 0, "word address {byte_addr:#x} unaligned");
+        ((byte_addr % LINE_BYTES as u64) / 8) as usize
+    }
+
+    /// The line `n` lines after this one.
+    pub fn offset_lines(self, n: u64) -> Self {
+        LineAddr(self.0 + n * LINE_BYTES as u64)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The payload of one cache line: eight 64-bit words.
+///
+/// `LineData` is deliberately a small, copyable value — the simulator passes
+/// lines through TileLink channels, FSHR data buffers (§5.2) and the L2
+/// banked store by value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LineData(pub [u64; WORDS_PER_LINE]);
+
+impl LineData {
+    /// A line of all-zero words (the reset value of simulated DRAM).
+    pub fn zeroed() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= WORDS_PER_LINE`.
+    pub fn word(&self, idx: usize) -> u64 {
+        self.0[idx]
+    }
+
+    /// Writes the word at index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= WORDS_PER_LINE`.
+    pub fn set_word(&mut self, idx: usize, value: u64) {
+        self.0[idx] = value;
+    }
+}
+
+impl fmt::Debug for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineData[")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:#x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<[u64; WORDS_PER_LINE]> for LineData {
+    fn from(words: [u64; WORDS_PER_LINE]) -> Self {
+        LineData(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_masks_low_bits() {
+        assert_eq!(LineAddr::containing(0x0).base(), 0x0);
+        assert_eq!(LineAddr::containing(0x3f).base(), 0x0);
+        assert_eq!(LineAddr::containing(0x40).base(), 0x40);
+        assert_eq!(LineAddr::containing(0xdead_beef).base(), 0xdead_bec0);
+    }
+
+    #[test]
+    fn word_index_covers_line() {
+        for w in 0..WORDS_PER_LINE {
+            assert_eq!(LineAddr::word_index(0x1000 + 8 * w as u64), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn word_index_rejects_unaligned() {
+        LineAddr::word_index(0x1001);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 64-byte aligned")]
+    fn new_rejects_unaligned() {
+        LineAddr::new(0x1010);
+    }
+
+    #[test]
+    fn offset_lines_steps_by_line_size() {
+        let a = LineAddr::new(0x1000);
+        assert_eq!(a.offset_lines(3).base(), 0x10c0);
+    }
+
+    #[test]
+    fn line_data_roundtrip() {
+        let mut d = LineData::zeroed();
+        d.set_word(3, 42);
+        assert_eq!(d.word(3), 42);
+        assert_eq!(d.word(0), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", LineData::zeroed()).is_empty());
+        assert!(!format!("{:?}", LineAddr::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Latency- and bandwidth-modeled unidirectional channels.
+//!
+//! A [`Link`] is a FIFO whose entries become visible to the receiver only
+//! after a configurable wire latency, and which serializes multi-beat
+//! (data-bearing) messages: while one message's beats are on the wire, the
+//! next message cannot complete earlier. This reproduces the paper's timing
+//! observation that releasing a 64 B line over the 16 B system bus takes four
+//! cycles (§5.2).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Trait implemented by channel message types to report how many bus beats
+/// they occupy. Headers-only messages take one beat; a full line takes
+/// [`crate::LINE_BEATS`].
+pub trait Beats {
+    /// Number of cycles the message occupies the link.
+    fn beats(&self) -> u64;
+}
+
+impl Beats for crate::msg::ChannelA {
+    fn beats(&self) -> u64 {
+        1
+    }
+}
+
+impl Beats for crate::msg::ChannelB {
+    fn beats(&self) -> u64 {
+        1
+    }
+}
+
+impl Beats for crate::msg::ChannelC {
+    fn beats(&self) -> u64 {
+        if self.has_data() {
+            crate::LINE_BEATS
+        } else {
+            1
+        }
+    }
+}
+
+impl Beats for crate::msg::ChannelD {
+    fn beats(&self) -> u64 {
+        if self.has_data() {
+            crate::LINE_BEATS
+        } else {
+            1
+        }
+    }
+}
+
+impl Beats for crate::msg::ChannelE {
+    fn beats(&self) -> u64 {
+        1
+    }
+}
+
+/// A unidirectional, latency-stamped, bandwidth-limited FIFO channel.
+///
+/// Messages pushed at cycle `t` become poppable at
+/// `max(t + latency, previous message end + 1) + beats - 1`.
+///
+/// # Example
+///
+/// ```
+/// use skipit_tilelink::{Link, ChannelE, LineAddr};
+///
+/// let mut e: Link<ChannelE> = Link::new(1, 4);
+/// e.push(10, ChannelE::GrantAck { source: 0, addr: LineAddr::new(0) });
+/// assert!(e.pop(10).is_none());
+/// assert!(e.pop(11).is_some());
+/// ```
+#[derive(Debug)]
+pub struct Link<T> {
+    queue: VecDeque<(u64, T)>,
+    latency: u64,
+    capacity: usize,
+    next_free: u64,
+}
+
+impl<T: Beats + fmt::Debug> Link<T> {
+    /// Creates a link with the given wire `latency` (cycles) and buffering
+    /// `capacity` (messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(latency: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "link capacity must be nonzero");
+        Link {
+            queue: VecDeque::new(),
+            latency,
+            capacity,
+            next_free: 0,
+        }
+    }
+
+    /// Whether a message can be pushed this cycle.
+    pub fn can_push(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    /// Enqueues `msg` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is full — callers must check [`Link::can_push`]
+    /// first, mirroring hardware ready/valid handshakes.
+    pub fn push(&mut self, now: u64, msg: T) {
+        assert!(self.can_push(), "push on full link: {msg:?}");
+        let start = (now + self.latency).max(self.next_free);
+        let ready = start + msg.beats() - 1;
+        self.next_free = ready + 1;
+        self.queue.push_back((ready, msg));
+    }
+
+    /// Removes and returns the head message if it has fully arrived by `now`.
+    pub fn pop(&mut self, now: u64) -> Option<T> {
+        if self.queue.front().is_some_and(|&(ready, _)| ready <= now) {
+            self.queue.pop_front().map(|(_, m)| m)
+        } else {
+            None
+        }
+    }
+
+    /// Peeks at the head message if it has fully arrived by `now`.
+    pub fn peek(&self, now: u64) -> Option<&T> {
+        match self.queue.front() {
+            Some(&(ready, ref m)) if ready <= now => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Number of messages buffered (arrived or in flight).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over all buffered messages (in flight included), front first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter().map(|(_, m)| m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{ChannelC, ChannelE, WritebackKind};
+    use crate::{LineAddr, LineData, LINE_BEATS};
+
+    fn ack(n: u64) -> ChannelE {
+        ChannelE::GrantAck {
+            source: 0,
+            addr: LineAddr::new(n * 64),
+        }
+    }
+
+    #[test]
+    fn respects_latency() {
+        let mut l: Link<ChannelE> = Link::new(3, 8);
+        l.push(5, ack(0));
+        assert!(l.pop(7).is_none());
+        assert!(l.peek(8).is_some());
+        assert!(l.pop(8).is_some());
+        assert!(l.pop(9).is_none());
+    }
+
+    #[test]
+    fn preserves_fifo_order() {
+        let mut l: Link<ChannelE> = Link::new(1, 8);
+        l.push(0, ack(1));
+        l.push(0, ack(2));
+        assert_eq!(l.pop(100), Some(ack(1)));
+        assert_eq!(l.pop(100), Some(ack(2)));
+        assert!(l.pop(100).is_none());
+    }
+
+    #[test]
+    fn serializes_back_to_back_messages() {
+        let mut l: Link<ChannelE> = Link::new(1, 8);
+        l.push(0, ack(1)); // ready at 1
+        l.push(0, ack(2)); // cannot also be ready at 1; ready at 2
+        assert!(l.pop(1).is_some());
+        assert!(l.pop(1).is_none());
+        assert!(l.pop(2).is_some());
+    }
+
+    #[test]
+    fn data_messages_take_line_beats() {
+        let mut l: Link<ChannelC> = Link::new(0, 8);
+        let msg = ChannelC::RootRelease {
+            source: 0,
+            addr: LineAddr::new(0),
+            kind: WritebackKind::Flush,
+            data: Some(LineData::zeroed()),
+        };
+        l.push(0, msg);
+        // 4 beats starting at cycle 0 => ready at cycle 3.
+        assert!(l.pop(LINE_BEATS - 2).is_none());
+        assert!(l.pop(LINE_BEATS - 1).is_some());
+    }
+
+    #[test]
+    fn headerless_root_release_single_beat() {
+        let mut l: Link<ChannelC> = Link::new(0, 8);
+        let msg = ChannelC::RootRelease {
+            source: 0,
+            addr: LineAddr::new(0),
+            kind: WritebackKind::Clean,
+            data: None,
+        };
+        l.push(0, msg);
+        assert!(l.pop(0).is_some());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut l: Link<ChannelE> = Link::new(1, 2);
+        l.push(0, ack(0));
+        l.push(0, ack(1));
+        assert!(!l.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "push on full link")]
+    fn push_on_full_panics() {
+        let mut l: Link<ChannelE> = Link::new(1, 1);
+        l.push(0, ack(0));
+        l.push(0, ack(1));
+    }
+
+    #[test]
+    fn iter_sees_in_flight() {
+        let mut l: Link<ChannelE> = Link::new(10, 4);
+        l.push(0, ack(0));
+        assert_eq!(l.iter().count(), 1);
+        assert_eq!(l.len(), 1);
+        assert!(!l.is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! The five TileLink channel message types, including the paper's extensions.
+//!
+//! Channels and their roles (§2.2, Fig. 1):
+//!
+//! * **A** (client → manager): `Acquire` — ask for a copy / more permission.
+//! * **B** (manager → client): `Probe` — modify or revoke a client's
+//!   permission.
+//! * **C** (client → manager): `ProbeAck[Data]`, `Release[Data]`, and the
+//!   paper's `RootRelease{Flush,Clean}[Data]` (§5.1).
+//! * **D** (manager → client): `Grant[Data]` (with the Skip It
+//!   `GrantDataDirty` flavour, §6), `ReleaseAck` (with the `ROOT` parameter
+//!   for `RootReleaseAck`).
+//! * **E** (client → manager): `GrantAck`.
+
+use crate::line::{LineAddr, LineData};
+use crate::perm::{Cap, Grow, Shrink};
+use std::fmt;
+
+/// Identifies a client agent (an L1 cache / core index) on a link.
+pub type AgentId = usize;
+
+/// The cache-block operations of the RISC-V CMO extension (§2.6). The
+/// paper implements `CBO.CLEAN` and `CBO.FLUSH`; this reproduction also
+/// carries the extension's third operation, `CBO.INVAL`, through the same
+/// machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WritebackKind {
+    /// `CBO.CLEAN`: non-invalidating writeback — dirty data reaches memory,
+    /// copies stay valid.
+    Clean,
+    /// `CBO.FLUSH`: invalidating writeback — dirty data reaches memory and
+    /// every cached copy is invalidated.
+    Flush,
+    /// `CBO.INVAL`: invalidate every cached copy *without* writing dirty
+    /// data back — memory may be left stale (the CMO spec's discard
+    /// semantics).
+    Inval,
+}
+
+impl WritebackKind {
+    /// Whether this operation invalidates cached copies.
+    pub fn invalidates(self) -> bool {
+        matches!(self, WritebackKind::Flush | WritebackKind::Inval)
+    }
+
+    /// Whether dirty data travels to memory (false for the discarding
+    /// `CBO.INVAL`).
+    pub fn writes_back(self) -> bool {
+        !matches!(self, WritebackKind::Inval)
+    }
+}
+
+impl fmt::Display for WritebackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WritebackKind::Clean => "CBO.CLEAN",
+            WritebackKind::Flush => "CBO.FLUSH",
+            WritebackKind::Inval => "CBO.INVAL",
+        })
+    }
+}
+
+/// The flavour of a data-bearing grant (channel D).
+///
+/// `GrantDataDirty` is the paper's new TL-D message (§6): functionally
+/// identical to `GrantData`, but it tells the receiving L1 that the line is
+/// *not persisted* (dirty somewhere above), so the L1 must leave its skip bit
+/// unset. `GrantData` signals the line is persisted, so the skip bit is set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GrantFlavor {
+    /// The line is persisted in main memory (L2 holds it clean).
+    Clean,
+    /// The line is dirty in the L2 — it is not persisted (`GrantDataDirty`).
+    Dirty,
+}
+
+/// Channel A: client requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelA {
+    /// Obtain a copy of (or more permission to) a cache line.
+    AcquireBlock {
+        /// Requesting client.
+        source: AgentId,
+        /// The line being acquired.
+        addr: LineAddr,
+        /// Requested permission growth.
+        grow: Grow,
+    },
+}
+
+impl ChannelA {
+    /// The line this message concerns.
+    pub fn addr(&self) -> LineAddr {
+        match *self {
+            ChannelA::AcquireBlock { addr, .. } => addr,
+        }
+    }
+}
+
+/// Channel B: manager-initiated probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelB {
+    /// Downgrade the client's permission on `addr` to at most `cap`.
+    Probe {
+        /// Probed client.
+        target: AgentId,
+        /// The probed line.
+        addr: LineAddr,
+        /// New permission ceiling.
+        cap: Cap,
+    },
+}
+
+impl ChannelB {
+    /// The line this message concerns.
+    pub fn addr(&self) -> LineAddr {
+        match *self {
+            ChannelB::Probe { addr, .. } => addr,
+        }
+    }
+}
+
+/// Channel C: client responses and voluntary releases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelC {
+    /// Response to a `Probe`; carries dirty data when the client held the
+    /// line modified.
+    ProbeAck {
+        /// Responding client.
+        source: AgentId,
+        /// The probed line.
+        addr: LineAddr,
+        /// Permission transition performed.
+        shrink: Shrink,
+        /// Dirty data being written upward, if any.
+        data: Option<LineData>,
+    },
+    /// Voluntary downgrade (e.g. an L1 eviction through the writeback unit).
+    Release {
+        /// Releasing client.
+        source: AgentId,
+        /// The released line.
+        addr: LineAddr,
+        /// Permission transition performed.
+        shrink: Shrink,
+        /// Dirty data being written upward, if any.
+        data: Option<LineData>,
+    },
+    /// The paper's `RootReleaseFlush` / `RootReleaseClean` (§5.1): a request
+    /// from an L1 flush unit that `addr` be written back all the way to main
+    /// memory. On silicon this is encoded as `ProbeAck` with parameter
+    /// `FLUSH` / `CLEAN`.
+    ///
+    /// Sent even on an L1 miss — the line may still be dirty in other cores
+    /// or in higher cache levels (§5.2).
+    RootRelease {
+        /// Requesting client.
+        source: AgentId,
+        /// The line to write back to memory.
+        addr: LineAddr,
+        /// Flush (invalidating) or clean (non-invalidating).
+        kind: WritebackKind,
+        /// Dirty data from the requesting L1, if it held the line modified.
+        data: Option<LineData>,
+    },
+}
+
+impl ChannelC {
+    /// The line this message concerns.
+    pub fn addr(&self) -> LineAddr {
+        match *self {
+            ChannelC::ProbeAck { addr, .. }
+            | ChannelC::Release { addr, .. }
+            | ChannelC::RootRelease { addr, .. } => addr,
+        }
+    }
+
+    /// The sending client.
+    pub fn source(&self) -> AgentId {
+        match *self {
+            ChannelC::ProbeAck { source, .. }
+            | ChannelC::Release { source, .. }
+            | ChannelC::RootRelease { source, .. } => source,
+        }
+    }
+
+    /// Whether the message carries a data payload (affects beat count).
+    pub fn has_data(&self) -> bool {
+        match *self {
+            ChannelC::ProbeAck { data, .. }
+            | ChannelC::Release { data, .. }
+            | ChannelC::RootRelease { data, .. } => data.is_some(),
+        }
+    }
+}
+
+/// Channel D: manager responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelD {
+    /// Grant of permission (and usually data) in response to an `Acquire`.
+    Grant {
+        /// Receiving client.
+        target: AgentId,
+        /// The granted line.
+        addr: LineAddr,
+        /// `true` grants Trunk (write) permission, `false` grants Branch.
+        is_trunk: bool,
+        /// The line contents.
+        data: LineData,
+        /// `GrantData` vs `GrantDataDirty` (§6): persistence status of the
+        /// line as known by the L2, used to maintain the L1 skip bit.
+        flavor: GrantFlavor,
+    },
+    /// Acknowledges a `Release` — or, with `root == true`, a `RootRelease`
+    /// (the paper's `RootReleaseAck`, encoded as `ReleaseAck` with parameter
+    /// `ROOT`, §5.1).
+    ReleaseAck {
+        /// Receiving client.
+        target: AgentId,
+        /// The released line.
+        addr: LineAddr,
+        /// Whether this acknowledges a `RootRelease` (writeback reached main
+        /// memory) rather than an ordinary `Release`.
+        root: bool,
+    },
+}
+
+impl ChannelD {
+    /// The line this message concerns.
+    pub fn addr(&self) -> LineAddr {
+        match *self {
+            ChannelD::Grant { addr, .. } | ChannelD::ReleaseAck { addr, .. } => addr,
+        }
+    }
+
+    /// The receiving client.
+    pub fn target(&self) -> AgentId {
+        match *self {
+            ChannelD::Grant { target, .. } | ChannelD::ReleaseAck { target, .. } => target,
+        }
+    }
+
+    /// Whether the message carries a data payload (affects beat count).
+    pub fn has_data(&self) -> bool {
+        matches!(self, ChannelD::Grant { .. })
+    }
+}
+
+/// Channel E: final acknowledgement of a grant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelE {
+    /// Client acknowledges reception of a `Grant`, completing the Acquire
+    /// transaction (Fig. 1).
+    GrantAck {
+        /// Acknowledging client.
+        source: AgentId,
+        /// The granted line.
+        addr: LineAddr,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writeback_kind_invalidates() {
+        assert!(WritebackKind::Flush.invalidates());
+        assert!(!WritebackKind::Clean.invalidates());
+        assert_eq!(WritebackKind::Clean.to_string(), "CBO.CLEAN");
+    }
+
+    #[test]
+    fn channel_c_accessors() {
+        let a = LineAddr::new(0x1000);
+        let m = ChannelC::RootRelease {
+            source: 3,
+            addr: a,
+            kind: WritebackKind::Flush,
+            data: Some(LineData::zeroed()),
+        };
+        assert_eq!(m.addr(), a);
+        assert_eq!(m.source(), 3);
+        assert!(m.has_data());
+
+        let r = ChannelC::Release {
+            source: 1,
+            addr: a,
+            shrink: Shrink::TtoN,
+            data: None,
+        };
+        assert!(!r.has_data());
+    }
+
+    #[test]
+    fn channel_d_accessors() {
+        let a = LineAddr::new(0x40);
+        let g = ChannelD::Grant {
+            target: 2,
+            addr: a,
+            is_trunk: true,
+            data: LineData::zeroed(),
+            flavor: GrantFlavor::Dirty,
+        };
+        assert_eq!(g.target(), 2);
+        assert!(g.has_data());
+        let ack = ChannelD::ReleaseAck {
+            target: 2,
+            addr: a,
+            root: true,
+        };
+        assert!(!ack.has_data());
+        assert_eq!(ack.addr(), a);
+    }
+}

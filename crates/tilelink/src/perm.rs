@@ -1,0 +1,206 @@
+//! The TileLink permissions lattice and client-side coherence states.
+//!
+//! TileLink names client permissions *None* < *Branch* (read-only, possibly
+//! shared) < *Trunk* (read/write, exclusive). Combined with the dirty bit the
+//! client-visible states are exactly MESI (§2.2): `Invalid`, `Shared`
+//! (Branch), `Exclusive` (clean Trunk) and `Modified` (dirty Trunk).
+
+use std::fmt;
+
+/// The coherence state of a line in an L1 cache — MESI (§2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum ClientState {
+    /// The line is not present.
+    #[default]
+    Invalid,
+    /// Read permission; other caches may hold copies (TileLink *Branch*).
+    Shared,
+    /// Read/write permission, no other copies, data clean (*Trunk*, clean).
+    Exclusive,
+    /// Read/write permission, no other copies, data dirty (*Trunk*, dirty).
+    Modified,
+}
+
+impl ClientState {
+    /// Whether loads can be served locally from this state.
+    pub fn can_read(self) -> bool {
+        self != ClientState::Invalid
+    }
+
+    /// Whether stores can be performed locally from this state.
+    pub fn can_write(self) -> bool {
+        matches!(self, ClientState::Exclusive | ClientState::Modified)
+    }
+
+    /// Whether this state holds data the memory system does not (dirty).
+    pub fn is_dirty(self) -> bool {
+        self == ClientState::Modified
+    }
+
+    /// The state after being probed down to capability `cap`.
+    ///
+    /// Returns the new state; whether dirty data must travel with the
+    /// `ProbeAck` is decided by [`ClientState::is_dirty`] on the *old* state.
+    pub fn probed_to(self, cap: Cap) -> ClientState {
+        match cap {
+            Cap::ToN => ClientState::Invalid,
+            Cap::ToB => match self {
+                ClientState::Invalid => ClientState::Invalid,
+                _ => ClientState::Shared,
+            },
+            Cap::ToT => self,
+        }
+    }
+}
+
+impl fmt::Display for ClientState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClientState::Invalid => "I",
+            ClientState::Shared => "S",
+            ClientState::Exclusive => "E",
+            ClientState::Modified => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Permission growth requested by an `Acquire` on channel A.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Grow {
+    /// None → Branch: acquire read permission (a load miss).
+    NtoB,
+    /// None → Trunk: acquire write permission with data (a store miss).
+    NtoT,
+    /// Branch → Trunk: upgrade to write permission.
+    ///
+    /// The paper notes (§3.3) the SonicBOOM D-cache does not support
+    /// `AcquirePerm`; like the hardware, our L1 issues `BtoT` as a full
+    /// `AcquireBlock`, re-fetching data.
+    BtoT,
+}
+
+impl Grow {
+    /// Whether the grant must carry write (Trunk) permission.
+    pub fn wants_write(self) -> bool {
+        matches!(self, Grow::NtoT | Grow::BtoT)
+    }
+}
+
+/// Capability ceiling demanded by a `Probe` on channel B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cap {
+    /// Downgrade to None (invalidate).
+    ToN,
+    /// Downgrade to Branch (keep a read-only copy).
+    ToB,
+    /// Keep Trunk (report-only probe).
+    ToT,
+}
+
+/// Permission shrinkage reported by `ProbeAck` / `Release` on channel C.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Shrink {
+    /// Trunk → Branch.
+    TtoB,
+    /// Trunk → None.
+    TtoN,
+    /// Branch → None.
+    BtoN,
+    /// Report: had Trunk, kept Trunk (no change).
+    TtoT,
+    /// Report: had Branch, kept Branch.
+    BtoB,
+    /// Report: had nothing.
+    NtoN,
+}
+
+impl Shrink {
+    /// Computes the shrink parameter for a transition `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition grows permissions — a protocol violation.
+    pub fn from_transition(from: ClientState, to: ClientState) -> Shrink {
+        use ClientState::*;
+        match (from, to) {
+            (Exclusive | Modified, Shared) => Shrink::TtoB,
+            (Exclusive | Modified, Invalid) => Shrink::TtoN,
+            (Shared, Invalid) => Shrink::BtoN,
+            (Exclusive | Modified, Exclusive | Modified) => Shrink::TtoT,
+            (Shared, Shared) => Shrink::BtoB,
+            (Invalid, Invalid) => Shrink::NtoN,
+            (from, to) => panic!("illegal permission growth in shrink: {from:?} -> {to:?}"),
+        }
+    }
+
+    /// Whether the sender retained any permission after this shrink.
+    pub fn keeps_copy(self) -> bool {
+        matches!(self, Shrink::TtoB | Shrink::TtoT | Shrink::BtoB)
+    }
+
+    /// Whether the sender retained write permission.
+    pub fn keeps_trunk(self) -> bool {
+        self == Shrink::TtoT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ClientState::*;
+
+    #[test]
+    fn mesi_read_write_dirty() {
+        assert!(!Invalid.can_read());
+        assert!(Shared.can_read() && !Shared.can_write());
+        assert!(Exclusive.can_write() && !Exclusive.is_dirty());
+        assert!(Modified.can_write() && Modified.is_dirty());
+    }
+
+    #[test]
+    fn probe_to_n_invalidates_everything() {
+        for s in [Invalid, Shared, Exclusive, Modified] {
+            assert_eq!(s.probed_to(Cap::ToN), Invalid);
+        }
+    }
+
+    #[test]
+    fn probe_to_b_downgrades_trunk() {
+        assert_eq!(Modified.probed_to(Cap::ToB), Shared);
+        assert_eq!(Exclusive.probed_to(Cap::ToB), Shared);
+        assert_eq!(Shared.probed_to(Cap::ToB), Shared);
+        assert_eq!(Invalid.probed_to(Cap::ToB), Invalid);
+    }
+
+    #[test]
+    fn probe_to_t_is_report_only() {
+        for s in [Invalid, Shared, Exclusive, Modified] {
+            assert_eq!(s.probed_to(Cap::ToT), s);
+        }
+    }
+
+    #[test]
+    fn shrink_transitions() {
+        assert_eq!(Shrink::from_transition(Modified, Invalid), Shrink::TtoN);
+        assert_eq!(Shrink::from_transition(Exclusive, Shared), Shrink::TtoB);
+        assert_eq!(Shrink::from_transition(Shared, Invalid), Shrink::BtoN);
+        assert_eq!(Shrink::from_transition(Invalid, Invalid), Shrink::NtoN);
+        assert!(Shrink::TtoB.keeps_copy());
+        assert!(!Shrink::TtoN.keeps_copy());
+        assert!(Shrink::TtoT.keeps_trunk());
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal permission growth")]
+    fn shrink_rejects_growth() {
+        let _ = Shrink::from_transition(Shared, Modified);
+    }
+
+    #[test]
+    fn grow_wants_write() {
+        assert!(!Grow::NtoB.wants_write());
+        assert!(Grow::NtoT.wants_write());
+        assert!(Grow::BtoT.wants_write());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the [`Link`] timing model: FIFO order, latency
+//! lower bounds, and beat-accurate serialization hold for arbitrary
+//! push/pop schedules.
+
+use proptest::prelude::*;
+use skipit_tilelink::{ChannelC, Link, LineAddr, LineData, WritebackKind, LINE_BEATS};
+
+fn msg(n: u64, with_data: bool) -> ChannelC {
+    ChannelC::RootRelease {
+        source: 0,
+        addr: LineAddr::new(n * 64),
+        kind: WritebackKind::Clean,
+        data: with_data.then(LineData::zeroed),
+    }
+}
+
+proptest! {
+    /// Messages always pop in push order, never earlier than
+    /// `push_time + latency + beats - 1`, and no two messages complete in
+    /// the same cycle (the bus carries one beat per cycle).
+    #[test]
+    fn fifo_latency_and_serialization(
+        latency in 0u64..5,
+        gaps in prop::collection::vec(0u64..6, 1..20),
+        data_flags in prop::collection::vec(any::<bool>(), 20),
+    ) {
+        let mut link: Link<ChannelC> = Link::new(latency, 64);
+        let mut now = 0;
+        let mut pushes = Vec::new();
+        for (i, gap) in gaps.iter().enumerate() {
+            now += gap;
+            let with_data = data_flags[i % data_flags.len()];
+            link.push(now, msg(i as u64, with_data));
+            pushes.push((now, i as u64, with_data));
+        }
+        // Drain cycle by cycle; at most one arrival per cycle.
+        let mut t = 0;
+        let mut popped = Vec::new();
+        let mut last_arrival = None;
+        while popped.len() < pushes.len() {
+            prop_assert!(t < 10_000, "drain did not terminate");
+            if let Some(m) = link.pop(t) {
+                let ChannelC::RootRelease { addr, .. } = m else { unreachable!() };
+                popped.push((t, addr.base() / 64));
+                prop_assert_ne!(Some(t), last_arrival, "two arrivals in one cycle");
+                last_arrival = Some(t);
+            }
+            t += 1;
+        }
+        // FIFO order and latency bounds.
+        for (k, &(arrived, id)) in popped.iter().enumerate() {
+            let (pushed, pid, with_data) = pushes[k];
+            prop_assert_eq!(id, pid, "out of order");
+            let beats = if with_data { LINE_BEATS } else { 1 };
+            prop_assert!(
+                arrived >= pushed + latency + beats - 1,
+                "msg {pid} arrived at {arrived}, pushed {pushed}, latency \
+                 {latency}, beats {beats}"
+            );
+        }
+    }
+
+    /// `len`/`is_empty`/`can_push` agree with the number of buffered
+    /// messages under any schedule.
+    #[test]
+    fn occupancy_accounting(ops in prop::collection::vec(any::<bool>(), 1..60)) {
+        let cap = 8;
+        let mut link: Link<ChannelC> = Link::new(1, cap);
+        let mut expected = 0usize;
+        let mut now = 0;
+        let mut pushed = 0u64;
+        for push in ops {
+            now += 1;
+            if push && link.can_push() {
+                link.push(now, msg(pushed, false));
+                pushed += 1;
+                expected += 1;
+            } else if !push && link.pop(now + 100).is_some() {
+                // (popping far in the future makes anything buffered ready —
+                // but pop uses the given clock only for readiness, so use a
+                // fresh query below instead.)
+                expected -= 1;
+            }
+            prop_assert_eq!(link.len(), expected);
+            prop_assert_eq!(link.is_empty(), expected == 0);
+            prop_assert_eq!(link.can_push(), expected < cap);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the *Skip It: Take Control of Your Cache!* (ASPLOS
+//! 2024) reproduction.
+//!
+//! Re-exports the public API of the core library ([`skipit_core`]) and the
+//! persistent data structures ([`skipit_pds`]); hosts the workspace-wide
+//! integration tests (`tests/`) and the runnable examples (`examples/`).
+//!
+//! Start with the [`skipit_core`] crate docs, the repository README, and
+//! `examples/quickstart.rs`.
+
+pub use skipit_core as core;
+pub use skipit_pds as pds;
+
+pub use skipit_core::{
+    paper_platform, CoreHandle, Op, System, SystemBuilder, SystemConfig, SystemStats,
+};
+pub use skipit_pds::{
+    run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistMode, WorkloadCfg,
+};

@@ -1,0 +1,63 @@
+//! Cross-core atomicity stress: CAS/fetch-add counters must never lose
+//! updates; two-core message passing must respect coherence.
+
+use skipit::core::{CoreHandle, SystemBuilder};
+
+#[test]
+fn cas_increments_are_never_lost() {
+    let mut sys = SystemBuilder::new().cores(2).build();
+    let n = 200u64;
+    let worker = move |h: CoreHandle| {
+        for _ in 0..n {
+            loop {
+                let cur = h.load(0x100);
+                if h.cas(0x100, cur, cur + 1) == cur {
+                    break;
+                }
+            }
+        }
+    };
+    sys.run_threads(vec![worker, worker], None);
+    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x100)], None);
+    assert_eq!(v[0], 2 * n);
+}
+
+#[test]
+fn fetch_add_is_atomic_across_cores() {
+    let mut sys = SystemBuilder::new().cores(2).build();
+    let n = 300u64;
+    let worker = move |h: CoreHandle| {
+        for _ in 0..n {
+            h.fetch_add(0x200, 1);
+        }
+    };
+    sys.run_threads(vec![worker, worker], None);
+    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
+    assert_eq!(v[0], 2 * n);
+}
+
+#[test]
+fn store_then_load_other_core_sees_value() {
+    let mut sys = SystemBuilder::new().cores(2).build();
+    for round in 0..50u64 {
+        let (_, v) = sys.run_threads(
+            vec![
+                Box::new(move |h: CoreHandle| {
+                    h.store(0x300, round + 1);
+                    0u64
+                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                Box::new(move |h: CoreHandle| {
+                    // Spin until we see this round's value.
+                    loop {
+                        let v = h.load(0x300);
+                        if v == round + 1 {
+                            return v;
+                        }
+                    }
+                }),
+            ],
+            None,
+        );
+        assert_eq!(v[1], round + 1);
+    }
+}

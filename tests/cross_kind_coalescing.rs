@@ -1,0 +1,86 @@
+//! The §5.3 future-work extension: coalescing of *different* CBO.X kinds.
+//!
+//! Semantics under test:
+//! * an arriving `CBO.FLUSH` upgrades a queued `CBO.CLEAN` in place — the
+//!   line ends up invalidated everywhere and durable;
+//! * an arriving `CBO.CLEAN` is absorbed by a queued `CBO.FLUSH`;
+//! * either way only one `RootRelease` reaches the L2;
+//! * with the switch off (the paper's hardware), both requests execute.
+
+use skipit::core::{ClientState, Op, SystemBuilder};
+
+fn run_pair(first_clean: bool, cross_kind: bool) -> (skipit::core::SystemStats, ClientState) {
+    let mut sys = SystemBuilder::new()
+        .cores(1)
+        .cross_kind_coalescing(cross_kind)
+        .build();
+    // Make the flush unit busy enough that the second request arrives while
+    // the first is still queued: saturate the FSHRs with other lines first.
+    let mut prog: Vec<Op> = (0..24u64)
+        .map(|i| Op::Store {
+            addr: 0x8_0000 + i * 64,
+            value: i,
+        })
+        .collect();
+    prog.push(Op::Store {
+        addr: 0x9_0000,
+        value: 7,
+    });
+    for i in 0..24u64 {
+        prog.push(Op::Flush {
+            addr: 0x8_0000 + i * 64,
+        });
+    }
+    let (a, b) = if first_clean {
+        (Op::Clean { addr: 0x9_0000 }, Op::Flush { addr: 0x9_0000 })
+    } else {
+        (Op::Flush { addr: 0x9_0000 }, Op::Clean { addr: 0x9_0000 })
+    };
+    prog.push(a);
+    prog.push(b);
+    prog.push(Op::Fence);
+    sys.run_programs(vec![prog]);
+    assert_eq!(sys.dram().read_word_direct(0x9_0000), 7, "must be durable");
+    let state = sys.l1(0).peek_state(0x9_0000);
+    (sys.stats(), state)
+}
+
+#[test]
+fn flush_upgrades_queued_clean() {
+    let (stats, state) = run_pair(true, true);
+    assert_eq!(stats.l1[0].writebacks_coalesced, 1, "flush must coalesce");
+    assert_eq!(
+        state,
+        ClientState::Invalid,
+        "the upgraded entry must behave as a flush (invalidate)"
+    );
+}
+
+#[test]
+fn clean_absorbed_by_queued_flush() {
+    let (stats, state) = run_pair(false, true);
+    assert_eq!(stats.l1[0].writebacks_coalesced, 1, "clean must coalesce");
+    assert_eq!(state, ClientState::Invalid);
+}
+
+#[test]
+fn paper_hardware_does_not_cross_coalesce() {
+    let (stats, _) = run_pair(true, false);
+    assert_eq!(
+        stats.l1[0].writebacks_coalesced, 0,
+        "baseline §5.3 semantics: different kinds never merge"
+    );
+    // Both requests executed: 24 background + 2 to the target line.
+    assert_eq!(stats.l1[0].writebacks_enqueued, 26);
+}
+
+#[test]
+fn cross_kind_saves_a_root_release() {
+    let (with, _) = run_pair(true, true);
+    let (without, _) = run_pair(true, false);
+    assert_eq!(
+        without.l1[0].root_releases_sent - with.l1[0].root_releases_sent,
+        1,
+        "cross-kind coalescing must eliminate exactly one L2 trip here"
+    );
+}

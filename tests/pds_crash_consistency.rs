@@ -1,0 +1,212 @@
+//! End-to-end crash consistency of the persistent data structures: every
+//! operation that returned under [`PersistMode::Manual`] (or stronger) must
+//! be recoverable from the DRAM image alone after a power failure — the
+//! §2.5/§4 guarantee the whole flush-unit design exists to provide.
+//!
+//! Recovery walks the persisted image directly (no caches exist anymore),
+//! exactly like an NVMM recovery procedure would.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipit::core::{CoreHandle, Dram, LineAddr, System, SystemBuilder};
+use skipit::pds::alloc::{FieldStride, SimAlloc};
+use skipit::pds::ptr;
+use skipit::pds::{ConcurrentSet, HarrisList, OptKind, PHandle, PersistMode};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const HEAP: u64 = 0x1000_0000;
+const TAIL_KEY: u64 = 1 << 62;
+
+fn poke(sys: &mut System, addr: u64, value: u64) {
+    let line = LineAddr::containing(addr);
+    let mut d = sys.dram().read_direct(line);
+    d.set_word(LineAddr::word_index(addr), value);
+    sys.dram_mut().write_direct(line, d);
+}
+
+/// Walks a persisted Harris list image, returning unmarked keys.
+fn recover_list(dram: &Dram, head: u64) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    let mut node = ptr::addr(dram.read_word_direct(head + 8));
+    let mut hops = 0;
+    while node != 0 {
+        hops += 1;
+        assert!(hops < 100_000, "cycle in persisted list image");
+        let key = ptr::val(dram.read_word_direct(node));
+        if key >= TAIL_KEY {
+            break;
+        }
+        let next = dram.read_word_direct(node + 8);
+        if !ptr::is_del(next) {
+            out.insert(key);
+        }
+        node = ptr::addr(next);
+    }
+    out
+}
+
+fn run_crash_trial(mode: PersistMode, opt: OptKind, skip_hw: bool, seed: u64) {
+    let mut sys = SystemBuilder::new().cores(2).skip_it(skip_hw).build();
+    let alloc = Arc::new(SimAlloc::new(HEAP, 1 << 26, FieldStride::Word));
+    let list = {
+        let mut w = |a, v| poke(&mut sys, a, v);
+        HarrisList::new(Arc::clone(&alloc), &mut w)
+    };
+    let head = list.head_addr();
+    let lref = &list;
+
+    // Two threads mutate; every op that RETURNED is durable under Manual+
+    // (each update ends with a persisted CAS + fence).
+    let worker = |tid: u64| {
+        move |h: CoreHandle| {
+            let ph = PHandle::new(&h, mode, opt);
+            let mut rng = StdRng::seed_from_u64(seed * 1000 + tid);
+            let mut acc: Vec<(u64, bool, bool)> = Vec::new(); // (key, was_insert, succeeded)
+            for _ in 0..40 {
+                let k = rng.gen_range(1..48u64);
+                if rng.gen_bool(0.6) {
+                    let ok = lref.insert(&ph, k);
+                    acc.push((k, true, ok));
+                } else {
+                    let ok = lref.remove(&ph, k);
+                    acc.push((k, false, ok));
+                }
+            }
+            acc
+        }
+    };
+    let (_, logs) = sys.run_threads(vec![worker(0), worker(1)], None);
+
+    // Reconstruct the expected final set from the interleaved logs: since
+    // both threads' ops are linearizable and completed, the final set is
+    // determined by counting successful inserts/removes per key.
+    let mut expected = BTreeSet::new();
+    // Per-key net effect: successful ops alternate present/absent; the
+    // final state of key k is "present" iff (#successful inserts(k) -
+    // #successful removes(k)) == 1, and that difference is always 0 or 1.
+    for k in 1..48u64 {
+        let ins: i64 = logs
+            .iter()
+            .flatten()
+            .filter(|&&(key, is_ins, ok)| key == k && is_ins && ok)
+            .count() as i64;
+        let rem: i64 = logs
+            .iter()
+            .flatten()
+            .filter(|&&(key, is_ins, ok)| key == k && !is_ins && ok)
+            .count() as i64;
+        assert!(
+            (0..=1).contains(&(ins - rem)),
+            "key {k}: {ins} inserts vs {rem} removes is not linearizable"
+        );
+        if ins - rem == 1 {
+            expected.insert(k);
+        }
+    }
+
+    // Power failure.
+    let dram = sys.crash();
+    let recovered = recover_list(&dram, head);
+    assert_eq!(
+        recovered, expected,
+        "mode {mode:?} opt {opt:?}: recovered set diverges from committed ops"
+    );
+}
+
+#[test]
+fn manual_plain_list_survives_crash() {
+    for seed in 0..4 {
+        run_crash_trial(PersistMode::Manual, OptKind::Plain, false, seed);
+    }
+}
+
+#[test]
+fn manual_skipit_list_survives_crash() {
+    for seed in 0..4 {
+        run_crash_trial(PersistMode::Manual, OptKind::SkipIt, true, seed);
+    }
+}
+
+#[test]
+fn automatic_flit_adjacent_list_survives_crash() {
+    // FliT-adjacent changes the node layout; use a matching walker stride.
+    // (Automatic mode persists at least as much as Manual, so the Manual
+    // walker guarantees still hold — but the 16-byte stride walker is
+    // needed.)
+    let mut sys = SystemBuilder::new().cores(2).build();
+    let alloc = Arc::new(SimAlloc::new(HEAP, 1 << 26, FieldStride::WordPlusCounter));
+    let list = {
+        let mut w = |a, v| poke(&mut sys, a, v);
+        HarrisList::new(Arc::clone(&alloc), &mut w)
+    };
+    let head = list.head_addr();
+    let lref = &list;
+    let (_, committed) = sys.run_threads(
+        vec![move |h: CoreHandle| {
+            let ph = PHandle::new(&h, PersistMode::Automatic, OptKind::FlitAdjacent);
+            let mut done = Vec::new();
+            for k in [5u64, 9, 2, 30, 17] {
+                assert!(lref.insert(&ph, k));
+                done.push(k);
+            }
+            done
+        }],
+        None,
+    );
+    let dram = sys.crash();
+    // Walk with 16-byte field stride.
+    let mut found = BTreeSet::new();
+    let mut node = ptr::addr(dram.read_word_direct(head + 16));
+    while node != 0 {
+        let key = ptr::val(dram.read_word_direct(node));
+        if key >= TAIL_KEY {
+            break;
+        }
+        let next = dram.read_word_direct(node + 16);
+        if !ptr::is_del(next) {
+            found.insert(key);
+        }
+        node = ptr::addr(next);
+    }
+    for k in &committed[0] {
+        assert!(found.contains(k), "committed key {k} lost in crash");
+    }
+}
+
+#[test]
+fn nvtraverse_lap_list_survives_crash() {
+    for seed in 10..13 {
+        run_crash_trial(PersistMode::NvTraverse, OptKind::LinkAndPersist, false, seed);
+    }
+}
+
+/// Negative control: with PersistMode::None nothing is written back, so a
+/// crash must lose (at least some of) the structure — proving the tests
+/// above measure real persistence work.
+#[test]
+fn non_persistent_list_loses_data_on_crash() {
+    let mut sys = SystemBuilder::new().cores(1).build();
+    let alloc = Arc::new(SimAlloc::new(HEAP, 1 << 26, FieldStride::Word));
+    let list = {
+        let mut w = |a, v| poke(&mut sys, a, v);
+        HarrisList::new(Arc::clone(&alloc), &mut w)
+    };
+    let head = list.head_addr();
+    let lref = &list;
+    sys.run_threads(
+        vec![move |h: CoreHandle| {
+            let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
+            for k in 1..20u64 {
+                lref.insert(&ph, k);
+            }
+        }],
+        None,
+    );
+    let dram = sys.crash();
+    let recovered = recover_list(&dram, head);
+    assert!(
+        recovered.len() < 19,
+        "un-persisted inserts must not all survive a crash (got {recovered:?})"
+    );
+}

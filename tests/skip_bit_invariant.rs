@@ -1,0 +1,134 @@
+//! The §6.2 correctness argument, checked end to end: whenever a line in
+//! some L1 is valid and clean and has its skip bit set, the line must be
+//! clean in the L2 (i.e. persisted) — so dropping its writeback is safe.
+//!
+//! Random cross-core traffic (stores, loads, cleans, flushes, fences)
+//! exercises all three §6.2 cases, including the shared-readers case where
+//! the skip bit is allowed to lag (unset while actually persisted — safe,
+//! only costing a redundant writeback, never correctness).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skipit::core::{ClientState, Op, SystemBuilder};
+
+fn check_skip_invariant(s: &skipit::System) {
+    for core in 0..s.config().cores {
+        for (line, state, skip) in s.l1(core).resident_lines() {
+            if skip && !state.is_dirty() && state != ClientState::Invalid {
+                assert!(
+                    !s.l2().peek_dirty(line),
+                    "core {core}: line {line:?} has a valid skip bit but is \
+                     dirty in the L2 — Skip It would drop a required writeback"
+                );
+            }
+        }
+    }
+}
+
+fn random_program(rng: &mut StdRng, lines: u64, ops: usize) -> Vec<Op> {
+    let mut prog = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let addr = 0x10_000 + rng.gen_range(0..lines) * 64 + rng.gen_range(0..8) * 8;
+        prog.push(match rng.gen_range(0..10) {
+            0..=3 => Op::Store {
+                addr,
+                value: rng.gen(),
+            },
+            4..=6 => Op::Load { addr },
+            7 => Op::Clean { addr },
+            8 => Op::Flush { addr },
+            _ => Op::Fence,
+        });
+    }
+    prog.push(Op::Fence);
+    prog
+}
+
+#[test]
+fn skip_bit_matches_l2_dirty_bit_under_random_traffic() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = SystemBuilder::new().cores(2).skip_it(true).build();
+        for _round in 0..6 {
+            let p0 = random_program(&mut rng, 24, 60);
+            let p1 = random_program(&mut rng, 24, 60);
+            s.run_programs(vec![p0, p1]);
+            s.quiesce();
+            check_skip_invariant(&s);
+        }
+    }
+}
+
+#[test]
+fn skip_bit_invariant_with_eviction_pressure() {
+    // Small address working set is replaced with one exceeding the L1 so
+    // evictions interact with the skip bit.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut s = SystemBuilder::new().cores(2).skip_it(true).build();
+    for _round in 0..4 {
+        // 1024 lines > 512-line L1.
+        let p0 = random_program(&mut rng, 1024, 150);
+        let p1 = random_program(&mut rng, 1024, 150);
+        s.run_programs(vec![p0, p1]);
+        s.quiesce();
+        check_skip_invariant(&s);
+    }
+}
+
+/// Functional equivalence: Skip It never changes values, only traffic.
+/// The same random program on skip-it and naive systems must leave the
+/// same durable memory image after flush-all + fence.
+#[test]
+fn skip_it_is_functionally_transparent() {
+    for seed in 0..6u64 {
+        let mut images = Vec::new();
+        for skip_it in [false, true] {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut s = SystemBuilder::new().cores(2).skip_it(skip_it).build();
+            let p0 = random_program(&mut rng, 16, 80);
+            let p1 = random_program(&mut rng, 16, 80);
+            s.run_programs(vec![p0, p1]);
+            // Flush the whole working set so both images are complete.
+            let flush_all: Vec<Op> = (0..16u64)
+                .map(|i| Op::Flush {
+                    addr: 0x10_000 + i * 64,
+                })
+                .chain(std::iter::once(Op::Fence))
+                .collect();
+            s.run_programs(vec![flush_all, vec![]]);
+            let dram = s.crash();
+            let image: Vec<u64> = (0..16 * 8u64)
+                .map(|w| dram.read_word_direct(0x10_000 + w * 8))
+                .collect();
+            images.push(image);
+        }
+        assert_eq!(
+            images[0], images[1],
+            "seed {seed}: Skip It changed the durable image"
+        );
+    }
+}
+
+/// Redundant writebacks must actually be skipped on Skip It hardware and
+/// not on the baseline, under identical traffic.
+#[test]
+fn skip_counts_differ_between_configs() {
+    let mut skipped = Vec::new();
+    for skip_it in [false, true] {
+        let mut s = SystemBuilder::new().cores(1).skip_it(skip_it).build();
+        let mut prog = vec![Op::Store {
+            addr: 0x20_000,
+            value: 9,
+        }];
+        prog.push(Op::Clean { addr: 0x20_000 });
+        prog.push(Op::Fence);
+        for _ in 0..5 {
+            prog.push(Op::Clean { addr: 0x20_000 });
+            prog.push(Op::Fence);
+        }
+        s.run_programs(vec![prog]);
+        skipped.push(s.stats().l1[0].writebacks_skipped);
+    }
+    assert_eq!(skipped[0], 0);
+    assert_eq!(skipped[1], 5);
+}

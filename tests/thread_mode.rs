@@ -1,0 +1,110 @@
+//! Thread-mode (rendezvous) edge cases: degenerate workloads, mixed
+//! program/thread phases, budget semantics, and determinism of the
+//! scheduler itself.
+
+use skipit::core::{CoreHandle, Op, SystemBuilder};
+
+#[test]
+fn worker_that_does_nothing_terminates() {
+    let mut sys = SystemBuilder::new().cores(2).build();
+    let (cycles, _) = sys.run_threads(vec![|h: CoreHandle| h.finish(), |_h: CoreHandle| {}], None);
+    assert!(cycles < 100);
+}
+
+#[test]
+fn worker_using_only_rdcycle_terminates() {
+    let mut sys = SystemBuilder::new().cores(1).build();
+    let (_, v) = sys.run_threads(
+        vec![|h: CoreHandle| {
+            let a = h.rdcycle();
+            let b = h.rdcycle();
+            (a, b)
+        }],
+        None,
+    );
+    // rdcycle consumes no simulated time.
+    assert_eq!(v[0].0, v[0].1);
+}
+
+#[test]
+fn fewer_workers_than_cores_is_fine() {
+    let mut sys = SystemBuilder::new().cores(4).build();
+    let (_, v) = sys.run_threads(
+        vec![|h: CoreHandle| {
+            h.store(0x100, 5);
+            h.load(0x100)
+        }],
+        None,
+    );
+    assert_eq!(v[0], 5);
+}
+
+#[test]
+fn program_and_thread_phases_interleave_on_shared_state() {
+    let mut sys = SystemBuilder::new().cores(2).build();
+    sys.run_programs(vec![vec![Op::Store { addr: 0x200, value: 7 }], vec![]]);
+    sys.quiesce();
+    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
+    assert_eq!(v[0], 7);
+    sys.run_programs(vec![vec![], vec![Op::Store { addr: 0x200, value: 8 }]]);
+    // Without quiescing, core 0 may legally still hit its stale Shared copy
+    // (store propagation is asynchronous); quiesce() drains the coherence
+    // traffic, after which the new value must be visible.
+    sys.quiesce();
+    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
+    assert_eq!(v[0], 8);
+}
+
+#[test]
+fn budget_halts_all_workers_eventually() {
+    let mut sys = SystemBuilder::new().cores(3).build();
+    let worker = |h: CoreHandle| {
+        let mut n = 0u64;
+        while !h.halted() {
+            h.store(0x300 + h.core_id() as u64 * 64, n);
+            n += 1;
+        }
+        n
+    };
+    let (cycles, counts) = sys.run_threads(vec![worker, worker, worker], Some(5_000));
+    assert!(cycles >= 5_000);
+    assert!(cycles < 50_000, "halt must propagate promptly, took {cycles}");
+    for c in counts {
+        assert!(c > 0);
+    }
+}
+
+#[test]
+fn worker_results_are_deterministic_across_runs() {
+    let run = || {
+        let mut sys = SystemBuilder::new().cores(2).build();
+        let worker = |seed: u64| {
+            move |h: CoreHandle| {
+                let mut acc = 0u64;
+                for i in 0..40 {
+                    let addr = 0x400 + ((seed * 31 + i) % 8) * 64;
+                    h.fetch_add(addr, 1);
+                    acc = acc.wrapping_add(h.load(addr)).wrapping_add(h.rdcycle());
+                }
+                acc
+            }
+        };
+        let (cycles, v) = sys.run_threads(vec![worker(1), worker(2)], None);
+        (cycles, v)
+    };
+    assert_eq!(run(), run(), "rendezvous scheduling must be deterministic");
+}
+
+#[test]
+fn handles_expose_core_ids_in_order() {
+    let mut sys = SystemBuilder::new().cores(3).build();
+    let (_, ids) = sys.run_threads(
+        vec![
+            |h: CoreHandle| h.core_id(),
+            |h: CoreHandle| h.core_id(),
+            |h: CoreHandle| h.core_id(),
+        ],
+        None,
+    );
+    assert_eq!(ids, vec![0, 1, 2]);
+}

@@ -1,0 +1,86 @@
+//! Per-op latency tracing: the tool behind the paper's median/σ
+//! methodology (§7.1), checked end to end.
+
+use skipit::core::{Op, SystemBuilder};
+
+#[test]
+fn trace_records_op_latencies() {
+    let mut sys = SystemBuilder::new().cores(1).build();
+    sys.enable_tracing(1024);
+    sys.run_programs(vec![vec![
+        Op::Store { addr: 0x1000, value: 1 },
+        Op::Load { addr: 0x1000 },
+        Op::Flush { addr: 0x1000 },
+        Op::Fence,
+    ]]);
+    let recs = sys.trace_records();
+    assert_eq!(recs.len(), 4);
+    // Load hit after the store: short latency (hit path + queueing).
+    let load = recs
+        .iter()
+        .find(|r| matches!(r.op, Op::Load { .. }))
+        .expect("load traced");
+    assert!(
+        (1..=30).contains(&load.latency()),
+        "hit-load latency {} out of band",
+        load.latency()
+    );
+    // The store missed: its completion (acceptance) is still fast, but the
+    // fence must wait for the flush to fully complete.
+    let fence = recs
+        .iter()
+        .find(|r| matches!(r.op, Op::Fence))
+        .expect("fence traced");
+    assert!(
+        fence.latency() >= 30,
+        "fence must wait for the writeback (latency {})",
+        fence.latency()
+    );
+}
+
+#[test]
+fn trace_is_bounded_and_clearable() {
+    let mut sys = SystemBuilder::new().cores(1).build();
+    sys.enable_tracing(4);
+    let prog: Vec<Op> = (0..10)
+        .map(|i| Op::Store {
+            addr: 0x2000 + i * 8,
+            value: i,
+        })
+        .collect();
+    sys.run_programs(vec![prog]);
+    assert_eq!(sys.trace_records().len(), 4, "log must stay bounded");
+    sys.clear_traces();
+    assert!(sys.trace_records().is_empty());
+}
+
+#[test]
+fn skip_it_drop_is_visibly_cheaper_in_traces() {
+    // The mechanism behind Fig. 13, observed per op: the redundant clean's
+    // completion latency is similar (commit at buffering) but the following
+    // fence is far cheaper when the writeback was dropped.
+    let mut fence_latency = [0u64; 2];
+    for (i, skip_it) in [false, true].into_iter().enumerate() {
+        let mut sys = SystemBuilder::new().cores(1).skip_it(skip_it).build();
+        sys.run_programs(vec![vec![
+            Op::Store { addr: 0x3000, value: 1 },
+            Op::Clean { addr: 0x3000 },
+            Op::Fence,
+        ]]);
+        sys.enable_tracing(16);
+        sys.run_programs(vec![vec![Op::Clean { addr: 0x3000 }, Op::Fence]]);
+        let recs = sys.trace_records();
+        fence_latency[i] = recs
+            .iter()
+            .find(|r| matches!(r.op, Op::Fence))
+            .expect("fence traced")
+            .latency();
+    }
+    assert!(
+        fence_latency[1] * 3 < fence_latency[0],
+        "dropped writeback must make the fence much cheaper \
+         (naive {} vs skip-it {})",
+        fence_latency[0],
+        fence_latency[1]
+    );
+}
