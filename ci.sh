@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo CI gate: release build, full test suite, clippy with warnings denied.
+# Run from the repository root. Offline by design (deps are vendored).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

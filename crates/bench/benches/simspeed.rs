@@ -1,0 +1,175 @@
+//! Host-side simulation speed of the two engines (not a paper figure).
+//!
+//! Runs a Fig. 9-shaped writeback microbenchmark and a Fig. 14-shaped
+//! persistent-set workload under naive cycle-by-cycle stepping and under
+//! the event-driven fast-forward engine, reports kilo-simulated-cycles per
+//! host second for each, asserts the engines agree cycle-for-cycle, and
+//! writes the numbers to `BENCH_simspeed.json` at the repository root.
+//!
+//! Run with `cargo bench --bench simspeed` (release; debug numbers are
+//! meaningless). `SKIPIT_BENCH_QUICK=1` shrinks the workloads.
+
+use skipit_bench::micro::{fig9_sample, fig9_serialized_sample};
+use skipit_bench::quick;
+use skipit_core::SystemBuilder;
+use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    sim_cycles: u64,
+    skipped_pct: f64,
+    naive_kcps: f64,
+    fast_kcps: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.fast_kcps / self.naive_kcps.max(1e-9)
+    }
+}
+
+/// Fig. 9 shape: dirty a region, write it back sequentially, fence.
+/// `serialized` switches to the §7.2 per-op-fenced latency form of the
+/// experiment (one writeback in flight at a time). Returns per-sample
+/// cycle counts plus timing for one engine.
+fn fig09_shaped(
+    name: &'static str,
+    threads: usize,
+    size: u64,
+    reps: u32,
+    serialized: bool,
+) -> Row {
+    let run = |fast: bool| {
+        let mut sys = SystemBuilder::new()
+            .cores(threads)
+            .fast_forward(fast)
+            .build();
+        let wall = Instant::now();
+        let samples: Vec<u64> = (0..reps)
+            .map(|_| {
+                if serialized {
+                    fig9_serialized_sample(&mut sys, threads as u64, size)
+                } else {
+                    fig9_sample(&mut sys, threads as u64, size, false)
+                }
+            })
+            .collect();
+        let secs = wall.elapsed().as_secs_f64();
+        (samples, sys.stats().cycles, sys.engine_stats(), secs)
+    };
+    let (naive_samples, naive_cycles, _, naive_secs) = run(false);
+    let (fast_samples, fast_cycles, engine, fast_secs) = run(true);
+    assert_eq!(
+        naive_samples, fast_samples,
+        "{name}: per-sample cycle counts diverge between engines"
+    );
+    assert_eq!(
+        naive_cycles, fast_cycles,
+        "{name}: total cycle counts diverge between engines"
+    );
+    Row {
+        name,
+        sim_cycles: fast_cycles,
+        skipped_pct: engine.skipped_cycles as f64 * 100.0 / fast_cycles.max(1) as f64,
+        naive_kcps: naive_cycles as f64 / naive_secs / 1e3,
+        fast_kcps: fast_cycles as f64 / fast_secs / 1e3,
+    }
+}
+
+/// Fig. 14 shape: two threads on a persistent set at 5 % updates.
+fn fig14_shaped(name: &'static str, ds: DsKind, budget: u64) -> Row {
+    let cfg = |fast: bool| WorkloadCfg {
+        ds,
+        mode: PersistMode::Automatic,
+        opt: OptKind::SkipIt,
+        threads: 2,
+        key_range: 512,
+        prefill: 256,
+        update_pct: 5,
+        budget_cycles: budget,
+        seed: 7,
+        fast_forward: fast,
+        ..WorkloadCfg::default()
+    };
+    let wall = Instant::now();
+    let naive = run_set_benchmark(&cfg(false));
+    let naive_secs = wall.elapsed().as_secs_f64();
+    let wall = Instant::now();
+    let fast = run_set_benchmark(&cfg(true));
+    let fast_secs = wall.elapsed().as_secs_f64();
+    assert_eq!(
+        naive.cycles, fast.cycles,
+        "{name}: measured-phase cycles diverge between engines"
+    );
+    assert_eq!(
+        naive.ops, fast.ops,
+        "{name}: completed op counts diverge between engines"
+    );
+    assert_eq!(
+        naive.stats, fast.stats,
+        "{name}: system statistics diverge between engines"
+    );
+    Row {
+        name,
+        sim_cycles: fast.stats.cycles,
+        skipped_pct: f64::NAN, // engine counters are not part of BenchResult
+        naive_kcps: naive.stats.cycles as f64 / naive_secs / 1e3,
+        fast_kcps: fast.stats.cycles as f64 / fast_secs / 1e3,
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let quick = quick();
+    let reps = if quick { 3 } else { 10 };
+    let rows = vec![
+        fig09_shaped("fig09_1t_32k", 1, 32 * 1024, reps, false),
+        fig09_shaped("fig09_8t_32k", 8, 32 * 1024, reps, false),
+        fig09_shaped("fig09_1t_32k_serialized", 1, 32 * 1024, reps, true),
+        fig14_shaped("fig14_list_skipit", DsKind::List, if quick { 30_000 } else { 100_000 }),
+    ];
+
+    println!("# simspeed: host kilo-simulated-cycles per second, naive vs fast-forward");
+    println!("workload,sim_cycles,skipped_pct,naive_kcps,fast_kcps,speedup");
+    let mut entries = Vec::new();
+    for r in &rows {
+        println!(
+            "{},{},{:.1},{:.0},{:.0},{:.2}",
+            r.name,
+            r.sim_cycles,
+            r.skipped_pct,
+            r.naive_kcps,
+            r.fast_kcps,
+            r.speedup()
+        );
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"sim_cycles\": {}, \"skipped_pct\": {}, \
+             \"naive_kcycles_per_sec\": {}, \"fast_kcycles_per_sec\": {}, \"speedup\": {}}}",
+            r.name,
+            r.sim_cycles,
+            json_num(r.skipped_pct),
+            json_num(r.naive_kcps),
+            json_num(r.fast_kcps),
+            json_num(r.speedup())
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
+         \"quick\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        quick,
+        entries.join(",\n")
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_simspeed.json");
+    std::fs::write(&path, json).expect("write BENCH_simspeed.json");
+    println!("# wrote {}", path.display());
+}

@@ -64,6 +64,31 @@ pub fn fig9_sample(sys: &mut System, threads: u64, total_bytes: u64, clean: bool
     writeback_region(sys, threads, total_bytes, clean)
 }
 
+/// The serialized (per-op latency) form of the Fig. 9 experiment — the
+/// §7.2 calibration methodology, as in the single-line flush-latency
+/// check: per line, a store (a full miss round trip, since the line is
+/// cold or evicted), then `CBO.CLEAN` + fence, so exactly one transaction
+/// is in flight at a time and its full round-trip latency (miss fill, then
+/// flush queue → FSHR → DRAM write → ack) is exposed instead of being
+/// hidden by pipelining. Most of each round trip is quiescent wait — the
+/// workload the event-driven engine is built for.
+pub fn fig9_serialized_sample(sys: &mut System, threads: u64, total_bytes: u64) -> u64 {
+    let progs = (0..threads)
+        .map(|t| {
+            region_lines(t, threads, total_bytes)
+                .flat_map(|a| {
+                    [
+                        Op::Store { addr: a, value: a },
+                        Op::Clean { addr: a },
+                        Op::Fence,
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    sys.run_programs(progs)
+}
+
 /// One Fig. 10 sample: ten rounds of (write region, writeback region),
 /// then a fence and a re-read of every line.
 ///

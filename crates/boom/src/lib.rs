@@ -27,5 +27,5 @@ pub mod trace;
 pub use handle::CoreHandle;
 pub use lsu::Lsu;
 pub use op::{Op, OpToken};
-pub use system::{System, SystemConfig, SystemStats};
+pub use system::{EngineStats, System, SystemConfig, SystemStats};
 pub use trace::{TraceLog, TraceRecord};

@@ -75,11 +75,11 @@ impl Lsu {
     pub fn new(core: usize, cfg: LsuConfig) -> Self {
         Lsu {
             cfg,
-            stq: VecDeque::new(),
-            ldq: VecDeque::new(),
+            stq: VecDeque::with_capacity(cfg.stq_depth),
+            ldq: VecDeque::with_capacity(cfg.ldq_depth),
             seq: 0,
             next_req: 0,
-            finished: VecDeque::new(),
+            finished: VecDeque::with_capacity(cfg.stq_depth + cfg.ldq_depth),
             core,
             trace: None,
         }
@@ -153,6 +153,11 @@ impl Lsu {
     pub fn take_finished(&mut self, token: OpToken) -> Option<u64> {
         let idx = self.finished.iter().position(|&(t, _)| t == token)?;
         self.finished.remove(idx).map(|(_, v)| v)
+    }
+
+    /// Whether `token`'s result is ready for [`Lsu::take_finished`].
+    pub fn has_finished(&self, token: OpToken) -> bool {
+        self.finished.iter().any(|&(t, _)| t == token)
     }
 
     /// Discards all buffered results (program mode does not consume them).
@@ -245,6 +250,12 @@ impl Lsu {
             return;
         }
         let kind = head.op.to_dcache().expect("STQ op lowers to a request");
+        // Hold the head while the cache would refuse it instead of firing
+        // into a nack: the request stays pending at zero cost and fires on
+        // the exact cycle the blocking condition clears.
+        if !l1.would_accept(kind) {
+            return;
+        }
         match l1.try_request(
             now,
             DcReq {
@@ -277,6 +288,11 @@ impl Lsu {
                 }
                 LoadDep::Clear => {
                     let kind = e.op.to_dcache().expect("load lowers");
+                    // Hold the load while the cache would refuse it (see
+                    // fire_stq_head); a held load consumes no fire slot.
+                    if !l1.would_accept(kind) {
+                        continue;
+                    }
                     match l1.try_request(
                         now,
                         DcReq {
@@ -293,6 +309,61 @@ impl Lsu {
                 }
             }
         }
+    }
+
+    /// Conservative lower bound on the next cycle at which this LSU can make
+    /// progress on its own (the event-driven scheduler's contract). Waits
+    /// that only an external completion can end — an in-flight L1 request, a
+    /// blocked load dependency, a fence held by older loads or a nonzero
+    /// flush counter — report nothing: the L1's pending responses and flush
+    /// unit are evented separately, and the blocking STQ entries' own
+    /// progress is evented through the head (stores retire strictly in
+    /// order, so every unblocking transition happens at an evented tick).
+    pub fn next_event(&self, now: u64, l1: &DataCache) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let merge = |next: &mut Option<u64>, t: u64| {
+            *next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if self.ldq.iter().any(|e| e.done) {
+            return Some(now); // retire work pending
+        }
+        if let Some(head) = self.stq.front() {
+            if head.done {
+                return Some(now); // retire work pending
+            }
+            if head.op == Op::Fence {
+                // Mirror `commit_fence` exactly: a fence that could commit
+                // this cycle is an event; a blocked one is woken by the
+                // evented load completions / flush-counter drain.
+                if !self.ldq.iter().any(|e| e.seq < head.seq) && !l1.is_flushing() {
+                    return Some(now);
+                }
+            } else if !head.fired {
+                if now < head.retry_at {
+                    merge(&mut next, head.retry_at);
+                } else if l1.would_accept(head.op.to_dcache().expect("STQ op lowers")) {
+                    return Some(now); // fire_stq_head fires this cycle
+                }
+                // Otherwise the head is held; the L1 transition that flips
+                // `would_accept` is evented by the cache itself.
+            }
+        }
+        for e in self.ldq.iter().filter(|e| !e.fired && !e.done) {
+            if now < e.retry_at {
+                merge(&mut next, e.retry_at);
+                continue;
+            }
+            match self.load_dependency(e) {
+                LoadDep::Blocked => {}
+                LoadDep::Forward(_) => return Some(now),
+                LoadDep::Clear => {
+                    if l1.would_accept(e.op.to_dcache().expect("load lowers")) {
+                        return Some(now);
+                    }
+                }
+            }
+        }
+        next
     }
 
     /// Dependency check for a load against older STQ entries (§3.2): fences

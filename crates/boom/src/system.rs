@@ -29,6 +29,17 @@ pub struct SystemConfig {
     pub issue_width: usize,
     /// LSU sizing.
     pub lsu: LsuConfig,
+    /// Use the event-driven fast-forward engine: when no component has work
+    /// at the current cycle, jump the clock straight to the earliest cycle
+    /// one can possibly change state. Elapsed cycles and statistics are
+    /// bit-identical either way; `false` reproduces the naive
+    /// one-cycle-at-a-time stepping.
+    pub fast_forward: bool,
+    /// Debug aid for the fast engine: instead of trusting a claimed idle
+    /// window, step through it with the naive engine and panic on the first
+    /// cycle whose state differs from the window start (a `next_event`
+    /// contract violation). Expensive — intended for tests.
+    pub lockstep_oracle: bool,
 }
 
 impl Default for SystemConfig {
@@ -44,12 +55,74 @@ impl Default for SystemConfig {
             link_capacity: 8,
             issue_width: 2,
             lsu: LsuConfig::default(),
+            fast_forward: true,
+            lockstep_oracle: false,
+        }
+    }
+}
+
+/// Counters of the event-driven engine itself (host-side bookkeeping, not
+/// part of the simulated machine's statistics — [`SystemStats`] is identical
+/// whether or not fast-forwarding is enabled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Simulated cycles the engine never executed (jumped over).
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub jumps: u64,
+}
+
+/// Per-cycle execution plan of the fast engine: which components have a
+/// gate firing at the current cycle (see [`System::plan_tick`]). A cleared
+/// gate means the component's step is provably a no-op this cycle.
+#[derive(Default)]
+struct TickPlan {
+    /// Step the shared L2 (and with it the DRAM controller).
+    l2: bool,
+    /// Bitmask of cores (L1 + LSU pairs) to step.
+    cores: u64,
+    /// Some frontend has an issue/rendezvous event due now.
+    frontend: bool,
+    /// Minimum future event time across all components — the fast engine's
+    /// jump target. Only meaningful when no gate fired; `None` means only
+    /// an external worker command can create work.
+    bound: Option<u64>,
+    /// Gates of the sources whose event time equals `bound`. Because no
+    /// state changes during a jump, these are exactly the gates that fire
+    /// at the jump target, so the post-jump cycle needs no second planning
+    /// pass.
+    bound_l2: bool,
+    bound_cores: u64,
+    bound_frontend: bool,
+}
+
+impl TickPlan {
+    fn any(&self) -> bool {
+        self.l2 || self.cores != 0 || self.frontend
+    }
+
+    /// Folds a future event at `t` into the bound, remembering which
+    /// component gates to run if `t` ends up being the jump target.
+    fn merge_future(&mut self, t: u64, l2: bool, cores: u64, frontend: bool) {
+        match self.bound {
+            Some(b) if b < t => {}
+            Some(b) if b == t => {
+                self.bound_l2 |= l2;
+                self.bound_cores |= cores;
+                self.bound_frontend |= frontend;
+            }
+            _ => {
+                self.bound = Some(t);
+                self.bound_l2 = l2;
+                self.bound_cores = cores;
+                self.bound_frontend = frontend;
+            }
         }
     }
 }
 
 /// Aggregated counters of a system.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SystemStats {
     /// Current cycle.
     pub cycles: u64,
@@ -153,6 +226,13 @@ pub struct System {
     e: Vec<Link<ChannelE>>,
     /// Absolute cycle after which thread-mode responses carry `halted`.
     deadline: u64,
+    /// Fast-forward engine bookkeeping.
+    engine: EngineStats,
+    /// Consecutive planned cycles that found work (see the planning backoff
+    /// in [`System::step_engine`]); host-side scheduling state only.
+    plan_streak: u32,
+    /// Remaining cycles to run unplanned before probing for a jump again.
+    plan_skip: u32,
 }
 
 impl std::fmt::Debug for System {
@@ -193,6 +273,9 @@ impl System {
             d: links!(),
             e: links!(),
             deadline: u64::MAX,
+            engine: EngineStats::default(),
+            plan_streak: 0,
+            plan_skip: 0,
             cfg,
         }
     }
@@ -215,6 +298,12 @@ impl System {
             l2: self.l2.stats(),
             mem: self.dram.stats(),
         }
+    }
+
+    /// Counters of the fast-forward engine (cycles skipped, jumps taken).
+    /// All zero when [`SystemConfig::fast_forward`] is off.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine
     }
 
     /// The persisted memory image (what a crash-recovery procedure sees).
@@ -296,22 +385,461 @@ impl System {
         self.now += 1;
     }
 
+    /// Which components have work at the current cycle. Computed before the
+    /// tick, from the same conservative per-component predicates as
+    /// [`System::next_event`], so a cleared gate proves the component's step
+    /// would be a no-op and can be skipped outright.
+    fn plan_tick(&self) -> TickPlan {
+        let now = self.now;
+        let mut plan = TickPlan::default();
+        let arrived = |t: Option<u64>| t.is_some_and(|t| t <= now);
+        for i in 0..self.cfg.cores {
+            // A future C/E/A head arrival gates the L2 (the consumer) *and*
+            // the sending core: the pop frees a slot that a blocked L1
+            // sender can use the same cycle (L2 steps first in tick order).
+            match self.c[i].next_ready() {
+                Some(t) if t <= now => plan.l2 = true,
+                Some(t) => plan.merge_future(t, true, 1 << i, false),
+                None => {}
+            }
+            match self.e[i].next_ready() {
+                Some(t) if t <= now => plan.l2 = true,
+                Some(t) => plan.merge_future(t, true, 1 << i, false),
+                None => {}
+            }
+            match self.a[i].next_ready() {
+                // An arrived Acquire is only an event while the L2 can sink
+                // it; the L2 transition clearing the backpressure is evented
+                // on its own and re-raises the head.
+                Some(t) if t <= now => {
+                    if let Some(&ChannelA::AcquireBlock { addr, .. }) = self.a[i].peek(now) {
+                        if self.l2.can_accept_acquire(addr) {
+                            plan.l2 = true;
+                        }
+                    }
+                }
+                Some(t) => plan.merge_future(t, true, 1 << i, false),
+                None => {}
+            }
+        }
+        match self.l2.next_event(now, &self.dram, &self.b, &self.d) {
+            Some(t) if t <= now => plan.l2 = true,
+            Some(t) => plan.merge_future(t, true, 0, false),
+            None => {}
+        }
+        match self.dram.next_event(now) {
+            Some(t) if t <= now => plan.l2 = true,
+            Some(t) => plan.merge_future(t, true, 0, false),
+            None => {}
+        }
+        // With zero-latency links an L2 push can arrive the same cycle the
+        // receiving L1 steps (L2 runs first in tick order), so the pre-tick
+        // gates cannot see it; wake every core whenever the L2 runs.
+        let l2_wakes_cores = plan.l2 && self.cfg.link_latency == 0;
+        for i in 0..self.cfg.cores {
+            let mut gate = l2_wakes_cores;
+            match self.d[i].next_ready() {
+                Some(t) if t <= now => gate = true,
+                Some(t) => plan.merge_future(t, false, 1 << i, false),
+                None => {}
+            }
+            match self.b[i].next_ready() {
+                // The L1 pops a probe only while its probe unit is idle; a
+                // busy probe unit reports its own progress below.
+                Some(t) if t <= now => gate |= self.l1s[i].probe_rdy(),
+                Some(t) => plan.merge_future(t, false, 1 << i, false),
+                None => {}
+            }
+            // Link heads the L2 will pop this cycle (it steps before the
+            // L1s) free a slot a blocked L1 sender can use the same cycle.
+            let a_rdy = self.a[i].can_push() || arrived(self.a[i].next_ready());
+            let c_rdy = self.c[i].can_push() || arrived(self.c[i].next_ready());
+            let e_rdy = self.e[i].can_push() || arrived(self.e[i].next_ready());
+            match self.l1s[i].next_event(now, a_rdy, c_rdy, e_rdy) {
+                Some(t) if t <= now => gate = true,
+                Some(t) => plan.merge_future(t, false, 1 << i, false),
+                None => {}
+            }
+            match self.lsus[i].next_event(now, &self.l1s[i]) {
+                Some(t) if t <= now => gate = true,
+                Some(t) => plan.merge_future(t, false, 1 << i, false),
+                None => {}
+            }
+            if gate {
+                plan.cores |= 1 << i;
+            }
+            match self.frontend_next_event(i) {
+                Some(t) if t <= now => plan.frontend = true,
+                Some(t) => plan.merge_future(t, false, 0, true),
+                None => {}
+            }
+        }
+        plan
+    }
+
+    /// Executes one cycle stepping only the components whose
+    /// [`System::plan_tick`] gate fired. Frontends always run: they are
+    /// cheap, and a worker rendezvous must not be deferred. Produces exactly
+    /// the state the full [`System::tick`] sweep would — skipped components
+    /// have no due event, no consumable link head, and no freed output slot,
+    /// so their step functions could only fall through.
+    fn tick_gated(&mut self, plan: &TickPlan) {
+        let now = self.now;
+        if plan.l2 {
+            let mut ports = L2Ports {
+                a: &mut self.a,
+                b: &mut self.b,
+                c: &mut self.c,
+                d: &mut self.d,
+                e: &mut self.e,
+                mem: &mut self.dram,
+            };
+            self.l2.step(now, &mut ports);
+        }
+        for i in 0..self.cfg.cores {
+            if plan.cores & (1 << i) != 0 {
+                let mut ports = skipit_dcache::L1Ports {
+                    a: &mut self.a[i],
+                    b: &mut self.b[i],
+                    c: &mut self.c[i],
+                    d: &mut self.d[i],
+                    e: &mut self.e[i],
+                };
+                self.l1s[i].step(now, &mut ports);
+                self.lsus[i].step(now, &mut self.l1s[i]);
+            }
+        }
+        self.step_frontends();
+        self.now += 1;
+    }
+
+    /// One step of the configured engine toward `done`, which run loops
+    /// re-check after every clock movement. Returns `true` when `done`
+    /// holds — crucially also right after a fast-forward jump, *before* the
+    /// tick at the jump target, because termination predicates such as a
+    /// trailing Nop's expiry are conditions on `now` (the naive engine
+    /// observes every cycle; the fast engine must observe the jump target
+    /// before executing it).
+    ///
+    /// The fast engine executes cycles through [`System::tick_gated`]: only
+    /// the components whose gate fires are stepped, everything else is
+    /// provably a no-op this cycle (same argument as the idle-window jump,
+    /// applied per component). The naive engine always runs the full
+    /// [`System::tick`] sweep.
+    fn step_engine<F: Fn(&Self) -> bool>(&mut self, done: F) -> bool {
+        if done(self) {
+            return true;
+        }
+        if !self.cfg.fast_forward {
+            self.tick();
+            return false;
+        }
+        // Adaptive planning backoff: in saturated phases (some component has
+        // work every single cycle) planning finds nothing to skip, so its
+        // cost is pure overhead. After a streak of planned-but-busy cycles,
+        // run a growing number of full ticks without planning; any jump
+        // opportunity is merely deferred by at most that many cycles, and
+        // the streak resets as soon as a jump lands.
+        if self.plan_skip > 0 {
+            self.plan_skip -= 1;
+            self.tick();
+            return false;
+        }
+        let plan = self.plan_tick();
+        if plan.any() {
+            self.plan_streak = self.plan_streak.saturating_add(1);
+            if self.plan_streak > 8 {
+                self.plan_skip = (self.plan_streak - 8).min(16);
+            }
+            self.tick_gated(&plan);
+            return false;
+        }
+        self.plan_streak = 0;
+        match plan.bound {
+            Some(t) if t > self.now => {
+                self.engine.skipped_cycles += t - self.now;
+                self.engine.jumps += 1;
+                if self.cfg.lockstep_oracle {
+                    self.verify_window(t);
+                } else {
+                    self.now = t;
+                }
+                if done(self) {
+                    return true;
+                }
+                // No state changed during the jump, so the sources recorded
+                // at the bound are exactly the gates due at the target.
+                let mut jump = TickPlan {
+                    l2: plan.bound_l2,
+                    cores: plan.bound_cores,
+                    frontend: plan.bound_frontend,
+                    ..TickPlan::default()
+                };
+                if jump.l2 && self.cfg.link_latency == 0 {
+                    jump.cores = (1u64 << self.cfg.cores) - 1;
+                }
+                self.tick_gated(&jump);
+            }
+            // Every component is blocked on an external command (worker
+            // rendezvous): keep the full sweep so the rendezvous and
+            // watchdogs still run.
+            _ => self.tick(),
+        }
+        false
+    }
+
+    /// One step of the event-driven engine (see DESIGN.md §5 "Clocking"):
+    /// if no component reports work at the current cycle, jump the clock
+    /// straight to the minimum [`System::next_event`] bound, then execute a
+    /// normal [`System::tick`] there. When nothing bounds the future (every
+    /// component is blocked on an external command), falls back to a plain
+    /// tick so watchdogs and rendezvous still run.
+    pub fn tick_fast(&mut self) {
+        self.fast_forward_clock();
+        self.tick();
+    }
+
+    /// Advances the clock (without ticking) to the next-event bound if it
+    /// lies in the future; returns whether the clock moved. Skipped cycles
+    /// are provably idle: no component state can change within the window,
+    /// which [`SystemConfig::lockstep_oracle`] re-verifies cycle by cycle.
+    pub fn fast_forward_clock(&mut self) -> bool {
+        match self.next_event() {
+            Some(t) if t > self.now => {
+                self.engine.skipped_cycles += t - self.now;
+                self.engine.jumps += 1;
+                if self.cfg.lockstep_oracle {
+                    self.verify_window(t);
+                } else {
+                    self.now = t;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Lockstep oracle: instead of trusting a claimed idle window
+    /// `[self.now, target)`, run it with the naive engine and panic on the
+    /// first cycle whose state — components, links, statistics, frontends,
+    /// everything but the clock — differs from the window start.
+    fn verify_window(&mut self, target: u64) {
+        let reference = self.state_digest();
+        while self.now < target {
+            self.tick();
+            assert_eq!(
+                self.state_digest(),
+                reference,
+                "lockstep oracle: state changed at cycle {} inside a window \
+                 the fast engine claimed idle (next event {})",
+                self.now - 1,
+                target
+            );
+        }
+    }
+
+    /// Hash of every piece of simulated state except the clock, used by the
+    /// lockstep oracle to detect work inside a claimed-idle window. Debug
+    /// formatting covers the deep state (queues, arrays, MSHRs, stats);
+    /// frontends are summarized by hand (channel endpoints carry no
+    /// simulated state).
+    fn state_digest(&self) -> u64 {
+        use std::fmt::Write as _;
+        use std::hash::{Hash, Hasher};
+        let mut s = String::new();
+        for (i, fe) in self.frontends.iter().enumerate() {
+            match fe {
+                Frontend::Idle => {
+                    let _ = write!(s, "[{i} idle]");
+                }
+                Frontend::Program {
+                    next, nop_until, ..
+                } => {
+                    let _ = write!(s, "[{i} prog {next} {nop_until}]");
+                }
+                Frontend::Thread {
+                    busy,
+                    nop_until,
+                    finished,
+                    ..
+                } => {
+                    let _ = write!(s, "[{i} thr {busy:?} {nop_until:?} {finished}]");
+                }
+            }
+        }
+        let _ = write!(
+            s,
+            "{:?}{:?}{:?}{:?}{}",
+            self.lsus, self.l1s, self.l2, self.dram, self.next_token
+        );
+        let _ = write!(
+            s,
+            "{:?}{:?}{:?}{:?}{:?}",
+            self.a, self.b, self.c, self.d, self.e
+        );
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    /// Conservative lower bound on the earliest cycle at which any component
+    /// can change state on its own — the fast engine's jump target. Each
+    /// subsystem answers for itself (`Link::next_ready`, `Dram::next_event`,
+    /// the cache/LSU/L2 `next_event` methods, the frontend summary below);
+    /// `None` means only an external worker command can create work.
+    ///
+    /// Channel A gets special treatment: an *arrived* Acquire is only an
+    /// event while the L2 can sink it. While it is back-pressured (per-line
+    /// MSHR conflict or MSHR exhaustion), the L2 transition that clears the
+    /// conflict is itself evented, and re-evaluation after that tick
+    /// re-raises the Acquire. Channel B is gated symmetrically: the L1 pops
+    /// a probe only while its probe unit is idle, and a busy probe unit
+    /// reports its own progress (or its blockers are evented elsewhere).
+    ///
+    /// Any event due *now* is the global minimum, so the scan returns
+    /// immediately — on the common busy cycle this skips most of the walk.
+    pub fn next_event(&self) -> Option<u64> {
+        let now = self.now;
+        let mut next: Option<u64> = None;
+        let merge = |next: &mut Option<u64>, t: u64| {
+            *next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        for i in 0..self.cfg.cores {
+            if let Some(t) = self.a[i].next_ready() {
+                if t > now {
+                    merge(&mut next, t);
+                } else if let Some(&ChannelA::AcquireBlock { addr, .. }) = self.a[i].peek(now) {
+                    if self.l2.can_accept_acquire(addr) {
+                        return Some(now);
+                    }
+                }
+            }
+            if let Some(t) = self.b[i].next_ready() {
+                if t > now {
+                    merge(&mut next, t);
+                } else if self.l1s[i].probe_rdy() {
+                    return Some(now);
+                }
+            }
+            for t in [
+                self.c[i].next_ready(),
+                self.d[i].next_ready(),
+                self.e[i].next_ready(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if t <= now {
+                    return Some(now);
+                }
+                merge(&mut next, t);
+            }
+            if let Some(t) = self.l1s[i].next_event(
+                now,
+                self.a[i].can_push(),
+                self.c[i].can_push(),
+                self.e[i].can_push(),
+            ) {
+                if t <= now {
+                    return Some(now);
+                }
+                merge(&mut next, t);
+            }
+            if let Some(t) = self.lsus[i].next_event(now, &self.l1s[i]) {
+                if t <= now {
+                    return Some(now);
+                }
+                merge(&mut next, t);
+            }
+            if let Some(t) = self.frontend_next_event(i) {
+                if t <= now {
+                    return Some(now);
+                }
+                merge(&mut next, t);
+            }
+        }
+        if let Some(t) = self.l2.next_event(now, &self.dram, &self.b, &self.d) {
+            if t <= now {
+                return Some(now);
+            }
+            merge(&mut next, t);
+        }
+        if let Some(t) = self.dram.next_event(now) {
+            if t <= now {
+                return Some(now);
+            }
+            merge(&mut next, t);
+        }
+        next
+    }
+
+    /// The frontend's contribution to the next-event bound. `None` means
+    /// only an LSU completion (evented through the cache) can wake it.
+    fn frontend_next_event(&self, i: usize) -> Option<u64> {
+        let now = self.now;
+        match &self.frontends[i] {
+            Frontend::Idle => None,
+            Frontend::Program {
+                ops,
+                next,
+                nop_until,
+            } => {
+                if *next >= ops.len() {
+                    // Nothing left to issue, but a trailing Nop delay still
+                    // has to elapse before `program_done` holds.
+                    return (now < *nop_until).then_some(*nop_until);
+                }
+                if now < *nop_until {
+                    return Some(*nop_until);
+                }
+                match ops[*next] {
+                    Op::Nop { .. } => Some(now),
+                    op => self.lsus[i].has_room(op).then_some(now),
+                }
+            }
+            Frontend::Thread {
+                busy,
+                nop_until,
+                finished,
+                ..
+            } => {
+                if *finished {
+                    return None;
+                }
+                if let Some(tok) = *busy {
+                    return self.lsus[i].has_finished(tok).then_some(now);
+                }
+                if let Some(until) = *nop_until {
+                    return Some(until.max(now));
+                }
+                // About to rendezvous: the blocking `recv` takes zero
+                // simulated time and must run this cycle.
+                Some(now)
+            }
+        }
+    }
 
     fn step_frontends(&mut self) {
         let now = self.now;
         let issue_width = self.cfg.issue_width;
-        for i in 0..self.cfg.cores {
-            // Take the frontend out to appease the borrow checker; put it
-            // back at the end.
-            let mut fe = std::mem::replace(&mut self.frontends[i], Frontend::Idle);
-            match &mut fe {
+        let deadline = self.deadline;
+        // Disjoint field borrows: each frontend is stepped in place instead
+        // of being moved out and back every tick.
+        let System {
+            frontends,
+            lsus,
+            next_token,
+            ..
+        } = self;
+        for (i, fe) in frontends.iter_mut().enumerate() {
+            match fe {
                 Frontend::Idle => {}
                 Frontend::Program {
                     ops,
                     next,
                     nop_until,
                 } => {
-                    self.lsus[i].drain_finished();
+                    lsus[i].drain_finished();
                     let mut issued = 0;
                     while issued < issue_width && *next < ops.len() && now >= *nop_until {
                         match ops[*next] {
@@ -321,12 +849,12 @@ impl System {
                                 issued += 1;
                             }
                             op => {
-                                if !self.lsus[i].has_room(op) {
+                                if !lsus[i].has_room(op) {
                                     break;
                                 }
-                                let tok = self.next_token + 1;
-                                self.next_token = tok;
-                                self.lsus[i].enqueue(tok, op, now);
+                                let tok = *next_token + 1;
+                                *next_token = tok;
+                                lsus[i].enqueue(tok, op, now);
                                 *next += 1;
                                 issued += 1;
                             }
@@ -340,69 +868,138 @@ impl System {
                     nop_until,
                     finished,
                 } => {
-                    if !*finished {
-                        // Deliver a completed op's result.
-                        if let Some(tok) = *busy {
-                            match self.lsus[i].take_finished(tok) {
-                                Some(value) => {
-                                    *busy = None;
-                                    let _ = tx.send(Resp {
+                    if *finished {
+                        continue;
+                    }
+                    // Deliver a completed op's result. A failed send means
+                    // the worker is gone (panicked or leaked its handle):
+                    // mark the frontend finished so the tick loop can drain
+                    // and `run_threads` surfaces the panic on join instead
+                    // of wedging.
+                    if let Some(tok) = *busy {
+                        match lsus[i].take_finished(tok) {
+                            Some(value) => {
+                                *busy = None;
+                                if tx
+                                    .send(Resp {
                                         value,
-                                        halted: now >= self.deadline,
-                                    });
-                                }
-                                None => {
-                                    self.frontends[i] = fe;
+                                        halted: now >= deadline,
+                                    })
+                                    .is_err()
+                                {
+                                    *finished = true;
                                     continue;
                                 }
                             }
+                            None => continue,
                         }
-                        if let Some(until) = *nop_until {
-                            if now < until {
-                                self.frontends[i] = fe;
-                                continue;
-                            }
-                            *nop_until = None;
-                            let _ = tx.send(Resp {
+                    }
+                    if let Some(until) = *nop_until {
+                        if now < until {
+                            continue;
+                        }
+                        *nop_until = None;
+                        if tx
+                            .send(Resp {
                                 value: 0,
-                                halted: now >= self.deadline,
-                            });
+                                halted: now >= deadline,
+                            })
+                            .is_err()
+                        {
+                            *finished = true;
+                            continue;
                         }
-                        // Rendezvous: block until the workload's next
-                        // command (its host-side computation takes zero
-                        // simulated time).
-                        loop {
-                            match rx.recv() {
-                                Ok(Cmd::RdCycle) => {
-                                    let _ = tx.send(Resp {
+                    }
+                    // Rendezvous: block until the workload's next command
+                    // (its host-side computation takes zero simulated
+                    // time). A disconnected channel is treated exactly like
+                    // `Cmd::Done`.
+                    loop {
+                        match rx.recv() {
+                            Ok(Cmd::RdCycle) => {
+                                if tx
+                                    .send(Resp {
                                         value: now,
-                                        halted: now >= self.deadline,
-                                    });
-                                }
-                                Ok(Cmd::Op(Op::Nop { cycles })) => {
-                                    *nop_until = Some(now + cycles);
-                                    break;
-                                }
-                                Ok(Cmd::Op(op)) => {
-                                    let tok = self.next_token + 1;
-                                    self.next_token = tok;
-                                    // Thread mode has at most one op in
-                                    // flight; room is guaranteed.
-                                    self.lsus[i].enqueue(tok, op, now);
-                                    *busy = Some(tok);
-                                    break;
-                                }
-                                Ok(Cmd::Done) | Err(_) => {
+                                        halted: now >= deadline,
+                                    })
+                                    .is_err()
+                                {
                                     *finished = true;
                                     break;
                                 }
+                            }
+                            Ok(Cmd::Op(Op::Nop { cycles })) => {
+                                *nop_until = Some(now + cycles);
+                                break;
+                            }
+                            Ok(Cmd::Op(op)) => {
+                                let tok = *next_token + 1;
+                                *next_token = tok;
+                                // Thread mode has at most one op in
+                                // flight; room is guaranteed.
+                                lsus[i].enqueue(tok, op, now);
+                                *busy = Some(tok);
+                                break;
+                            }
+                            Ok(Cmd::Done) | Err(_) => {
+                                *finished = true;
+                                break;
                             }
                         }
                     }
                 }
             }
-            self.frontends[i] = fe;
         }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn debug_event_blame(&self) -> Vec<&'static str> {
+        let now = self.now;
+        let mut blames = Vec::new();
+        for i in 0..self.cfg.cores {
+            if self.a[i].next_ready().is_some_and(|t| t <= now) {
+                if let Some(&ChannelA::AcquireBlock { addr, .. }) = self.a[i].peek(now) {
+                    if self.l2.can_accept_acquire(addr) {
+                        blames.push("A");
+                    }
+                }
+            }
+            if self.b[i].next_ready().is_some_and(|t| t <= now) && self.l1s[i].probe_rdy() {
+                blames.push("B");
+            }
+            if self.c[i].next_ready().is_some_and(|t| t <= now) {
+                blames.push("C");
+            }
+            if self.d[i].next_ready().is_some_and(|t| t <= now) {
+                blames.push("D");
+            }
+            if self.e[i].next_ready().is_some_and(|t| t <= now) {
+                blames.push("E");
+            }
+            if self.l1s[i]
+                .next_event(now, self.a[i].can_push(), self.c[i].can_push(), self.e[i].can_push())
+                .is_some_and(|t| t <= now)
+            {
+                blames.push("L1");
+            }
+            if self.lsus[i].next_event(now, &self.l1s[i]).is_some_and(|t| t <= now) {
+                blames.push("LSU");
+            }
+            if self.frontend_next_event(i).is_some_and(|t| t <= now) {
+                blames.push("FE");
+            }
+        }
+        if self
+            .l2
+            .next_event(now, &self.dram, &self.b, &self.d)
+            .is_some_and(|t| t <= now)
+        {
+            blames.push("L2");
+        }
+        if self.dram.next_event(now).is_some_and(|t| t <= now) {
+            blames.push("DRAM");
+        }
+        blames
     }
 
     fn program_done(&self, core: usize) -> bool {
@@ -444,8 +1041,7 @@ impl System {
             };
         }
         let watchdog = self.now + 2_000_000_000;
-        while !(0..self.cfg.cores).all(|i| self.program_done(i)) {
-            self.tick();
+        while !self.step_engine(|s| (0..s.cfg.cores).all(|i| s.program_done(i))) {
             assert!(self.now < watchdog, "program run exceeded watchdog budget");
         }
         for fe in &mut self.frontends {
@@ -458,8 +1054,9 @@ impl System {
     /// asynchronous writebacks that no fence waited for).
     pub fn quiesce(&mut self) {
         let watchdog = self.now + 1_000_000;
-        while !(self.l1s.iter().all(|c| c.is_quiescent()) && self.l2.is_quiescent()) {
-            self.tick();
+        while !self
+            .step_engine(|s| s.l1s.iter().all(|c| c.is_quiescent()) && s.l2.is_quiescent())
+        {
             assert!(self.now < watchdog, "quiesce exceeded watchdog budget");
         }
     }
@@ -507,9 +1104,7 @@ impl System {
                 .zip(handles)
                 .map(|(w, h)| scope.spawn(move || w(h)))
                 .collect();
-            while !(0..self.cfg.cores).all(|i| self.program_done(i)) {
-                self.tick();
-            }
+            while !self.step_engine(|s| (0..s.cfg.cores).all(|i| s.program_done(i))) {}
             joins
                 .into_iter()
                 .map(|j| j.join().expect("workload thread panicked"))
@@ -536,6 +1131,156 @@ mod tests {
             },
             ..SystemConfig::default()
         })
+    }
+
+    #[test]
+    #[ignore = "diagnostic: per-cycle event-source histogram for fig09-shaped runs"]
+    fn blame_fig09_event_sources() {
+        for cores in [1usize, 8] {
+            let mut s = sys(cores, false);
+            let lines: Vec<Vec<u64>> = (0..cores as u64)
+                .map(|t| {
+                    (0..512 / cores as u64)
+                        .map(|i| 0x100_0000 + t * 0x10_0000 + i * 64)
+                        .collect()
+                })
+                .collect();
+            let phases: [(&str, Vec<Vec<Op>>); 2] = [
+                (
+                    "dirty",
+                    lines
+                        .iter()
+                        .map(|ls| {
+                            ls.iter().map(|&a| Op::Store { addr: a, value: a }).collect()
+                        })
+                        .collect(),
+                ),
+                (
+                    "writeback",
+                    lines
+                        .iter()
+                        .map(|ls| {
+                            let mut p: Vec<Op> =
+                                ls.iter().map(|&a| Op::Clean { addr: a }).collect();
+                            p.push(Op::Fence);
+                            p
+                        })
+                        .collect(),
+                ),
+            ];
+            for (name, progs) in phases {
+                for (i, ops) in progs.into_iter().enumerate() {
+                    s.frontends[i] = Frontend::Program {
+                        ops,
+                        next: 0,
+                        nop_until: 0,
+                    };
+                }
+                let mut hist: std::collections::HashMap<&'static str, u64> =
+                    Default::default();
+                let mut busy = 0u64;
+                let mut total = 0u64;
+                while !(0..s.cfg.cores).all(|i| s.program_done(i)) {
+                    let blames = s.debug_event_blame();
+                    if blames.is_empty() {
+                        *hist.entry("idle").or_default() += 1;
+                    } else {
+                        busy += 1;
+                        for b in blames {
+                            *hist.entry(b).or_default() += 1;
+                        }
+                    }
+                    total += 1;
+                    s.tick();
+                }
+                for fe in &mut s.frontends {
+                    *fe = Frontend::Idle;
+                }
+                let mut v: Vec<_> = hist.into_iter().collect();
+                v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+                eprintln!("cores={cores} phase={name}: {total} cycles, {busy} busy, {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "diagnostic: host-side cost breakdown of an idle tick"]
+    fn time_idle_tick_components() {
+        use std::time::Instant;
+        for cores in [1usize, 8] {
+            let mut s = sys(cores, false);
+            // Warm the system up with one store per core, then quiesce so
+            // every component is idle but internally non-trivial.
+            let progs = (0..cores as u64)
+                .map(|t| {
+                    vec![Op::Store {
+                        addr: 0x100_0000 + t * 0x10_0000,
+                        value: t,
+                    }]
+                })
+                .collect();
+            s.run_programs(progs);
+            const N: u64 = 1_000_000;
+            let t0 = Instant::now();
+            for _ in 0..N {
+                s.tick();
+            }
+            let tick_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc = acc.wrapping_add(s.next_event().unwrap_or(0));
+            }
+            let ne_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            let t0 = Instant::now();
+            for _ in 0..N {
+                let p = s.plan_tick();
+                acc = acc.wrapping_add(p.cores);
+            }
+            let plan_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            let now = s.now;
+            let t0 = Instant::now();
+            for _ in 0..N {
+                let mut ports = skipit_dcache::L1Ports {
+                    a: &mut s.a[0],
+                    b: &mut s.b[0],
+                    c: &mut s.c[0],
+                    d: &mut s.d[0],
+                    e: &mut s.e[0],
+                };
+                s.l1s[0].step(now, &mut ports);
+            }
+            let l1_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            let t0 = Instant::now();
+            for _ in 0..N {
+                s.lsus[0].step(now, &mut s.l1s[0]);
+            }
+            let lsu_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            let t0 = Instant::now();
+            for _ in 0..N {
+                let mut ports = L2Ports {
+                    a: &mut s.a,
+                    b: &mut s.b,
+                    c: &mut s.c,
+                    d: &mut s.d,
+                    e: &mut s.e,
+                    mem: &mut s.dram,
+                };
+                s.l2.step(now, &mut ports);
+            }
+            let l2_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            let t0 = Instant::now();
+            for _ in 0..N {
+                s.step_frontends();
+            }
+            let fe_ns = t0.elapsed().as_nanos() as f64 / N as f64;
+            eprintln!(
+                "cores={cores}: tick {tick_ns:.0}ns, next_event {ne_ns:.0}ns, \
+                 plan_tick {plan_ns:.0}ns, l1.step {l1_ns:.0}ns, lsu.step \
+                 {lsu_ns:.0}ns, l2.step {l2_ns:.0}ns, frontends {fe_ns:.0}ns \
+                 (acc {acc})"
+            );
+        }
     }
 
     #[test]
@@ -788,5 +1533,135 @@ mod tests {
             Some(10_000),
         );
         assert!(ops[0] > 0);
+    }
+
+    /// Two contending cores with long idle stretches — plenty of windows for
+    /// the fast engine to skip, plenty of races it must not reorder.
+    fn contended_programs() -> Vec<Vec<Op>> {
+        let line = |i: u64| 0x1_0000 + i * 64;
+        let mut p0 = Vec::new();
+        for i in 0..8 {
+            p0.push(Op::Store {
+                addr: line(i),
+                value: i + 1,
+            });
+        }
+        for i in 0..8 {
+            p0.push(Op::Clean { addr: line(i) });
+        }
+        p0.push(Op::Fence);
+        p0.push(Op::Nop { cycles: 500 });
+        p0.push(Op::Load { addr: line(0) });
+        let mut p1 = vec![Op::Nop { cycles: 37 }];
+        for i in 0..8 {
+            p1.push(Op::Store {
+                addr: line(i),
+                value: 100 + i,
+            });
+            p1.push(Op::Flush { addr: line(i) });
+        }
+        p1.push(Op::Fence);
+        vec![p0, p1]
+    }
+
+    fn engine_run(fast: bool) -> (u64, SystemStats, Vec<u64>, EngineStats) {
+        let mut s = System::new(SystemConfig {
+            cores: 2,
+            fast_forward: fast,
+            ..SystemConfig::default()
+        });
+        let cycles = s.run_programs(contended_programs());
+        s.quiesce();
+        let words = (0..8)
+            .map(|i| s.dram().read_word_direct(0x1_0000 + i * 64))
+            .collect();
+        (cycles, s.stats(), words, s.engine_stats())
+    }
+
+    #[test]
+    fn fast_forward_matches_naive_engine_exactly() {
+        let (naive_cycles, naive_stats, naive_mem, naive_engine) = engine_run(false);
+        let (fast_cycles, fast_stats, fast_mem, fast_engine) = engine_run(true);
+        assert_eq!(naive_cycles, fast_cycles, "elapsed cycles diverge");
+        assert_eq!(naive_stats, fast_stats, "statistics diverge");
+        assert_eq!(naive_mem, fast_mem, "DRAM contents diverge");
+        assert_eq!(
+            naive_engine,
+            EngineStats::default(),
+            "naive engine must not count jumps"
+        );
+        assert!(
+            fast_engine.jumps > 0 && fast_engine.skipped_cycles > 0,
+            "fast engine never skipped on an idle-heavy workload: {fast_engine:?}"
+        );
+    }
+
+    #[test]
+    fn lockstep_oracle_accepts_real_windows() {
+        let mut s = System::new(SystemConfig {
+            cores: 2,
+            lockstep_oracle: true,
+            ..SystemConfig::default()
+        });
+        s.run_programs(contended_programs());
+        assert!(
+            s.engine_stats().jumps > 0,
+            "oracle mode must still take (verified) jumps"
+        );
+    }
+
+    #[test]
+    fn thread_mode_matches_naive_engine() {
+        let run = |fast: bool| {
+            let mut s = System::new(SystemConfig {
+                cores: 2,
+                fast_forward: fast,
+                ..SystemConfig::default()
+            });
+            s.run_threads(
+                vec![
+                    Box::new(|h: CoreHandle| {
+                        for i in 0..6u64 {
+                            h.store(0x7000 + i * 64, i + 1);
+                        }
+                        h.work(200);
+                        let v = h.load(0x7000);
+                        h.flush(0x7000);
+                        h.fence();
+                        h.finish();
+                        v
+                    }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                    Box::new(|h: CoreHandle| {
+                        h.work(50);
+                        let v = h.fetch_add(0x7000, 10);
+                        h.fence();
+                        h.finish();
+                        v
+                    }),
+                ],
+                None,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload thread panicked")]
+    fn worker_panic_propagates_instead_of_wedging() {
+        let mut s = sys(2, false);
+        let _ = s.run_threads(
+            vec![
+                Box::new(|h: CoreHandle| -> u64 {
+                    h.store(0x100, 1);
+                    panic!("injected workload failure");
+                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                Box::new(|h: CoreHandle| {
+                    h.store(0x140, 2);
+                    h.finish();
+                    0
+                }),
+            ],
+            Some(1_000_000),
+        );
     }
 }

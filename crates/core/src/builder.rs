@@ -93,6 +93,23 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables or disables the event-driven fast-forward engine. Cycle
+    /// counts and statistics are bit-identical either way; `false` selects
+    /// plain cycle-by-cycle stepping. Default on.
+    pub fn fast_forward(mut self, on: bool) -> Self {
+        self.cfg.fast_forward = on;
+        self
+    }
+
+    /// Runs the lockstep oracle: every fast-forward jump is re-executed
+    /// cycle by cycle and the engine panics if any state changes inside a
+    /// window it claimed idle. Debug aid; costs the naive engine's speed.
+    /// Default off.
+    pub fn lockstep_oracle(mut self, on: bool) -> Self {
+        self.cfg.lockstep_oracle = on;
+        self
+    }
+
     /// The assembled configuration (before building).
     pub fn config(&self) -> &SystemConfig {
         &self.cfg

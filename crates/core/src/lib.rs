@@ -58,7 +58,7 @@ pub mod check;
 pub mod builder;
 
 pub use builder::SystemBuilder;
-pub use skipit_boom::{CoreHandle, Op, System, SystemConfig, SystemStats};
+pub use skipit_boom::{CoreHandle, EngineStats, Op, System, SystemConfig, SystemStats};
 pub use skipit_dcache::{DataCache, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};
 pub use skipit_mem::{Dram, DramConfig, MemStats};

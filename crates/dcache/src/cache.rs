@@ -152,7 +152,7 @@ impl DataCache {
             wbu: Wbu::default(),
             probe: ProbePhase::Idle,
             flush: FlushUnit::new(cfg.flush_queue_depth, cfg.fshrs),
-            resp: VecDeque::new(),
+            resp: VecDeque::with_capacity(16),
             stats: L1Stats::default(),
             cfg,
         }
@@ -223,8 +223,180 @@ impl DataCache {
         self.resp.remove(idx).map(|(_, r)| r)
     }
 
+    /// Whether the probe unit is idle (the `probe_rdy` signal, §5.4.1). The
+    /// scheduler gates channel B head events on this: a probe sitting at the
+    /// head of B is consumed only while the unit is idle.
+    pub fn probe_rdy(&self) -> bool {
+        matches!(self.probe, ProbePhase::Idle)
+    }
+
+    /// Conservative lower bound on the next cycle at which this cache can
+    /// change state on its own (the event-driven scheduler's contract): the
+    /// earliest pending-response delivery, or `now` whenever any internal
+    /// unit would actually make progress this cycle.
+    ///
+    /// `a_rdy`/`c_rdy`/`e_rdy` say whether the outbound channel A/C/E links
+    /// have room. A sender blocked on a full link is *not* an event: the
+    /// consumer's pop that frees the slot is evented through that link's
+    /// head, and the L2 drains C and E greedily before the L1s step, so a
+    /// slot freed at cycle `t` is usable at `t`. States that only a TileLink
+    /// arrival can advance (`WaitGrant`, a sent-but-unacked writeback,
+    /// `WaitAck` FSHRs) report nothing — the scheduler events the channel D
+    /// link separately.
+    pub fn next_event(&self, now: u64, a_rdy: bool, c_rdy: bool, e_rdy: bool) -> Option<u64> {
+        let probe_rdy = matches!(self.probe, ProbePhase::Idle);
+        let wb_rdy = self.wbu.ready();
+        let flush_rdy = self.flush.flush_rdy();
+        for m in &self.mshrs {
+            match m.state {
+                MshrState::Free | MshrState::WaitGrant => {}
+                MshrState::EvictWait => {
+                    // Held by the §5.4.2 interlocks; while they are low the
+                    // unit holding them low reports its own work below.
+                    if flush_rdy && wb_rdy {
+                        return Some(now);
+                    }
+                }
+                MshrState::SendAcquire => {
+                    if a_rdy {
+                        return Some(now);
+                    }
+                }
+                MshrState::Replay => return Some(now),
+                MshrState::SendGrantAck => {
+                    // A secondary request in the RPQ flips the MSHR back to
+                    // Replay this cycle even when channel E is full.
+                    if e_rdy || !m.rpq.is_empty() {
+                        return Some(now);
+                    }
+                }
+            }
+        }
+        match &self.probe {
+            ProbePhase::Idle => {}
+            // The invalidate half-cycle always progresses.
+            ProbePhase::Invalidate(_) => return Some(now),
+            ProbePhase::Waiting(ChannelB::Probe { addr, .. }) => {
+                // Mirrors the step_probe downgrade gate; every blocking
+                // input is evented on its own (FSHRs above, WBU via channel
+                // D, replaying MSHRs above, channel C via the L2 drain).
+                let mshr_busy = self.mshrs.iter().any(|m| {
+                    m.active_on(*addr)
+                        && matches!(m.state, MshrState::Replay | MshrState::SendGrantAck)
+                });
+                if flush_rdy && wb_rdy && !mshr_busy && c_rdy {
+                    return Some(now);
+                }
+            }
+        }
+        if c_rdy && self.wbu.job.as_ref().is_some_and(|j| !j.sent) {
+            return Some(now);
+        }
+        if self.flush.has_work(probe_rdy, wb_rdy, c_rdy) {
+            return Some(now);
+        }
+        let mut next: Option<u64> = None;
+        for &(ready, _) in &self.resp {
+            if ready <= now {
+                return Some(now);
+            }
+            next = Some(next.map_or(ready, |n: u64| n.min(ready)));
+        }
+        next
+    }
+
     fn respond(&mut self, ready: u64, resp: DcResp) {
         self.resp.push_back((ready, resp));
+    }
+
+    /// Whether [`DataCache::try_request`] would accept `kind` this cycle — a
+    /// pure mirror of every nack condition in the handlers below. The LSU
+    /// holds a request at its queue head while this is false instead of
+    /// firing into a nack and polling on a timed backoff: every transition
+    /// that can flip the answer is an L1 state change, which the event-driven
+    /// scheduler already observes, so a stalled head needs no self-event.
+    pub fn would_accept(&self, kind: DcReqKind) -> bool {
+        match kind {
+            DcReqKind::Writeback { addr, kind } => {
+                let line = LineAddr::containing(addr);
+                if self.mshrs.iter().any(|m| m.active_on(line)) {
+                    return false;
+                }
+                let (hit, dirty, skip) = match self.arrays.lookup(line) {
+                    Some(way) => {
+                        let m = self.arrays.meta(self.arrays.set_index(line), way);
+                        (true, m.state.is_dirty(), m.skip)
+                    }
+                    None => (false, false, false),
+                };
+                (self.cfg.skip_it && hit && !dirty && skip && kind.writes_back())
+                    || self.flush.can_coalesce(line, kind, dirty)
+                    || (self.cfg.cross_kind_coalescing
+                        && self.flush.can_cross_kind_coalesce(line, kind))
+                    || !self.flush.queue_full()
+            }
+            DcReqKind::Load { addr } => {
+                let line = LineAddr::containing(addr);
+                if self
+                    .mshrs
+                    .iter()
+                    .any(|m| m.active_on(line) && m.write && m.state != MshrState::SendGrantAck)
+                {
+                    return self.can_miss_enqueue(line, false);
+                }
+                if let Some(way) = self.arrays.lookup(line) {
+                    let set = self.arrays.set_index(line);
+                    if self.arrays.meta(set, way).state.can_read() {
+                        return true;
+                    }
+                }
+                if let Some(fshr) = self.flush.fshr_for(line) {
+                    return fshr.buffer.is_some();
+                }
+                if self.flush.queued_entry(line).is_some() {
+                    return false;
+                }
+                self.can_miss_enqueue(line, false)
+            }
+            DcReqKind::Store { addr, .. } | DcReqKind::Amo { addr, .. } => {
+                let line = LineAddr::containing(addr);
+                if self.store_blocked_by_flush(line) {
+                    return false;
+                }
+                if self.mshr_orders_line(line) {
+                    return self.can_miss_enqueue(line, true);
+                }
+                if let Some(way) = self.arrays.lookup(line) {
+                    let set = self.arrays.set_index(line);
+                    if self.arrays.meta(set, way).state.can_write() {
+                        return true;
+                    }
+                }
+                self.can_miss_enqueue(line, true)
+            }
+        }
+    }
+
+    /// Pure mirror of [`DataCache::miss_enqueue`]'s accept conditions.
+    fn can_miss_enqueue(&self, line: LineAddr, write: bool) -> bool {
+        if let Some(m) = self.mshrs.iter().find(|m| m.active_on(line)) {
+            return (!write || m.write) && m.rpq.len() < self.cfg.rpq_depth;
+        }
+        self.mshrs.iter().any(|m| m.state == MshrState::Free)
+            && (self.arrays.lookup(line).is_some() || self.arrays.victim_way(line).is_some())
+    }
+
+    /// Pure mirror of [`DataCache::store_flush_conflict`].
+    fn store_blocked_by_flush(&self, line: LineAddr) -> bool {
+        if self.flush.queued_entry(line).is_some() {
+            return true;
+        }
+        if let Some(fshr) = self.flush.fshr_for(line) {
+            let allowed = fshr.entry.kind == skipit_tilelink::WritebackKind::Clean
+                && (!fshr.entry.is_dirty || fshr.buffer.is_some());
+            return !allowed;
+        }
+        false
     }
 
     /// Presents one LSU request to the cache. See [`ReqOutcome`] for the

@@ -176,6 +176,17 @@ impl FlushUnit {
     /// every store ordered before the clean, since dependent stores are
     /// blocked while the entry is queued).
     ///
+    /// Whether [`FlushUnit::try_cross_kind_coalesce`] would absorb the
+    /// request — the same test without the upgrade side effect, for the
+    /// cache's admission predicate.
+    pub fn can_cross_kind_coalesce(&self, addr: LineAddr, kind: WritebackKind) -> bool {
+        kind != WritebackKind::Inval
+            && self
+                .queue
+                .iter()
+                .any(|e| e.addr == addr && e.kind != kind && e.kind != WritebackKind::Inval)
+    }
+
     /// Returns `true` if the request was absorbed.
     pub fn try_cross_kind_coalesce(&mut self, addr: LineAddr, kind: WritebackKind) -> bool {
         if kind == WritebackKind::Inval {
@@ -428,6 +439,30 @@ impl FlushUnit {
             }
         }
         true
+    }
+
+    /// Whether the flush unit would do work *this* cycle: an FSHR is in a
+    /// self-advancing state (`MetaWrite`/`FillBuffer` always progress;
+    /// `SendRelease*` pushes only while channel C has room, `c_rdy`), or a
+    /// queued entry can be allocated under the given interlocks. FSHRs in
+    /// `WaitAck` are woken by channel D traffic, and a `SendRelease*` facing
+    /// a full channel C by the L2's drain of that channel — both evented
+    /// separately by the scheduler, so they contribute no work here.
+    pub fn has_work(&self, probe_rdy: bool, wb_rdy: bool, c_rdy: bool) -> bool {
+        let mut free = false;
+        for f in &self.fshrs {
+            match f.state {
+                FshrState::MetaWrite | FshrState::FillBuffer => return true,
+                FshrState::SendReleaseData | FshrState::SendRelease => {
+                    if c_rdy {
+                        return true;
+                    }
+                }
+                FshrState::Free => free = true,
+                FshrState::WaitAck => {}
+            }
+        }
+        !self.queue.is_empty() && probe_rdy && wb_rdy && free
     }
 
     /// Drops one pending unit of work without executing it (used when a

@@ -109,6 +109,9 @@ pub struct InclusiveCache {
     cfg: L2Config,
     arrays: L2Arrays,
     mshrs: Vec<Option<L2Mshr>>,
+    /// Bitmask of occupied `mshrs` slots, so the per-cycle event scan walks
+    /// only live transactions instead of the whole (mostly empty) array.
+    occupied: u64,
     list_buffer: VecDeque<Deferred>,
     next_token: u64,
     stats: L2Stats,
@@ -125,10 +128,12 @@ impl InclusiveCache {
     pub fn new(cores: usize, cfg: L2Config) -> Self {
         cfg.validate();
         assert!((1..=32).contains(&cores), "1..=32 cores supported");
+        assert!(cfg.mshrs <= 64, "occupancy bitmask is 64 bits wide");
         InclusiveCache {
             arrays: L2Arrays::new(&cfg),
             mshrs: vec![None; cfg.mshrs],
-            list_buffer: VecDeque::new(),
+            occupied: 0,
+            list_buffer: VecDeque::with_capacity(cfg.list_buffer_depth),
             next_token: 0,
             stats: L2Stats::default(),
             cores,
@@ -173,6 +178,93 @@ impl InclusiveCache {
 
     fn free_mshr(&self) -> Option<usize> {
         self.mshrs.iter().position(Option::is_none)
+    }
+
+    /// Whether an Acquire for `addr` arriving this cycle would be sunk into
+    /// an MSHR (rather than left in the channel A link by back-pressure).
+    /// The event-driven scheduler uses this to avoid busy-waiting on a
+    /// blocked Acquire: the MSHR transition that clears the conflict is an
+    /// event of its own.
+    pub fn can_accept_acquire(&self, addr: LineAddr) -> bool {
+        !self.mshr_conflict(addr) && self.free_mshr().is_some()
+    }
+
+    /// Conservative lower bound on the next cycle at which the L2 can change
+    /// state on its own: directory-access completions, probe/response/DRAM
+    /// issue work due now, or the memory controller's issue gate for MSHRs
+    /// waiting to talk to DRAM. Wait states advanced only by TileLink or
+    /// memory arrivals report nothing — the scheduler events those sources
+    /// separately (channel C/E links, [`Dram::next_event`]).
+    ///
+    /// `b`/`d` are the outbound per-core links: a sender blocked on a full
+    /// one is not an event (the L1's pop that frees the slot is evented
+    /// through that link's head; the freed slot becomes usable at the next
+    /// tick, which a re-evaluation then reports as `now`).
+    pub fn next_event(
+        &self,
+        now: u64,
+        mem: &Dram,
+        b: &[Link<ChannelB>],
+        d: &[Link<ChannelD>],
+    ) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut merge = |t: u64| next = Some(next.map_or(t, |n| n.min(t)));
+        let mut occ = self.occupied;
+        while occ != 0 {
+            let idx = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let m = self.mshrs[idx].as_ref().expect("occupied slot is live");
+            match m.state {
+                L2MshrState::Access { until } => {
+                    if until <= now {
+                        return Some(now);
+                    }
+                    merge(until);
+                }
+                L2MshrState::VictimProbe | L2MshrState::OwnerProbe => {
+                    // A fully acknowledged phase completes this cycle; unsent
+                    // probes progress iff some target's channel B has room.
+                    // Outstanding acks arrive on channel C (evented
+                    // separately).
+                    if m.to_probe == 0 && m.pending_acks == 0 {
+                        return Some(now);
+                    }
+                    if (0..self.cores).any(|a| m.to_probe & (1 << a) != 0 && b[a].can_push()) {
+                        return Some(now);
+                    }
+                }
+                // MemRead invalidates its victim unconditionally before
+                // consulting the memory issue gate — that is progress even
+                // while DRAM is busy.
+                L2MshrState::MemRead if m.victim.is_some() => return Some(now),
+                L2MshrState::VictimWrite | L2MshrState::MemRead | L2MshrState::DramWrite => {
+                    let t = mem.next_accept(now);
+                    if t <= now {
+                        return Some(now);
+                    }
+                    merge(t);
+                }
+                L2MshrState::SendResp => {
+                    let (L2Req::Acquire { source, .. }
+                    | L2Req::RootRelease { source, .. }) = m.req;
+                    if d[source].can_push() {
+                        return Some(now);
+                    }
+                }
+                L2MshrState::VictimWriteWait
+                | L2MshrState::MemReadWait
+                | L2MshrState::DramWriteWait
+                | L2MshrState::WaitGrantAck => {}
+            }
+        }
+        if self
+            .list_buffer
+            .iter()
+            .any(|&Deferred(msg)| self.can_accept_acquire(msg.addr()))
+        {
+            return Some(now);
+        }
+        next
     }
 
     /// Advances the L2 by one cycle.
@@ -243,6 +335,7 @@ impl InclusiveCache {
                     panic!("GrantAck for {addr:?} without a waiting MSHR");
                 };
                 self.mshrs[idx] = None;
+                self.occupied &= !(1 << idx);
             }
         }
     }
@@ -434,6 +527,7 @@ impl InclusiveCache {
                 return;
             };
             ports.a[core].pop(now);
+            self.occupied |= 1 << slot;
             self.mshrs[slot] = Some(L2Mshr {
                 addr,
                 req: L2Req::Acquire { source, grow },
@@ -461,6 +555,7 @@ impl InclusiveCache {
         else {
             panic!("ListBuffer held a non-RootRelease message: {msg:?}");
         };
+        self.occupied |= 1 << slot;
         self.mshrs[slot] = Some(L2Mshr {
             addr,
             req: L2Req::RootRelease { source, kind, data },
@@ -838,6 +933,7 @@ impl InclusiveCache {
                     WritebackKind::Inval => self.stats.root_release_inval += 1,
                 }
                 self.mshrs[idx] = None;
+                self.occupied &= !(1 << idx);
             }
         }
     }

@@ -205,6 +205,24 @@ impl Dram {
         self.inflight.is_empty() && self.ready.is_empty()
     }
 
+    /// Earliest cycle at which the controller can change externally visible
+    /// state on its own: `now` if a completed response is waiting to be
+    /// popped, otherwise the completion time of the oldest in-flight request
+    /// (requests complete strictly in order). `None` when fully idle — only
+    /// a new request can create future work.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if !self.ready.is_empty() {
+            return Some(now);
+        }
+        self.inflight.front().map(|&(done_at, _)| done_at.max(now))
+    }
+
+    /// Earliest cycle at which [`Dram::can_accept`] will hold — the issue
+    /// bandwidth gate callers (L2 MSHRs) block on.
+    pub fn next_accept(&self, now: u64) -> u64 {
+        self.next_issue.max(now)
+    }
+
     /// Functional (zero-time) read of a line — the *persisted* image.
     ///
     /// This is the view a crash-recovery procedure sees: it bypasses all
@@ -401,6 +419,30 @@ mod tests {
         assert!(m.pop_response().is_some());
         assert!(m.pop_response().is_some());
         assert!(m.is_idle());
+    }
+
+    #[test]
+    fn next_event_tracks_completion_and_ready_queues() {
+        let mut m = Dram::new(DramConfig {
+            read_latency: 10,
+            write_latency: 10,
+            issue_interval: 4,
+        });
+        assert_eq!(m.next_event(0), None);
+        assert_eq!(m.next_accept(3), 3);
+        m.request(
+            0,
+            MemReq::Read {
+                addr: line(0),
+                token: 0,
+            },
+        );
+        assert_eq!(m.next_event(1), Some(10), "oldest in-flight completion");
+        assert_eq!(m.next_accept(1), 4, "issue-interval gate");
+        m.step(10);
+        assert_eq!(m.next_event(11), Some(11), "unconsumed response is work now");
+        assert!(m.pop_response().is_some());
+        assert_eq!(m.next_event(12), None);
     }
 
     #[test]

@@ -135,9 +135,12 @@ impl Bst {
         }
         let sw = ph.read_traverse(sibling_f);
         // Splice: ancestor's edge toward key moves from successor to the
-        // sibling subtree (flags/tags cleared, leaf bit preserved).
+        // sibling subtree (tag cleared, leaf bit preserved). The NM *flag*
+        // of the sibling edge must survive the splice: it is a concurrent
+        // delete's injection on the sibling leaf, and dropping it strands
+        // that delete in its cleanup loop forever (no edge left flagged).
         let anc_f = self.child_field(ph, s.ancestor, key);
-        let new_w = (addr(sw)) | (sw & LEAF);
+        let new_w = (addr(sw)) | (sw & (LEAF | DEL));
         ph.cas(anc_f, s.successor, new_w)
     }
 }

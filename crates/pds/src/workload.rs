@@ -75,6 +75,9 @@ pub struct WorkloadCfg {
     pub seed: u64,
     /// Hash-table buckets (only for [`DsKind::Hash`]).
     pub hash_buckets: usize,
+    /// Simulation engine selector (cycle counts are identical either way;
+    /// `false` forces naive cycle-by-cycle stepping). Default on.
+    pub fast_forward: bool,
 }
 
 impl Default for WorkloadCfg {
@@ -90,6 +93,7 @@ impl Default for WorkloadCfg {
             budget_cycles: 300_000,
             seed: 42,
             hash_buckets: 512,
+            fast_forward: true,
         }
     }
 }
@@ -156,6 +160,7 @@ fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
     let mut sys = SystemBuilder::new()
         .cores(cfg.threads)
         .skip_it(cfg.opt.wants_skip_it_hardware())
+        .fast_forward(cfg.fast_forward)
         .build();
     let stride = if matches!(cfg.opt, OptKind::FlitAdjacent) {
         FieldStride::WordPlusCounter

@@ -89,7 +89,7 @@ impl<T: Beats + fmt::Debug> Link<T> {
     pub fn new(latency: u64, capacity: usize) -> Self {
         assert!(capacity > 0, "link capacity must be nonzero");
         Link {
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(capacity),
             latency,
             capacity,
             next_free: 0,
@@ -145,6 +145,15 @@ impl<T: Beats + fmt::Debug> Link<T> {
     /// Iterates over all buffered messages (in flight included), front first.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.queue.iter().map(|(_, m)| m)
+    }
+
+    /// The cycle at which the head message becomes poppable, if any message
+    /// is buffered. Because the link is a strict FIFO, this is the earliest
+    /// cycle at which the receiving side can observe any state change from
+    /// this link — the link's contribution to the event-driven scheduler's
+    /// next-event bound.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.queue.front().map(|&(ready, _)| ready)
     }
 }
 
@@ -233,6 +242,18 @@ mod tests {
         let mut l: Link<ChannelE> = Link::new(1, 1);
         l.push(0, ack(0));
         l.push(0, ack(1));
+    }
+
+    #[test]
+    fn next_ready_tracks_head_arrival() {
+        let mut l: Link<ChannelE> = Link::new(3, 8);
+        assert_eq!(l.next_ready(), None);
+        l.push(5, ack(0));
+        assert_eq!(l.next_ready(), Some(8));
+        l.push(5, ack(1)); // serialized behind the first
+        assert_eq!(l.next_ready(), Some(8), "head governs the bound");
+        assert!(l.pop(8).is_some());
+        assert_eq!(l.next_ready(), Some(9));
     }
 
     #[test]

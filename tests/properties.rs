@@ -17,6 +17,7 @@ enum POp {
     Clean { line: u8 },
     Flush { line: u8 },
     Fence,
+    Nop { cycles: u8 },
 }
 
 fn pop_strategy() -> impl Strategy<Value = POp> {
@@ -30,11 +31,36 @@ fn pop_strategy() -> impl Strategy<Value = POp> {
         (0..12u8).prop_map(|line| POp::Clean { line }),
         (0..12u8).prop_map(|line| POp::Flush { line }),
         Just(POp::Fence),
+        (1..200u8).prop_map(|cycles| POp::Nop { cycles }),
     ]
 }
 
 fn addr_of(line: u8, word: u8) -> u64 {
     0x4_0000 + line as u64 * 64 + word as u64 * 8
+}
+
+fn to_prog(ops: &[POp]) -> Vec<Op> {
+    ops.iter()
+        .map(|op| match *op {
+            POp::Store { line, word, tag } => Op::Store {
+                addr: addr_of(line, word),
+                value: tag as u64,
+            },
+            POp::Load { line, word } => Op::Load {
+                addr: addr_of(line, word),
+            },
+            POp::Clean { line } => Op::Clean {
+                addr: addr_of(line, 0),
+            },
+            POp::Flush { line } => Op::Flush {
+                addr: addr_of(line, 0),
+            },
+            POp::Fence => Op::Fence,
+            POp::Nop { cycles } => Op::Nop {
+                cycles: cycles as u64,
+            },
+        })
+        .collect()
 }
 
 proptest! {
@@ -71,6 +97,7 @@ proptest! {
                     POp::Clean { line } => h.clean(addr_of(line, 0)),
                     POp::Flush { line } => h.flush(addr_of(line, 0)),
                     POp::Fence => h.fence(),
+                    POp::Nop { cycles } => h.work(cycles as u64),
                 }
             }
             bad
@@ -131,15 +158,6 @@ proptest! {
         let mut results = Vec::new();
         for _run in 0..2 {
             let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
-            let to_prog = |ops: &[POp]| -> Vec<Op> {
-                ops.iter().map(|op| match *op {
-                    POp::Store { line, word, tag } => Op::Store { addr: addr_of(line, word), value: tag as u64 },
-                    POp::Load { line, word } => Op::Load { addr: addr_of(line, word) },
-                    POp::Clean { line } => Op::Clean { addr: addr_of(line, 0) },
-                    POp::Flush { line } => Op::Flush { addr: addr_of(line, 0) },
-                    POp::Fence => Op::Fence,
-                }).collect()
-            };
             let cycles = sys.run_programs(vec![to_prog(&ops), to_prog(&ops)]);
             sys.quiesce();
             let dram = sys.crash();
@@ -149,5 +167,30 @@ proptest! {
             results.push((cycles, image));
         }
         prop_assert_eq!(&results[0], &results[1]);
+    }
+
+    /// Engine equivalence (DESIGN.md §5): the fast-forward engine produces
+    /// bit-identical elapsed cycles, statistics, and durable memory to naive
+    /// cycle-by-cycle stepping, for random contending multi-core programs.
+    #[test]
+    fn fast_forward_engine_is_cycle_exact(ops0 in prop::collection::vec(pop_strategy(), 1..40),
+                                          ops1 in prop::collection::vec(pop_strategy(), 1..40),
+                                          skip_it in any::<bool>()) {
+        let run = |fast: bool| {
+            let mut sys = SystemBuilder::new()
+                .cores(2)
+                .skip_it(skip_it)
+                .fast_forward(fast)
+                .build();
+            let cycles = sys.run_programs(vec![to_prog(&ops0), to_prog(&ops1)]);
+            sys.quiesce();
+            let stats = sys.stats();
+            let dram = sys.crash();
+            let image: Vec<u64> = (0..12 * 8)
+                .map(|w| dram.read_word_direct(0x4_0000 + w * 8))
+                .collect();
+            (cycles, stats, image)
+        };
+        prop_assert_eq!(run(false), run(true));
     }
 }

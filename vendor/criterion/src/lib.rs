@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the API subset its one criterion bench target uses:
+//! `Criterion::{default, sample_size, measurement_time, warm_up_time,
+//! bench_function}`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain wall-clock loop — no
+//! statistics beyond mean/min — which is enough to eyeball hot-path cost.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// (mean ns/iter, min ns/iter, iters) of the last `iter` call.
+    result: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for roughly
+    /// `measurement_time` split over `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let per_sample_iters = ((self.measurement_time.as_secs_f64()
+            / self.sample_size as f64)
+            / per_iter.max(1e-9))
+        .ceil()
+        .max(1.0) as u64;
+
+        let mut total_iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_per_iter = f64::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample_iters {
+                std_black_box(f());
+            }
+            let sample = start.elapsed();
+            min_per_iter = min_per_iter.min(sample.as_secs_f64() / per_sample_iters as f64);
+            total += sample;
+            total_iters += per_sample_iters;
+        }
+        let mean = total.as_secs_f64() / total_iters as f64;
+        self.result = Some((mean * 1e9, min_per_iter * 1e9, total_iters));
+    }
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean_ns, min_ns, iters)) => println!(
+                "{name:<40} mean {mean_ns:>12.1} ns/iter  (min {min_ns:.1} ns, {iters} iters)"
+            ),
+            None => println!("{name:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group; supports both the positional and the
+/// `name/config/targets` forms used in the wild.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_a_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+}

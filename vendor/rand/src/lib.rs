@@ -1,0 +1,180 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the API subset it uses: `StdRng::seed_from_u64` plus
+//! `Rng::{gen, gen_range, gen_bool}`. The generator is splitmix64 — not the
+//! real `StdRng` stream, but every use in this workspace only needs a
+//! *deterministic seeded* source, never a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core randomness source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding constructor (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types uniformly sampleable over a bounded interval.
+pub trait SampleUniform: Sized {
+    /// Uniform value in `[lo, hi)` (`hi` exclusive) or `[lo, hi]` when
+    /// `inclusive`.
+    fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let width = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(width > 0, "gen_range: empty range");
+                let off = (rng.next_u64() as u128) % width;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::gen_range`]. The single blanket impl per range
+/// shape matters: it is what lets integer-literal inference flow from the
+/// surrounding expression into the range bounds, exactly as with real rand.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        <f64 as Standard>::from_u64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(va[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(1u64..=5);
+            assert!((1..=5).contains(&y));
+            let z: i32 = r.gen_range(0..12);
+            assert!((0..12).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}
