@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Repo CI gate: release build, full test suite, clippy with warnings denied.
+# Repo CI gate: formatting, release build, full test suite, clippy with
+# warnings denied, rustdoc with warnings denied.
 # Run from the repository root. Offline by design (deps are vendored).
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Vendored deps are neither fmt- nor doc-clean (and must stay pristine), so
+# fmt/doc enumerate the first-party crates.
+FIRST_PARTY=(-p skipit -p skipit-core -p skipit-boom -p skipit-dcache -p skipit-llc
+  -p skipit-mem -p skipit-tilelink -p skipit-trace -p skipit-pds -p skipit-bench)
+
+cargo fmt --check "${FIRST_PARTY[@]}"
 cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"

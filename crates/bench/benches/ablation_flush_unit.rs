@@ -71,7 +71,11 @@ fn main() {
             ..DramConfig::default()
         };
         let mut naive = SystemBuilder::new().cores(1).dram(dram).build();
-        let mut skip = SystemBuilder::new().cores(1).skip_it(true).dram(dram).build();
+        let mut skip = SystemBuilder::new()
+            .cores(1)
+            .skip_it(true)
+            .dram(dram)
+            .build();
         let n = fig13_sample(&mut naive, 1, 4096, 10);
         let s = fig13_sample(&mut skip, 1, 4096, 10);
         println!("{wl},{n},{s},{:.2}", n as f64 / s.max(1) as f64);

@@ -69,11 +69,7 @@ fn main() {
             opt: OptKind::Plain,
             ..cfg_for(ds)
         });
-        println!(
-            "{},none,baseline,{:.1},0,0",
-            ds.name(),
-            base.throughput()
-        );
+        println!("{},none,baseline,{:.1},0,0", ds.name(), base.throughput());
         for (mode_name, mode) in [
             ("automatic", PersistMode::Automatic),
             ("nvtraverse", PersistMode::NvTraverse),

@@ -33,13 +33,14 @@ fn bench_skipit_drop(c: &mut Criterion) {
     c.bench_function("skipit_redundant_clean_drop", |b| {
         let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
         sys.run_programs(vec![vec![
-            Op::Store { addr: 0x2_0000, value: 1 },
+            Op::Store {
+                addr: 0x2_0000,
+                value: 1,
+            },
             Op::Clean { addr: 0x2_0000 },
             Op::Fence,
         ]]);
-        b.iter(|| {
-            sys.run_programs(vec![vec![Op::Clean { addr: 0x2_0000 }, Op::Fence]])
-        });
+        b.iter(|| sys.run_programs(vec![vec![Op::Clean { addr: 0x2_0000 }, Op::Fence]]));
     });
 }
 
@@ -49,8 +50,20 @@ fn bench_cross_core_pingpong(c: &mut Criterion) {
         let mut v = 0u64;
         b.iter(|| {
             v += 1;
-            sys.run_programs(vec![vec![Op::Store { addr: 0x3_0000, value: v }], vec![]]);
-            sys.run_programs(vec![vec![], vec![Op::Store { addr: 0x3_0000, value: v }]]);
+            sys.run_programs(vec![
+                vec![Op::Store {
+                    addr: 0x3_0000,
+                    value: v,
+                }],
+                vec![],
+            ]);
+            sys.run_programs(vec![
+                vec![],
+                vec![Op::Store {
+                    addr: 0x3_0000,
+                    value: v,
+                }],
+            ]);
         });
     });
 }

@@ -33,13 +33,7 @@ impl Row {
 /// `serialized` switches to the §7.2 per-op-fenced latency form of the
 /// experiment (one writeback in flight at a time). Returns per-sample
 /// cycle counts plus timing for one engine.
-fn fig09_shaped(
-    name: &'static str,
-    threads: usize,
-    size: u64,
-    reps: u32,
-    serialized: bool,
-) -> Row {
+fn fig09_shaped(name: &'static str, threads: usize, size: u64, reps: u32, serialized: bool) -> Row {
     let run = |fast: bool| {
         let mut sys = SystemBuilder::new()
             .cores(threads)
@@ -119,6 +113,50 @@ fn fig14_shaped(name: &'static str, ds: DsKind, budget: u64) -> Row {
     }
 }
 
+/// Tracing overhead on the fast engine: the same Fig. 9 workload with the
+/// event trace compiled in but off, with the ring buffers live, and with a
+/// Chrome-trace export after every rep.
+struct TraceRow {
+    workload: &'static str,
+    off_kcps: f64,
+    ring_kcps: f64,
+    export_kcps: f64,
+}
+
+impl TraceRow {
+    fn overhead_pct(base: f64, with: f64) -> f64 {
+        (base / with.max(1e-9) - 1.0) * 100.0
+    }
+}
+
+fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32) -> TraceRow {
+    // mode 0: tracing off; 1: ring buffers on; 2: ring on + export each rep.
+    let run = |mode: u8| {
+        let mut sys = SystemBuilder::new().cores(threads).build();
+        if mode > 0 {
+            sys.enable_event_trace(1 << 16);
+        }
+        let mut exported = 0usize;
+        let wall = Instant::now();
+        for _ in 0..reps {
+            fig9_sample(&mut sys, threads as u64, size, false);
+            if mode == 2 {
+                exported += sys.export_chrome_trace().len();
+                sys.clear_event_trace();
+            }
+        }
+        let secs = wall.elapsed().as_secs_f64();
+        std::hint::black_box(exported);
+        sys.stats().cycles as f64 / secs / 1e3
+    };
+    TraceRow {
+        workload,
+        off_kcps: run(0),
+        ring_kcps: run(1),
+        export_kcps: run(2),
+    }
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -134,7 +172,11 @@ fn main() {
         fig09_shaped("fig09_1t_32k", 1, 32 * 1024, reps, false),
         fig09_shaped("fig09_8t_32k", 8, 32 * 1024, reps, false),
         fig09_shaped("fig09_1t_32k_serialized", 1, 32 * 1024, reps, true),
-        fig14_shaped("fig14_list_skipit", DsKind::List, if quick { 30_000 } else { 100_000 }),
+        fig14_shaped(
+            "fig14_list_skipit",
+            DsKind::List,
+            if quick { 30_000 } else { 100_000 },
+        ),
     ];
 
     println!("# simspeed: host kilo-simulated-cycles per second, naive vs fast-forward");
@@ -162,10 +204,36 @@ fn main() {
         ));
     }
 
+    let tr = tracing_overhead("fig09_1t_32k", 1, 32 * 1024, reps);
+    println!("# tracing overhead on {} (fast engine)", tr.workload);
+    println!(
+        "tracing_off_kcps,ring_on_kcps,ring_plus_export_kcps,ring_overhead_pct,export_overhead_pct"
+    );
+    println!(
+        "{:.0},{:.0},{:.0},{:.1},{:.1}",
+        tr.off_kcps,
+        tr.ring_kcps,
+        tr.export_kcps,
+        TraceRow::overhead_pct(tr.off_kcps, tr.ring_kcps),
+        TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps)
+    );
+    let tracing_json = format!(
+        "  \"tracing\": {{\"workload\": \"{}\", \"off_kcycles_per_sec\": {}, \
+         \"ring_kcycles_per_sec\": {}, \"export_kcycles_per_sec\": {}, \
+         \"ring_overhead_pct\": {}, \"export_overhead_pct\": {}}},",
+        tr.workload,
+        json_num(tr.off_kcps),
+        json_num(tr.ring_kcps),
+        json_num(tr.export_kcps),
+        json_num(TraceRow::overhead_pct(tr.off_kcps, tr.ring_kcps)),
+        json_num(TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps))
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
-         \"quick\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"quick\": {},\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
+        tracing_json,
         entries.join(",\n")
     );
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

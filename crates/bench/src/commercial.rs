@@ -133,8 +133,6 @@ mod tests {
     #[test]
     fn clean_flavours_are_slightly_cheaper() {
         assert!(Machine::IntelClwb.cycles_1t(1024) < Machine::IntelClflushOpt.cycles_1t(1024));
-        assert!(
-            Machine::GravitonDcCvac.cycles_1t(1024) < Machine::GravitonDcCivac.cycles_1t(1024)
-        );
+        assert!(Machine::GravitonDcCvac.cycles_1t(1024) < Machine::GravitonDcCivac.cycles_1t(1024));
     }
 }

@@ -37,7 +37,12 @@ pub fn median(samples: &mut [u64]) -> u64 {
 pub fn stddev(samples: &[u64]) -> f64 {
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<u64>() as f64 / n;
-    (samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n).sqrt()
+    (samples
+        .iter()
+        .map(|&s| (s as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt()
 }
 
 /// Formats a byte count the way the paper's x-axes do.

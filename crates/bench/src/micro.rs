@@ -34,12 +34,7 @@ pub fn dirty_region(sys: &mut System, threads: u64, total_bytes: u64) {
 
 /// Measured phase of Fig. 9: each thread writes back its region
 /// sequentially and fences once at the end.
-pub fn writeback_region(
-    sys: &mut System,
-    threads: u64,
-    total_bytes: u64,
-    clean: bool,
-) -> u64 {
+pub fn writeback_region(sys: &mut System, threads: u64, total_bytes: u64, clean: bool) -> u64 {
     let progs = (0..threads)
         .map(|t| {
             let mut p: Vec<Op> = region_lines(t, threads, total_bytes)
@@ -102,7 +97,10 @@ pub fn fig10_sample(sys: &mut System, threads: u64, total_bytes: u64, clean: boo
             let mut p = Vec::new();
             for rep in 0..10u64 {
                 for a in region_lines(t, threads, total_bytes) {
-                    p.push(Op::Store { addr: a, value: a + rep });
+                    p.push(Op::Store {
+                        addr: a,
+                        value: a + rep,
+                    });
                 }
                 for a in region_lines(t, threads, total_bytes) {
                     p.push(if clean {
@@ -130,12 +128,7 @@ pub fn fig10_sample(sys: &mut System, threads: u64, total_bytes: u64, clean: boo
 /// The writeback flavour is CBO.CLEAN — the paper notes the Skip It
 /// comparison "is identical for CBO.CLEAN" and only clean leaves the line
 /// resident so redundancy is detectable at the L1 (see DESIGN.md §2).
-pub fn fig13_sample(
-    sys: &mut System,
-    threads: u64,
-    total_bytes: u64,
-    redundant: usize,
-) -> u64 {
+pub fn fig13_sample(sys: &mut System, threads: u64, total_bytes: u64, redundant: usize) -> u64 {
     let progs = (0..threads)
         .map(|t| {
             let mut p = Vec::new();

@@ -1,0 +1,350 @@
+//! Trace exporters: Chrome-trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) and a human-readable text dump.
+//!
+//! The Chrome exporter lays the merged event stream (see
+//! [`System::trace_events`]) out as one process per core plus a `system`
+//! process, with one track per component: LSU, L1, flush unit, each FSHR,
+//! the five TileLink channels and every MSHR. Paired events — FSHR state
+//! transitions, TileLink begin/end, MSHR alloc/free, fence stalls, engine
+//! jumps — become duration (`"X"`) events so transaction lifecycles show as
+//! spans; everything else becomes an instant (`"i"`). Timestamps are
+//! simulated cycles, 1 µs per cycle in the viewer's units.
+
+use crate::system::System;
+use skipit_trace::{StreamEvent, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Track registry: maps `(pid, track name)` to a stable `tid` and renders
+/// the `thread_name` metadata Perfetto uses to label tracks.
+#[derive(Default)]
+struct Tracks {
+    tids: BTreeMap<(u64, String), u64>,
+    next: BTreeMap<u64, u64>,
+}
+
+impl Tracks {
+    fn tid(&mut self, pid: u64, name: &str) -> u64 {
+        if let Some(&tid) = self.tids.get(&(pid, name.to_string())) {
+            return tid;
+        }
+        let next = self.next.entry(pid).or_insert(0);
+        let tid = *next;
+        *next += 1;
+        self.tids.insert((pid, name.to_string()), tid);
+        tid
+    }
+
+    fn metadata_json(&self, cores: usize) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"{{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{{"name":"system"}}}}"#
+        );
+        for core in 0..cores {
+            let _ = write!(
+                out,
+                r#",{{"name":"process_name","ph":"M","pid":{},"tid":0,"args":{{"name":"core {}"}}}}"#,
+                core + 1,
+                core
+            );
+        }
+        for ((pid, name), tid) in &self.tids {
+            let _ = write!(
+                out,
+                r#",{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{name}"}}}}"#
+            );
+        }
+        out
+    }
+}
+
+fn pid_of(ev: &TraceEvent) -> u64 {
+    ev.core().map_or(0, |c| c as u64 + 1)
+}
+
+/// The track an *instant* event lands on (paired events get their own
+/// span-specific tracks).
+fn instant_track(ev: &TraceEvent) -> &'static str {
+    use TraceEvent::*;
+    match ev {
+        FlushEnqueue { .. }
+        | FlushCoalesce { .. }
+        | FlushInvalidate { .. }
+        | WritebackDropped { .. } => "flush unit",
+        SkipBitSet { .. } | SkipBitClear { .. } => "L1",
+        DramRead { .. } | DramWrite { .. } | DramWriteSkipped { .. } => "DRAM",
+        _ => "system",
+    }
+}
+
+/// One complete (`"X"`) Chrome trace event.
+struct Span {
+    pid: u64,
+    track: String,
+    name: String,
+    start: u64,
+    end: u64,
+    detail: String,
+}
+
+/// Pairs the stream's begin/end event classes into [`Span`]s and returns
+/// the remaining unpaired events as instants. Open spans are closed at
+/// `horizon` (the current cycle), so in-flight transactions still render.
+fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamEvent>) {
+    let mut spans = Vec::new();
+    let mut instants = Vec::new();
+    // FSHR occupancy: state entered + cycle, per (core, fshr).
+    let mut fshr: BTreeMap<(usize, usize), (&'static str, u64, u64)> = BTreeMap::new();
+    // TileLink: FIFO of (begin cycle, opcode, param, addr) per (channel, core).
+    #[allow(clippy::type_complexity)]
+    let mut tl: BTreeMap<(char, usize), Vec<(u64, &'static str, &'static str, u64)>> =
+        BTreeMap::new();
+    let mut l1_mshr: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+    let mut l2_mshr: BTreeMap<usize, (u64, u64, &'static str)> = BTreeMap::new();
+    let mut fences: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    for se in events {
+        match se.event {
+            TraceEvent::FshrTransition {
+                core,
+                fshr: idx,
+                addr,
+                from,
+                to,
+            } => {
+                if let Some((state, since, a)) = fshr.remove(&(core, idx)) {
+                    debug_assert_eq!(state, from);
+                    spans.push(Span {
+                        pid: core as u64 + 1,
+                        track: format!("FSHR {idx}"),
+                        name: state.to_string(),
+                        start: since,
+                        end: se.cycle,
+                        detail: format!("@{a:#x}"),
+                    });
+                }
+                if to != "free" {
+                    fshr.insert((core, idx), (to, se.cycle, addr));
+                }
+            }
+            TraceEvent::TlBegin {
+                channel,
+                core,
+                opcode,
+                param,
+                addr,
+            } => {
+                tl.entry((channel, core))
+                    .or_default()
+                    .push((se.cycle, opcode, param, addr));
+            }
+            TraceEvent::TlEnd { channel, core, .. } => {
+                // FIFO pairing: ring-buffer eviction can drop a begin, so an
+                // unmatched end degrades to an instant instead of panicking.
+                let q = tl.entry((channel, core)).or_default();
+                if q.is_empty() {
+                    instants.push(se);
+                } else {
+                    let (start, opcode, param, addr) = q.remove(0);
+                    spans.push(Span {
+                        pid: core as u64 + 1,
+                        track: format!("TL-{channel}"),
+                        name: format!("{opcode}{param}"),
+                        start,
+                        end: se.cycle,
+                        detail: format!("@{addr:#x}"),
+                    });
+                }
+            }
+            TraceEvent::L1MshrAlloc { core, slot, addr } => {
+                l1_mshr.insert((core, slot), (se.cycle, addr));
+            }
+            TraceEvent::L1MshrFree { core, slot, addr } => match l1_mshr.remove(&(core, slot)) {
+                Some((start, a)) => spans.push(Span {
+                    pid: core as u64 + 1,
+                    track: format!("L1 MSHR {slot}"),
+                    name: "miss".to_string(),
+                    start,
+                    end: se.cycle,
+                    detail: format!("@{a:#x}"),
+                }),
+                None => {
+                    let _ = addr;
+                    instants.push(se);
+                }
+            },
+            TraceEvent::L2MshrAlloc { slot, addr, op } => {
+                l2_mshr.insert(slot, (se.cycle, addr, op));
+            }
+            TraceEvent::L2MshrFree { slot, .. } => match l2_mshr.remove(&slot) {
+                Some((start, a, op)) => spans.push(Span {
+                    pid: 0,
+                    track: format!("L2 MSHR {slot}"),
+                    name: op.to_string(),
+                    start,
+                    end: se.cycle,
+                    detail: format!("@{a:#x}"),
+                }),
+                None => instants.push(se),
+            },
+            TraceEvent::FenceStallBegin { core, token } => {
+                fences.insert((core, token), se.cycle);
+            }
+            TraceEvent::FenceStallEnd { core, token } => match fences.remove(&(core, token)) {
+                Some(start) => spans.push(Span {
+                    pid: core as u64 + 1,
+                    track: "fence".to_string(),
+                    name: format!("fence#{token}"),
+                    start,
+                    end: se.cycle,
+                    detail: String::new(),
+                }),
+                None => instants.push(se),
+            },
+            TraceEvent::FastForwardJump { from, to, .. } => spans.push(Span {
+                pid: 0,
+                track: "engine".to_string(),
+                name: "jump".to_string(),
+                start: from,
+                end: to,
+                detail: format!("{}", se.event),
+            }),
+            _ => instants.push(se),
+        }
+    }
+    // Close whatever is still in flight at the horizon.
+    for ((core, idx), (state, since, a)) in fshr {
+        spans.push(Span {
+            pid: core as u64 + 1,
+            track: format!("FSHR {idx}"),
+            name: state.to_string(),
+            start: since,
+            end: horizon,
+            detail: format!("@{a:#x} (open)"),
+        });
+    }
+    for ((channel, core), q) in tl {
+        for (start, opcode, param, addr) in q {
+            spans.push(Span {
+                pid: core as u64 + 1,
+                track: format!("TL-{channel}"),
+                name: format!("{opcode}{param}"),
+                start,
+                end: horizon,
+                detail: format!("@{addr:#x} (open)"),
+            });
+        }
+    }
+    for ((core, slot), (start, a)) in l1_mshr {
+        spans.push(Span {
+            pid: core as u64 + 1,
+            track: format!("L1 MSHR {slot}"),
+            name: "miss".to_string(),
+            start,
+            end: horizon,
+            detail: format!("@{a:#x} (open)"),
+        });
+    }
+    for (slot, (start, a, op)) in l2_mshr {
+        spans.push(Span {
+            pid: 0,
+            track: format!("L2 MSHR {slot}"),
+            name: op.to_string(),
+            start,
+            end: horizon,
+            detail: format!("@{a:#x} (open)"),
+        });
+    }
+    for ((core, token), start) in fences {
+        spans.push(Span {
+            pid: core as u64 + 1,
+            track: "fence".to_string(),
+            name: format!("fence#{token}"),
+            start,
+            end: horizon,
+            detail: "(open)".to_string(),
+        });
+    }
+    (spans, instants)
+}
+
+impl System {
+    /// Renders the buffered event stream as Chrome-trace-event JSON: open
+    /// the result in [Perfetto](https://ui.perfetto.dev) (or
+    /// `chrome://tracing`) to see per-core timelines of FSHR occupancy,
+    /// TileLink message lifetimes, MSHR transactions and fence stalls.
+    /// One simulated cycle is one timestamp unit (displayed as 1 µs).
+    pub fn export_chrome_trace(&self) -> String {
+        let events = self.trace_events();
+        let (spans, instants) = build_spans(&events, self.now());
+        let mut tracks = Tracks::default();
+        let mut body = String::new();
+        for s in &spans {
+            let tid = tracks.tid(s.pid, &s.track);
+            let _ = write!(
+                body,
+                r#",{{"name":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{"detail":"{}"}}}}"#,
+                s.name,
+                s.start,
+                s.end - s.start,
+                s.pid,
+                tid,
+                s.detail
+            );
+        }
+        for se in instants {
+            let pid = pid_of(&se.event);
+            let tid = tracks.tid(pid, instant_track(&se.event));
+            let _ = write!(
+                body,
+                r#",{{"name":"{}","ph":"i","ts":{},"pid":{},"tid":{},"s":"t","args":{{"detail":"{}"}}}}"#,
+                event_name(&se.event),
+                se.cycle,
+                pid,
+                tid,
+                se.event
+            );
+        }
+        format!(
+            r#"{{"displayTimeUnit":"ms","traceEvents":[{}{}]}}"#,
+            tracks.metadata_json(self.config().cores),
+            body
+        )
+    }
+
+    /// Renders the buffered event stream as plain text, one
+    /// `"[cycle] event"` line per event in deterministic merge order.
+    pub fn export_text_trace(&self) -> String {
+        let mut out = String::new();
+        for se in self.trace_events() {
+            let _ = writeln!(out, "[{:>8}] {}", se.cycle, se.event);
+        }
+        out
+    }
+}
+
+/// Short instant-event label (the full rendering goes in `args.detail`).
+fn event_name(ev: &TraceEvent) -> &'static str {
+    use TraceEvent::*;
+    match ev {
+        FshrTransition { .. } => "fshr",
+        FlushEnqueue { .. } => "flush enqueue",
+        FlushCoalesce { .. } => "flush coalesce",
+        FlushInvalidate { .. } => "flush invalidate",
+        WritebackDropped { .. } => "writeback dropped",
+        TlBegin { .. } => "tl begin",
+        TlEnd { .. } => "tl end",
+        L1MshrAlloc { .. } => "l1 mshr alloc",
+        L1MshrFree { .. } => "l1 mshr free",
+        L2MshrAlloc { .. } => "l2 mshr alloc",
+        L2MshrFree { .. } => "l2 mshr free",
+        SkipBitSet { .. } => "skip-bit set",
+        SkipBitClear { .. } => "skip-bit clear",
+        DramRead { .. } => "dram read",
+        DramWrite { .. } => "dram write",
+        DramWriteSkipped { .. } => "dram write skipped",
+        FenceStallBegin { .. } => "fence begin",
+        FenceStallEnd { .. } => "fence end",
+        FastForwardJump { .. } => "jump",
+    }
+}

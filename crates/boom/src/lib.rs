@@ -18,6 +18,7 @@
 //!   §7.4) run as ordinary Rust code while simulated time stays
 //!   deterministic.
 
+pub mod export;
 pub mod handle;
 pub mod lsu;
 pub mod op;
@@ -28,4 +29,4 @@ pub use handle::CoreHandle;
 pub use lsu::Lsu;
 pub use op::{Op, OpToken};
 pub use system::{EngineStats, System, SystemConfig, SystemStats};
-pub use trace::{TraceLog, TraceRecord};
+pub use trace::{LatencyHistogram, TraceLog, TraceRecord};

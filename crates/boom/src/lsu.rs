@@ -12,6 +12,7 @@ use crate::op::{Op, OpToken};
 use crate::trace::{TraceLog, TraceRecord};
 use skipit_dcache::{DataCache, DcReq, DcResp, ReqId, ReqOutcome};
 use skipit_tilelink::LineAddr;
+use skipit_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// LSU sizing and behaviour.
@@ -68,6 +69,8 @@ pub struct Lsu {
     finished: VecDeque<(OpToken, u64)>,
     core: usize,
     trace: Option<TraceLog>,
+    /// Event sink for fence-stall begin/end events (see [`skipit_trace`]).
+    events: Option<TraceSink>,
 }
 
 impl Lsu {
@@ -82,7 +85,29 @@ impl Lsu {
             finished: VecDeque::with_capacity(cfg.stq_depth + cfg.ldq_depth),
             core,
             trace: None,
+            events: None,
         }
+    }
+
+    /// Installs an event sink; fences emit [`TraceEvent::FenceStallBegin`] at
+    /// enqueue and [`TraceEvent::FenceStallEnd`] when they commit.
+    pub fn set_event_trace(&mut self, sink: TraceSink) {
+        self.events = Some(sink);
+    }
+
+    /// The installed event sink, if any.
+    pub fn event_sink(&self) -> Option<&TraceSink> {
+        self.events.as_ref()
+    }
+
+    /// Mutable access to the installed event sink (for clearing).
+    pub fn event_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.events.as_mut()
+    }
+
+    /// Removes and returns the event sink.
+    pub fn take_event_trace(&mut self) -> Option<TraceSink> {
+        self.events.take()
     }
 
     /// Starts recording per-op latencies (bounded to `capacity` records).
@@ -124,6 +149,16 @@ impl Lsu {
             "Nop is handled by the frontend, not the LSU"
         );
         assert!(self.has_room(op), "LSU queue overflow for {op:?}");
+        if op == Op::Fence {
+            skipit_trace::trace!(
+                self.events,
+                now,
+                TraceEvent::FenceStallBegin {
+                    core: self.core,
+                    token,
+                }
+            );
+        }
         self.seq += 1;
         self.next_req += 1;
         let entry = Entry {
@@ -169,7 +204,7 @@ impl Lsu {
     pub fn step(&mut self, now: u64, l1: &mut DataCache) {
         self.collect_responses(now, l1);
         self.retire(now);
-        self.commit_fence(l1);
+        self.commit_fence(now, l1);
         self.fire_stq_head(now, l1);
         self.fire_loads(now, l1);
         self.retire(now);
@@ -232,20 +267,31 @@ impl Lsu {
 
     /// Fences commit only at the STQ head, with no older loads outstanding
     /// and the flush counter at zero (§5.3).
-    fn commit_fence(&mut self, l1: &DataCache) {
+    fn commit_fence(&mut self, now: u64, l1: &DataCache) {
         let Some(head) = self.stq.front() else { return };
         if head.op != Op::Fence || head.done {
             return;
         }
         let fence_seq = head.seq;
+        let token = head.token;
         let older_loads = self.ldq.iter().any(|e| e.seq < fence_seq);
         if !older_loads && !l1.is_flushing() {
             self.stq.front_mut().expect("nonempty").done = true;
+            skipit_trace::trace!(
+                self.events,
+                now,
+                TraceEvent::FenceStallEnd {
+                    core: self.core,
+                    token,
+                }
+            );
         }
     }
 
     fn fire_stq_head(&mut self, now: u64, l1: &mut DataCache) {
-        let Some(head) = self.stq.front_mut() else { return };
+        let Some(head) = self.stq.front_mut() else {
+            return;
+        };
         if head.fired || head.done || head.op == Op::Fence || now < head.retry_at {
             return;
         }
@@ -293,17 +339,9 @@ impl Lsu {
                     if !l1.would_accept(kind) {
                         continue;
                     }
-                    match l1.try_request(
-                        now,
-                        DcReq {
-                            id: e.req_id,
-                            kind,
-                        },
-                    ) {
+                    match l1.try_request(now, DcReq { id: e.req_id, kind }) {
                         ReqOutcome::Accepted => self.ldq[i].fired = true,
-                        ReqOutcome::Nack => {
-                            self.ldq[i].retry_at = now + self.cfg.retry_backoff
-                        }
+                        ReqOutcome::Nack => self.ldq[i].retry_at = now + self.cfg.retry_backoff,
                     }
                     fired += 1;
                 }
@@ -497,7 +535,14 @@ mod tests {
     #[test]
     fn store_then_load_same_word_forwards() {
         let mut b = Bench::new();
-        b.q.enqueue(1, Op::Store { addr: 0x100, value: 7 }, b.now);
+        b.q.enqueue(
+            1,
+            Op::Store {
+                addr: 0x100,
+                value: 7,
+            },
+            b.now,
+        );
         b.q.enqueue(2, Op::Load { addr: 0x100 }, b.now);
         b.run(50);
         assert_eq!(b.q.take_finished(2), Some(7));
@@ -507,7 +552,14 @@ mod tests {
     #[test]
     fn load_blocked_by_same_line_writeback_until_buffered() {
         let mut b = Bench::new();
-        b.q.enqueue(1, Op::Store { addr: 0x200, value: 1 }, b.now);
+        b.q.enqueue(
+            1,
+            Op::Store {
+                addr: 0x200,
+                value: 1,
+            },
+            b.now,
+        );
         b.run(50);
         b.q.enqueue(2, Op::Flush { addr: 0x200 }, b.now);
         b.q.enqueue(3, Op::Load { addr: 0x208 }, b.now);
@@ -519,7 +571,14 @@ mod tests {
     #[test]
     fn fence_waits_for_flush_counter() {
         let mut b = Bench::new();
-        b.q.enqueue(1, Op::Store { addr: 0x300, value: 5 }, b.now);
+        b.q.enqueue(
+            1,
+            Op::Store {
+                addr: 0x300,
+                value: 5,
+            },
+            b.now,
+        );
         b.q.enqueue(2, Op::Clean { addr: 0x300 }, b.now);
         b.q.enqueue(3, Op::Fence, b.now);
         // The clean must commit at buffering time (while the FSHR is still
@@ -561,7 +620,14 @@ mod tests {
     #[test]
     fn loads_after_fence_wait() {
         let mut b = Bench::new();
-        b.q.enqueue(1, Op::Store { addr: 0x400, value: 9 }, b.now);
+        b.q.enqueue(
+            1,
+            Op::Store {
+                addr: 0x400,
+                value: 9,
+            },
+            b.now,
+        );
         b.q.enqueue(2, Op::Fence, b.now);
         b.q.enqueue(3, Op::Load { addr: 0x500 }, b.now);
         b.run(3);
@@ -579,7 +645,14 @@ mod tests {
         let mut b = Bench::new();
         // Warm one line so the second load (to the warm line) completes
         // before the first (cold) one.
-        b.q.enqueue(1, Op::Store { addr: 0x600, value: 3 }, b.now);
+        b.q.enqueue(
+            1,
+            Op::Store {
+                addr: 0x600,
+                value: 3,
+            },
+            b.now,
+        );
         b.run(100);
         b.q.drain_finished();
         b.q.enqueue(2, Op::Load { addr: 0x700 }, b.now); // cold
@@ -599,11 +672,14 @@ mod tests {
 
     #[test]
     fn has_room_tracks_depths() {
-        let mut q = Lsu::new(0, LsuConfig {
-            stq_depth: 1,
-            ldq_depth: 1,
-            ..LsuConfig::default()
-        });
+        let mut q = Lsu::new(
+            0,
+            LsuConfig {
+                stq_depth: 1,
+                ldq_depth: 1,
+                ..LsuConfig::default()
+            },
+        );
         assert!(q.has_room(Op::Fence));
         q.enqueue(1, Op::Fence, 0);
         assert!(!q.has_room(Op::Store { addr: 0, value: 0 }));

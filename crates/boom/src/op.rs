@@ -83,6 +83,23 @@ impl Op {
         !matches!(self, Op::Load { .. } | Op::Nop { .. })
     }
 
+    /// Stable lower-case kind name, used to key per-op-kind latency
+    /// histograms and metrics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Load { .. } => "load",
+            Op::Store { .. } => "store",
+            Op::Cas { .. } => "cas",
+            Op::FetchAdd { .. } => "fetch_add",
+            Op::Swap { .. } => "swap",
+            Op::Clean { .. } => "clean",
+            Op::Flush { .. } => "flush",
+            Op::Inval { .. } => "inval",
+            Op::Fence => "fence",
+            Op::Nop { .. } => "nop",
+        }
+    }
+
     /// The line-relevant address, if the op touches memory.
     pub fn addr(&self) -> Option<u64> {
         match *self {

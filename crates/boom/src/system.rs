@@ -9,6 +9,7 @@ use skipit_dcache::{DataCache, L1Config, L1Stats};
 use skipit_llc::{InclusiveCache, L2Config, L2Ports, L2Stats};
 use skipit_mem::{Dram, DramConfig, MemStats};
 use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link};
+use skipit_trace::{StreamEvent, TraceEvent, TraceFilter, TraceSink};
 
 /// Configuration of the whole simulated SoC.
 #[derive(Clone, Copy, Debug)]
@@ -187,7 +188,11 @@ impl SystemStats {
             self.l2.dirty_evictions,
             self.l2.list_buffered
         );
-        let _ = writeln!(out, "DRAM: reads {}, writes {}", self.mem.reads, self.mem.writes);
+        let _ = writeln!(
+            out,
+            "DRAM: reads {}, writes {}",
+            self.mem.reads, self.mem.writes
+        );
         out
     }
 }
@@ -233,6 +238,11 @@ pub struct System {
     plan_streak: u32,
     /// Remaining cycles to run unplanned before probing for a jump again.
     plan_skip: u32,
+    /// Event sink of the fast-forward engine itself
+    /// ([`TraceEvent::FastForwardJump`] markers). Installed by
+    /// [`System::enable_event_trace`]; host-side, never part of simulated
+    /// state.
+    engine_sink: Option<TraceSink>,
 }
 
 impl std::fmt::Debug for System {
@@ -276,6 +286,7 @@ impl System {
             engine: EngineStats::default(),
             plan_streak: 0,
             plan_skip: 0,
+            engine_sink: None,
             cfg,
         }
     }
@@ -340,19 +351,216 @@ impl System {
         }
     }
 
-    /// All trace records across cores, in completion order per core.
+    /// All trace records across cores, merged into one stream ordered by
+    /// completion cycle (ties broken by core, then token, so the merge is
+    /// deterministic regardless of per-core log layout).
     pub fn trace_records(&self) -> Vec<crate::trace::TraceRecord> {
-        self.lsus
+        let mut records: Vec<crate::trace::TraceRecord> = self
+            .lsus
             .iter()
             .filter_map(|l| l.trace())
             .flat_map(|t| t.records().iter().copied())
-            .collect()
+            .collect();
+        records.sort_by_key(|r| (r.completed_at, r.core, r.token));
+        records
+    }
+
+    /// Per-op-kind completion-latency histograms merged across all cores
+    /// (empty unless [`System::enable_tracing`] is on). Histograms keep
+    /// counting after the bounded record logs fill, so the percentiles
+    /// cover every completion of the run.
+    pub fn latency_histograms(
+        &self,
+    ) -> std::collections::BTreeMap<&'static str, crate::trace::LatencyHistogram> {
+        let mut out = std::collections::BTreeMap::new();
+        for lsu in &self.lsus {
+            if let Some(t) = lsu.trace() {
+                for (kind, h) in t.histograms() {
+                    out.entry(*kind)
+                        .or_insert_with(crate::trace::LatencyHistogram::new)
+                        .merge(h);
+                }
+            }
+        }
+        out
     }
 
     /// Clears every core's trace log.
     pub fn clear_traces(&mut self) {
         for lsu in &mut self.lsus {
             lsu.clear_trace();
+        }
+    }
+
+    /// Installs cycle-stamped event tracing on every component: each LSU,
+    /// L1 (front end + flush unit), per-core TileLink link, the L2, DRAM,
+    /// and the fast-forward engine get their own bounded ring buffer of
+    /// `capacity` events. Harvest with [`System::trace_events`] or the
+    /// exporters in [`crate::export`].
+    pub fn enable_event_trace(&mut self, capacity: usize) {
+        self.enable_event_trace_filtered(capacity, TraceFilter::default());
+    }
+
+    /// [`System::enable_event_trace`] with a per-sink admission `filter`
+    /// (core mask / address range).
+    pub fn enable_event_trace_filtered(&mut self, capacity: usize, filter: TraceFilter) {
+        let sink = || TraceSink::with_filter(capacity, filter);
+        self.engine_sink = Some(sink());
+        for i in 0..self.cfg.cores {
+            self.lsus[i].set_event_trace(sink());
+            self.l1s[i].set_trace(sink());
+            self.l1s[i].set_flush_trace(sink());
+            self.a[i].set_trace(i, sink());
+            self.b[i].set_trace(i, sink());
+            self.c[i].set_trace(i, sink());
+            self.d[i].set_trace(i, sink());
+            self.e[i].set_trace(i, sink());
+        }
+        self.l2.set_trace(sink());
+        self.dram.set_trace(sink());
+    }
+
+    /// Uninstalls every event sink (tracing returns to its zero-overhead
+    /// disabled state; buffered events are discarded).
+    pub fn disable_event_trace(&mut self) {
+        self.engine_sink = None;
+        for i in 0..self.cfg.cores {
+            self.lsus[i].take_event_trace();
+            self.l1s[i].take_trace();
+            self.l1s[i].take_flush_trace();
+            self.a[i].take_trace();
+            self.b[i].take_trace();
+            self.c[i].take_trace();
+            self.d[i].take_trace();
+            self.e[i].take_trace();
+        }
+        self.l2.take_trace();
+        self.dram.take_trace();
+    }
+
+    /// Discards all buffered events, keeping the sinks installed. Sequence
+    /// counters keep running, so orderings stay stable across clears.
+    pub fn clear_event_trace(&mut self) {
+        if let Some(s) = self.engine_sink.as_mut() {
+            s.clear();
+        }
+        for i in 0..self.cfg.cores {
+            if let Some(s) = self.lsus[i].event_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.l1s[i].trace_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.l1s[i].flush_trace_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.a[i].trace_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.b[i].trace_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.c[i].trace_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.d[i].trace_sink_mut() {
+                s.clear();
+            }
+            if let Some(s) = self.e[i].trace_sink_mut() {
+                s.clear();
+            }
+        }
+        if let Some(s) = self.l2.trace_sink_mut() {
+            s.clear();
+        }
+        if let Some(s) = self.dram.trace_sink_mut() {
+            s.clear();
+        }
+    }
+
+    /// Number of event-stream tracks: the engine, eight per core (LSU, L1
+    /// front end, flush unit, links A–E), the L2, and DRAM. `order` values
+    /// in [`System::trace_events`] index this fixed enumeration.
+    fn track_count(&self) -> u32 {
+        1 + 8 * self.cfg.cores as u32 + 2
+    }
+
+    /// Harvests every sink into one deterministic stream ordered by
+    /// `(cycle, track, seq)` where `track` follows a fixed component
+    /// enumeration (engine; per core LSU, L1, flush unit, links A–E; L2;
+    /// DRAM). Under the engine-invariance contract the stream — with
+    /// [`TraceEvent::is_engine_event`] markers filtered out — is identical
+    /// between the naive and fast-forward engines.
+    pub fn trace_events(&self) -> Vec<StreamEvent> {
+        fn harvest(out: &mut Vec<StreamEvent>, order: u32, sink: Option<&TraceSink>) {
+            if let Some(s) = sink {
+                out.extend(s.events().map(|e| StreamEvent {
+                    cycle: e.cycle,
+                    order,
+                    seq: e.seq,
+                    event: e.event,
+                }));
+            }
+        }
+        let mut out = Vec::new();
+        harvest(&mut out, 0, self.engine_sink.as_ref());
+        for i in 0..self.cfg.cores {
+            let base = 1 + 8 * i as u32;
+            harvest(&mut out, base, self.lsus[i].event_sink());
+            harvest(&mut out, base + 1, self.l1s[i].trace_sink());
+            harvest(&mut out, base + 2, self.l1s[i].flush_trace_sink());
+            harvest(&mut out, base + 3, self.a[i].trace_sink());
+            harvest(&mut out, base + 4, self.b[i].trace_sink());
+            harvest(&mut out, base + 5, self.c[i].trace_sink());
+            harvest(&mut out, base + 6, self.d[i].trace_sink());
+            harvest(&mut out, base + 7, self.e[i].trace_sink());
+        }
+        harvest(&mut out, self.track_count() - 2, self.l2.trace_sink());
+        harvest(&mut out, self.track_count() - 1, self.dram.trace_sink());
+        skipit_trace::merge_streams(out)
+    }
+
+    /// Total events dropped by ring-buffer bounds across all sinks (a
+    /// nonzero value means the exported timeline has holes; enlarge the
+    /// capacity passed to [`System::enable_event_trace`]).
+    pub fn trace_events_dropped(&self) -> u64 {
+        let mut dropped = self.engine_sink.as_ref().map_or(0, |s| s.dropped());
+        for i in 0..self.cfg.cores {
+            for s in [
+                self.lsus[i].event_sink(),
+                self.l1s[i].trace_sink(),
+                self.l1s[i].flush_trace_sink(),
+                self.a[i].trace_sink(),
+                self.b[i].trace_sink(),
+                self.c[i].trace_sink(),
+                self.d[i].trace_sink(),
+                self.e[i].trace_sink(),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                dropped += s.dropped();
+            }
+        }
+        dropped += self.l2.trace_sink().map_or(0, |s| s.dropped());
+        dropped += self.dram.trace_sink().map_or(0, |s| s.dropped());
+        dropped
+    }
+
+    /// Cumulative messages pushed per channel (`'A'`–`'E'`) and core, for
+    /// the metrics registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel letter outside `'A'`–`'E'`.
+    pub fn link_pushed(&self, channel: char, core: usize) -> u64 {
+        match channel {
+            'A' => self.a[core].pushed(),
+            'B' => self.b[core].pushed(),
+            'C' => self.c[core].pushed(),
+            'D' => self.d[core].pushed(),
+            'E' => self.e[core].pushed(),
+            _ => panic!("unknown TileLink channel {channel:?}"),
         }
     }
 
@@ -559,6 +767,17 @@ impl System {
             Some(t) if t > self.now => {
                 self.engine.skipped_cycles += t - self.now;
                 self.engine.jumps += 1;
+                skipit_trace::trace!(
+                    self.engine_sink,
+                    self.now,
+                    TraceEvent::FastForwardJump {
+                        from: self.now,
+                        to: t,
+                        l2: plan.bound_l2,
+                        cores: plan.bound_cores,
+                        frontend: plan.bound_frontend,
+                    }
+                );
                 if self.cfg.lockstep_oracle {
                     self.verify_window(t);
                 } else {
@@ -608,6 +827,19 @@ impl System {
             Some(t) if t > self.now => {
                 self.engine.skipped_cycles += t - self.now;
                 self.engine.jumps += 1;
+                // This path plans no per-component gates, so the jump
+                // carries no attribution.
+                skipit_trace::trace!(
+                    self.engine_sink,
+                    self.now,
+                    TraceEvent::FastForwardJump {
+                        from: self.now,
+                        to: t,
+                        l2: false,
+                        cores: 0,
+                        frontend: false,
+                    }
+                );
                 if self.cfg.lockstep_oracle {
                     self.verify_window(t);
                 } else {
@@ -977,12 +1209,20 @@ impl System {
                 blames.push("E");
             }
             if self.l1s[i]
-                .next_event(now, self.a[i].can_push(), self.c[i].can_push(), self.e[i].can_push())
+                .next_event(
+                    now,
+                    self.a[i].can_push(),
+                    self.c[i].can_push(),
+                    self.e[i].can_push(),
+                )
                 .is_some_and(|t| t <= now)
             {
                 blames.push("L1");
             }
-            if self.lsus[i].next_event(now, &self.l1s[i]).is_some_and(|t| t <= now) {
+            if self.lsus[i]
+                .next_event(now, &self.l1s[i])
+                .is_some_and(|t| t <= now)
+            {
                 blames.push("LSU");
             }
             if self.frontend_next_event(i).is_some_and(|t| t <= now) {
@@ -1009,9 +1249,7 @@ impl System {
                 ops,
                 next,
                 nop_until,
-            } => {
-                *next >= ops.len() && self.now >= *nop_until && self.lsus[core].is_empty()
-            }
+            } => *next >= ops.len() && self.now >= *nop_until && self.lsus[core].is_empty(),
             Frontend::Thread { finished, .. } => *finished && self.lsus[core].is_empty(),
         }
     }
@@ -1054,9 +1292,7 @@ impl System {
     /// asynchronous writebacks that no fence waited for).
     pub fn quiesce(&mut self) {
         let watchdog = self.now + 1_000_000;
-        while !self
-            .step_engine(|s| s.l1s.iter().all(|c| c.is_quiescent()) && s.l2.is_quiescent())
-        {
+        while !self.step_engine(|s| s.l1s.iter().all(|c| c.is_quiescent()) && s.l2.is_quiescent()) {
             assert!(self.now < watchdog, "quiesce exceeded watchdog budget");
         }
     }
@@ -1151,7 +1387,9 @@ mod tests {
                     lines
                         .iter()
                         .map(|ls| {
-                            ls.iter().map(|&a| Op::Store { addr: a, value: a }).collect()
+                            ls.iter()
+                                .map(|&a| Op::Store { addr: a, value: a })
+                                .collect()
                         })
                         .collect(),
                 ),
@@ -1176,8 +1414,7 @@ mod tests {
                         nop_until: 0,
                     };
                 }
-                let mut hist: std::collections::HashMap<&'static str, u64> =
-                    Default::default();
+                let mut hist: std::collections::HashMap<&'static str, u64> = Default::default();
                 let mut busy = 0u64;
                 let mut total = 0u64;
                 while !(0..s.cfg.cores).all(|i| s.program_done(i)) {

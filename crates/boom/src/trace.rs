@@ -13,6 +13,124 @@
 //! [`System::enable_tracing`]: crate::System::enable_tracing
 
 use crate::op::{Op, OpToken};
+use std::collections::BTreeMap;
+
+/// A log-bucketed latency histogram: bucket `i` counts latencies whose
+/// bit-length is `i` (bucket 0 holds latency 0, bucket `i` holds
+/// `[2^(i-1), 2^i)` for `i >= 1`). Constant-size, O(1) insertion, and
+/// precise enough for the p50/p90/p99 summaries the paper-style reports
+/// need — replacing the raw latency vector for percentile queries so they
+/// stay cheap even on multi-million-op runs.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(latency: u64) -> usize {
+        (u64::BITS - latency.leading_zeros()) as usize
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.buckets[Self::bucket_of(latency)] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies (for exact means).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded latency (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded latency (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean latency (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile sample
+    /// (`0.0 < p <= 100.0`), clamped to the observed maximum; `None` when
+    /// empty. Within a bucket the true value is within 2x of the bound.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(bound.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (50th percentile) bucket bound.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile bucket bound.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile bucket bound.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Folds `other` into `self` (for cross-core aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
 
 /// One completed operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,13 +154,16 @@ impl TraceRecord {
     }
 }
 
-/// A bounded log of completed operations.
+/// A bounded log of completed operations, plus unbounded-cost-free latency
+/// histograms per op kind (histograms keep counting even after the record
+/// buffer fills, so percentiles cover *every* completion).
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {
     records: Vec<TraceRecord>,
     capacity: usize,
     /// Completions that arrived after the log filled.
     pub dropped: u64,
+    histograms: BTreeMap<&'static str, LatencyHistogram>,
 }
 
 impl TraceLog {
@@ -52,15 +173,31 @@ impl TraceLog {
             records: Vec::with_capacity(capacity.min(1 << 20)),
             capacity,
             dropped: 0,
+            histograms: BTreeMap::new(),
         }
     }
 
     pub(crate) fn push(&mut self, rec: TraceRecord) {
+        self.histograms
+            .entry(rec.op.kind_name())
+            .or_default()
+            .record(rec.latency());
         if self.records.len() < self.capacity {
             self.records.push(rec);
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Latency histogram for one op kind (see [`Op::kind_name`]), if any
+    /// op of that kind has completed.
+    pub fn histogram(&self, kind: &str) -> Option<&LatencyHistogram> {
+        self.histograms.get(kind)
+    }
+
+    /// All per-op-kind latency histograms, keyed by [`Op::kind_name`].
+    pub fn histograms(&self) -> &BTreeMap<&'static str, LatencyHistogram> {
+        &self.histograms
     }
 
     /// The recorded operations, in completion order.
@@ -87,10 +224,11 @@ impl TraceLog {
         (!v.is_empty()).then(|| v[v.len() / 2])
     }
 
-    /// Clears the log (keeping the capacity).
+    /// Clears the log and histograms (keeping the capacity).
     pub fn clear(&mut self) {
         self.records.clear();
         self.dropped = 0;
+        self.histograms.clear();
     }
 }
 
@@ -119,6 +257,42 @@ mod tests {
         log.clear();
         assert!(log.records().is_empty());
         assert_eq!(log.dropped, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.p50(), None);
+        for l in [0u64, 1, 2, 3, 100, 100, 100, 100, 100, 1000] {
+            h.record(l);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.sum(), 1506);
+        // p50 lands in the 100s bucket [64, 128) -> bound 127.
+        assert_eq!(h.p50(), Some(127));
+        // p99 is the lone 1000 sample, clamped to the observed max.
+        assert_eq!(h.p99(), Some(1000));
+        let mut other = LatencyHistogram::new();
+        other.record(5);
+        other.merge(&h);
+        assert_eq!(other.count(), 11);
+        assert_eq!(other.min(), Some(0));
+        assert_eq!(other.max(), Some(1000));
+    }
+
+    #[test]
+    fn histograms_survive_record_drops() {
+        let mut log = TraceLog::new(1);
+        log.push(rec(1, 5));
+        log.push(rec(2, 7));
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.dropped, 1);
+        let h = log.histogram("fence").expect("fence histogram");
+        assert_eq!(h.count(), 2, "drops must still be counted in histograms");
+        log.clear();
+        assert!(log.histogram("fence").is_none());
     }
 
     #[test]

@@ -178,10 +178,12 @@ pub fn assemble(text: &str) -> Result<Vec<Op>, ParseAsmError> {
         let mnemonic = parts.next().expect("nonempty line");
         let args: Vec<&str> = parts.collect();
         let argn = |n: usize| -> Result<u64, ParseAsmError> {
-            args.get(n).map(|t| parse_imm(t, line_no)).ok_or(ParseAsmError {
-                line: line_no,
-                message: format!("`{mnemonic}` missing operand {n}"),
-            })?
+            args.get(n)
+                .map(|t| parse_imm(t, line_no))
+                .ok_or(ParseAsmError {
+                    line: line_no,
+                    message: format!("`{mnemonic}` missing operand {n}"),
+                })?
         };
         let op = match mnemonic {
             "sd" => Op::Store {
@@ -257,10 +259,7 @@ mod tests {
         // cbo.clean a0 (x10): imm=0x001, rs1=10, funct3=010, opcode=0001111.
         assert_eq!(encode_cbo_clean(10), 0x0015_200F); // imm=1|rs1=a0|funct3=010|op=MISC-MEM
         assert_eq!(encode_cbo_flush(0), 0x0020_200F);
-        assert_eq!(
-            decode_cmo(encode_cbo_clean(5)),
-            Some(Cmo::Clean { rs1: 5 })
-        );
+        assert_eq!(decode_cmo(encode_cbo_clean(5)), Some(Cmo::Clean { rs1: 5 }));
         assert_eq!(
             decode_cmo(encode_cbo_flush(31)),
             Some(Cmo::Flush { rs1: 31 })
@@ -290,7 +289,13 @@ mod tests {
             cbo.clean 0x1000\n";
         let ops = assemble(text).expect("valid program");
         assert_eq!(ops.len(), 9);
-        assert_eq!(ops[0], Op::Store { addr: 0x1000, value: 42 });
+        assert_eq!(
+            ops[0],
+            Op::Store {
+                addr: 0x1000,
+                value: 42
+            }
+        );
         assert_eq!(ops[1], Op::Flush { addr: 0x1000 });
         assert_eq!(ops[2], Op::Fence);
         let text2 = disassemble(&ops);

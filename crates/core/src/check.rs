@@ -299,9 +299,15 @@ mod tests {
     fn consistent_program_reports_clean() {
         let mut c = ModelChecker::new(SystemBuilder::new().cores(1).build());
         let r = c.run(&[
-            Op::Store { addr: 0x100, value: 1 },
+            Op::Store {
+                addr: 0x100,
+                value: 1,
+            },
             Op::Load { addr: 0x100 },
-            Op::FetchAdd { addr: 0x100, operand: 4 },
+            Op::FetchAdd {
+                addr: 0x100,
+                operand: 4,
+            },
             Op::Load { addr: 0x100 },
             Op::Clean { addr: 0x100 },
             Op::Fence,
@@ -315,10 +321,16 @@ mod tests {
     fn inval_model_matches_simulator() {
         let mut c = ModelChecker::new(SystemBuilder::new().cores(1).skip_it(true).build());
         let r = c.run(&[
-            Op::Store { addr: 0x200, value: 7 },
+            Op::Store {
+                addr: 0x200,
+                value: 7,
+            },
             Op::Flush { addr: 0x200 },
             Op::Fence,
-            Op::Store { addr: 0x200, value: 8 },
+            Op::Store {
+                addr: 0x200,
+                value: 8,
+            },
             Op::Inval { addr: 0x200 },
             Op::Fence,
             Op::Load { addr: 0x200 }, // must see the durable 7, not 8

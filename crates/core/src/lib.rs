@@ -54,15 +54,25 @@
 //! crash-consistency tests verify the §4 memory semantics end to end.
 
 pub mod asm;
-pub mod check;
 pub mod builder;
+pub mod check;
+pub mod metrics;
 
 pub use builder::SystemBuilder;
-pub use skipit_boom::{CoreHandle, EngineStats, Op, System, SystemConfig, SystemStats};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use skipit_boom::{
+    CoreHandle, EngineStats, LatencyHistogram, Op, System, SystemConfig, SystemStats, TraceLog,
+    TraceRecord,
+};
 pub use skipit_dcache::{DataCache, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};
 pub use skipit_mem::{Dram, DramConfig, MemStats};
-pub use skipit_tilelink::{ClientState, LineAddr, LineData, WritebackKind, LINE_BYTES, WORDS_PER_LINE};
+pub use skipit_tilelink::{
+    ClientState, LineAddr, LineData, WritebackKind, LINE_BYTES, WORDS_PER_LINE,
+};
+pub use skipit_trace::{
+    MsgDesc, StreamEvent, TimedEvent, TraceEvent, TraceFilter, TraceSink, TRACE_COMPILED,
+};
 
 /// Convenience: builds the paper's §7.1 evaluation platform (dual-core,
 /// 32 KiB L1s, 512 KiB shared inclusive L2) with Skip It on or off.

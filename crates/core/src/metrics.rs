@@ -1,0 +1,262 @@
+//! Flat metrics registry: every counter the simulator keeps — per-core
+//! [`L1Stats`], [`L2Stats`], DRAM, per-channel link pushes, the
+//! fast-forward [`EngineStats`] and (when op tracing is on) the per-op-kind
+//! latency percentiles — snapshotted into one key→value document that can
+//! be diffed across phases and rendered as a single JSON object.
+//!
+//! Keys are dotted paths (`"l1.0.writebacks_skipped"`, `"link.c.1.pushed"`,
+//! `"latency.flush.p99"`), sorted, so two snapshots of the same system
+//! always enumerate the same keys in the same order.
+//!
+//! [`L1Stats`]: skipit_dcache::L1Stats
+//! [`L2Stats`]: skipit_llc::L2Stats
+//! [`EngineStats`]: skipit_boom::EngineStats
+
+use skipit_boom::System;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One flat snapshot of every simulator counter, keyed by dotted path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Captures every stats struct of `sys` into one flat snapshot.
+    pub fn capture(sys: &System) -> Self {
+        let mut e = BTreeMap::new();
+        let stats = sys.stats();
+        e.insert("cycles".to_string(), stats.cycles);
+        for (i, l1) in stats.l1.iter().enumerate() {
+            for (field, value) in [
+                ("loads", l1.loads),
+                ("load_hits", l1.load_hits),
+                ("load_fshr_forwards", l1.load_fshr_forwards),
+                ("stores", l1.stores),
+                ("store_hits", l1.store_hits),
+                ("amos", l1.amos),
+                ("nacks", l1.nacks),
+                ("writebacks_enqueued", l1.writebacks_enqueued),
+                ("writebacks_skipped", l1.writebacks_skipped),
+                ("writebacks_coalesced", l1.writebacks_coalesced),
+                ("root_releases_sent", l1.root_releases_sent),
+                ("root_releases_with_data", l1.root_releases_with_data),
+                ("probes_handled", l1.probes_handled),
+                ("probes_with_data", l1.probes_with_data),
+                ("evictions", l1.evictions),
+                ("dirty_evictions", l1.dirty_evictions),
+                ("mshr_allocs", l1.mshr_allocs),
+                ("mshr_secondaries", l1.mshr_secondaries),
+                (
+                    "flush_entries_probe_invalidated",
+                    l1.flush_entries_probe_invalidated,
+                ),
+                (
+                    "flush_entries_evict_invalidated",
+                    l1.flush_entries_evict_invalidated,
+                ),
+            ] {
+                e.insert(format!("l1.{i}.{field}"), value);
+            }
+        }
+        let l2 = &stats.l2;
+        for (field, value) in [
+            ("acquires", l2.acquires),
+            ("grants_clean", l2.grants_clean),
+            ("grants_dirty", l2.grants_dirty),
+            ("root_release_flush", l2.root_release_flush),
+            ("root_release_clean", l2.root_release_clean),
+            ("root_release_inval", l2.root_release_inval),
+            ("root_release_dram_skipped", l2.root_release_dram_skipped),
+            ("root_release_dram_writes", l2.root_release_dram_writes),
+            ("probes_sent", l2.probes_sent),
+            ("releases", l2.releases),
+            ("evictions", l2.evictions),
+            ("dirty_evictions", l2.dirty_evictions),
+            ("mem_fills", l2.mem_fills),
+            ("list_buffered", l2.list_buffered),
+        ] {
+            e.insert(format!("l2.{field}"), value);
+        }
+        e.insert("dram.reads".to_string(), stats.mem.reads);
+        e.insert("dram.writes".to_string(), stats.mem.writes);
+        let engine = sys.engine_stats();
+        e.insert("engine.skipped_cycles".to_string(), engine.skipped_cycles);
+        e.insert("engine.jumps".to_string(), engine.jumps);
+        for core in 0..sys.config().cores {
+            for ch in ['A', 'B', 'C', 'D', 'E'] {
+                e.insert(
+                    format!("link.{}.{core}.pushed", ch.to_ascii_lowercase()),
+                    sys.link_pushed(ch, core),
+                );
+            }
+        }
+        for (kind, h) in sys.latency_histograms() {
+            e.insert(format!("latency.{kind}.count"), h.count());
+            e.insert(format!("latency.{kind}.sum"), h.sum());
+            for (p, v) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+                if let Some(v) = v {
+                    e.insert(format!("latency.{kind}.{p}"), v);
+                }
+            }
+        }
+        MetricsSnapshot { entries: e }
+    }
+
+    /// The sorted key→value pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Value of one key.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Per-key saturating difference `self - earlier` — what happened
+    /// between two snapshots. Keys missing from `earlier` count from zero.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(k, &v)| {
+                    let before = earlier.get(k).unwrap_or(0);
+                    (k.clone(), v.saturating_sub(before))
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as one flat JSON object with sorted keys.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n  \"{k}\": {v}");
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Named snapshots of one run: capture at phase boundaries, diff phases
+/// against each other, render everything as one JSON document.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    snapshots: BTreeMap<String, MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures the current counters of `sys` under `name` (replacing any
+    /// previous snapshot of that name).
+    pub fn snapshot(&mut self, name: &str, sys: &System) -> &MetricsSnapshot {
+        self.snapshots
+            .insert(name.to_string(), MetricsSnapshot::capture(sys));
+        &self.snapshots[name]
+    }
+
+    /// A stored snapshot.
+    pub fn get(&self, name: &str) -> Option<&MetricsSnapshot> {
+        self.snapshots.get(name)
+    }
+
+    /// Difference `to - from` between two stored snapshots, when both exist.
+    pub fn diff(&self, from: &str, to: &str) -> Option<MetricsSnapshot> {
+        Some(self.snapshots.get(to)?.diff(self.snapshots.get(from)?))
+    }
+
+    /// Renders every stored snapshot as one JSON document
+    /// (`{"name": {flat object}, …}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, snap)) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let body = snap.to_json().replace('\n', "\n  ");
+            let _ = write!(out, "\n  \"{name}\": {body}");
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use skipit_boom::Op;
+
+    #[test]
+    fn capture_diff_and_json() {
+        let mut sys = SystemBuilder::new().cores(1).build();
+        sys.enable_tracing(1024);
+        let mut reg = MetricsRegistry::new();
+        reg.snapshot("start", &sys);
+        sys.run_programs(vec![vec![
+            Op::Store {
+                addr: 0x1000,
+                value: 1,
+            },
+            Op::Flush { addr: 0x1000 },
+            Op::Fence,
+        ]]);
+        reg.snapshot("end", &sys);
+        let d = reg.diff("start", "end").expect("both snapshots exist");
+        assert_eq!(d.get("l1.0.stores"), Some(1));
+        assert_eq!(d.get("l1.0.writebacks_enqueued"), Some(1));
+        assert_eq!(d.get("dram.writes"), Some(1));
+        assert!(d.get("cycles").unwrap() > 0);
+        assert!(
+            d.get("link.a.0.pushed").unwrap() > 0,
+            "the store must have sent an Acquire"
+        );
+        assert_eq!(d.get("latency.flush.count"), Some(1));
+        let json = reg.to_json();
+        assert!(json.contains("\"end\""));
+        assert!(json.contains("\"l2.acquires\""));
+        // Same-system snapshots enumerate identical key sets.
+        let keys: Vec<&str> = reg
+            .get("start")
+            .unwrap()
+            .entries()
+            .map(|(k, _)| k)
+            .collect();
+        let keys_end: Vec<&str> = d.entries().map(|(k, _)| k).collect();
+        let missing: Vec<&&str> = keys.iter().filter(|k| !keys_end.contains(k)).collect();
+        assert!(missing.is_empty(), "start-only keys: {missing:?}");
+    }
+
+    #[test]
+    fn snapshot_json_is_flat_and_sorted() {
+        let sys = SystemBuilder::new().cores(2).build();
+        let snap = MetricsSnapshot::capture(&sys);
+        assert!(!snap.is_empty());
+        let keys: Vec<&str> = snap.entries().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(snap.get("engine.jumps"), Some(0));
+        assert_eq!(snap.len(), keys.len());
+        assert!(snap.to_json().starts_with('{'));
+    }
+}

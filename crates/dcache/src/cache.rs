@@ -20,10 +20,20 @@ use crate::meta::CacheArrays;
 use crate::req::{AmoOp, DcReq, DcReqKind, DcResp, ReqOutcome};
 use crate::stats::L1Stats;
 use skipit_tilelink::{
-    AgentId, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, ClientState, GrantFlavor,
-    Grow, Link, LineAddr, LineData, Shrink,
+    AgentId, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, ClientState, GrantFlavor, Grow,
+    LineAddr, LineData, Link, Shrink,
 };
+use skipit_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
+
+/// Lower-case `CBO.X` kind name for trace events.
+fn wb_kind_name(kind: skipit_tilelink::WritebackKind) -> &'static str {
+    match kind {
+        skipit_tilelink::WritebackKind::Clean => "clean",
+        skipit_tilelink::WritebackKind::Flush => "flush",
+        skipit_tilelink::WritebackKind::Inval => "inval",
+    }
+}
 
 /// The five TileLink channel endpoints the cache drives each cycle.
 ///
@@ -135,6 +145,9 @@ pub struct DataCache {
     flush: FlushUnit,
     resp: VecDeque<(u64, DcResp)>,
     stats: L1Stats,
+    /// Event sink for front-end, MSHR, and skip-bit events; the flush unit
+    /// carries its own sink for FSHR FSM transitions.
+    sink: Option<TraceSink>,
 }
 
 impl DataCache {
@@ -154,8 +167,52 @@ impl DataCache {
             flush: FlushUnit::new(cfg.flush_queue_depth, cfg.fshrs),
             resp: VecDeque::with_capacity(16),
             stats: L1Stats::default(),
+            sink: None,
             cfg,
         }
+    }
+
+    /// Installs an event sink for this cache's front-end, MSHR, flush-queue
+    /// and skip-bit events. FSHR FSM transitions go to the flush unit's own
+    /// sink — see [`DataCache::set_flush_trace`].
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The installed event sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Mutable access to the installed event sink (for clearing).
+    pub fn trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.sink.as_mut()
+    }
+
+    /// Removes and returns the event sink.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.sink.take()
+    }
+
+    /// Installs an event sink on the flush unit (FSHR FSM transitions and
+    /// ack-time skip-bit sets).
+    pub fn set_flush_trace(&mut self, sink: TraceSink) {
+        self.flush.set_trace(sink);
+    }
+
+    /// The flush unit's event sink, if any.
+    pub fn flush_trace_sink(&self) -> Option<&TraceSink> {
+        self.flush.trace_sink()
+    }
+
+    /// Mutable access to the flush unit's event sink (for clearing).
+    pub fn flush_trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.flush.trace_sink_mut()
+    }
+
+    /// Removes and returns the flush unit's event sink.
+    pub fn take_flush_trace(&mut self) -> Option<TraceSink> {
+        self.flush.take_trace()
     }
 
     /// The `flushing` signal for fences (§5.3): true while any `CBO.X` is
@@ -438,6 +495,14 @@ impl DataCache {
         // required even when the line is persisted.
         if self.cfg.skip_it && hit && !dirty && skip && kind.writes_back() {
             self.stats.writebacks_skipped += 1;
+            skipit_trace::trace!(
+                self.sink,
+                now,
+                TraceEvent::WritebackDropped {
+                    core: self.core,
+                    addr: line.base(),
+                }
+            );
             self.respond(now + 1, DcResp::WritebackAccepted { id });
             return ReqOutcome::Accepted;
         }
@@ -445,6 +510,15 @@ impl DataCache {
         // absorbs this one.
         if self.flush.can_coalesce(line, kind, dirty) {
             self.stats.writebacks_coalesced += 1;
+            skipit_trace::trace!(
+                self.sink,
+                now,
+                TraceEvent::FlushCoalesce {
+                    core: self.core,
+                    addr: line.base(),
+                    kind: wb_kind_name(kind),
+                }
+            );
             self.respond(now + 1, DcResp::WritebackAccepted { id });
             return ReqOutcome::Accepted;
         }
@@ -452,6 +526,15 @@ impl DataCache {
         // config switch (off reproduces the paper's hardware).
         if self.cfg.cross_kind_coalescing && self.flush.try_cross_kind_coalesce(line, kind) {
             self.stats.writebacks_coalesced += 1;
+            skipit_trace::trace!(
+                self.sink,
+                now,
+                TraceEvent::FlushCoalesce {
+                    core: self.core,
+                    addr: line.base(),
+                    kind: wb_kind_name(kind),
+                }
+            );
             self.respond(now + 1, DcResp::WritebackAccepted { id });
             return ReqOutcome::Accepted;
         }
@@ -466,6 +549,15 @@ impl DataCache {
             kind,
         });
         self.stats.writebacks_enqueued += 1;
+        skipit_trace::trace!(
+            self.sink,
+            now,
+            TraceEvent::FlushEnqueue {
+                core: self.core,
+                addr: line.base(),
+                kind: wb_kind_name(kind),
+            }
+        );
         self.respond(now + 1, DcResp::WritebackAccepted { id });
         ReqOutcome::Accepted
     }
@@ -482,7 +574,7 @@ impl DataCache {
             .iter()
             .any(|m| m.active_on(line) && m.write && m.state != MshrState::SendGrantAck)
         {
-            return self.miss_enqueue(req, line, false);
+            return self.miss_enqueue(now, req, line, false);
         }
         if let Some(way) = self.arrays.lookup(line) {
             let set = self.arrays.set_index(line);
@@ -493,7 +585,10 @@ impl DataCache {
                 self.arrays.touch(set, way);
                 self.stats.loads += 1;
                 self.stats.load_hits += 1;
-                self.respond(now + self.cfg.hit_latency, DcResp::LoadDone { id: req.id, value });
+                self.respond(
+                    now + self.cfg.hit_latency,
+                    DcResp::LoadDone { id: req.id, value },
+                );
                 return ReqOutcome::Accepted;
             }
         }
@@ -522,7 +617,7 @@ impl DataCache {
             self.stats.nacks += 1;
             return ReqOutcome::Nack;
         }
-        self.miss_enqueue(req, line, false)
+        self.miss_enqueue(now, req, line, false)
     }
 
     /// Whether an MSHR on `line` may still hold buffered (unreplayed)
@@ -541,7 +636,7 @@ impl DataCache {
             return nack;
         }
         if self.mshr_orders_line(line) {
-            let outcome = self.miss_enqueue(req, line, true);
+            let outcome = self.miss_enqueue(now, req, line, true);
             if outcome == ReqOutcome::Accepted {
                 self.stats.stores += 1;
                 self.respond(now + 1, DcResp::StoreDone { id: req.id });
@@ -555,7 +650,18 @@ impl DataCache {
                 self.arrays.line_mut(set, way).set_word(word, value);
                 let m = self.arrays.meta_mut(set, way);
                 m.state = ClientState::Modified;
-                m.skip = false;
+                if m.skip {
+                    m.skip = false;
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::SkipBitClear {
+                            core: self.core,
+                            addr: line.base(),
+                            why: "store",
+                        }
+                    );
+                }
                 self.arrays.touch(set, way);
                 self.stats.stores += 1;
                 self.stats.store_hits += 1;
@@ -565,7 +671,7 @@ impl DataCache {
         }
         // Miss or upgrade: store becomes MSHR traffic; it is "complete" from
         // the core's perspective the moment it is buffered (§3.3).
-        let outcome = self.miss_enqueue(req, line, true);
+        let outcome = self.miss_enqueue(now, req, line, true);
         if outcome == ReqOutcome::Accepted {
             self.stats.stores += 1;
             self.respond(now + 1, DcResp::StoreDone { id: req.id });
@@ -579,7 +685,7 @@ impl DataCache {
             return nack;
         }
         if self.mshr_orders_line(line) {
-            let outcome = self.miss_enqueue(req, line, true);
+            let outcome = self.miss_enqueue(now, req, line, true);
             if outcome == ReqOutcome::Accepted {
                 self.stats.amos += 1;
             }
@@ -588,13 +694,16 @@ impl DataCache {
         if let Some(way) = self.arrays.lookup(line) {
             let set = self.arrays.set_index(line);
             if self.arrays.meta(set, way).state.can_write() {
-                let old = self.execute_amo(line, way, req);
+                let old = self.execute_amo(now, line, way, req);
                 self.stats.amos += 1;
-                self.respond(now + self.cfg.hit_latency, DcResp::AmoDone { id: req.id, old });
+                self.respond(
+                    now + self.cfg.hit_latency,
+                    DcResp::AmoDone { id: req.id, old },
+                );
                 return ReqOutcome::Accepted;
             }
         }
-        let outcome = self.miss_enqueue(req, line, true);
+        let outcome = self.miss_enqueue(now, req, line, true);
         if outcome == ReqOutcome::Accepted {
             self.stats.amos += 1;
         }
@@ -602,7 +711,7 @@ impl DataCache {
     }
 
     /// Applies an AMO to a resident, writable line; returns the old value.
-    fn execute_amo(&mut self, line: LineAddr, way: usize, req: DcReq) -> u64 {
+    fn execute_amo(&mut self, now: u64, line: LineAddr, way: usize, req: DcReq) -> u64 {
         let DcReqKind::Amo { addr, op, operand } = req.kind else {
             panic!("execute_amo on non-AMO request {req:?}");
         };
@@ -618,7 +727,18 @@ impl DataCache {
             self.arrays.line_mut(set, way).set_word(word, new);
             let m = self.arrays.meta_mut(set, way);
             m.state = ClientState::Modified;
-            m.skip = false;
+            if m.skip {
+                m.skip = false;
+                skipit_trace::trace!(
+                    self.sink,
+                    now,
+                    TraceEvent::SkipBitClear {
+                        core: self.core,
+                        addr: line.base(),
+                        why: "amo",
+                    }
+                );
+            }
         }
         self.arrays.touch(set, way);
         old
@@ -643,7 +763,7 @@ impl DataCache {
     }
 
     /// Allocates an MSHR or appends to an existing one's replay queue.
-    fn miss_enqueue(&mut self, req: DcReq, line: LineAddr, write: bool) -> ReqOutcome {
+    fn miss_enqueue(&mut self, now: u64, req: DcReq, line: LineAddr, write: bool) -> ReqOutcome {
         // Secondary request (§3.3): permissions required must not exceed the
         // primary's.
         if let Some(m) = self.mshrs.iter_mut().find(|m| m.active_on(line)) {
@@ -696,6 +816,15 @@ impl DataCache {
             MshrState::SendAcquire
         };
         self.stats.mshr_allocs += 1;
+        skipit_trace::trace!(
+            self.sink,
+            now,
+            TraceEvent::L1MshrAlloc {
+                core: self.core,
+                slot,
+                addr: line.base(),
+            }
+        );
         ReqOutcome::Accepted
     }
 
@@ -709,7 +838,7 @@ impl DataCache {
         // (WBU free) — §5.4.
         let probe_rdy = matches!(self.probe, ProbePhase::Idle);
         let wb_rdy = self.wbu.ready();
-        self.flush.try_allocate(probe_rdy, wb_rdy);
+        self.flush.try_allocate(now, self.core, probe_rdy, wb_rdy);
         self.flush
             .step_fshrs(now, self.core, &mut self.arrays, ports.c, &mut self.stats);
     }
@@ -742,6 +871,16 @@ impl DataCache {
                     // GrantDataDirty clears it.
                     let skip = self.cfg.skip_it && flavor == GrantFlavor::Clean;
                     self.arrays.install(addr, way, state, skip, data);
+                    if skip {
+                        skipit_trace::trace!(
+                            self.sink,
+                            now,
+                            TraceEvent::SkipBitSet {
+                                core: self.core,
+                                addr: addr.base(),
+                            }
+                        );
+                    }
                     // Keep the way pinned until the MSHR retires so replayed
                     // writes cannot race an eviction.
                     let set = self.arrays.set_index(addr);
@@ -749,9 +888,13 @@ impl DataCache {
                 }
                 ChannelD::ReleaseAck { addr, root, .. } => {
                     if root {
-                        let done =
-                            self.flush
-                                .complete_ack(addr, &mut self.arrays, self.cfg.skip_it);
+                        let done = self.flush.complete_ack(
+                            now,
+                            self.core,
+                            addr,
+                            &mut self.arrays,
+                            self.cfg.skip_it,
+                        );
                         assert!(done, "RootReleaseAck for {addr:?} without a waiting FSHR");
                     } else {
                         let job = self.wbu.job.take();
@@ -791,12 +934,34 @@ impl DataCache {
                     {
                         let m = self.arrays.meta_mut(set, way);
                         m.state = ClientState::Invalid;
-                        m.skip = false;
+                        if m.skip {
+                            m.skip = false;
+                            skipit_trace::trace!(
+                                self.sink,
+                                now,
+                                TraceEvent::SkipBitClear {
+                                    core: self.core,
+                                    addr: victim.base(),
+                                    why: "evict",
+                                }
+                            );
+                        }
                     }
                     // §5.4.2: the WBU invalidates flush-queue entries for
                     // evicted lines.
-                    self.stats.flush_entries_evict_invalidated +=
-                        self.flush.evict_invalidate(victim);
+                    let invalidated = self.flush.evict_invalidate(victim);
+                    if invalidated > 0 {
+                        skipit_trace::trace!(
+                            self.sink,
+                            now,
+                            TraceEvent::FlushInvalidate {
+                                core: self.core,
+                                addr: victim.base(),
+                                by: "evict",
+                            }
+                        );
+                    }
+                    self.stats.flush_entries_evict_invalidated += invalidated;
                     self.stats.evictions += 1;
                     if dirty {
                         self.stats.dirty_evictions += 1;
@@ -853,6 +1018,15 @@ impl DataCache {
                         let set = self.arrays.set_index(addr);
                         let way = self.mshrs[i].way;
                         self.arrays.meta_mut(set, way).reserved = false;
+                        skipit_trace::trace!(
+                            self.sink,
+                            now,
+                            TraceEvent::L1MshrFree {
+                                core: self.core,
+                                slot: i,
+                                addr: addr.base(),
+                            }
+                        );
                         self.mshrs[i] = Mshr::default();
                     }
                 }
@@ -878,12 +1052,23 @@ impl DataCache {
                     .set_word(LineAddr::word_index(addr), value);
                 let m = self.arrays.meta_mut(set, way);
                 m.state = ClientState::Modified;
-                m.skip = false;
+                if m.skip {
+                    m.skip = false;
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::SkipBitClear {
+                            core: self.core,
+                            addr: line.base(),
+                            why: "store",
+                        }
+                    );
+                }
                 self.arrays.touch(set, way);
                 self.stats.store_hits += 1;
             }
             DcReqKind::Amo { .. } => {
-                let old = self.execute_amo(line, way, req);
+                let old = self.execute_amo(now, line, way, req);
                 self.respond(now + 1, DcResp::AmoDone { id: req.id, old });
             }
             DcReqKind::Writeback { .. } => {
@@ -922,8 +1107,19 @@ impl DataCache {
             }
             ProbePhase::Invalidate(p) => {
                 let ChannelB::Probe { addr, cap, .. } = p;
-                self.stats.flush_entries_probe_invalidated +=
-                    self.flush.probe_invalidate(addr, cap);
+                let invalidated = self.flush.probe_invalidate(addr, cap);
+                if invalidated > 0 {
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::FlushInvalidate {
+                            core: self.core,
+                            addr: addr.base(),
+                            by: "probe",
+                        }
+                    );
+                }
+                self.stats.flush_entries_probe_invalidated += invalidated;
                 self.probe = ProbePhase::Waiting(p);
             }
             ProbePhase::Waiting(p) => {
@@ -935,8 +1131,7 @@ impl DataCache {
                     m.active_on(addr)
                         && matches!(m.state, MshrState::Replay | MshrState::SendGrantAck)
                 });
-                if !self.flush.flush_rdy() || !self.wbu.ready() || mshr_busy
-                    || !ports.c.can_push()
+                if !self.flush.flush_rdy() || !self.wbu.ready() || mshr_busy || !ports.c.can_push()
                 {
                     self.probe = ProbePhase::Waiting(p);
                     return;
@@ -944,8 +1139,19 @@ impl DataCache {
                 // Entries enqueued after the Invalidate phase but before
                 // this downgrade would otherwise snapshot stale metadata —
                 // re-run the invalidation at the downgrade point.
-                self.stats.flush_entries_probe_invalidated +=
-                    self.flush.probe_invalidate(addr, cap);
+                let invalidated = self.flush.probe_invalidate(addr, cap);
+                if invalidated > 0 {
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::FlushInvalidate {
+                            core: self.core,
+                            addr: addr.base(),
+                            by: "probe",
+                        }
+                    );
+                }
+                self.stats.flush_entries_probe_invalidated += invalidated;
                 let (old, slot) = match self.arrays.lookup(addr) {
                     Some(way) => {
                         let set = self.arrays.set_index(addr);
@@ -954,20 +1160,28 @@ impl DataCache {
                     None => (ClientState::Invalid, None),
                 };
                 let new = old.probed_to(cap);
-                let data = (old == ClientState::Modified && new != old)
-                    .then(|| {
-                        let (set, way) = slot.expect("modified line must be resident");
-                        self.arrays.line(set, way)
-                    });
+                let data = (old == ClientState::Modified && new != old).then(|| {
+                    let (set, way) = slot.expect("modified line must be resident");
+                    self.arrays.line(set, way)
+                });
                 if let Some((set, way)) = slot {
                     let m = self.arrays.meta_mut(set, way);
                     m.state = new;
-                    if new == ClientState::Invalid {
+                    // Invalidation clears the bit with the line; a dirty
+                    // downgrade clears it because our data just moved into
+                    // the L2: the line is now dirty *there*, hence not
+                    // persisted (§6.2).
+                    if (new == ClientState::Invalid || data.is_some()) && m.skip {
                         m.skip = false;
-                    } else if data.is_some() {
-                        // Our dirty data just moved into the L2: the line is
-                        // now dirty *there*, hence not persisted (§6.2).
-                        m.skip = false;
+                        skipit_trace::trace!(
+                            self.sink,
+                            now,
+                            TraceEvent::SkipBitClear {
+                                core: self.core,
+                                addr: addr.base(),
+                                why: "probe",
+                            }
+                        );
                     }
                 }
                 ports.c.push(
@@ -1120,9 +1334,7 @@ mod tests {
             },
             GrantFlavor::Clean,
         );
-        assert!(resp
-            .iter()
-            .any(|r| matches!(r, DcResp::StoreDone { .. })));
+        assert!(resp.iter().any(|r| matches!(r, DcResp::StoreDone { .. })));
         assert_eq!(h.l1.peek_word(0x1000), Some(99));
         assert_eq!(h.l1.peek_state(0x1000), ClientState::Modified);
     }
@@ -1327,7 +1539,11 @@ mod tests {
         assert!(resp
             .iter()
             .any(|r| matches!(r, DcResp::AmoDone { old: 20, .. })));
-        assert_eq!(h.l1.peek_word(0x6000), Some(20), "failed CAS must not write");
+        assert_eq!(
+            h.l1.peek_word(0x6000),
+            Some(20),
+            "failed CAS must not write"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl L1Config {
         assert!(self.ways > 0, "ways must be nonzero");
         assert!(self.mshrs > 0, "mshrs must be nonzero");
         assert!(self.rpq_depth > 0, "rpq_depth must be nonzero");
-        assert!(self.flush_queue_depth > 0, "flush_queue_depth must be nonzero");
+        assert!(
+            self.flush_queue_depth > 0,
+            "flush_queue_depth must be nonzero"
+        );
         assert!(self.fshrs > 0, "fshrs must be nonzero");
     }
 }

@@ -16,8 +16,9 @@
 use crate::meta::CacheArrays;
 use crate::stats::L1Stats;
 use skipit_tilelink::{
-    AgentId, Cap, ChannelC, ClientState, Link, LineAddr, LineData, WritebackKind,
+    AgentId, Cap, ChannelC, ClientState, LineAddr, LineData, Link, WritebackKind,
 };
+use skipit_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// One buffered `CBO.X` request (§5.2: "relevant fields of a flush request").
@@ -51,6 +52,20 @@ pub enum FshrState {
     SendRelease,
     /// Wait for `RootReleaseAck` (`root_release_ack` in Fig. 7).
     WaitAck,
+}
+
+impl FshrState {
+    /// The Fig. 7 state name, used by [`TraceEvent::FshrTransition`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FshrState::Free => "free",
+            FshrState::MetaWrite => "meta_write",
+            FshrState::FillBuffer => "fill_buffer",
+            FshrState::SendReleaseData => "root_release_data",
+            FshrState::SendRelease => "root_release",
+            FshrState::WaitAck => "root_release_ack",
+        }
+    }
 }
 
 /// One Flush Status Holding Register.
@@ -96,6 +111,8 @@ pub struct FlushUnit {
     next_fshr: usize,
     /// The flush counter (§5.2): pending requests in the queue or in FSHRs.
     counter: u64,
+    /// Event sink for FSHR FSM transitions and ack-time skip-bit updates.
+    sink: Option<TraceSink>,
 }
 
 impl FlushUnit {
@@ -107,7 +124,30 @@ impl FlushUnit {
             fshrs: vec![Fshr::default(); fshrs],
             next_fshr: 0,
             counter: 0,
+            sink: None,
         }
+    }
+
+    /// Installs an event sink; FSHR state transitions
+    /// ([`TraceEvent::FshrTransition`]) and ack-time skip-bit sets emit
+    /// through it.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The installed event sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Mutable access to the installed event sink (for clearing).
+    pub fn trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.sink.as_mut()
+    }
+
+    /// Removes and returns the event sink.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.sink.take()
     }
 
     /// The `flushing` signal (Fig. 6): true while any writeback is pending.
@@ -157,15 +197,8 @@ impl FlushUnit {
     /// coalescible ("pending flush request" = queued): the FSHR may already
     /// have released the line, so a later writeback must take its own trip —
     /// which is exactly the redundancy Skip It eliminates (§7.4).
-    pub fn can_coalesce(
-        &self,
-        addr: LineAddr,
-        kind: WritebackKind,
-        _line_dirty_now: bool,
-    ) -> bool {
-        self.queue
-            .iter()
-            .any(|e| e.addr == addr && e.kind == kind)
+    pub fn can_coalesce(&self, addr: LineAddr, kind: WritebackKind, _line_dirty_now: bool) -> bool {
+        self.queue.iter().any(|e| e.addr == addr && e.kind == kind)
     }
 
     /// The §5.3 future-work optimization: coalesce a request with a queued
@@ -267,7 +300,7 @@ impl FlushUnit {
     /// permitted: the queue is non-empty, an FSHR is free, and the
     /// `probe_rdy` / `wb_rdy` interlocks are high (§5.4). At most one
     /// allocation per cycle.
-    pub fn try_allocate(&mut self, probe_rdy: bool, wb_rdy: bool) -> bool {
+    pub fn try_allocate(&mut self, now: u64, core: AgentId, probe_rdy: bool, wb_rdy: bool) -> bool {
         if self.queue.is_empty() || !probe_rdy || !wb_rdy {
             return false;
         }
@@ -282,9 +315,21 @@ impl FlushUnit {
             let idx = (self.next_fshr + i) % n;
             if self.fshrs[idx].state == FshrState::Free {
                 let entry = self.queue.pop_front().expect("nonempty");
+                let state = Self::initial_state(&entry);
+                skipit_trace::trace!(
+                    self.sink,
+                    now,
+                    TraceEvent::FshrTransition {
+                        core,
+                        fshr: idx,
+                        addr: entry.addr.base(),
+                        from: FshrState::Free.name(),
+                        to: state.name(),
+                    }
+                );
                 self.fshrs[idx] = Fshr {
                     entry,
-                    state: Self::initial_state(&entry),
+                    state,
                     buffer: None,
                     slot: None,
                 };
@@ -341,7 +386,18 @@ impl FlushUnit {
                     match entry.kind {
                         WritebackKind::Flush | WritebackKind::Inval => {
                             m.state = ClientState::Invalid;
-                            m.skip = false;
+                            if m.skip {
+                                m.skip = false;
+                                skipit_trace::trace!(
+                                    self.sink,
+                                    now,
+                                    TraceEvent::SkipBitClear {
+                                        core,
+                                        addr: entry.addr.base(),
+                                        why: "flush",
+                                    }
+                                );
+                            }
                         }
                         WritebackKind::Clean => {
                             if m.state == ClientState::Modified {
@@ -362,11 +418,23 @@ impl FlushUnit {
                         }
                     }
                     // CBO.INVAL discards dirty data: never fill the buffer.
-                    self.fshrs[i].state = if entry.is_dirty && entry.kind.writes_back() {
+                    let next = if entry.is_dirty && entry.kind.writes_back() {
                         FshrState::FillBuffer
                     } else {
                         FshrState::SendRelease
                     };
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::FshrTransition {
+                            core,
+                            fshr: i,
+                            addr: entry.addr.base(),
+                            from: state.name(),
+                            to: next.name(),
+                        }
+                    );
+                    self.fshrs[i].state = next;
                 }
                 FshrState::FillBuffer => {
                     // The widened data array serves the whole line in one
@@ -377,6 +445,17 @@ impl FlushUnit {
                         .slot
                         .expect("fill_buffer without a latched slot");
                     self.fshrs[i].buffer = Some(arrays.line(set, way));
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::FshrTransition {
+                            core,
+                            fshr: i,
+                            addr: entry.addr.base(),
+                            from: state.name(),
+                            to: FshrState::SendReleaseData.name(),
+                        }
+                    );
                     self.fshrs[i].state = FshrState::SendReleaseData;
                 }
                 FshrState::SendReleaseData | FshrState::SendRelease => {
@@ -399,6 +478,17 @@ impl FlushUnit {
                         if data.is_some() {
                             stats.root_releases_with_data += 1;
                         }
+                        skipit_trace::trace!(
+                            self.sink,
+                            now,
+                            TraceEvent::FshrTransition {
+                                core,
+                                fshr: i,
+                                addr: entry.addr.base(),
+                                from: state.name(),
+                                to: FshrState::WaitAck.name(),
+                            }
+                        );
                         self.fshrs[i].state = FshrState::WaitAck;
                     }
                 }
@@ -414,6 +504,8 @@ impl FlushUnit {
     /// Returns `true` if an FSHR was completed.
     pub fn complete_ack(
         &mut self,
+        now: u64,
+        core: AgentId,
         addr: LineAddr,
         arrays: &mut CacheArrays,
         skip_it: bool,
@@ -426,6 +518,17 @@ impl FlushUnit {
             return false;
         };
         let kind = self.fshrs[i].entry.kind;
+        skipit_trace::trace!(
+            self.sink,
+            now,
+            TraceEvent::FshrTransition {
+                core,
+                fshr: i,
+                addr: addr.base(),
+                from: FshrState::WaitAck.name(),
+                to: FshrState::Free.name(),
+            }
+        );
         self.fshrs[i] = Fshr::default();
         debug_assert!(self.counter > 0, "flush counter underflow");
         self.counter -= 1;
@@ -435,6 +538,14 @@ impl FlushUnit {
                 let m = arrays.meta_mut(set, way);
                 if !m.state.is_dirty() {
                     m.skip = true;
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::SkipBitSet {
+                            core,
+                            addr: addr.base(),
+                        }
+                    );
                 }
             }
         }
@@ -588,9 +699,12 @@ mod tests {
     fn allocation_respects_interlocks() {
         let mut fu = unit();
         fu.enqueue(entry(0x40, false, false, WritebackKind::Flush));
-        assert!(!fu.try_allocate(false, true), "probe_rdy low must block");
-        assert!(!fu.try_allocate(true, false), "wb_rdy low must block");
-        assert!(fu.try_allocate(true, true));
+        assert!(
+            !fu.try_allocate(0, 0, false, true),
+            "probe_rdy low must block"
+        );
+        assert!(!fu.try_allocate(0, 0, true, false), "wb_rdy low must block");
+        assert!(fu.try_allocate(0, 0, true, true));
         assert!(fu.fshr_for(LineAddr::new(0x40)).is_some());
     }
 
@@ -599,12 +713,15 @@ mod tests {
         let mut fu = unit();
         fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
         fu.enqueue(entry(0x40, true, false, WritebackKind::Flush));
-        assert!(fu.try_allocate(true, true));
+        assert!(fu.try_allocate(0, 0, true, true));
         // Round-robin allocation does not serialize same-line requests;
         // the L2's per-line MSHR conflict rules order them.
-        assert!(fu.try_allocate(true, true));
+        assert!(fu.try_allocate(0, 0, true, true));
         assert_eq!(
-            fu.fshrs().iter().filter(|f| f.state != FshrState::Free).count(),
+            fu.fshrs()
+                .iter()
+                .filter(|f| f.state != FshrState::Free)
+                .count(),
             2
         );
     }
@@ -614,7 +731,7 @@ mod tests {
         let mut fu = unit();
         assert!(fu.flush_rdy());
         fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
-        fu.try_allocate(true, true);
+        fu.try_allocate(0, 0, true, true);
         assert!(!fu.flush_rdy(), "MetaWrite state must hold flush_rdy low");
     }
 
@@ -631,7 +748,7 @@ mod tests {
         let mut c: Link<ChannelC> = Link::new(0, 8);
         let mut stats = L1Stats::default();
         fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
-        fu.try_allocate(true, true);
+        fu.try_allocate(0, 0, true, true);
 
         // MetaWrite: Modified → Exclusive.
         fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
@@ -650,7 +767,9 @@ mod tests {
         let msg = c.pop(100).expect("RootRelease on C");
         match msg {
             ChannelC::RootRelease {
-                kind, data: Some(d), ..
+                kind,
+                data: Some(d),
+                ..
             } => {
                 assert_eq!(kind, WritebackKind::Clean);
                 assert_eq!(d.word(0), 0xabcd);
@@ -659,7 +778,7 @@ mod tests {
         }
 
         // Ack completes and sets the skip bit (Skip It enabled).
-        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(fu.complete_ack(99, 0, addr, &mut arrays, true));
         assert!(arrays.meta(set, way).skip);
         assert!(!fu.is_flushing());
     }
@@ -675,7 +794,7 @@ mod tests {
         let mut c: Link<ChannelC> = Link::new(0, 8);
         let mut stats = L1Stats::default();
         fu.enqueue(entry(0x80, true, true, WritebackKind::Flush));
-        fu.try_allocate(true, true);
+        fu.try_allocate(0, 0, true, true);
         fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats); // MetaWrite
         assert_eq!(arrays.lookup(addr), None, "flush must invalidate");
         fu.step_fshrs(1, 0, &mut arrays, &mut c, &mut stats); // FillBuffer (data still readable)
@@ -688,7 +807,7 @@ mod tests {
                 ..
             })
         ));
-        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(fu.complete_ack(99, 0, addr, &mut arrays, true));
     }
 
     #[test]
@@ -699,7 +818,7 @@ mod tests {
         let mut c: Link<ChannelC> = Link::new(0, 8);
         let mut stats = L1Stats::default();
         fu.enqueue(entry(0xc0, false, false, WritebackKind::Flush));
-        fu.try_allocate(true, true);
+        fu.try_allocate(0, 0, true, true);
         fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
         assert!(matches!(
             c.pop(100),
@@ -719,7 +838,7 @@ mod tests {
         let mut c: Link<ChannelC> = Link::new(0, 8);
         let mut stats = L1Stats::default();
         fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
-        fu.try_allocate(true, true);
+        fu.try_allocate(0, 0, true, true);
         for t in 0..3 {
             fu.step_fshrs(t, 0, &mut arrays, &mut c, &mut stats);
         }
@@ -727,7 +846,7 @@ mod tests {
         let set = arrays.set_index(addr);
         let way = arrays.lookup(addr).unwrap();
         arrays.meta_mut(set, way).state = ClientState::Modified;
-        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(fu.complete_ack(99, 0, addr, &mut arrays, true));
         assert!(!arrays.meta(set, way).skip);
     }
 }
@@ -737,7 +856,7 @@ mod inval_tests {
     use super::*;
     use crate::config::L1Config;
     use crate::stats::L1Stats;
-    use skipit_tilelink::{ChannelC, ClientState, Link, LineAddr, LineData};
+    use skipit_tilelink::{ChannelC, ClientState, LineAddr, LineData, Link};
 
     fn entry(addr: u64, hit: bool, dirty: bool) -> FlushEntry {
         FlushEntry {
@@ -761,7 +880,7 @@ mod inval_tests {
         let mut c: Link<ChannelC> = Link::new(0, 8);
         let mut stats = L1Stats::default();
         fu.enqueue(entry(0x40, true, true));
-        assert!(fu.try_allocate(true, true));
+        assert!(fu.try_allocate(0, 0, true, true));
         // MetaWrite invalidates; the dirty data is discarded (no FillBuffer).
         fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
         assert_eq!(arrays.lookup(addr), None, "inval must invalidate");
@@ -774,7 +893,7 @@ mod inval_tests {
             }) => {}
             other => panic!("expected dataless RootRelease(Inval), got {other:?}"),
         }
-        assert!(fu.complete_ack(addr, &mut arrays, true));
+        assert!(fu.complete_ack(99, 0, addr, &mut arrays, true));
         assert!(!fu.is_flushing());
     }
 
@@ -786,7 +905,7 @@ mod inval_tests {
         let mut c: Link<ChannelC> = Link::new(0, 8);
         let mut stats = L1Stats::default();
         fu.enqueue(entry(0x80, false, false));
-        assert!(fu.try_allocate(true, true));
+        assert!(fu.try_allocate(0, 0, true, true));
         fu.step_fshrs(0, 0, &mut arrays, &mut c, &mut stats);
         assert!(matches!(
             c.pop(100),

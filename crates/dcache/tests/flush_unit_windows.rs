@@ -128,7 +128,13 @@ impl Bench {
 #[test]
 fn load_forwards_from_filled_fshr_buffer() {
     let mut b = Bench::new(L1Config::default());
-    b.drive_until_accepted(1, DcReqKind::Store { addr: 0x1000, value: 77 });
+    b.drive_until_accepted(
+        1,
+        DcReqKind::Store {
+            addr: 0x1000,
+            value: 77,
+        },
+    );
     b.step(40);
     b.responses();
     // Withhold the ack so the FSHR parks in WaitAck with its buffer filled.
@@ -165,12 +171,24 @@ fn load_forwards_from_filled_fshr_buffer() {
 fn store_allowed_past_buffer_filled_clean_but_not_flush() {
     for (kind, expect_ok) in [(WritebackKind::Clean, true), (WritebackKind::Flush, false)] {
         let mut b = Bench::new(L1Config::default());
-        b.drive_until_accepted(1, DcReqKind::Store { addr: 0x2000, value: 5 });
+        b.drive_until_accepted(
+            1,
+            DcReqKind::Store {
+                addr: 0x2000,
+                value: 5,
+            },
+        );
         b.step(40);
         b.ack_root = false;
         b.drive_until_accepted(2, DcReqKind::Writeback { addr: 0x2000, kind });
         b.step(10); // FSHR reaches WaitAck with the buffer filled
-        let out = b.drive(3, DcReqKind::Store { addr: 0x2000, value: 9 });
+        let out = b.drive(
+            3,
+            DcReqKind::Store {
+                addr: 0x2000,
+                value: 9,
+            },
+        );
         if expect_ok {
             assert_eq!(out, ReqOutcome::Accepted, "store past buffered clean");
             b.step(6);
@@ -272,8 +290,7 @@ fn evicted_line_invalidates_queued_entry() {
     b.release_acks();
     b.step(120);
     assert!(
-        b.l1.stats().flush_entries_evict_invalidated >= 1
-            || b.l1.stats().evictions == 0,
+        b.l1.stats().flush_entries_evict_invalidated >= 1 || b.l1.stats().evictions == 0,
         "an eviction hitting a queued entry must invalidate it"
     );
     assert!(!b.l1.is_flushing());

@@ -11,9 +11,10 @@ use crate::config::L2Config;
 use crate::stats::L2Stats;
 use skipit_mem::{Dram, MemReq, MemResp};
 use skipit_tilelink::{
-    AgentId, Cap, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, GrantFlavor, Grow, Link,
-    LineAddr, LineData, Shrink, WritebackKind,
+    AgentId, Cap, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, GrantFlavor, Grow, LineAddr,
+    LineData, Link, Shrink, WritebackKind,
 };
+use skipit_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// Channel endpoints the L2 drives each cycle, one link of each kind per
@@ -116,6 +117,8 @@ pub struct InclusiveCache {
     next_token: u64,
     stats: L2Stats,
     cores: usize,
+    /// Event sink for MSHR allocation/retirement and §5.5 DRAM-write skips.
+    sink: Option<TraceSink>,
 }
 
 impl InclusiveCache {
@@ -137,8 +140,30 @@ impl InclusiveCache {
             next_token: 0,
             stats: L2Stats::default(),
             cores,
+            sink: None,
             cfg,
         }
+    }
+
+    /// Installs an event sink; MSHR lifecycle and §5.5 trivial-completion
+    /// events emit through it.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The installed event sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Mutable access to the installed event sink (for clearing).
+    pub fn trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.sink.as_mut()
+    }
+
+    /// Removes and returns the event sink.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.sink.take()
     }
 
     /// Cumulative counters.
@@ -245,8 +270,7 @@ impl InclusiveCache {
                     merge(t);
                 }
                 L2MshrState::SendResp => {
-                    let (L2Req::Acquire { source, .. }
-                    | L2Req::RootRelease { source, .. }) = m.req;
+                    let (L2Req::Acquire { source, .. } | L2Req::RootRelease { source, .. }) = m.req;
                     if d[source].can_push() {
                         return Some(now);
                     }
@@ -334,6 +358,14 @@ impl InclusiveCache {
                 }) else {
                     panic!("GrantAck for {addr:?} without a waiting MSHR");
                 };
+                skipit_trace::trace!(
+                    self.sink,
+                    now,
+                    TraceEvent::L2MshrFree {
+                        slot: idx,
+                        addr: addr.base(),
+                    }
+                );
                 self.mshrs[idx] = None;
                 self.occupied &= !(1 << idx);
             }
@@ -472,9 +504,12 @@ impl InclusiveCache {
         }
         // Route to the waiting MSHR: probes for a line come from exactly one
         // MSHR (per-line conflict serialization).
-        let Some(m) = self.mshrs.iter_mut().flatten().find(|m| {
-            (m.addr == addr || m.victim == Some(addr)) && m.pending_acks > 0
-        }) else {
+        let Some(m) = self
+            .mshrs
+            .iter_mut()
+            .flatten()
+            .find(|m| (m.addr == addr || m.victim == Some(addr)) && m.pending_acks > 0)
+        else {
             panic!("ProbeAck for {addr:?} with no probing MSHR");
         };
         m.pending_acks -= 1;
@@ -528,6 +563,15 @@ impl InclusiveCache {
             };
             ports.a[core].pop(now);
             self.occupied |= 1 << slot;
+            skipit_trace::trace!(
+                self.sink,
+                now,
+                TraceEvent::L2MshrAlloc {
+                    slot,
+                    addr: addr.base(),
+                    op: "Acquire",
+                }
+            );
             self.mshrs[slot] = Some(L2Mshr {
                 addr,
                 req: L2Req::Acquire { source, grow },
@@ -556,6 +600,15 @@ impl InclusiveCache {
             panic!("ListBuffer held a non-RootRelease message: {msg:?}");
         };
         self.occupied |= 1 << slot;
+        skipit_trace::trace!(
+            self.sink,
+            now,
+            TraceEvent::L2MshrAlloc {
+                slot,
+                addr: addr.base(),
+                op: "RootRelease",
+            }
+        );
         self.mshrs[slot] = Some(L2Mshr {
             addr,
             req: L2Req::RootRelease { source, kind, data },
@@ -578,14 +631,14 @@ impl InclusiveCache {
             match m.state {
                 L2MshrState::Access { until } => {
                     if now >= until {
-                        self.plan(idx);
+                        self.plan(now, idx);
                     }
                 }
                 L2MshrState::VictimProbe | L2MshrState::OwnerProbe => {
                     self.send_probes(now, idx, ports);
                     let m = self.mshrs[idx].as_mut().expect("active");
                     if m.to_probe == 0 && m.pending_acks == 0 {
-                        self.probes_complete(idx);
+                        self.probes_complete(now, idx);
                     }
                 }
                 L2MshrState::VictimWrite => {
@@ -635,7 +688,13 @@ impl InclusiveCache {
                         let m = self.mshrs[idx].as_mut().expect("active");
                         m.token = token;
                         m.state = L2MshrState::MemReadWait;
-                        ports.mem.request(now, MemReq::Read { addr: m.addr, token });
+                        ports.mem.request(
+                            now,
+                            MemReq::Read {
+                                addr: m.addr,
+                                token,
+                            },
+                        );
                     }
                 }
                 L2MshrState::DramWrite => {
@@ -646,10 +705,7 @@ impl InclusiveCache {
                             Some(w) => self.arrays.line(self.arrays.set_index(m.addr), w),
                             None => match m.req {
                                 L2Req::RootRelease { data: Some(d), .. } => d,
-                                _ => panic!(
-                                    "DramWrite for non-resident {:?} without data",
-                                    m.addr
-                                ),
+                                _ => panic!("DramWrite for non-resident {:?} without data", m.addr),
                             },
                         };
                         let token = self.next_token;
@@ -679,7 +735,7 @@ impl InclusiveCache {
     }
 
     /// First directory decision after the access latency.
-    fn plan(&mut self, idx: usize) {
+    fn plan(&mut self, now: u64, idx: usize) {
         let m = self.mshrs[idx].expect("active");
         match m.req {
             L2Req::Acquire { source, grow } => {
@@ -778,6 +834,13 @@ impl InclusiveCache {
                     // dirty ⇒ memory is already up to date: trivially
                     // complete (§5.5).
                     self.stats.root_release_dram_skipped += 1;
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        TraceEvent::DramWriteSkipped {
+                            addr: m.addr.base()
+                        }
+                    );
                     self.mshrs[idx].as_mut().expect("active").state = L2MshrState::SendResp;
                 }
             }
@@ -809,7 +872,7 @@ impl InclusiveCache {
     }
 
     /// All probes for the current phase acknowledged.
-    fn probes_complete(&mut self, idx: usize) {
+    fn probes_complete(&mut self, now: u64, idx: usize) {
         let m = self.mshrs[idx].expect("active");
         match m.state {
             L2MshrState::VictimProbe => {
@@ -843,6 +906,13 @@ impl InclusiveCache {
                         } else {
                             if kind.writes_back() {
                                 self.stats.root_release_dram_skipped += 1;
+                                skipit_trace::trace!(
+                                    self.sink,
+                                    now,
+                                    TraceEvent::DramWriteSkipped {
+                                        addr: m.addr.base()
+                                    }
+                                );
                             }
                             mm.state = L2MshrState::SendResp;
                         }
@@ -908,8 +978,7 @@ impl InclusiveCache {
                 if kind.invalidates() {
                     if let Some(w) = self.arrays.lookup(m.addr) {
                         let set = self.arrays.set_index(m.addr);
-                        let keep_dirty =
-                            kind.writes_back() && self.arrays.dir(set, w).dirty;
+                        let keep_dirty = kind.writes_back() && self.arrays.dir(set, w).dirty;
                         if !keep_dirty {
                             let e = self.arrays.dir_mut(set, w);
                             debug_assert_eq!(e.owners, 0, "flush left owners behind");
@@ -932,6 +1001,14 @@ impl InclusiveCache {
                     WritebackKind::Clean => self.stats.root_release_clean += 1,
                     WritebackKind::Inval => self.stats.root_release_inval += 1,
                 }
+                skipit_trace::trace!(
+                    self.sink,
+                    now,
+                    TraceEvent::L2MshrFree {
+                        slot: idx,
+                        addr: m.addr.base(),
+                    }
+                );
                 self.mshrs[idx] = None;
                 self.occupied &= !(1 << idx);
             }
@@ -1030,13 +1107,7 @@ mod tests {
                     data: None,
                 }
             });
-            self.e[core].push(
-                self.now,
-                ChannelE::GrantAck {
-                    source: core,
-                    addr,
-                },
-            );
+            self.e[core].push(self.now, ChannelE::GrantAck { source: core, addr });
             self.step();
             self.step();
             resp
@@ -1199,7 +1270,9 @@ mod tests {
         // Core 1 acquires: line is dirty in L2 → GrantDataDirty (§6.1).
         let resp = h.acquire(1, line(3), Grow::NtoB);
         match resp {
-            ChannelD::Grant { flavor, data: d, .. } => {
+            ChannelD::Grant {
+                flavor, data: d, ..
+            } => {
                 assert_eq!(flavor, GrantFlavor::Dirty);
                 assert_eq!(d.word(0), 9);
             }
@@ -1313,7 +1386,13 @@ mod tests {
         }
         let g = h.await_d(1, |_| panic!("probe already answered"));
         assert!(matches!(g, ChannelD::Grant { .. }));
-        h.e[1].push(h.now, ChannelE::GrantAck { source: 1, addr: line(6) });
+        h.e[1].push(
+            h.now,
+            ChannelE::GrantAck {
+                source: 1,
+                addr: line(6),
+            },
+        );
         let ack = h.await_d(0, |p| {
             let ChannelB::Probe { target, addr, cap } = p;
             ChannelC::ProbeAck {

@@ -46,7 +46,10 @@ impl L2Config {
         assert!(self.sets.is_power_of_two(), "sets must be a power of two");
         assert!(self.ways > 0, "ways must be nonzero");
         assert!(self.mshrs > 0, "mshrs must be nonzero");
-        assert!(self.list_buffer_depth > 0, "list_buffer_depth must be nonzero");
+        assert!(
+            self.list_buffer_depth > 0,
+            "list_buffer_depth must be nonzero"
+        );
     }
 }
 

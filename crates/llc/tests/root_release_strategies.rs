@@ -4,8 +4,8 @@
 use skipit_llc::{InclusiveCache, L2Config, L2Ports};
 use skipit_mem::{Dram, DramConfig};
 use skipit_tilelink::{
-    Cap, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Grow, Link, LineAddr, LineData,
-    Shrink, WritebackKind,
+    Cap, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Grow, LineAddr, LineData, Link, Shrink,
+    WritebackKind,
 };
 
 struct Bench {
@@ -107,7 +107,7 @@ fn data(seed: u64) -> LineData {
 fn clean_probes_only_the_foreign_trunk_owner() {
     let mut b = Bench::new(3);
     b.acquire(0, line(5), Grow::NtoT); // core 0 owns Trunk
-    // Core 2 issues a clean for the line it does not own.
+                                       // Core 2 issues a clean for the line it does not own.
     b.c[2].push(
         b.now,
         ChannelC::RootRelease {

@@ -121,6 +121,7 @@ pub struct Dram {
     ready: VecDeque<MemResp>,
     next_issue: u64,
     stats: MemStats,
+    sink: Option<skipit_trace::TraceSink>,
 }
 
 impl Dram {
@@ -133,7 +134,30 @@ impl Dram {
             ready: VecDeque::new(),
             next_issue: 0,
             stats: MemStats::default(),
+            sink: None,
         }
+    }
+
+    /// Installs an event sink recording [`skipit_trace::TraceEvent::DramRead`]
+    /// / [`skipit_trace::TraceEvent::DramWrite`] at request *completion* time
+    /// (the persistence event).
+    pub fn set_trace(&mut self, sink: skipit_trace::TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// The installed event sink, if any.
+    pub fn trace_sink(&self) -> Option<&skipit_trace::TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Mutable access to the installed event sink (for clearing).
+    pub fn trace_sink_mut(&mut self) -> Option<&mut skipit_trace::TraceSink> {
+        self.sink.as_mut()
+    }
+
+    /// Removes and returns the event sink.
+    pub fn take_trace(&mut self) -> Option<skipit_trace::TraceSink> {
+        self.sink.take()
     }
 
     /// Whether the controller can accept a request at cycle `now`.
@@ -160,12 +184,7 @@ impl Dram {
         };
         // Completion order equals acceptance order: enforce monotone
         // completion times even if latencies differ by request kind.
-        let done_at = (now + latency).max(
-            self.inflight
-                .back()
-                .map(|&(t, _)| t + 1)
-                .unwrap_or(0),
-        );
+        let done_at = (now + latency).max(self.inflight.back().map(|&(t, _)| t + 1).unwrap_or(0));
         self.inflight.push_back((done_at, req));
     }
 
@@ -179,6 +198,11 @@ impl Dram {
             let resp = match req {
                 MemReq::Read { addr, token } => {
                     self.stats.reads += 1;
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        skipit_trace::TraceEvent::DramRead { addr: addr.base() }
+                    );
                     MemResp::ReadDone {
                         addr,
                         data: self.read_direct(addr),
@@ -187,6 +211,11 @@ impl Dram {
                 }
                 MemReq::Write { addr, data, token } => {
                     self.stats.writes += 1;
+                    skipit_trace::trace!(
+                        self.sink,
+                        now,
+                        skipit_trace::TraceEvent::DramWrite { addr: addr.base() }
+                    );
                     self.lines.insert(addr.base(), data);
                     MemResp::WriteDone { addr, token }
                 }
@@ -414,7 +443,13 @@ mod tests {
             },
         );
         m.step(100);
-        assert_eq!(m.stats(), MemStats { reads: 1, writes: 1 });
+        assert_eq!(
+            m.stats(),
+            MemStats {
+                reads: 1,
+                writes: 1
+            }
+        );
         assert_eq!(m.resident_lines(), 1);
         assert!(m.pop_response().is_some());
         assert!(m.pop_response().is_some());
@@ -440,7 +475,11 @@ mod tests {
         assert_eq!(m.next_event(1), Some(10), "oldest in-flight completion");
         assert_eq!(m.next_accept(1), 4, "issue-interval gate");
         m.step(10);
-        assert_eq!(m.next_event(11), Some(11), "unconsumed response is work now");
+        assert_eq!(
+            m.next_event(11),
+            Some(11),
+            "unconsumed response is work now"
+        );
         assert!(m.pop_response().is_some());
         assert_eq!(m.next_event(12), None);
     }

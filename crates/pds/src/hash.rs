@@ -20,11 +20,7 @@ impl HashTable {
     /// # Panics
     ///
     /// Panics if `buckets` is zero.
-    pub fn new(
-        buckets: usize,
-        alloc: Arc<SimAlloc>,
-        mut poke: impl FnMut(u64, u64),
-    ) -> Self {
+    pub fn new(buckets: usize, alloc: Arc<SimAlloc>, mut poke: impl FnMut(u64, u64)) -> Self {
         assert!(buckets > 0, "need at least one bucket");
         let chains = (0..buckets)
             .map(|_| {

@@ -39,7 +39,7 @@ pub use alloc::SimAlloc;
 pub use bst::Bst;
 pub use hash::HashTable;
 pub use list::HarrisList;
-pub use persist::{OptKind, PersistMode, PHandle};
+pub use persist::{OptKind, PHandle, PersistMode};
 pub use skiplist::SkipList;
 pub use workload::{run_set_benchmark, BenchResult, DsKind, WorkloadCfg};
 

@@ -49,10 +49,7 @@ impl HarrisList {
     }
 
     /// Allocates and initializes the sentinels for an embedded list head.
-    pub(crate) fn init_sentinels(
-        alloc: &SimAlloc,
-        poke: &mut impl FnMut(u64, u64),
-    ) -> u64 {
+    pub(crate) fn init_sentinels(alloc: &SimAlloc, poke: &mut impl FnMut(u64, u64)) -> u64 {
         let tail = alloc.alloc(2);
         let head = alloc.alloc(2);
         poke(alloc.field(tail, KEY), TAIL_KEY);

@@ -122,10 +122,7 @@ impl ConcurrentSet for SkipList {
             for (l, succ) in succs.iter().enumerate().take(height) {
                 ph.init_write(self.f(node, NEXT0 + l), *succ);
             }
-            ph.persist_node(
-                node,
-                (NEXT0 + height) as u64 * self.alloc.stride().bytes(),
-            );
+            ph.persist_node(node, (NEXT0 + height) as u64 * self.alloc.stride().bytes());
             // Level-0 link is the linearization point.
             if !ph.cas(self.f(preds[0], NEXT0), succs[0], node) {
                 continue;
@@ -139,9 +136,7 @@ impl ConcurrentSet for SkipList {
                     if is_del(cur_w) {
                         return true; // node is being deleted; stop indexing
                     }
-                    if addr(cur_w) != succ
-                        && !ph.cas(self.f(node, NEXT0 + l), addr(cur_w), succ)
-                    {
+                    if addr(cur_w) != succ && !ph.cas(self.f(node, NEXT0 + l), addr(cur_w), succ) {
                         continue; // marked concurrently; re-check
                     }
                     if ph.cas(self.f(pred, NEXT0 + l), succ, node) {

@@ -8,7 +8,7 @@
 //! throughput.
 
 use crate::alloc::{FieldStride, SimAlloc};
-use crate::persist::{OptKind, PersistMode, PHandle};
+use crate::persist::{OptKind, PHandle, PersistMode};
 use crate::{Bst, ConcurrentSet, HarrisList, HashTable, SkipList};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -172,11 +172,9 @@ fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
         let mut w = |a, v| poke(&mut sys, a, v);
         match cfg.ds {
             DsKind::List => AnySet::List(HarrisList::new(Arc::clone(&alloc), &mut w)),
-            DsKind::Hash => AnySet::Hash(HashTable::new(
-                cfg.hash_buckets,
-                Arc::clone(&alloc),
-                &mut w,
-            )),
+            DsKind::Hash => {
+                AnySet::Hash(HashTable::new(cfg.hash_buckets, Arc::clone(&alloc), &mut w))
+            }
             DsKind::Bst => AnySet::Bst(Bst::new(Arc::clone(&alloc), &mut w)),
             DsKind::SkipList => AnySet::Skip(SkipList::new(Arc::clone(&alloc), &mut w)),
         }

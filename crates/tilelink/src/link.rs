@@ -7,26 +7,50 @@
 //! observation that releasing a 64 B line over the 16 B system bus takes four
 //! cycles (§5.2).
 
+use skipit_trace::{MsgDesc, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Trait implemented by channel message types to report how many bus beats
-/// they occupy. Headers-only messages take one beat; a full line takes
-/// [`crate::LINE_BEATS`].
+/// they occupy and to describe themselves to the tracing layer. Headers-only
+/// messages take one beat; a full line takes [`crate::LINE_BEATS`].
 pub trait Beats {
     /// Number of cycles the message occupies the link.
     fn beats(&self) -> u64;
+
+    /// Opcode/param/address description for trace events.
+    fn describe(&self) -> MsgDesc;
+
+    /// The channel this message type travels on (`'A'`–`'E'`), for trace
+    /// track naming.
+    fn channel() -> char;
 }
 
 impl Beats for crate::msg::ChannelA {
     fn beats(&self) -> u64 {
         1
     }
+
+    fn describe(&self) -> MsgDesc {
+        crate::msg::ChannelA::describe(self)
+    }
+
+    fn channel() -> char {
+        'A'
+    }
 }
 
 impl Beats for crate::msg::ChannelB {
     fn beats(&self) -> u64 {
         1
+    }
+
+    fn describe(&self) -> MsgDesc {
+        crate::msg::ChannelB::describe(self)
+    }
+
+    fn channel() -> char {
+        'B'
     }
 }
 
@@ -38,6 +62,14 @@ impl Beats for crate::msg::ChannelC {
             1
         }
     }
+
+    fn describe(&self) -> MsgDesc {
+        crate::msg::ChannelC::describe(self)
+    }
+
+    fn channel() -> char {
+        'C'
+    }
 }
 
 impl Beats for crate::msg::ChannelD {
@@ -48,11 +80,27 @@ impl Beats for crate::msg::ChannelD {
             1
         }
     }
+
+    fn describe(&self) -> MsgDesc {
+        crate::msg::ChannelD::describe(self)
+    }
+
+    fn channel() -> char {
+        'D'
+    }
 }
 
 impl Beats for crate::msg::ChannelE {
     fn beats(&self) -> u64 {
         1
+    }
+
+    fn describe(&self) -> MsgDesc {
+        crate::msg::ChannelE::describe(self)
+    }
+
+    fn channel() -> char {
+        'E'
     }
 }
 
@@ -77,6 +125,13 @@ pub struct Link<T> {
     latency: u64,
     capacity: usize,
     next_free: u64,
+    /// Cumulative messages pushed (metrics; engine-invariant by the PR 1
+    /// guarantee, since pushes only happen from state-mutating steps).
+    pushed: u64,
+    /// Event sink + the core index this per-core link belongs to, installed
+    /// by `System::enable_event_trace`. `None` (the default) keeps push/pop
+    /// at a single branch of overhead.
+    trace: Option<(usize, TraceSink)>,
 }
 
 impl<T: Beats + fmt::Debug> Link<T> {
@@ -93,7 +148,36 @@ impl<T: Beats + fmt::Debug> Link<T> {
             latency,
             capacity,
             next_free: 0,
+            pushed: 0,
+            trace: None,
         }
+    }
+
+    /// Installs an event sink; messages entering and leaving the link emit
+    /// [`TraceEvent::TlBegin`] / [`TraceEvent::TlEnd`] tagged with `core`
+    /// (the per-core link index) and the channel letter.
+    pub fn set_trace(&mut self, core: usize, sink: TraceSink) {
+        self.trace = Some((core, sink));
+    }
+
+    /// The installed event sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref().map(|(_, s)| s)
+    }
+
+    /// Mutable access to the installed event sink (for clearing).
+    pub fn trace_sink_mut(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_mut().map(|(_, s)| s)
+    }
+
+    /// Removes and returns the event sink.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take().map(|(_, s)| s)
+    }
+
+    /// Cumulative number of messages ever pushed (metrics counter).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
     }
 
     /// Whether a message can be pushed this cycle.
@@ -109,6 +193,22 @@ impl<T: Beats + fmt::Debug> Link<T> {
     /// first, mirroring hardware ready/valid handshakes.
     pub fn push(&mut self, now: u64, msg: T) {
         assert!(self.can_push(), "push on full link: {msg:?}");
+        self.pushed += 1;
+        if skipit_trace::TRACE_COMPILED {
+            if let Some((core, sink)) = self.trace.as_mut() {
+                let d = msg.describe();
+                sink.emit(
+                    now,
+                    TraceEvent::TlBegin {
+                        channel: T::channel(),
+                        core: *core,
+                        opcode: d.opcode,
+                        param: d.param,
+                        addr: d.addr,
+                    },
+                );
+            }
+        }
         let start = (now + self.latency).max(self.next_free);
         let ready = start + msg.beats() - 1;
         self.next_free = ready + 1;
@@ -118,7 +218,23 @@ impl<T: Beats + fmt::Debug> Link<T> {
     /// Removes and returns the head message if it has fully arrived by `now`.
     pub fn pop(&mut self, now: u64) -> Option<T> {
         if self.queue.front().is_some_and(|&(ready, _)| ready <= now) {
-            self.queue.pop_front().map(|(_, m)| m)
+            let msg = self.queue.pop_front().map(|(_, m)| m);
+            if skipit_trace::TRACE_COMPILED {
+                if let (Some(m), Some((core, sink))) = (msg.as_ref(), self.trace.as_mut()) {
+                    let d = m.describe();
+                    sink.emit(
+                        now,
+                        TraceEvent::TlEnd {
+                            channel: T::channel(),
+                            core: *core,
+                            opcode: d.opcode,
+                            param: d.param,
+                            addr: d.addr,
+                        },
+                    );
+                }
+            }
+            msg
         } else {
             None
         }

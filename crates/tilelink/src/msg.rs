@@ -50,6 +50,18 @@ impl WritebackKind {
     }
 }
 
+impl WritebackKind {
+    /// The §5.1 encoding parameter name (`ProbeAck` param on silicon),
+    /// used as the opcode parameter in traces.
+    pub fn param(self) -> &'static str {
+        match self {
+            WritebackKind::Clean => ".CLEAN",
+            WritebackKind::Flush => ".FLUSH",
+            WritebackKind::Inval => ".INVAL",
+        }
+    }
+}
+
 impl fmt::Display for WritebackKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -95,6 +107,17 @@ impl ChannelA {
             ChannelA::AcquireBlock { addr, .. } => addr,
         }
     }
+
+    /// Opcode/param description for traces.
+    pub fn describe(&self) -> skipit_trace::MsgDesc {
+        match *self {
+            ChannelA::AcquireBlock { addr, grow, .. } => skipit_trace::MsgDesc {
+                opcode: "AcquireBlock",
+                param: grow.name(),
+                addr: addr.base(),
+            },
+        }
+    }
 }
 
 /// Channel B: manager-initiated probes.
@@ -116,6 +139,17 @@ impl ChannelB {
     pub fn addr(&self) -> LineAddr {
         match *self {
             ChannelB::Probe { addr, .. } => addr,
+        }
+    }
+
+    /// Opcode/param description for traces.
+    pub fn describe(&self) -> skipit_trace::MsgDesc {
+        match *self {
+            ChannelB::Probe { addr, cap, .. } => skipit_trace::MsgDesc {
+                opcode: "Probe",
+                param: cap.name(),
+                addr: addr.base(),
+            },
         }
     }
 }
@@ -192,6 +226,35 @@ impl ChannelC {
             | ChannelC::RootRelease { data, .. } => data.is_some(),
         }
     }
+
+    /// Opcode/param description for traces.
+    pub fn describe(&self) -> skipit_trace::MsgDesc {
+        let (opcode, param) = match *self {
+            ChannelC::ProbeAck {
+                shrink,
+                data: Some(_),
+                ..
+            } => ("ProbeAckData", shrink.name()),
+            ChannelC::ProbeAck { shrink, .. } => ("ProbeAck", shrink.name()),
+            ChannelC::Release {
+                shrink,
+                data: Some(_),
+                ..
+            } => ("ReleaseData", shrink.name()),
+            ChannelC::Release { shrink, .. } => ("Release", shrink.name()),
+            ChannelC::RootRelease {
+                kind,
+                data: Some(_),
+                ..
+            } => ("RootReleaseData", kind.param()),
+            ChannelC::RootRelease { kind, .. } => ("RootRelease", kind.param()),
+        };
+        skipit_trace::MsgDesc {
+            opcode,
+            param,
+            addr: self.addr().base(),
+        }
+    }
 }
 
 /// Channel D: manager responses.
@@ -244,6 +307,25 @@ impl ChannelD {
     pub fn has_data(&self) -> bool {
         matches!(self, ChannelD::Grant { .. })
     }
+
+    /// Opcode/param description for traces.
+    pub fn describe(&self) -> skipit_trace::MsgDesc {
+        let (opcode, param) = match *self {
+            ChannelD::Grant {
+                flavor: GrantFlavor::Dirty,
+                is_trunk,
+                ..
+            } => ("GrantDataDirty", if is_trunk { "toT" } else { "toB" }),
+            ChannelD::Grant { is_trunk, .. } => ("GrantData", if is_trunk { "toT" } else { "toB" }),
+            ChannelD::ReleaseAck { root: true, .. } => ("ReleaseAck", ".ROOT"),
+            ChannelD::ReleaseAck { .. } => ("ReleaseAck", ""),
+        };
+        skipit_trace::MsgDesc {
+            opcode,
+            param,
+            addr: self.addr().base(),
+        }
+    }
 }
 
 /// Channel E: final acknowledgement of a grant.
@@ -257,6 +339,19 @@ pub enum ChannelE {
         /// The granted line.
         addr: LineAddr,
     },
+}
+
+impl ChannelE {
+    /// Opcode/param description for traces.
+    pub fn describe(&self) -> skipit_trace::MsgDesc {
+        match *self {
+            ChannelE::GrantAck { addr, .. } => skipit_trace::MsgDesc {
+                opcode: "GrantAck",
+                param: "",
+                addr: addr.base(),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,15 @@ impl Grow {
     pub fn wants_write(self) -> bool {
         matches!(self, Grow::NtoT | Grow::BtoT)
     }
+
+    /// TileLink parameter name, for traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Grow::NtoB => "NtoB",
+            Grow::NtoT => "NtoT",
+            Grow::BtoT => "BtoT",
+        }
+    }
 }
 
 /// Capability ceiling demanded by a `Probe` on channel B.
@@ -96,6 +105,17 @@ pub enum Cap {
     ToB,
     /// Keep Trunk (report-only probe).
     ToT,
+}
+
+impl Cap {
+    /// TileLink parameter name, for traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cap::ToN => "toN",
+            Cap::ToB => "toB",
+            Cap::ToT => "toT",
+        }
+    }
 }
 
 /// Permission shrinkage reported by `ProbeAck` / `Release` on channel C.
@@ -142,6 +162,18 @@ impl Shrink {
     /// Whether the sender retained write permission.
     pub fn keeps_trunk(self) -> bool {
         self == Shrink::TtoT
+    }
+
+    /// TileLink parameter name, for traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shrink::TtoB => "TtoB",
+            Shrink::TtoN => "TtoN",
+            Shrink::BtoN => "BtoN",
+            Shrink::TtoT => "TtoT",
+            Shrink::BtoB => "BtoB",
+            Shrink::NtoN => "NtoN",
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! push/pop schedules.
 
 use proptest::prelude::*;
-use skipit_tilelink::{ChannelC, Link, LineAddr, LineData, WritebackKind, LINE_BEATS};
+use skipit_tilelink::{ChannelC, LineAddr, LineData, Link, WritebackKind, LINE_BEATS};
 
 fn msg(n: u64, with_data: bool) -> ChannelC {
     ChannelC::RootRelease {

@@ -53,7 +53,12 @@ fn main() {
     println!("ran in {cycles} cycles\n");
 
     // Everything committed is durable.
-    for (addr, want) in [(0x1000u64, 101u64), (0x1008, 202), (0x1010, 303), (0x1040, 1)] {
+    for (addr, want) in [
+        (0x1000u64, 101u64),
+        (0x1008, 202),
+        (0x1010, 303),
+        (0x1040, 1),
+    ] {
         assert_eq!(sys.dram().read_word_direct(addr), want);
     }
     println!("record + commit flag durable in main memory");

@@ -45,7 +45,11 @@ fn main() {
                 forbidden += 1;
             }
         }
-        check("MP (fence): flag ⇒ data", forbidden == 0, format!("0/{forbidden} forbidden"));
+        check(
+            "MP (fence): flag ⇒ data",
+            forbidden == 0,
+            format!("0/{forbidden} forbidden"),
+        );
     }
 
     // SB: store buffering with fences — (0, 0) is forbidden.
@@ -74,7 +78,11 @@ fn main() {
                 forbidden += 1;
             }
         }
-        check("SB (fences): ¬(0,0)", forbidden == 0, format!("0/{forbidden} forbidden"));
+        check(
+            "SB (fences): ¬(0,0)",
+            forbidden == 0,
+            format!("0/{forbidden} forbidden"),
+        );
     }
 
     // CoRR: coherence read-read — two reads of the same location by the
@@ -104,7 +112,11 @@ fn main() {
             ],
             None,
         );
-        check("CoRR: same-location reads monotone", r[1] == 0, format!("{} regressions", r[1]));
+        check(
+            "CoRR: same-location reads monotone",
+            r[1] == 0,
+            format!("{} regressions", r[1]),
+        );
     }
 
     // Fig. 5 (a): without writebacks, store order says nothing about
@@ -112,8 +124,14 @@ fn main() {
     {
         let mut sys = SystemBuilder::new().cores(1).build();
         sys.run_programs(vec![vec![
-            Op::Store { addr: 0x6000, value: 1 },
-            Op::Store { addr: 0x6040, value: 2 },
+            Op::Store {
+                addr: 0x6000,
+                value: 1,
+            },
+            Op::Store {
+                addr: 0x6040,
+                value: 2,
+            },
         ]]);
         sys.quiesce();
         let dram = sys.crash();
@@ -131,20 +149,33 @@ fn main() {
     {
         let mut sys = SystemBuilder::new().cores(1).build();
         sys.run_programs(vec![vec![
-            Op::Store { addr: 0x7000, value: 10 },
+            Op::Store {
+                addr: 0x7000,
+                value: 10,
+            },
             Op::Flush { addr: 0x7000 },
-            Op::Store { addr: 0x7040, value: 20 },
+            Op::Store {
+                addr: 0x7040,
+                value: 20,
+            },
             Op::Fence,
         ]]);
         let x = sys.dram().read_word_direct(0x7000);
-        check("Fig5(b): writeback covers prior writes", x == 10, format!("x={x}"));
+        check(
+            "Fig5(b): writeback covers prior writes",
+            x == 10,
+            format!("x={x}"),
+        );
     }
 
     // Fig. 5 (c): writeback + fence ⇒ durable before the next instruction.
     {
         let mut sys = SystemBuilder::new().cores(1).build();
         sys.run_programs(vec![vec![
-            Op::Store { addr: 0x8000, value: 33 },
+            Op::Store {
+                addr: 0x8000,
+                value: 33,
+            },
             Op::Flush { addr: 0x8000 },
             Op::Fence,
         ]]);

@@ -56,8 +56,5 @@ fn main() {
          (L2 trivially skipped {} more DRAM writes)",
         skipit.stats.l2.root_release_dram_skipped
     );
-    println!(
-        "speedup: {:.2}x",
-        skipit.throughput() / plain.throughput()
-    );
+    println!("speedup: {:.2}x", skipit.throughput() / plain.throughput());
 }

@@ -13,7 +13,10 @@ fn main() {
 
     // 1. Persist a value: store → CBO.FLUSH → FENCE (§4, scenario c).
     let cycles = sys.run_programs(vec![vec![
-        Op::Store { addr: 0x1000, value: 42 },
+        Op::Store {
+            addr: 0x1000,
+            value: 42,
+        },
         Op::Flush { addr: 0x1000 },
         Op::Fence,
     ]]);
@@ -23,7 +26,10 @@ fn main() {
 
     // 2. CBO.CLEAN keeps the line cached. Re-reading hits the L1.
     sys.run_programs(vec![vec![
-        Op::Store { addr: 0x2000, value: 7 },
+        Op::Store {
+            addr: 0x2000,
+            value: 7,
+        },
         Op::Clean { addr: 0x2000 },
         Op::Fence,
         Op::Load { addr: 0x2000 },
@@ -45,13 +51,22 @@ fn main() {
 
     // 4. Cross-core: core 1 flushes a line core 0 dirtied — the L2 probes
     //    the owner and the dirty data still reaches memory (§5.5).
-    sys.run_programs(vec![vec![Op::Store { addr: 0x3000, value: 99 }], vec![]]);
+    sys.run_programs(vec![
+        vec![Op::Store {
+            addr: 0x3000,
+            value: 99,
+        }],
+        vec![],
+    ]);
     sys.run_programs(vec![vec![], vec![Op::Flush { addr: 0x3000 }, Op::Fence]]);
     assert_eq!(sys.dram().read_word_direct(0x3000), 99);
     println!("cross-core flush wrote back the other core's dirty data");
 
     // 5. Crash semantics: whatever was never written back is lost.
-    sys.run_programs(vec![vec![Op::Store { addr: 0x4000, value: 1234 }]]);
+    sys.run_programs(vec![vec![Op::Store {
+        addr: 0x4000,
+        value: 1234,
+    }]]);
     sys.quiesce();
     let dram = sys.crash();
     assert_eq!(dram.read_word_direct(0x4000), 0);

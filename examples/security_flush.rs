@@ -53,10 +53,13 @@ fn main() {
             0
         };
         // Attacker probe: time every line.
-        let (_, lat) = sys.run_threads(vec![probe_latencies as fn(&CoreHandle) -> Vec<u64>]
-            .into_iter()
-            .map(|f| move |h: CoreHandle| f(&h))
-            .collect(), None);
+        let (_, lat) = sys.run_threads(
+            vec![probe_latencies as fn(&CoreHandle) -> Vec<u64>]
+                .into_iter()
+                .map(|f| move |h: CoreHandle| f(&h))
+                .collect(),
+            None,
+        );
         let lat = &lat[0];
         let threshold = 20; // hit/miss discriminator (hits ≈ 5-8 cycles)
         let leaked: usize = (0..LINES as usize)
@@ -70,7 +73,10 @@ fn main() {
         if flush_on_switch {
             assert_eq!(leaked, 0, "the flush must close the timing channel");
         } else {
-            assert!(leaked > 20, "without flushing the channel must be wide open");
+            assert!(
+                leaked > 20,
+                "without flushing the channel must be wide open"
+            );
         }
     }
     println!("\nCBO.FLUSH + FENCE closes the probe channel at a bounded, known cost");

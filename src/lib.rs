@@ -14,6 +14,4 @@ pub use skipit_pds as pds;
 pub use skipit_core::{
     paper_platform, CoreHandle, Op, System, SystemBuilder, SystemConfig, SystemStats,
 };
-pub use skipit_pds::{
-    run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistMode, WorkloadCfg,
-};
+pub use skipit_pds::{run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistMode, WorkloadCfg};

@@ -137,16 +137,27 @@ fn cross_core_flush_chain() {
     // Core 0 writes, core 1 reads (spreads Shared copies), core 2 writes
     // again (revokes), core 3 flushes.
     s.run_programs(vec![
-        vec![Op::Store { addr: 0x50_000, value: 1 }],
+        vec![Op::Store {
+            addr: 0x50_000,
+            value: 1,
+        }],
         vec![],
         vec![],
         vec![],
     ]);
-    s.run_programs(vec![vec![], vec![Op::Load { addr: 0x50_000 }], vec![], vec![]]);
+    s.run_programs(vec![
+        vec![],
+        vec![Op::Load { addr: 0x50_000 }],
+        vec![],
+        vec![],
+    ]);
     s.run_programs(vec![
         vec![],
         vec![],
-        vec![Op::Store { addr: 0x50_000, value: 2 }],
+        vec![Op::Store {
+            addr: 0x50_000,
+            value: 2,
+        }],
         vec![],
     ]);
     s.run_programs(vec![
@@ -163,5 +174,7 @@ fn cross_core_flush_chain() {
             "flush must invalidate every copy (core {core})"
         );
     }
-    assert!(!s.l2().peek_valid(skipit::core::LineAddr::containing(0x50_000)));
+    assert!(!s
+        .l2()
+        .peek_valid(skipit::core::LineAddr::containing(0x50_000)));
 }

@@ -28,7 +28,11 @@ enum Ds {
     Skip,
 }
 
-fn build(sys: &mut System, ds: &Ds, stride: FieldStride) -> (Arc<SimAlloc>, Box<dyn ConcurrentSet>) {
+fn build(
+    sys: &mut System,
+    ds: &Ds,
+    stride: FieldStride,
+) -> (Arc<SimAlloc>, Box<dyn ConcurrentSet>) {
     let alloc = Arc::new(SimAlloc::new(HEAP, 1 << 26, stride));
     let set: Box<dyn ConcurrentSet> = {
         let mut w = |a, v| poke(sys, a, v);
@@ -64,11 +68,7 @@ fn model_check(ds: Ds, mode: PersistMode, opt: OptKind, seed: u64, steps: usize)
                 match rng.gen_range(0..3) {
                     0 => assert_eq!(set_ref.insert(&ph, k), model.insert(k), "insert {k}"),
                     1 => assert_eq!(set_ref.remove(&ph, k), model.remove(&k), "remove {k}"),
-                    _ => assert_eq!(
-                        set_ref.contains(&ph, k),
-                        model.contains(&k),
-                        "contains {k}"
-                    ),
+                    _ => assert_eq!(set_ref.contains(&ph, k), model.contains(&k), "contains {k}"),
                 }
             }
             // Final sweep: membership must match exactly.
@@ -92,12 +92,24 @@ fn list_model_check_automatic_skipit() {
 
 #[test]
 fn list_model_check_lap() {
-    model_check(Ds::List, PersistMode::Automatic, OptKind::LinkAndPersist, 3, 120);
+    model_check(
+        Ds::List,
+        PersistMode::Automatic,
+        OptKind::LinkAndPersist,
+        3,
+        120,
+    );
 }
 
 #[test]
 fn list_model_check_flit_adjacent() {
-    model_check(Ds::List, PersistMode::Automatic, OptKind::FlitAdjacent, 4, 100);
+    model_check(
+        Ds::List,
+        PersistMode::Automatic,
+        OptKind::FlitAdjacent,
+        4,
+        100,
+    );
 }
 
 #[test]
@@ -121,7 +133,13 @@ fn hash_model_check_plain() {
 
 #[test]
 fn hash_model_check_manual_lap() {
-    model_check(Ds::Hash, PersistMode::Manual, OptKind::LinkAndPersist, 7, 150);
+    model_check(
+        Ds::Hash,
+        PersistMode::Manual,
+        OptKind::LinkAndPersist,
+        7,
+        150,
+    );
 }
 
 #[test]

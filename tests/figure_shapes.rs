@@ -42,9 +42,7 @@ fn fig10_shape_clean_vs_flush() {
 #[test]
 fn fig11_12_shape_commercial_models() {
     // Intel clflush diverges at 4 KiB, single thread.
-    assert!(
-        Machine::IntelClflush.cycles_1t(4096) > 4.0 * Machine::IntelClflushOpt.cycles_1t(4096)
-    );
+    assert!(Machine::IntelClflush.cycles_1t(4096) > 4.0 * Machine::IntelClflushOpt.cycles_1t(4096));
     // Graviton overtakes AMD's linear model at 32 KiB.
     assert!(
         Machine::GravitonDcCivac.cycles_1t(32 * 1024) < Machine::AmdClflush.cycles_1t(32 * 1024)
@@ -68,7 +66,11 @@ fn fig13_shape_skipit_beats_naive() {
         "Skip It speedup too small: naive {n}, skip {s}"
     );
     let dropped: u64 = skip.stats().l1.iter().map(|x| x.writebacks_skipped).sum();
-    assert_eq!(dropped, 32 * 10, "every redundant writeback must be dropped");
+    assert_eq!(
+        dropped,
+        32 * 10,
+        "every redundant writeback must be dropped"
+    );
     // The durable images are identical.
     assert_eq!(naive.dram().read_word_direct(0x100_0000), 0x100_0000);
     assert_eq!(skip.dram().read_word_direct(0x100_0000), 0x100_0000);

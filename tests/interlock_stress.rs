@@ -44,9 +44,8 @@ fn tiny_geometry_survives_random_storms() {
                     let mut p = Vec::new();
                     for _ in 0..120 {
                         // 24 lines >> 8-line L1s and barely-fitting L2.
-                        let addr = 0x10_000
-                            + rng.gen_range(0..24u64) * 64
-                            + rng.gen_range(0..8u64) * 8;
+                        let addr =
+                            0x10_000 + rng.gen_range(0..24u64) * 64 + rng.gen_range(0..8u64) * 8;
                         p.push(match rng.gen_range(0..12) {
                             0..=4 => Op::Store {
                                 addr,

@@ -11,9 +11,15 @@ fn overlapping_clean_and_flush_preserve_interleaved_store() {
     for skip_it in [false, true] {
         let mut s = SystemBuilder::new().cores(1).skip_it(skip_it).build();
         s.run_programs(vec![vec![
-            Op::Store { addr: 0x1000, value: 845 },
+            Op::Store {
+                addr: 0x1000,
+                value: 845,
+            },
             Op::Clean { addr: 0x1008 }, // same line, starts the writeback
-            Op::Store { addr: 0x1010, value: 407 }, // allowed past filled clean
+            Op::Store {
+                addr: 0x1010,
+                value: 407,
+            }, // allowed past filled clean
             Op::Flush { addr: 0x1018 }, // same line again, overlaps the clean
             Op::Fence,
         ]]);
@@ -33,7 +39,10 @@ fn writeback_storm_with_interleaved_stores() {
     let mut s = SystemBuilder::new().cores(1).build();
     let mut prog = Vec::new();
     for v in 1..=20u64 {
-        prog.push(Op::Store { addr: 0x2000, value: v });
+        prog.push(Op::Store {
+            addr: 0x2000,
+            value: v,
+        });
         prog.push(if v % 2 == 0 {
             Op::Clean { addr: 0x2000 }
         } else {
@@ -71,12 +80,26 @@ fn cross_core_overlapping_writebacks() {
 fn cross_core_inval_vs_clean_quiesces() {
     let mut s = SystemBuilder::new().cores(2).build();
     s.run_programs(vec![
-        vec![Op::Store { addr: 0x4000, value: 5 }],
-        vec![Op::Store { addr: 0x4100, value: 6 }],
+        vec![Op::Store {
+            addr: 0x4000,
+            value: 5,
+        }],
+        vec![Op::Store {
+            addr: 0x4100,
+            value: 6,
+        }],
     ]);
     s.run_programs(vec![
-        vec![Op::Clean { addr: 0x4000 }, Op::Inval { addr: 0x4100 }, Op::Fence],
-        vec![Op::Clean { addr: 0x4100 }, Op::Inval { addr: 0x4000 }, Op::Fence],
+        vec![
+            Op::Clean { addr: 0x4000 },
+            Op::Inval { addr: 0x4100 },
+            Op::Fence,
+        ],
+        vec![
+            Op::Clean { addr: 0x4100 },
+            Op::Inval { addr: 0x4000 },
+            Op::Fence,
+        ],
     ]);
     s.quiesce();
     // 0x4000: core 0's clean and core 1's inval race — the value is either

@@ -13,8 +13,14 @@ fn sys(cores: usize, skip_it: bool) -> skipit::System {
 fn scenario_a_unflushed_stores_are_volatile() {
     let mut s = sys(1, false);
     s.run_programs(vec![vec![
-        Op::Store { addr: 0x100, value: 1 },
-        Op::Store { addr: 0x140, value: 2 },
+        Op::Store {
+            addr: 0x100,
+            value: 1,
+        },
+        Op::Store {
+            addr: 0x140,
+            value: 2,
+        },
     ]]);
     s.quiesce();
     let dram = s.crash();
@@ -30,14 +36,24 @@ fn scenario_b_writeback_covers_all_prior_writes_to_line() {
     let mut s = sys(1, false);
     // Two words in the same line, then one writeback of the line.
     s.run_programs(vec![vec![
-        Op::Store { addr: 0x200, value: 7 },
-        Op::Store { addr: 0x208, value: 8 },
+        Op::Store {
+            addr: 0x200,
+            value: 7,
+        },
+        Op::Store {
+            addr: 0x208,
+            value: 8,
+        },
         Op::Flush { addr: 0x200 },
         Op::Fence,
     ]]);
     let dram = s.crash();
     assert_eq!(dram.read_word_direct(0x200), 7);
-    assert_eq!(dram.read_word_direct(0x208), 8, "same-line write must persist");
+    assert_eq!(
+        dram.read_word_direct(0x208),
+        8,
+        "same-line write must persist"
+    );
 }
 
 /// Fig. 5 (c): writeback + fence makes the value durable before anything
@@ -46,7 +62,10 @@ fn scenario_b_writeback_covers_all_prior_writes_to_line() {
 fn scenario_c_flush_fence_then_read_sees_durable_value() {
     let mut s = sys(1, false);
     s.run_programs(vec![vec![
-        Op::Store { addr: 0x300, value: 42 },
+        Op::Store {
+            addr: 0x300,
+            value: 42,
+        },
         Op::Flush { addr: 0x300 },
         Op::Fence,
     ]]);
@@ -60,7 +79,10 @@ fn clean_is_durable_and_keeps_copy() {
     for skip_it in [false, true] {
         let mut s = sys(1, skip_it);
         s.run_programs(vec![vec![
-            Op::Store { addr: 0x400, value: 5 },
+            Op::Store {
+                addr: 0x400,
+                value: 5,
+            },
             Op::Clean { addr: 0x400 },
             Op::Fence,
             Op::Load { addr: 0x400 },
@@ -116,7 +138,10 @@ fn flush_collects_dirty_data_from_other_core() {
     let mut s = sys(2, false);
     // Core 0 dirties the line; core 1 (which has never touched it) flushes.
     s.run_programs(vec![
-        vec![Op::Store { addr: 0x500, value: 77 }],
+        vec![Op::Store {
+            addr: 0x500,
+            value: 77,
+        }],
         vec![],
     ]);
     s.run_programs(vec![vec![], vec![Op::Flush { addr: 0x500 }, Op::Fence]]);
@@ -138,7 +163,10 @@ fn flush_collects_dirty_data_from_other_core() {
 fn clean_downgrades_foreign_owner_but_keeps_copy() {
     let mut s = sys(2, false);
     s.run_programs(vec![
-        vec![Op::Store { addr: 0x600, value: 88 }],
+        vec![Op::Store {
+            addr: 0x600,
+            value: 88,
+        }],
         vec![],
     ]);
     s.run_programs(vec![vec![], vec![Op::Clean { addr: 0x600 }, Op::Fence]]);
@@ -157,12 +185,18 @@ fn alternating_ownership_flushes_are_consistent() {
     let mut s = sys(2, false);
     for round in 0..4u64 {
         s.run_programs(vec![
-            vec![Op::Store { addr: 0x700, value: round * 2 + 1 }],
+            vec![Op::Store {
+                addr: 0x700,
+                value: round * 2 + 1,
+            }],
             vec![],
         ]);
         s.run_programs(vec![
             vec![],
-            vec![Op::Store { addr: 0x700, value: round * 2 + 2 }],
+            vec![Op::Store {
+                addr: 0x700,
+                value: round * 2 + 2,
+            }],
         ]);
     }
     s.run_programs(vec![vec![Op::Flush { addr: 0x700 }, Op::Fence], vec![]]);
@@ -176,7 +210,10 @@ fn alternating_ownership_flushes_are_consistent() {
 fn load_after_flush_same_line_returns_value() {
     let mut s = sys(1, false);
     s.run_programs(vec![vec![
-        Op::Store { addr: 0x800, value: 123 },
+        Op::Store {
+            addr: 0x800,
+            value: 123,
+        },
         Op::Flush { addr: 0x800 },
         Op::Load { addr: 0x800 },
         Op::Fence,

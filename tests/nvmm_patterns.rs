@@ -151,7 +151,10 @@ fn model_checker_flags_missing_durability() {
     let mut checker = ModelChecker::new(SystemBuilder::new().cores(1).build());
     // Correct protocol: consistent.
     let ok = checker.run(&[
-        Op::Store { addr: 0x6000, value: 5 },
+        Op::Store {
+            addr: 0x6000,
+            value: 5,
+        },
         Op::Flush { addr: 0x6000 },
         Op::Fence,
     ]);
@@ -159,7 +162,10 @@ fn model_checker_flags_missing_durability() {
     // Broken protocol: flushing an unrelated line leaves 0x7000 volatile;
     // the model (which tracks per-line writebacks) must flag it.
     let bad = checker.run(&[
-        Op::Store { addr: 0x7000, value: 6 },
+        Op::Store {
+            addr: 0x7000,
+            value: 6,
+        },
         Op::Flush { addr: 0x7100 }, // wrong line!
         Op::Fence,
     ]);
@@ -169,7 +175,10 @@ fn model_checker_flags_missing_durability() {
     // But a model expectation of durability *is* checked: flush the right
     // line and verify it holds.
     let good2 = checker.run(&[
-        Op::Store { addr: 0x7000, value: 8 },
+        Op::Store {
+            addr: 0x7000,
+            value: 8,
+        },
         Op::Flush { addr: 0x7000 },
         Op::Fence,
         Op::Load { addr: 0x7000 },
@@ -186,8 +195,7 @@ fn checker_sweep_over_random_programs() {
     for seed in 0..24u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let skip_it = seed % 2 == 0;
-        let mut checker =
-            ModelChecker::new(SystemBuilder::new().cores(1).skip_it(skip_it).build());
+        let mut checker = ModelChecker::new(SystemBuilder::new().cores(1).skip_it(skip_it).build());
         let mut prog = Vec::new();
         for _ in 0..60 {
             let addr = 0x8_0000 + rng.gen_range(0..10u64) * 64 + rng.gen_range(0..8u64) * 8;

@@ -177,7 +177,12 @@ fn automatic_flit_adjacent_list_survives_crash() {
 #[test]
 fn nvtraverse_lap_list_survives_crash() {
     for seed in 10..13 {
-        run_crash_trial(PersistMode::NvTraverse, OptKind::LinkAndPersist, false, seed);
+        run_crash_trial(
+            PersistMode::NvTraverse,
+            OptKind::LinkAndPersist,
+            false,
+            seed,
+        );
     }
 }
 

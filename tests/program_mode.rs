@@ -14,10 +14,7 @@ fn empty_programs_finish_immediately() {
 #[test]
 fn nop_only_program_consumes_its_cycles() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    let cycles = sys.run_programs(vec![vec![
-        Op::Nop { cycles: 100 },
-        Op::Nop { cycles: 50 },
-    ]]);
+    let cycles = sys.run_programs(vec![vec![Op::Nop { cycles: 100 }, Op::Nop { cycles: 50 }]]);
     assert!(
         (150..200).contains(&cycles),
         "nop program took {cycles} cycles"
@@ -76,7 +73,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
             addr: 0x4000 + w * 8,
             value: v
         }),
-        (0u64..64).prop_map(|w| Op::Load { addr: 0x4000 + w * 8 }),
+        (0u64..64).prop_map(|w| Op::Load {
+            addr: 0x4000 + w * 8
+        }),
         (0u64..64, 1u64..100, 1u64..100).prop_map(|(w, e, n)| Op::Cas {
             addr: 0x4000 + w * 8,
             expected: e,
@@ -90,9 +89,15 @@ fn arb_op() -> impl Strategy<Value = Op> {
             addr: 0x4000 + w * 8,
             operand: o
         }),
-        (0u64..64).prop_map(|w| Op::Clean { addr: 0x4000 + w * 8 }),
-        (0u64..64).prop_map(|w| Op::Flush { addr: 0x4000 + w * 8 }),
-        (0u64..64).prop_map(|w| Op::Inval { addr: 0x4000 + w * 8 }),
+        (0u64..64).prop_map(|w| Op::Clean {
+            addr: 0x4000 + w * 8
+        }),
+        (0u64..64).prop_map(|w| Op::Flush {
+            addr: 0x4000 + w * 8
+        }),
+        (0u64..64).prop_map(|w| Op::Inval {
+            addr: 0x4000 + w * 8
+        }),
         Just(Op::Fence),
         (1u64..20).prop_map(|c| Op::Nop { cycles: c }),
     ]

@@ -22,11 +22,7 @@ enum POp {
 
 fn pop_strategy() -> impl Strategy<Value = POp> {
     prop_oneof![
-        (0..12u8, 0..8u8, 1..u16::MAX).prop_map(|(line, word, tag)| POp::Store {
-            line,
-            word,
-            tag
-        }),
+        (0..12u8, 0..8u8, 1..u16::MAX).prop_map(|(line, word, tag)| POp::Store { line, word, tag }),
         (0..12u8, 0..8u8).prop_map(|(line, word)| POp::Load { line, word }),
         (0..12u8).prop_map(|line| POp::Clean { line }),
         (0..12u8).prop_map(|line| POp::Flush { line }),

@@ -42,11 +42,23 @@ fn fewer_workers_than_cores_is_fine() {
 #[test]
 fn program_and_thread_phases_interleave_on_shared_state() {
     let mut sys = SystemBuilder::new().cores(2).build();
-    sys.run_programs(vec![vec![Op::Store { addr: 0x200, value: 7 }], vec![]]);
+    sys.run_programs(vec![
+        vec![Op::Store {
+            addr: 0x200,
+            value: 7,
+        }],
+        vec![],
+    ]);
     sys.quiesce();
     let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
     assert_eq!(v[0], 7);
-    sys.run_programs(vec![vec![], vec![Op::Store { addr: 0x200, value: 8 }]]);
+    sys.run_programs(vec![
+        vec![],
+        vec![Op::Store {
+            addr: 0x200,
+            value: 8,
+        }],
+    ]);
     // Without quiescing, core 0 may legally still hit its stale Shared copy
     // (store propagation is asynchronous); quiesce() drains the coherence
     // traffic, after which the new value must be visible.
@@ -68,7 +80,10 @@ fn budget_halts_all_workers_eventually() {
     };
     let (cycles, counts) = sys.run_threads(vec![worker, worker, worker], Some(5_000));
     assert!(cycles >= 5_000);
-    assert!(cycles < 50_000, "halt must propagate promptly, took {cycles}");
+    assert!(
+        cycles < 50_000,
+        "halt must propagate promptly, took {cycles}"
+    );
     for c in counts {
         assert!(c > 0);
     }
