@@ -15,3 +15,15 @@ cargo build --release
 cargo test -q
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
+
+# `ci.sh --quick` additionally smoke-runs the simspeed benchmark (reduced
+# workloads) and fails if any workload's engine speedup regresses more than
+# 20 % below the committed BENCH_simspeed.json. The JSON written by the
+# smoke run goes to a temp file so the committed full-size numbers are
+# never clobbered.
+if [[ "${1:-}" == "--quick" ]]; then
+  SKIPIT_BENCH_QUICK=1 \
+  SKIPIT_BENCH_BASELINE="$PWD/BENCH_simspeed.json" \
+  SKIPIT_BENCH_OUT="$(mktemp)" \
+    cargo bench -p skipit-bench --bench simspeed
+fi

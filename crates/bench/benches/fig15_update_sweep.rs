@@ -57,6 +57,7 @@ fn main() {
                     budget_cycles: if quick { 30_000 } else { 200_000 },
                     seed: 11,
                     hash_buckets: if quick { 256 } else { 1024 },
+                    ..WorkloadCfg::default()
                 });
                 println!("{},{update_pct},{name},{:.1}", ds.name(), r.throughput());
             }

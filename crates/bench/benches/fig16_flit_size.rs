@@ -39,6 +39,7 @@ fn main() {
             budget_cycles: if quick { 30_000 } else { 200_000 },
             seed: 5,
             hash_buckets: 256,
+            ..WorkloadCfg::default()
         });
         let t = r.throughput();
         if t > best.1 {

@@ -1,44 +1,76 @@
-//! Host-side simulation speed of the two engines (not a paper figure).
+//! Host-side simulation speed of the three engines (not a paper figure).
 //!
 //! Runs a Fig. 9-shaped writeback microbenchmark and a Fig. 14-shaped
-//! persistent-set workload under naive cycle-by-cycle stepping and under
-//! the event-driven fast-forward engine, reports kilo-simulated-cycles per
-//! host second for each, asserts the engines agree cycle-for-cycle, and
-//! writes the numbers to `BENCH_simspeed.json` at the repository root.
+//! persistent-set workload under naive cycle-by-cycle stepping, the
+//! global-gate fast-forward engine, and the component-wheel engine; reports
+//! kilo-simulated-cycles per host second for each, asserts all engines agree
+//! cycle-for-cycle, and writes the numbers to `BENCH_simspeed.json` at the
+//! repository root.
+//!
+//! Every timing is the median of [`MEASURE_BLOCKS`] repeated blocks after
+//! one discarded warm-up block, and the blocks of the variants being
+//! compared are interleaved round-robin rather than run back to back.
+//! Single-shot sequential timings were noisy enough to report *negative*
+//! tracing overheads: first-touch page faults and cold allocator state
+//! land on whichever variant runs first, and slow host drift (frequency
+//! scaling, noisy neighbors) biases whichever variant runs last. The
+//! warm-up kills the cold-start bias, interleaving makes drift hit every
+//! variant's median equally, and the median rejects one-off spikes.
 //!
 //! Run with `cargo bench --bench simspeed` (release; debug numbers are
-//! meaningless). `SKIPIT_BENCH_QUICK=1` shrinks the workloads.
+//! meaningless). Environment knobs:
+//!
+//! - `SKIPIT_BENCH_QUICK=1` shrinks the workloads.
+//! - `SKIPIT_BENCH_OUT=<path>` overrides the JSON output path.
+//! - `SKIPIT_BENCH_BASELINE=<path>` compares this run's speedups against a
+//!   previously committed `BENCH_simspeed.json` and exits nonzero if any
+//!   workload's speedup falls below 0.8× its baseline value (the CI
+//!   regression gate; 20 % headroom absorbs host noise).
 
 use skipit_bench::micro::{fig9_sample, fig9_serialized_sample};
 use skipit_bench::quick;
-use skipit_core::SystemBuilder;
+use skipit_core::{EngineKind, SystemBuilder};
 use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
 use std::time::Instant;
+
+/// Timed blocks per engine per workload; the reported figure is the median.
+const MEASURE_BLOCKS: usize = 3;
+
+/// Median of per-block kilo-simulated-cycles-per-second figures.
+fn median_kcps(mut blocks: Vec<f64>) -> f64 {
+    assert!(!blocks.is_empty());
+    blocks.sort_by(f64::total_cmp);
+    blocks[blocks.len() / 2]
+}
 
 struct Row {
     name: &'static str,
     sim_cycles: u64,
+    /// Component-weighted share of per-cycle component slots the wheel
+    /// engine never stepped (includes idle components inside busy cycles).
     skipped_pct: f64,
     naive_kcps: f64,
-    fast_kcps: f64,
+    gate_kcps: f64,
+    wheel_kcps: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
-        self.fast_kcps / self.naive_kcps.max(1e-9)
+        self.wheel_kcps / self.naive_kcps.max(1e-9)
+    }
+
+    fn gate_speedup(&self) -> f64 {
+        self.gate_kcps / self.naive_kcps.max(1e-9)
     }
 }
 
 /// Fig. 9 shape: dirty a region, write it back sequentially, fence.
 /// `serialized` switches to the §7.2 per-op-fenced latency form of the
-/// experiment (one writeback in flight at a time). Returns per-sample
-/// cycle counts plus timing for one engine.
+/// experiment (one writeback in flight at a time).
 fn fig09_shaped(name: &'static str, threads: usize, size: u64, reps: u32, serialized: bool) -> Row {
-    let run = |fast: bool| {
-        let mut sys = SystemBuilder::new()
-            .cores(threads)
-            .fast_forward(fast)
-            .build();
+    // One block = one fresh system running `reps` samples.
+    let exec = |kind: EngineKind, reps: u32| {
+        let mut sys = SystemBuilder::new().cores(threads).engine(kind).build();
         let wall = Instant::now();
         let samples: Vec<u64> = (0..reps)
             .map(|_| {
@@ -52,28 +84,62 @@ fn fig09_shaped(name: &'static str, threads: usize, size: u64, reps: u32, serial
         let secs = wall.elapsed().as_secs_f64();
         (samples, sys.stats().cycles, sys.engine_stats(), secs)
     };
-    let (naive_samples, naive_cycles, _, naive_secs) = run(false);
-    let (fast_samples, fast_cycles, engine, fast_secs) = run(true);
-    assert_eq!(
-        naive_samples, fast_samples,
-        "{name}: per-sample cycle counts diverge between engines"
+    const ENGINES: [EngineKind; 3] = [
+        EngineKind::Naive,
+        EngineKind::GlobalGate,
+        EngineKind::ComponentWheel,
+    ];
+    for kind in ENGINES {
+        exec(kind, 1); // warm-up, discarded
+    }
+    let mut blocks: [Vec<f64>; 3] = Default::default();
+    let mut runs = Vec::new();
+    for block in 0..MEASURE_BLOCKS {
+        // Round-robin over the engines so host drift cannot systematically
+        // favor one of them.
+        for (e, kind) in ENGINES.into_iter().enumerate() {
+            let (samples, cycles, engine, secs) = exec(kind, reps);
+            blocks[e].push(cycles as f64 / secs / 1e3);
+            if block == 0 {
+                runs.push((samples, cycles, engine));
+            }
+        }
+    }
+    let [naive_b, gate_b, wheel_b] = blocks;
+    let (naive_kcps, gate_kcps, wheel_kcps) = (
+        median_kcps(naive_b),
+        median_kcps(gate_b),
+        median_kcps(wheel_b),
     );
-    assert_eq!(
-        naive_cycles, fast_cycles,
-        "{name}: total cycle counts diverge between engines"
-    );
+    let (wheel_samples, wheel_cycles, wheel_engine) = runs.pop().expect("wheel block");
+    let (gate_samples, gate_cycles, _) = runs.pop().expect("gate block");
+    let (naive_samples, naive_cycles, _) = runs.pop().expect("naive block");
+    for (engine, samples, cycles) in [
+        ("global-gate", &gate_samples, gate_cycles),
+        ("component-wheel", &wheel_samples, wheel_cycles),
+    ] {
+        assert_eq!(
+            &naive_samples, samples,
+            "{name}: per-sample cycle counts diverge between naive and {engine}"
+        );
+        assert_eq!(
+            naive_cycles, cycles,
+            "{name}: total cycle counts diverge between naive and {engine}"
+        );
+    }
     Row {
         name,
-        sim_cycles: fast_cycles,
-        skipped_pct: engine.skipped_cycles as f64 * 100.0 / fast_cycles.max(1) as f64,
-        naive_kcps: naive_cycles as f64 / naive_secs / 1e3,
-        fast_kcps: fast_cycles as f64 / fast_secs / 1e3,
+        sim_cycles: wheel_cycles,
+        skipped_pct: wheel_engine.component_skipped_pct().unwrap_or(f64::NAN),
+        naive_kcps,
+        gate_kcps,
+        wheel_kcps,
     }
 }
 
 /// Fig. 14 shape: two threads on a persistent set at 5 % updates.
 fn fig14_shaped(name: &'static str, ds: DsKind, budget: u64) -> Row {
-    let cfg = |fast: bool| WorkloadCfg {
+    let cfg = |engine: EngineKind| WorkloadCfg {
         ds,
         mode: PersistMode::Automatic,
         opt: OptKind::SkipIt,
@@ -83,37 +149,65 @@ fn fig14_shaped(name: &'static str, ds: DsKind, budget: u64) -> Row {
         update_pct: 5,
         budget_cycles: budget,
         seed: 7,
-        fast_forward: fast,
+        engine,
         ..WorkloadCfg::default()
     };
-    let wall = Instant::now();
-    let naive = run_set_benchmark(&cfg(false));
-    let naive_secs = wall.elapsed().as_secs_f64();
-    let wall = Instant::now();
-    let fast = run_set_benchmark(&cfg(true));
-    let fast_secs = wall.elapsed().as_secs_f64();
-    assert_eq!(
-        naive.cycles, fast.cycles,
-        "{name}: measured-phase cycles diverge between engines"
+    const ENGINES: [EngineKind; 3] = [
+        EngineKind::Naive,
+        EngineKind::GlobalGate,
+        EngineKind::ComponentWheel,
+    ];
+    for kind in ENGINES {
+        run_set_benchmark(&cfg(kind)); // warm-up, discarded
+    }
+    let mut blocks: [Vec<f64>; 3] = Default::default();
+    let mut results = Vec::new();
+    for block in 0..MEASURE_BLOCKS {
+        // Round-robin across engines; see `fig09_shaped`.
+        for (e, kind) in ENGINES.into_iter().enumerate() {
+            let wall = Instant::now();
+            let r = run_set_benchmark(&cfg(kind));
+            let secs = wall.elapsed().as_secs_f64();
+            blocks[e].push(r.stats.cycles as f64 / secs / 1e3);
+            if block == 0 {
+                results.push(r);
+            }
+        }
+    }
+    let [naive_b, gate_b, wheel_b] = blocks;
+    let (naive_kcps, gate_kcps, wheel_kcps) = (
+        median_kcps(naive_b),
+        median_kcps(gate_b),
+        median_kcps(wheel_b),
     );
-    assert_eq!(
-        naive.ops, fast.ops,
-        "{name}: completed op counts diverge between engines"
-    );
-    assert_eq!(
-        naive.stats, fast.stats,
-        "{name}: system statistics diverge between engines"
-    );
+    let wheel = results.pop().expect("wheel block");
+    let gate = results.pop().expect("gate block");
+    let naive = results.pop().expect("naive block");
+    for (engine, r) in [("global-gate", &gate), ("component-wheel", &wheel)] {
+        assert_eq!(
+            naive.cycles, r.cycles,
+            "{name}: measured-phase cycles diverge between naive and {engine}"
+        );
+        assert_eq!(
+            naive.ops, r.ops,
+            "{name}: completed op counts diverge between naive and {engine}"
+        );
+        assert_eq!(
+            naive.stats, r.stats,
+            "{name}: system statistics diverge between naive and {engine}"
+        );
+    }
     Row {
         name,
-        sim_cycles: fast.stats.cycles,
-        skipped_pct: f64::NAN, // engine counters are not part of BenchResult
-        naive_kcps: naive.stats.cycles as f64 / naive_secs / 1e3,
-        fast_kcps: fast.stats.cycles as f64 / fast_secs / 1e3,
+        sim_cycles: wheel.stats.cycles,
+        skipped_pct: wheel.engine.component_skipped_pct().unwrap_or(f64::NAN),
+        naive_kcps,
+        gate_kcps,
+        wheel_kcps,
     }
 }
 
-/// Tracing overhead on the fast engine: the same Fig. 9 workload with the
+/// Tracing overhead on the wheel engine: the same Fig. 9 workload with the
 /// event trace compiled in but off, with the ring buffers live, and with a
 /// Chrome-trace export after every rep.
 struct TraceRow {
@@ -131,7 +225,7 @@ impl TraceRow {
 
 fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32) -> TraceRow {
     // mode 0: tracing off; 1: ring buffers on; 2: ring on + export each rep.
-    let run = |mode: u8| {
+    let exec = |mode: u8, reps: u32| {
         let mut sys = SystemBuilder::new().cores(threads).build();
         if mode > 0 {
             sys.enable_event_trace(1 << 16);
@@ -149,11 +243,22 @@ fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32
         std::hint::black_box(exported);
         sys.stats().cycles as f64 / secs / 1e3
     };
+    for mode in 0..3u8 {
+        exec(mode, 1); // warm-up, discarded
+    }
+    let mut blocks: [Vec<f64>; 3] = Default::default();
+    for _ in 0..MEASURE_BLOCKS {
+        // Round-robin across modes; see `fig09_shaped`.
+        for (m, b) in blocks.iter_mut().enumerate() {
+            b.push(exec(m as u8, reps));
+        }
+    }
+    let [off_b, ring_b, export_b] = blocks;
     TraceRow {
         workload,
-        off_kcps: run(0),
-        ring_kcps: run(1),
-        export_kcps: run(2),
+        off_kcps: median_kcps(off_b),
+        ring_kcps: median_kcps(ring_b),
+        export_kcps: median_kcps(export_b),
     }
 }
 
@@ -162,6 +267,64 @@ fn json_num(v: f64) -> String {
         format!("{v:.1}")
     } else {
         "null".into()
+    }
+}
+
+/// Extracts `(workload, speedup)` pairs from a previously written
+/// `BENCH_simspeed.json` without a JSON parser: scans for
+/// `"workload": "<name>"` and takes the next `"speedup": <number>`.
+fn baseline_speedups(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"workload\": \"") {
+        rest = &rest[i + "\"workload\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(j) = rest.find("\"speedup\": ") else {
+            break;
+        };
+        rest = &rest[j + "\"speedup\": ".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// The CI regression gate: fails the run if any workload's speedup dropped
+/// more than 20 % below the committed baseline.
+fn check_against_baseline(rows: &[Row], path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("SKIPIT_BENCH_BASELINE {path}: {e}"));
+    let baseline = baseline_speedups(&text);
+    let mut failed = false;
+    for r in rows {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
+            println!("# baseline: {} not in {path}, skipping", r.name);
+            continue;
+        };
+        let floor = base * 0.8;
+        let got = r.speedup();
+        if got < floor {
+            eprintln!(
+                "FAIL {}: speedup {got:.2} is below 0.8x the baseline {base:.2} (floor {floor:.2})",
+                r.name
+            );
+            failed = true;
+        } else {
+            println!(
+                "# baseline ok {}: speedup {got:.2} vs committed {base:.2} (floor {floor:.2})",
+                r.name
+            );
+        }
+    }
+    if failed {
+        eprintln!("simspeed regression gate failed against {path}");
+        std::process::exit(1);
     }
 }
 
@@ -179,33 +342,40 @@ fn main() {
         ),
     ];
 
-    println!("# simspeed: host kilo-simulated-cycles per second, naive vs fast-forward");
-    println!("workload,sim_cycles,skipped_pct,naive_kcps,fast_kcps,speedup");
+    println!("# simspeed: host kilo-simulated-cycles per second, per engine");
+    println!(
+        "workload,sim_cycles,skipped_pct,naive_kcps,gate_kcps,wheel_kcps,gate_speedup,speedup"
+    );
     let mut entries = Vec::new();
     for r in &rows {
         println!(
-            "{},{},{:.1},{:.0},{:.0},{:.2}",
+            "{},{},{:.1},{:.0},{:.0},{:.0},{:.2},{:.2}",
             r.name,
             r.sim_cycles,
             r.skipped_pct,
             r.naive_kcps,
-            r.fast_kcps,
+            r.gate_kcps,
+            r.wheel_kcps,
+            r.gate_speedup(),
             r.speedup()
         );
         entries.push(format!(
             "    {{\"workload\": \"{}\", \"sim_cycles\": {}, \"skipped_pct\": {}, \
-             \"naive_kcycles_per_sec\": {}, \"fast_kcycles_per_sec\": {}, \"speedup\": {}}}",
+             \"naive_kcycles_per_sec\": {}, \"gate_kcycles_per_sec\": {}, \
+             \"fast_kcycles_per_sec\": {}, \"gate_speedup\": {}, \"speedup\": {}}}",
             r.name,
             r.sim_cycles,
             json_num(r.skipped_pct),
             json_num(r.naive_kcps),
-            json_num(r.fast_kcps),
+            json_num(r.gate_kcps),
+            json_num(r.wheel_kcps),
+            json_num(r.gate_speedup()),
             json_num(r.speedup())
         ));
     }
 
     let tr = tracing_overhead("fig09_1t_32k", 1, 32 * 1024, reps);
-    println!("# tracing overhead on {} (fast engine)", tr.workload);
+    println!("# tracing overhead on {} (wheel engine)", tr.workload);
     println!(
         "tracing_off_kcps,ring_on_kcps,ring_plus_export_kcps,ring_overhead_pct,export_overhead_pct"
     );
@@ -236,8 +406,15 @@ fn main() {
         tracing_json,
         entries.join(",\n")
     );
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_simspeed.json");
-    std::fs::write(&path, json).expect("write BENCH_simspeed.json");
+    if let Ok(path) = std::env::var("SKIPIT_BENCH_BASELINE") {
+        check_against_baseline(&rows, &path);
+    }
+    let path = match std::env::var("SKIPIT_BENCH_OUT") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_simspeed.json"),
+    };
+    std::fs::write(&path, json).expect("write benchmark JSON");
     println!("# wrote {}", path.display());
 }

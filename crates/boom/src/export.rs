@@ -9,53 +9,126 @@
 //! jumps — become duration (`"X"`) events so transaction lifecycles show as
 //! spans; everything else becomes an instant (`"i"`). Timestamps are
 //! simulated cycles, 1 µs per cycle in the viewer's units.
+//!
+//! The JSON renderer is deliberately hand-rolled: one output `String`
+//! preallocated from the event count, integers appended without going
+//! through `core::fmt`, and tracks keyed by a small copyable enum so the
+//! per-event tid lookup allocates nothing. The original `format!`-per-event
+//! renderer survives in the test module as the reference implementation;
+//! `fast_export_matches_reference_byte_for_byte` pins the two to identical
+//! output.
 
 use crate::system::System;
 use skipit_trace::{StreamEvent, TraceEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Track registry: maps `(pid, track name)` to a stable `tid` and renders
-/// the `thread_name` metadata Perfetto uses to label tracks.
+/// Appends `v` in decimal without going through `core::fmt`.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Appends `v` the way `{:#x}` renders it (`0x` prefix, lower-case hex)
+/// without going through `core::fmt`.
+fn push_hex(out: &mut String, v: u64) {
+    out.push_str("0x");
+    let mut buf = [0u8; 16];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b"0123456789abcdef"[(v & 0xf) as usize];
+        v >>= 4;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("hex digits are ASCII"));
+}
+
+/// Identity of one exporter track, copyable and comparable so the per-event
+/// `(pid, track) -> tid` lookup needs no owned strings. Rendered to the
+/// human-readable track name only once, on first registration.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TrackKey {
+    /// Fixed-name tracks: "flush unit", "L1", "DRAM", "system", "engine",
+    /// "fence".
+    Named(&'static str),
+    Fshr(usize),
+    Tl(char),
+    L1Mshr(usize),
+    L2Mshr(usize),
+}
+
+impl TrackKey {
+    fn render(self) -> String {
+        match self {
+            TrackKey::Named(n) => n.to_string(),
+            TrackKey::Fshr(i) => format!("FSHR {i}"),
+            TrackKey::Tl(c) => format!("TL-{c}"),
+            TrackKey::L1Mshr(i) => format!("L1 MSHR {i}"),
+            TrackKey::L2Mshr(i) => format!("L2 MSHR {i}"),
+        }
+    }
+}
+
+/// Track registry: maps `(pid, track)` to a stable `tid` and renders the
+/// `thread_name` metadata Perfetto uses to label tracks.
 #[derive(Default)]
 struct Tracks {
-    tids: BTreeMap<(u64, String), u64>,
+    tids: BTreeMap<(u64, TrackKey), u64>,
     next: BTreeMap<u64, u64>,
+    /// `(pid, rendered name, tid)` in registration order; sorted by
+    /// `(pid, name)` at metadata time (the order the reference
+    /// implementation's name-keyed map iterates in).
+    names: Vec<(u64, String, u64)>,
 }
 
 impl Tracks {
-    fn tid(&mut self, pid: u64, name: &str) -> u64 {
-        if let Some(&tid) = self.tids.get(&(pid, name.to_string())) {
+    fn tid(&mut self, pid: u64, key: TrackKey) -> u64 {
+        if let Some(&tid) = self.tids.get(&(pid, key)) {
             return tid;
         }
         let next = self.next.entry(pid).or_insert(0);
         let tid = *next;
         *next += 1;
-        self.tids.insert((pid, name.to_string()), tid);
+        self.tids.insert((pid, key), tid);
+        self.names.push((pid, key.render(), tid));
         tid
     }
 
-    fn metadata_json(&self, cores: usize) -> String {
-        let mut out = String::new();
-        let _ = write!(
-            out,
-            r#"{{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{{"name":"system"}}}}"#
+    fn metadata_json(&self, cores: usize, out: &mut String) {
+        out.push_str(
+            r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"system"}}"#,
         );
         for core in 0..cores {
-            let _ = write!(
-                out,
-                r#",{{"name":"process_name","ph":"M","pid":{},"tid":0,"args":{{"name":"core {}"}}}}"#,
-                core + 1,
-                core
-            );
+            out.push_str(r#",{"name":"process_name","ph":"M","pid":"#);
+            push_u64(out, core as u64 + 1);
+            out.push_str(r#","tid":0,"args":{"name":"core "#);
+            push_u64(out, core as u64);
+            out.push_str("\"}}");
         }
-        for ((pid, name), tid) in &self.tids {
-            let _ = write!(
-                out,
-                r#",{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{name}"}}}}"#
-            );
+        let mut names: Vec<&(u64, String, u64)> = self.names.iter().collect();
+        names.sort_by_key(|(pid, name, _)| (*pid, name.as_str()));
+        for (pid, name, tid) in names {
+            out.push_str(r#",{"name":"thread_name","ph":"M","pid":"#);
+            push_u64(out, *pid);
+            out.push_str(r#","tid":"#);
+            push_u64(out, *tid);
+            out.push_str(r#","args":{"name":""#);
+            out.push_str(name);
+            out.push_str("\"}}");
         }
-        out
     }
 }
 
@@ -78,14 +151,71 @@ fn instant_track(ev: &TraceEvent) -> &'static str {
     }
 }
 
+/// Span label, kept symbolic until rendering.
+enum SpanName {
+    Str(&'static str),
+    /// TileLink spans: opcode immediately followed by param.
+    Opcode(&'static str, &'static str),
+    /// `fence#<token>`.
+    Fence(u64),
+}
+
+impl SpanName {
+    fn push(&self, out: &mut String) {
+        match self {
+            SpanName::Str(s) => out.push_str(s),
+            SpanName::Opcode(op, param) => {
+                out.push_str(op);
+                out.push_str(param);
+            }
+            SpanName::Fence(token) => {
+                out.push_str("fence#");
+                push_u64(out, *token);
+            }
+        }
+    }
+}
+
+/// Span `args.detail` payload, kept symbolic until rendering.
+enum Detail {
+    Empty,
+    /// `@0x<addr>`.
+    Addr(u64),
+    /// `@0x<addr> (open)` — still in flight at the horizon.
+    AddrOpen(u64),
+    /// `(open)`.
+    Open,
+    /// Pre-rendered text (rare: engine jumps).
+    Owned(String),
+}
+
+impl Detail {
+    fn push(&self, out: &mut String) {
+        match self {
+            Detail::Empty => {}
+            Detail::Addr(a) => {
+                out.push('@');
+                push_hex(out, *a);
+            }
+            Detail::AddrOpen(a) => {
+                out.push('@');
+                push_hex(out, *a);
+                out.push_str(" (open)");
+            }
+            Detail::Open => out.push_str("(open)"),
+            Detail::Owned(s) => out.push_str(s),
+        }
+    }
+}
+
 /// One complete (`"X"`) Chrome trace event.
 struct Span {
     pid: u64,
-    track: String,
-    name: String,
+    track: TrackKey,
+    name: SpanName,
     start: u64,
     end: u64,
-    detail: String,
+    detail: Detail,
 }
 
 /// Pairs the stream's begin/end event classes into [`Span`]s and returns
@@ -116,11 +246,11 @@ fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamE
                     debug_assert_eq!(state, from);
                     spans.push(Span {
                         pid: core as u64 + 1,
-                        track: format!("FSHR {idx}"),
-                        name: state.to_string(),
+                        track: TrackKey::Fshr(idx),
+                        name: SpanName::Str(state),
                         start: since,
                         end: se.cycle,
-                        detail: format!("@{a:#x}"),
+                        detail: Detail::Addr(a),
                     });
                 }
                 if to != "free" {
@@ -148,11 +278,11 @@ fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamE
                     let (start, opcode, param, addr) = q.remove(0);
                     spans.push(Span {
                         pid: core as u64 + 1,
-                        track: format!("TL-{channel}"),
-                        name: format!("{opcode}{param}"),
+                        track: TrackKey::Tl(channel),
+                        name: SpanName::Opcode(opcode, param),
                         start,
                         end: se.cycle,
-                        detail: format!("@{addr:#x}"),
+                        detail: Detail::Addr(addr),
                     });
                 }
             }
@@ -162,11 +292,11 @@ fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamE
             TraceEvent::L1MshrFree { core, slot, addr } => match l1_mshr.remove(&(core, slot)) {
                 Some((start, a)) => spans.push(Span {
                     pid: core as u64 + 1,
-                    track: format!("L1 MSHR {slot}"),
-                    name: "miss".to_string(),
+                    track: TrackKey::L1Mshr(slot),
+                    name: SpanName::Str("miss"),
                     start,
                     end: se.cycle,
-                    detail: format!("@{a:#x}"),
+                    detail: Detail::Addr(a),
                 }),
                 None => {
                     let _ = addr;
@@ -179,11 +309,11 @@ fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamE
             TraceEvent::L2MshrFree { slot, .. } => match l2_mshr.remove(&slot) {
                 Some((start, a, op)) => spans.push(Span {
                     pid: 0,
-                    track: format!("L2 MSHR {slot}"),
-                    name: op.to_string(),
+                    track: TrackKey::L2Mshr(slot),
+                    name: SpanName::Str(op),
                     start,
                     end: se.cycle,
-                    detail: format!("@{a:#x}"),
+                    detail: Detail::Addr(a),
                 }),
                 None => instants.push(se),
             },
@@ -193,21 +323,21 @@ fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamE
             TraceEvent::FenceStallEnd { core, token } => match fences.remove(&(core, token)) {
                 Some(start) => spans.push(Span {
                     pid: core as u64 + 1,
-                    track: "fence".to_string(),
-                    name: format!("fence#{token}"),
+                    track: TrackKey::Named("fence"),
+                    name: SpanName::Fence(token),
                     start,
                     end: se.cycle,
-                    detail: String::new(),
+                    detail: Detail::Empty,
                 }),
                 None => instants.push(se),
             },
             TraceEvent::FastForwardJump { from, to, .. } => spans.push(Span {
                 pid: 0,
-                track: "engine".to_string(),
-                name: "jump".to_string(),
+                track: TrackKey::Named("engine"),
+                name: SpanName::Str("jump"),
                 start: from,
                 end: to,
-                detail: format!("{}", se.event),
+                detail: Detail::Owned(format!("{}", se.event)),
             }),
             _ => instants.push(se),
         }
@@ -216,53 +346,53 @@ fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamE
     for ((core, idx), (state, since, a)) in fshr {
         spans.push(Span {
             pid: core as u64 + 1,
-            track: format!("FSHR {idx}"),
-            name: state.to_string(),
+            track: TrackKey::Fshr(idx),
+            name: SpanName::Str(state),
             start: since,
             end: horizon,
-            detail: format!("@{a:#x} (open)"),
+            detail: Detail::AddrOpen(a),
         });
     }
     for ((channel, core), q) in tl {
         for (start, opcode, param, addr) in q {
             spans.push(Span {
                 pid: core as u64 + 1,
-                track: format!("TL-{channel}"),
-                name: format!("{opcode}{param}"),
+                track: TrackKey::Tl(channel),
+                name: SpanName::Opcode(opcode, param),
                 start,
                 end: horizon,
-                detail: format!("@{addr:#x} (open)"),
+                detail: Detail::AddrOpen(addr),
             });
         }
     }
     for ((core, slot), (start, a)) in l1_mshr {
         spans.push(Span {
             pid: core as u64 + 1,
-            track: format!("L1 MSHR {slot}"),
-            name: "miss".to_string(),
+            track: TrackKey::L1Mshr(slot),
+            name: SpanName::Str("miss"),
             start,
             end: horizon,
-            detail: format!("@{a:#x} (open)"),
+            detail: Detail::AddrOpen(a),
         });
     }
     for (slot, (start, a, op)) in l2_mshr {
         spans.push(Span {
             pid: 0,
-            track: format!("L2 MSHR {slot}"),
-            name: op.to_string(),
+            track: TrackKey::L2Mshr(slot),
+            name: SpanName::Str(op),
             start,
             end: horizon,
-            detail: format!("@{a:#x} (open)"),
+            detail: Detail::AddrOpen(a),
         });
     }
     for ((core, token), start) in fences {
         spans.push(Span {
             pid: core as u64 + 1,
-            track: "fence".to_string(),
-            name: format!("fence#{token}"),
+            track: TrackKey::Named("fence"),
+            name: SpanName::Fence(token),
             start,
             end: horizon,
-            detail: "(open)".to_string(),
+            detail: Detail::Open,
         });
     }
     (spans, instants)
@@ -278,38 +408,48 @@ impl System {
         let events = self.trace_events();
         let (spans, instants) = build_spans(&events, self.now());
         let mut tracks = Tracks::default();
-        let mut body = String::new();
+        // ~120 bytes per rendered event plus headroom for metadata; one
+        // allocation up front instead of repeated growth.
+        let mut body = String::with_capacity(events.len() * 128 + 4096);
         for s in &spans {
-            let tid = tracks.tid(s.pid, &s.track);
-            let _ = write!(
-                body,
-                r#",{{"name":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{"detail":"{}"}}}}"#,
-                s.name,
-                s.start,
-                s.end - s.start,
-                s.pid,
-                tid,
-                s.detail
-            );
+            let tid = tracks.tid(s.pid, s.track);
+            body.push_str(r#",{"name":""#);
+            s.name.push(&mut body);
+            body.push_str(r#"","ph":"X","ts":"#);
+            push_u64(&mut body, s.start);
+            body.push_str(r#","dur":"#);
+            push_u64(&mut body, s.end - s.start);
+            body.push_str(r#","pid":"#);
+            push_u64(&mut body, s.pid);
+            body.push_str(r#","tid":"#);
+            push_u64(&mut body, tid);
+            body.push_str(r#","args":{"detail":""#);
+            s.detail.push(&mut body);
+            body.push_str("\"}}");
         }
         for se in instants {
             let pid = pid_of(&se.event);
-            let tid = tracks.tid(pid, instant_track(&se.event));
-            let _ = write!(
-                body,
-                r#",{{"name":"{}","ph":"i","ts":{},"pid":{},"tid":{},"s":"t","args":{{"detail":"{}"}}}}"#,
-                event_name(&se.event),
-                se.cycle,
-                pid,
-                tid,
-                se.event
-            );
+            let tid = tracks.tid(pid, TrackKey::Named(instant_track(&se.event)));
+            body.push_str(r#",{"name":""#);
+            body.push_str(event_name(&se.event));
+            body.push_str(r#"","ph":"i","ts":"#);
+            push_u64(&mut body, se.cycle);
+            body.push_str(r#","pid":"#);
+            push_u64(&mut body, pid);
+            body.push_str(r#","tid":"#);
+            push_u64(&mut body, tid);
+            body.push_str(r#","s":"t","args":{"detail":""#);
+            // The instant detail is the event's Display rendering; that impl
+            // stays the single source of truth for event text.
+            let _ = write!(body, "{}", se.event);
+            body.push_str("\"}}");
         }
-        format!(
-            r#"{{"displayTimeUnit":"ms","traceEvents":[{}{}]}}"#,
-            tracks.metadata_json(self.config().cores),
-            body
-        )
+        let mut out = String::with_capacity(body.len() + 96 * (tracks.names.len() + 8) + 64);
+        out.push_str(r#"{"displayTimeUnit":"ms","traceEvents":["#);
+        tracks.metadata_json(self.config().cores, &mut out);
+        out.push_str(&body);
+        out.push_str("]}");
+        out
     }
 
     /// Renders the buffered event stream as plain text, one
@@ -346,5 +486,339 @@ fn event_name(ev: &TraceEvent) -> &'static str {
         FenceStallBegin { .. } => "fence begin",
         FenceStallEnd { .. } => "fence end",
         FastForwardJump { .. } => "jump",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use crate::Op;
+
+    /// The original `format!`-per-event exporter, kept verbatim as the
+    /// reference the fast renderer must match byte for byte.
+    mod reference {
+        use super::super::{event_name, instant_track, pid_of, System};
+        use skipit_trace::{StreamEvent, TraceEvent};
+        use std::collections::BTreeMap;
+        use std::fmt::Write as _;
+
+        #[derive(Default)]
+        struct Tracks {
+            tids: BTreeMap<(u64, String), u64>,
+            next: BTreeMap<u64, u64>,
+        }
+
+        impl Tracks {
+            fn tid(&mut self, pid: u64, name: &str) -> u64 {
+                if let Some(&tid) = self.tids.get(&(pid, name.to_string())) {
+                    return tid;
+                }
+                let next = self.next.entry(pid).or_insert(0);
+                let tid = *next;
+                *next += 1;
+                self.tids.insert((pid, name.to_string()), tid);
+                tid
+            }
+
+            fn metadata_json(&self, cores: usize) -> String {
+                let mut out = String::new();
+                let _ = write!(
+                    out,
+                    r#"{{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{{"name":"system"}}}}"#
+                );
+                for core in 0..cores {
+                    let _ = write!(
+                        out,
+                        r#",{{"name":"process_name","ph":"M","pid":{},"tid":0,"args":{{"name":"core {}"}}}}"#,
+                        core + 1,
+                        core
+                    );
+                }
+                for ((pid, name), tid) in &self.tids {
+                    let _ = write!(
+                        out,
+                        r#",{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{name}"}}}}"#
+                    );
+                }
+                out
+            }
+        }
+
+        struct Span {
+            pid: u64,
+            track: String,
+            name: String,
+            start: u64,
+            end: u64,
+            detail: String,
+        }
+
+        fn build_spans(events: &[StreamEvent], horizon: u64) -> (Vec<Span>, Vec<&StreamEvent>) {
+            let mut spans = Vec::new();
+            let mut instants = Vec::new();
+            let mut fshr: BTreeMap<(usize, usize), (&'static str, u64, u64)> = BTreeMap::new();
+            #[allow(clippy::type_complexity)]
+            let mut tl: BTreeMap<
+                (char, usize),
+                Vec<(u64, &'static str, &'static str, u64)>,
+            > = BTreeMap::new();
+            let mut l1_mshr: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+            let mut l2_mshr: BTreeMap<usize, (u64, u64, &'static str)> = BTreeMap::new();
+            let mut fences: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+            for se in events {
+                match se.event {
+                    TraceEvent::FshrTransition {
+                        core,
+                        fshr: idx,
+                        addr,
+                        from,
+                        to,
+                    } => {
+                        if let Some((state, since, a)) = fshr.remove(&(core, idx)) {
+                            debug_assert_eq!(state, from);
+                            spans.push(Span {
+                                pid: core as u64 + 1,
+                                track: format!("FSHR {idx}"),
+                                name: state.to_string(),
+                                start: since,
+                                end: se.cycle,
+                                detail: format!("@{a:#x}"),
+                            });
+                        }
+                        if to != "free" {
+                            fshr.insert((core, idx), (to, se.cycle, addr));
+                        }
+                    }
+                    TraceEvent::TlBegin {
+                        channel,
+                        core,
+                        opcode,
+                        param,
+                        addr,
+                    } => {
+                        tl.entry((channel, core))
+                            .or_default()
+                            .push((se.cycle, opcode, param, addr));
+                    }
+                    TraceEvent::TlEnd { channel, core, .. } => {
+                        let q = tl.entry((channel, core)).or_default();
+                        if q.is_empty() {
+                            instants.push(se);
+                        } else {
+                            let (start, opcode, param, addr) = q.remove(0);
+                            spans.push(Span {
+                                pid: core as u64 + 1,
+                                track: format!("TL-{channel}"),
+                                name: format!("{opcode}{param}"),
+                                start,
+                                end: se.cycle,
+                                detail: format!("@{addr:#x}"),
+                            });
+                        }
+                    }
+                    TraceEvent::L1MshrAlloc { core, slot, addr } => {
+                        l1_mshr.insert((core, slot), (se.cycle, addr));
+                    }
+                    TraceEvent::L1MshrFree { core, slot, addr } => {
+                        match l1_mshr.remove(&(core, slot)) {
+                            Some((start, a)) => spans.push(Span {
+                                pid: core as u64 + 1,
+                                track: format!("L1 MSHR {slot}"),
+                                name: "miss".to_string(),
+                                start,
+                                end: se.cycle,
+                                detail: format!("@{a:#x}"),
+                            }),
+                            None => {
+                                let _ = addr;
+                                instants.push(se);
+                            }
+                        }
+                    }
+                    TraceEvent::L2MshrAlloc { slot, addr, op } => {
+                        l2_mshr.insert(slot, (se.cycle, addr, op));
+                    }
+                    TraceEvent::L2MshrFree { slot, .. } => match l2_mshr.remove(&slot) {
+                        Some((start, a, op)) => spans.push(Span {
+                            pid: 0,
+                            track: format!("L2 MSHR {slot}"),
+                            name: op.to_string(),
+                            start,
+                            end: se.cycle,
+                            detail: format!("@{a:#x}"),
+                        }),
+                        None => instants.push(se),
+                    },
+                    TraceEvent::FenceStallBegin { core, token } => {
+                        fences.insert((core, token), se.cycle);
+                    }
+                    TraceEvent::FenceStallEnd { core, token } => {
+                        match fences.remove(&(core, token)) {
+                            Some(start) => spans.push(Span {
+                                pid: core as u64 + 1,
+                                track: "fence".to_string(),
+                                name: format!("fence#{token}"),
+                                start,
+                                end: se.cycle,
+                                detail: String::new(),
+                            }),
+                            None => instants.push(se),
+                        }
+                    }
+                    TraceEvent::FastForwardJump { from, to, .. } => spans.push(Span {
+                        pid: 0,
+                        track: "engine".to_string(),
+                        name: "jump".to_string(),
+                        start: from,
+                        end: to,
+                        detail: format!("{}", se.event),
+                    }),
+                    _ => instants.push(se),
+                }
+            }
+            for ((core, idx), (state, since, a)) in fshr {
+                spans.push(Span {
+                    pid: core as u64 + 1,
+                    track: format!("FSHR {idx}"),
+                    name: state.to_string(),
+                    start: since,
+                    end: horizon,
+                    detail: format!("@{a:#x} (open)"),
+                });
+            }
+            for ((channel, core), q) in tl {
+                for (start, opcode, param, addr) in q {
+                    spans.push(Span {
+                        pid: core as u64 + 1,
+                        track: format!("TL-{channel}"),
+                        name: format!("{opcode}{param}"),
+                        start,
+                        end: horizon,
+                        detail: format!("@{addr:#x} (open)"),
+                    });
+                }
+            }
+            for ((core, slot), (start, a)) in l1_mshr {
+                spans.push(Span {
+                    pid: core as u64 + 1,
+                    track: format!("L1 MSHR {slot}"),
+                    name: "miss".to_string(),
+                    start,
+                    end: horizon,
+                    detail: format!("@{a:#x} (open)"),
+                });
+            }
+            for (slot, (start, a, op)) in l2_mshr {
+                spans.push(Span {
+                    pid: 0,
+                    track: format!("L2 MSHR {slot}"),
+                    name: op.to_string(),
+                    start,
+                    end: horizon,
+                    detail: format!("@{a:#x} (open)"),
+                });
+            }
+            for ((core, token), start) in fences {
+                spans.push(Span {
+                    pid: core as u64 + 1,
+                    track: "fence".to_string(),
+                    name: format!("fence#{token}"),
+                    start,
+                    end: horizon,
+                    detail: "(open)".to_string(),
+                });
+            }
+            (spans, instants)
+        }
+
+        pub fn export_chrome_trace(sys: &System) -> String {
+            let events = sys.trace_events();
+            let (spans, instants) = build_spans(&events, sys.now());
+            let mut tracks = Tracks::default();
+            let mut body = String::new();
+            for s in &spans {
+                let tid = tracks.tid(s.pid, &s.track);
+                let _ = write!(
+                    body,
+                    r#",{{"name":"{}","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{"detail":"{}"}}}}"#,
+                    s.name,
+                    s.start,
+                    s.end - s.start,
+                    s.pid,
+                    tid,
+                    s.detail
+                );
+            }
+            for se in instants {
+                let pid = pid_of(&se.event);
+                let tid = tracks.tid(pid, instant_track(&se.event));
+                let _ = write!(
+                    body,
+                    r#",{{"name":"{}","ph":"i","ts":{},"pid":{},"tid":{},"s":"t","args":{{"detail":"{}"}}}}"#,
+                    event_name(&se.event),
+                    se.cycle,
+                    pid,
+                    tid,
+                    se.event
+                );
+            }
+            format!(
+                r#"{{"displayTimeUnit":"ms","traceEvents":[{}{}]}}"#,
+                tracks.metadata_json(sys.config().cores),
+                body
+            )
+        }
+    }
+
+    #[test]
+    fn integer_fast_paths_match_core_fmt() {
+        for v in [0u64, 1, 9, 10, 99, 100, 0xdead_beef, u64::MAX] {
+            let mut dec = String::new();
+            push_u64(&mut dec, v);
+            assert_eq!(dec, format!("{v}"));
+            let mut hex = String::new();
+            push_hex(&mut hex, v);
+            assert_eq!(hex, format!("{v:#x}"));
+        }
+    }
+
+    /// The rewritten exporter must reproduce the reference renderer's
+    /// output byte for byte, on a trace exercising every span class (FSHR,
+    /// TileLink, both MSHR levels, fences, engine jumps) plus instants and
+    /// open spans.
+    #[test]
+    fn fast_export_matches_reference_byte_for_byte() {
+        let mut sys = System::new(SystemConfig {
+            cores: 2,
+            ..SystemConfig::default()
+        });
+        sys.enable_event_trace(1 << 14);
+        let mut programs: Vec<Vec<Op>> = Vec::new();
+        for core in 0..2u64 {
+            let mut p = Vec::new();
+            for i in 0..8 {
+                let addr = 0x4_0000 + core * 0x1_0000 + i * 64;
+                p.push(Op::Store { addr, value: i });
+                p.push(Op::Flush { addr });
+            }
+            p.push(Op::Fence);
+            programs.push(p);
+        }
+        sys.run_programs(programs);
+        let fast = sys.export_chrome_trace();
+        let slow = reference::export_chrome_trace(&sys);
+        assert!(
+            sys.trace_events()
+                .iter()
+                .any(|se| matches!(se.event, TraceEvent::FastForwardJump { .. })),
+            "workload must exercise engine-jump spans"
+        );
+        assert_eq!(
+            fast.len(),
+            slow.len(),
+            "fast/reference export lengths diverge"
+        );
+        assert_eq!(fast, slow, "fast export diverges from reference renderer");
     }
 }

@@ -28,5 +28,5 @@ pub mod trace;
 pub use handle::CoreHandle;
 pub use lsu::Lsu;
 pub use op::{Op, OpToken};
-pub use system::{EngineStats, System, SystemConfig, SystemStats};
+pub use system::{EngineKind, EngineStats, System, SystemConfig, SystemStats};
 pub use trace::{LatencyHistogram, TraceLog, TraceRecord};

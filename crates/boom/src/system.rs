@@ -11,6 +11,28 @@ use skipit_mem::{Dram, DramConfig, MemStats};
 use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link};
 use skipit_trace::{StreamEvent, TraceEvent, TraceFilter, TraceSink};
 
+/// Which simulation engine advances the clock. All three engines produce
+/// bit-identical elapsed cycles, statistics, durable memory images and
+/// trace-event streams (modulo [`TraceEvent::is_engine_event`] jump
+/// markers); they differ only in host time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// One full component sweep per simulated cycle — the reference engine.
+    Naive,
+    /// PR 1's global gate: plan every cycle, jump over globally idle
+    /// windows, and step only the components whose gate fired inside busy
+    /// cycles. Still walks every gate predicate each busy cycle.
+    GlobalGate,
+    /// Per-component delta-stepping: every subsystem registers its own
+    /// due-cycle in an event wheel and is stepped only when due, even while
+    /// other components are busy. Cross-component handoffs (TileLink
+    /// pushes/pops, probe interlocks, frontend issue) re-arm the receiver's
+    /// slot as they happen, so no planning pass walks idle components. See
+    /// DESIGN.md §5 "Clocking".
+    #[default]
+    ComponentWheel,
+}
+
 /// Configuration of the whole simulated SoC.
 #[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
@@ -30,16 +52,15 @@ pub struct SystemConfig {
     pub issue_width: usize,
     /// LSU sizing.
     pub lsu: LsuConfig,
-    /// Use the event-driven fast-forward engine: when no component has work
-    /// at the current cycle, jump the clock straight to the earliest cycle
-    /// one can possibly change state. Elapsed cycles and statistics are
-    /// bit-identical either way; `false` reproduces the naive
+    /// Simulation engine. Elapsed cycles and statistics are bit-identical
+    /// across all variants; [`EngineKind::Naive`] reproduces the reference
     /// one-cycle-at-a-time stepping.
-    pub fast_forward: bool,
-    /// Debug aid for the fast engine: instead of trusting a claimed idle
-    /// window, step through it with the naive engine and panic on the first
-    /// cycle whose state differs from the window start (a `next_event`
-    /// contract violation). Expensive — intended for tests.
+    pub engine: EngineKind,
+    /// Debug aid for the fast engines: re-verify every claimed-idle window
+    /// with the naive engine (panicking on the first cycle whose state
+    /// differs from the window start), and — under the component wheel —
+    /// recheck every skipped component's due-bound each executed cycle (a
+    /// missed wake edge panics). Expensive — intended for tests.
     pub lockstep_oracle: bool,
 }
 
@@ -56,7 +77,7 @@ impl Default for SystemConfig {
             link_capacity: 8,
             issue_width: 2,
             lsu: LsuConfig::default(),
-            fast_forward: true,
+            engine: EngineKind::default(),
             lockstep_oracle: false,
         }
     }
@@ -71,6 +92,25 @@ pub struct EngineStats {
     pub skipped_cycles: u64,
     /// Number of fast-forward jumps taken.
     pub jumps: u64,
+    /// Component steps a gated engine actually executed (the L2+DRAM pair
+    /// counts as one component, each core's L1+LSU pair as one; frontends
+    /// are excluded — they run every executed cycle).
+    pub component_steps: u64,
+    /// Component-step opportunities the naive engine would have burned:
+    /// `1 + cores` per simulated cycle, jumped-over cycles included.
+    pub component_slots: u64,
+}
+
+impl EngineStats {
+    /// Percentage of component-step work skipped — the per-component
+    /// generalization of whole-cycle `skipped_cycles`: a cycle where only
+    /// the L2 steps on an 8-core system skips 8 of 9 slots even though the
+    /// cycle itself executed. `None` until an engine that tracks slots
+    /// (global gate or component wheel) has run.
+    pub fn component_skipped_pct(&self) -> Option<f64> {
+        (self.component_slots > 0)
+            .then(|| 100.0 * (1.0 - self.component_steps as f64 / self.component_slots as f64))
+    }
 }
 
 /// Per-cycle execution plan of the fast engine: which components have a
@@ -119,6 +159,70 @@ impl TickPlan {
                 self.bound_frontend = frontend;
             }
         }
+    }
+}
+
+/// Due-cycle sentinel: no self-driven event; only a wake edge (or an
+/// external worker command) can re-arm the slot.
+const NEVER: u64 = u64::MAX;
+
+/// A busy-streaking slot recomputes its real `next_event` bound on each of
+/// its first `WHEEL_EAGER_PROBES` consecutive steps (so a slot that wakes,
+/// acts once and has nothing further to do goes straight back to sleep) …
+const WHEEL_EAGER_PROBES: u32 = 2;
+
+/// … and every `WHEEL_PROBE_PERIOD` steps thereafter. Between probes the
+/// slot is simply re-armed for the next cycle, which is always safe —
+/// stepping a component with nothing to do is exactly what the naive
+/// engine does everywhere, every cycle — and skips the expensive bound
+/// walk that would otherwise be paid per step while the component is
+/// genuinely busy. The cost is at most `WHEEL_PROBE_PERIOD - 1` redundant
+/// steps when a streaking component goes idle.
+const WHEEL_PROBE_PERIOD: u32 = 4;
+
+/// The component-wheel scheduler's state (host-side bookkeeping only — never
+/// part of the simulated machine's state or the oracle digest). One due
+/// cycle per component slot; a slot is stepped only on cycles where its due
+/// value has been reached, and re-armed from its own `next_event` bound
+/// after stepping plus explicit wake edges from its neighbors (see
+/// [`System::tick_wheel`]).
+#[derive(Default)]
+struct Wheel {
+    /// Whether the due values below describe the current state. Cleared by
+    /// every code path that mutates simulated state outside the wheel's
+    /// view (naive/gated ticks, direct DRAM pokes, frontend installs).
+    valid: bool,
+    /// Due cycle of the L2 + DRAM slot.
+    due_l2: u64,
+    /// Due cycle of each core's L1 + LSU slot.
+    due_comp: Vec<u64>,
+    /// Due cycle of each core's frontend (tracked separately so a
+    /// rendezvous-paced frontend does not force its whole core slot — and
+    /// the L1 `next_event` walk that re-arms it — every executed cycle).
+    due_fe: Vec<u64>,
+    /// Reusable per-core scratch for the L2 phase's link-condition
+    /// snapshots (`[b_empty, d_empty, a_can_push, c_can_push,
+    /// e_can_push]`).
+    scratch: Vec<[bool; 5]>,
+    /// Consecutive executed steps of each core slot since it last slept or
+    /// was woken; drives the [`WHEEL_PROBE_PERIOD`] bound-walk hysteresis.
+    streak_comp: Vec<u32>,
+    /// Same, for the L2 + DRAM slot.
+    streak_l2: u32,
+}
+
+impl Wheel {
+    /// Earliest due cycle across every slot ([`NEVER`] when all slots are
+    /// blocked on external input).
+    fn next_due(&self) -> u64 {
+        let mut t = self.due_l2;
+        for &d in &self.due_comp {
+            t = t.min(d);
+        }
+        for &d in &self.due_fe {
+            t = t.min(d);
+        }
+        t
     }
 }
 
@@ -233,11 +337,8 @@ pub struct System {
     deadline: u64,
     /// Fast-forward engine bookkeeping.
     engine: EngineStats,
-    /// Consecutive planned cycles that found work (see the planning backoff
-    /// in [`System::step_engine`]); host-side scheduling state only.
-    plan_streak: u32,
-    /// Remaining cycles to run unplanned before probing for a jump again.
-    plan_skip: u32,
+    /// Component-wheel scheduler state (see [`Wheel`]).
+    wheel: Wheel,
     /// Event sink of the fast-forward engine itself
     /// ([`TraceEvent::FastForwardJump`] markers). Installed by
     /// [`System::enable_event_trace`]; host-side, never part of simulated
@@ -284,8 +385,7 @@ impl System {
             e: links!(),
             deadline: u64::MAX,
             engine: EngineStats::default(),
-            plan_streak: 0,
-            plan_skip: 0,
+            wheel: Wheel::default(),
             engine_sink: None,
             cfg,
         }
@@ -311,8 +411,8 @@ impl System {
         }
     }
 
-    /// Counters of the fast-forward engine (cycles skipped, jumps taken).
-    /// All zero when [`SystemConfig::fast_forward`] is off.
+    /// Counters of the fast-forward engine (cycles skipped, jumps taken,
+    /// component steps/slots). All zero under [`EngineKind::Naive`].
     pub fn engine_stats(&self) -> EngineStats {
         self.engine
     }
@@ -322,8 +422,11 @@ impl System {
         &self.dram
     }
 
-    /// Direct (test/bench setup) access to memory.
+    /// Direct (test/bench setup) access to memory. Invalidates the
+    /// component wheel: a direct poke mutates state behind the scheduler's
+    /// back, so its due bounds must be recomputed.
     pub fn dram_mut(&mut self) -> &mut Dram {
+        self.wheel.valid = false;
         &mut self.dram
     }
 
@@ -564,8 +667,28 @@ impl System {
         }
     }
 
+    /// Cumulative messages popped per channel (`'A'`–`'E'`) and core, for
+    /// the metrics registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a channel letter outside `'A'`–`'E'`.
+    pub fn link_popped(&self, channel: char, core: usize) -> u64 {
+        match channel {
+            'A' => self.a[core].popped(),
+            'B' => self.b[core].popped(),
+            'C' => self.c[core].popped(),
+            'D' => self.d[core].popped(),
+            'E' => self.e[core].popped(),
+            _ => panic!("unknown TileLink channel {channel:?}"),
+        }
+    }
+
     /// Advances the system by one cycle.
     pub fn tick(&mut self) {
+        // A full sweep may step components the wheel believed idle, so its
+        // due bounds are stale afterwards.
+        self.wheel.valid = false;
         let now = self.now;
         {
             let mut ports = L2Ports {
@@ -692,6 +815,9 @@ impl System {
     /// have no due event, no consumable link head, and no freed output slot,
     /// so their step functions could only fall through.
     fn tick_gated(&mut self, plan: &TickPlan) {
+        self.wheel.valid = false;
+        self.engine.component_slots += 1 + self.cfg.cores as u64;
+        self.engine.component_steps += plan.l2 as u64 + u64::from(plan.cores.count_ones());
         let now = self.now;
         if plan.l2 {
             let mut ports = L2Ports {
@@ -726,47 +852,53 @@ impl System {
     /// holds — crucially also right after a fast-forward jump, *before* the
     /// tick at the jump target, because termination predicates such as a
     /// trailing Nop's expiry are conditions on `now` (the naive engine
-    /// observes every cycle; the fast engine must observe the jump target
+    /// observes every cycle; the fast engines must observe the jump target
     /// before executing it).
-    ///
-    /// The fast engine executes cycles through [`System::tick_gated`]: only
-    /// the components whose gate fires are stepped, everything else is
-    /// provably a no-op this cycle (same argument as the idle-window jump,
-    /// applied per component). The naive engine always runs the full
-    /// [`System::tick`] sweep.
     fn step_engine<F: Fn(&Self) -> bool>(&mut self, done: F) -> bool {
         if done(self) {
             return true;
         }
-        if !self.cfg.fast_forward {
-            self.tick();
-            return false;
+        match self.cfg.engine {
+            EngineKind::Naive => {
+                self.tick();
+                false
+            }
+            EngineKind::GlobalGate => self.step_gated(done),
+            EngineKind::ComponentWheel => self.step_wheel(done),
         }
-        // Adaptive planning backoff: in saturated phases (some component has
-        // work every single cycle) planning finds nothing to skip, so its
-        // cost is pure overhead. After a streak of planned-but-busy cycles,
-        // run a growing number of full ticks without planning; any jump
-        // opportunity is merely deferred by at most that many cycles, and
-        // the streak resets as soon as a jump lands.
-        if self.plan_skip > 0 {
-            self.plan_skip -= 1;
-            self.tick();
-            return false;
-        }
+    }
+
+    /// Accounts a full-sweep [`System::tick`] executed by a fast engine's
+    /// fallback path (every slot burned, nothing skipped), then runs it.
+    fn tick_full_accounted(&mut self) {
+        let slots = 1 + self.cfg.cores as u64;
+        self.engine.component_slots += slots;
+        self.engine.component_steps += slots;
+        self.tick();
+    }
+
+    /// One step of the [`EngineKind::GlobalGate`] engine (PR 1): plan the
+    /// cycle, jump over a globally idle window, and execute busy cycles
+    /// through [`System::tick_gated`] — only the components whose gate fires
+    /// are stepped, everything else is provably a no-op this cycle (same
+    /// argument as the idle-window jump, applied per component).
+    ///
+    /// The saturation backoff that used to live here is retired: the
+    /// component wheel makes planned-but-busy cycles cheap instead of
+    /// wasted, and keeping this engine deterministic in its per-cycle work
+    /// makes the three-way equivalence suite sharper.
+    fn step_gated<F: Fn(&Self) -> bool>(&mut self, done: F) -> bool {
         let plan = self.plan_tick();
         if plan.any() {
-            self.plan_streak = self.plan_streak.saturating_add(1);
-            if self.plan_streak > 8 {
-                self.plan_skip = (self.plan_streak - 8).min(16);
-            }
             self.tick_gated(&plan);
             return false;
         }
-        self.plan_streak = 0;
         match plan.bound {
             Some(t) if t > self.now => {
-                self.engine.skipped_cycles += t - self.now;
+                let window = t - self.now;
+                self.engine.skipped_cycles += window;
                 self.engine.jumps += 1;
+                self.engine.component_slots += (1 + self.cfg.cores as u64) * window;
                 skipit_trace::trace!(
                     self.engine_sink,
                     self.now,
@@ -802,9 +934,397 @@ impl System {
             // Every component is blocked on an external command (worker
             // rendezvous): keep the full sweep so the rendezvous and
             // watchdogs still run.
-            _ => self.tick(),
+            _ => self.tick_full_accounted(),
         }
         false
+    }
+
+    /// (Re)computes every wheel slot's due cycle from scratch. Needed on
+    /// entry to a run loop and after any state mutation outside the wheel's
+    /// view; steady-state operation re-arms slots incrementally instead.
+    fn wheel_rebuild(&mut self) {
+        let cores = self.cfg.cores;
+        self.wheel.due_comp.resize(cores, NEVER);
+        self.wheel.due_fe.resize(cores, NEVER);
+        self.wheel.streak_comp.clear();
+        self.wheel.streak_comp.resize(cores, 0);
+        self.wheel.streak_l2 = 0;
+        self.wheel.due_l2 = self.l2_due();
+        for i in 0..cores {
+            self.wheel.due_comp[i] = self.core_comp_due(i);
+            self.wheel.due_fe[i] = self.fe_due(i);
+        }
+        self.wheel.valid = true;
+    }
+
+    /// Self-contained due bound of core `i`'s L1 + LSU slot: the earliest
+    /// cycle the pair can change state given only its own timers and the
+    /// *current* link endpoints. State changes caused by neighbors acting
+    /// later (an L2 push/pop, a frontend enqueue) are injected as wake
+    /// edges when they happen, so this bound deliberately ignores them.
+    fn core_comp_due(&self, i: usize) -> u64 {
+        let now = self.now;
+        let mut due = NEVER;
+        // An inbound Grant wakes the core at head arrival.
+        if let Some(t) = self.d[i].next_ready() {
+            due = due.min(t);
+        }
+        // An inbound Probe only while the probe unit can sink it; the
+        // L1 transition freeing the unit re-raises the head on re-arm.
+        // Not collapsible into the arm guard: an arrived-but-unsinkable head
+        // must arm *nothing* (the L1 transition freeing the probe unit
+        // re-raises it), while the guard's fallthrough would arm `t`.
+        #[allow(clippy::collapsible_match)]
+        match self.b[i].next_ready() {
+            Some(t) if t <= now => {
+                if self.l1s[i].probe_rdy() {
+                    due = due.min(t);
+                }
+            }
+            Some(t) => due = due.min(t),
+            None => {}
+        }
+        // Unlike `plan_tick`, outbound readiness is plain `can_push`: a
+        // head the L2 pops this cycle frees a slot usable the same cycle,
+        // but that arrives as an explicit pop wake edge from the L2 phase
+        // (the wheel never speculates about a neighbor's step).
+        if let Some(t) = self.l1s[i].next_event(
+            now,
+            self.a[i].can_push(),
+            self.c[i].can_push(),
+            self.e[i].can_push(),
+        ) {
+            due = due.min(t);
+        }
+        if let Some(t) = self.lsus[i].next_event(now, &self.l1s[i]) {
+            due = due.min(t);
+        }
+        due
+    }
+
+    /// Self-contained due bound of the L2 + DRAM slot (same wake-edge
+    /// caveat as [`System::core_comp_due`]).
+    fn l2_due(&self) -> u64 {
+        let now = self.now;
+        let mut due = NEVER;
+        for i in 0..self.cfg.cores {
+            if let Some(t) = self.c[i].next_ready() {
+                due = due.min(t);
+            }
+            if let Some(t) = self.e[i].next_ready() {
+                due = due.min(t);
+            }
+            // An arrived Acquire is only an event while the L2 can sink
+            // it; the L2 transition clearing the backpressure re-raises
+            // the head on re-arm.
+            match self.a[i].next_ready() {
+                Some(t) if t <= now => {
+                    if let Some(&ChannelA::AcquireBlock { addr, .. }) = self.a[i].peek(now) {
+                        if self.l2.can_accept_acquire(addr) {
+                            due = due.min(t);
+                        }
+                    }
+                }
+                Some(t) => due = due.min(t),
+                None => {}
+            }
+        }
+        if let Some(t) = self.l2.next_event(now, &self.dram, &self.b, &self.d) {
+            due = due.min(t);
+        }
+        if let Some(t) = self.dram.next_event(now) {
+            due = due.min(t);
+        }
+        due
+    }
+
+    /// The frontend's due bound as a wheel slot value.
+    fn fe_due(&self, i: usize) -> u64 {
+        self.frontend_next_event(i).unwrap_or(NEVER)
+    }
+
+    /// Executes one cycle stepping only the wheel slots that are due,
+    /// re-arming each stepped slot from its own bound and propagating wake
+    /// edges to neighbors (the explicit cross-component handoffs of
+    /// DESIGN.md §5): an L2 B/D push arms the receiving core at head
+    /// arrival (possibly this very cycle — the L2 steps before the L1s,
+    /// matching naive tick order); an L2 A/C/E pop frees a sender slot
+    /// usable the same cycle; a core's A/C/E push arms the L2 at head
+    /// arrival and its B/D pop at the next cycle (the L2 steps first, so it
+    /// cannot observe either before then); a frontend enqueue arms its core
+    /// for the next cycle. Frontends run every executed cycle: they are
+    /// cheap, and a worker rendezvous must not be deferred.
+    fn tick_wheel(&mut self) {
+        let now = self.now;
+        let cores = self.cfg.cores;
+        self.engine.component_slots += 1 + cores as u64;
+        if self.wheel.due_l2 <= now {
+            // Snapshot the receiver-facing link conditions whose *edge
+            // transitions* are wake edges: an empty→non-empty B/D means a
+            // new head the core's bound has never seen; a full→non-full
+            // A/C/E re-opens a slot a blocked sender's bound ignored.
+            // (A push behind an existing head leaves the head — and thus
+            // the receiver's bound — unchanged; a pop from a non-full link
+            // leaves `can_push` true, which the sender's bound already
+            // assumed.) A core already due this cycle needs no wake edge —
+            // it steps regardless and re-arms from full current state — so
+            // its links are not snapshotted at all.
+            self.wheel.scratch.clear();
+            for i in 0..cores {
+                self.wheel.scratch.push(if self.wheel.due_comp[i] > now {
+                    [
+                        self.b[i].is_empty(),
+                        self.d[i].is_empty(),
+                        self.a[i].can_push(),
+                        self.c[i].can_push(),
+                        self.e[i].can_push(),
+                    ]
+                } else {
+                    [false; 5]
+                });
+            }
+            {
+                let mut ports = L2Ports {
+                    a: &mut self.a,
+                    b: &mut self.b,
+                    c: &mut self.c,
+                    d: &mut self.d,
+                    e: &mut self.e,
+                    mem: &mut self.dram,
+                };
+                self.l2.step(now, &mut ports);
+            }
+            self.engine.component_steps += 1;
+            for i in 0..cores {
+                if self.wheel.due_comp[i] <= now {
+                    continue;
+                }
+                let [b_empty, d_empty, a_can, c_can, e_can] = self.wheel.scratch[i];
+                let mut wake = NEVER;
+                if b_empty {
+                    if let Some(t) = self.b[i].next_ready() {
+                        wake = wake.min(t);
+                    }
+                }
+                if d_empty {
+                    if let Some(t) = self.d[i].next_ready() {
+                        wake = wake.min(t);
+                    }
+                }
+                if (!a_can && self.a[i].can_push())
+                    || (!c_can && self.c[i].can_push())
+                    || (!e_can && self.e[i].can_push())
+                {
+                    // The freed slot is usable this very cycle: the L2
+                    // steps before the L1s, matching naive tick order.
+                    wake = now;
+                }
+                if wake != NEVER {
+                    let wake = wake.max(now);
+                    if wake < self.wheel.due_comp[i] {
+                        // A genuinely sleeping slot is being rescued: its
+                        // first post-wake steps should probe their real
+                        // bound eagerly. (A busy slot already due next
+                        // cycle keeps its streak — B/D heads churn every
+                        // cycle in a burst, and resetting here would defeat
+                        // the probe hysteresis.)
+                        self.wheel.due_comp[i] = wake;
+                        self.wheel.streak_comp[i] = 0;
+                    }
+                }
+            }
+            self.wheel.streak_l2 += 1;
+            let streak = self.wheel.streak_l2;
+            self.wheel.due_l2 =
+                if streak <= WHEEL_EAGER_PROBES || streak.is_multiple_of(WHEEL_PROBE_PERIOD) {
+                    let due = self.l2_due().max(now + 1);
+                    if due > now + 1 {
+                        self.wheel.streak_l2 = 0;
+                    }
+                    due
+                } else {
+                    now + 1
+                };
+        }
+        // Mirror guard: wake edges toward the L2 can never arrive before
+        // `now + 1` (the L2 steps first), so when the L2 is already due by
+        // then the edge scan below is skipped entirely.
+        let l2_sleeping = self.wheel.due_l2 > now + 1;
+        let mut l2_wake = NEVER;
+        for i in 0..cores {
+            if self.wheel.due_comp[i] <= now {
+                let a_empty = l2_sleeping && self.a[i].is_empty();
+                let c_empty = l2_sleeping && self.c[i].is_empty();
+                let e_empty = l2_sleeping && self.e[i].is_empty();
+                let b_can = !l2_sleeping || self.b[i].can_push();
+                let d_can = !l2_sleeping || self.d[i].can_push();
+                {
+                    let mut ports = skipit_dcache::L1Ports {
+                        a: &mut self.a[i],
+                        b: &mut self.b[i],
+                        c: &mut self.c[i],
+                        d: &mut self.d[i],
+                        e: &mut self.e[i],
+                    };
+                    self.l1s[i].step(now, &mut ports);
+                }
+                self.lsus[i].step(now, &mut self.l1s[i]);
+                self.engine.component_steps += 1;
+                // Mirror image of the L2 phase's edges; the L2 cannot act
+                // on either before the next cycle (it steps first).
+                if a_empty {
+                    if let Some(t) = self.a[i].next_ready() {
+                        l2_wake = l2_wake.min(t);
+                    }
+                }
+                if c_empty {
+                    if let Some(t) = self.c[i].next_ready() {
+                        l2_wake = l2_wake.min(t);
+                    }
+                }
+                if e_empty {
+                    if let Some(t) = self.e[i].next_ready() {
+                        l2_wake = l2_wake.min(t);
+                    }
+                }
+                if (!b_can && self.b[i].can_push()) || (!d_can && self.d[i].can_push()) {
+                    l2_wake = l2_wake.min(now + 1);
+                }
+                self.wheel.streak_comp[i] += 1;
+                let streak = self.wheel.streak_comp[i];
+                self.wheel.due_comp[i] =
+                    if streak <= WHEEL_EAGER_PROBES || streak.is_multiple_of(WHEEL_PROBE_PERIOD) {
+                        let due = self.core_comp_due(i).max(now + 1);
+                        if due > now + 1 {
+                            self.wheel.streak_comp[i] = 0;
+                        }
+                        due
+                    } else {
+                        now + 1
+                    };
+                self.wheel.due_fe[i] = self.fe_due(i).max(now + 1);
+            }
+        }
+        if l2_wake != NEVER {
+            let l2_wake = l2_wake.max(now + 1);
+            if l2_wake < self.wheel.due_l2 {
+                self.wheel.due_l2 = l2_wake;
+                self.wheel.streak_l2 = 0;
+            }
+        }
+        let (enqueued, active) = self.step_frontends();
+        let mut m = active;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.wheel.due_fe[i] = self.fe_due(i).max(now + 1);
+        }
+        let mut m = enqueued;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if now + 1 < self.wheel.due_comp[i] {
+                self.wheel.due_comp[i] = now + 1;
+                self.wheel.streak_comp[i] = 0;
+            }
+        }
+        self.now += 1;
+    }
+
+    /// One step of the [`EngineKind::ComponentWheel`] engine: jump the
+    /// clock to the earliest due slot, then execute that cycle stepping
+    /// only the due slots. Under [`SystemConfig::lockstep_oracle`], every
+    /// jumped window is naively re-verified *and* every skipped slot's due
+    /// bound is recomputed from scratch each executed cycle — a component
+    /// that would have acted while its slot claimed idle panics.
+    fn step_wheel<F: Fn(&Self) -> bool>(&mut self, done: F) -> bool {
+        if !self.wheel.valid {
+            self.wheel_rebuild();
+        }
+        let target = self.wheel.next_due();
+        if target == NEVER {
+            // Every slot is blocked on an external command (worker
+            // rendezvous): full sweep so rendezvous and watchdogs still
+            // run. `tick` invalidates the wheel; the next step rebuilds.
+            self.tick_full_accounted();
+            return false;
+        }
+        if target > self.now {
+            let window = target - self.now;
+            self.engine.skipped_cycles += window;
+            self.engine.jumps += 1;
+            self.engine.component_slots += (1 + self.cfg.cores as u64) * window;
+            if skipit_trace::TRACE_COMPILED && self.engine_sink.is_some() {
+                let mut cores_mask = 0u64;
+                let mut frontend = false;
+                for i in 0..self.cfg.cores {
+                    if self.wheel.due_comp[i] == target {
+                        cores_mask |= 1 << i;
+                    }
+                    frontend |= self.wheel.due_fe[i] == target;
+                }
+                skipit_trace::trace!(
+                    self.engine_sink,
+                    self.now,
+                    TraceEvent::FastForwardJump {
+                        from: self.now,
+                        to: target,
+                        l2: self.wheel.due_l2 == target,
+                        cores: cores_mask,
+                        frontend,
+                    }
+                );
+            }
+            if self.cfg.lockstep_oracle {
+                self.verify_window(target);
+                // `verify_window` ticks naively, invalidating the wheel —
+                // but it also proved no state changed, so a rebuild
+                // reproduces (at worst tightens) the due values.
+                self.wheel_rebuild();
+            } else {
+                self.now = target;
+            }
+            if done(self) {
+                return true;
+            }
+        }
+        if self.cfg.lockstep_oracle {
+            self.oracle_check_wheel();
+        }
+        self.tick_wheel();
+        false
+    }
+
+    /// Component-granular half of the lockstep oracle: on an executed
+    /// cycle, any slot the wheel is about to skip must also be not-due per
+    /// a from-scratch recomputation of its bound. Catches missed wake
+    /// edges (a neighbor handed the component work without re-arming it)
+    /// at the cycle they would first diverge from the naive engine.
+    fn oracle_check_wheel(&self) {
+        let now = self.now;
+        if self.wheel.due_l2 > now {
+            assert!(
+                self.l2_due() > now,
+                "lockstep oracle: L2 slot skipped at cycle {now} but its \
+                 recomputed bound is due (missed wake edge)"
+            );
+        }
+        for i in 0..self.cfg.cores {
+            if self.wheel.due_comp[i] > now {
+                assert!(
+                    self.core_comp_due(i) > now,
+                    "lockstep oracle: core {i} slot skipped at cycle {now} \
+                     but its recomputed bound is due (missed wake edge)"
+                );
+            }
+            if self.wheel.due_fe[i] > now {
+                assert!(
+                    self.fe_due(i) > now,
+                    "lockstep oracle: frontend {i} slot skipped at cycle \
+                     {now} but its recomputed bound is due (missed wake edge)"
+                );
+            }
+        }
     }
 
     /// One step of the event-driven engine (see DESIGN.md §5 "Clocking"):
@@ -827,6 +1347,7 @@ impl System {
             Some(t) if t > self.now => {
                 self.engine.skipped_cycles += t - self.now;
                 self.engine.jumps += 1;
+                self.engine.component_slots += (1 + self.cfg.cores as u64) * (t - self.now);
                 // This path plans no per-component gates, so the jump
                 // carries no attribution.
                 skipit_trace::trace!(
@@ -1051,10 +1572,18 @@ impl System {
         }
     }
 
-    fn step_frontends(&mut self) {
+    /// Steps every frontend (they run each executed cycle regardless of
+    /// wheel slots). Returns two per-core bitmasks for the wheel's wake
+    /// edges: `enqueued` — cores whose LSU received an op this cycle (the
+    /// core slot must run next cycle); `active` — cores whose frontend
+    /// changed state at all (its due bound must be recomputed). The naive
+    /// and global-gate engines ignore both.
+    fn step_frontends(&mut self) -> (u64, u64) {
         let now = self.now;
         let issue_width = self.cfg.issue_width;
         let deadline = self.deadline;
+        let mut enqueued = 0u64;
+        let mut active = 0u64;
         // Disjoint field borrows: each frontend is stepped in place instead
         // of being moved out and back every tick.
         let System {
@@ -1064,6 +1593,7 @@ impl System {
             ..
         } = self;
         for (i, fe) in frontends.iter_mut().enumerate() {
+            let bit = 1u64 << i;
             match fe {
                 Frontend::Idle => {}
                 Frontend::Program {
@@ -1089,8 +1619,12 @@ impl System {
                                 lsus[i].enqueue(tok, op, now);
                                 *next += 1;
                                 issued += 1;
+                                enqueued |= bit;
                             }
                         }
+                    }
+                    if issued > 0 {
+                        active |= bit;
                     }
                 }
                 Frontend::Thread {
@@ -1112,6 +1646,7 @@ impl System {
                         match lsus[i].take_finished(tok) {
                             Some(value) => {
                                 *busy = None;
+                                active |= bit;
                                 if tx
                                     .send(Resp {
                                         value,
@@ -1131,6 +1666,7 @@ impl System {
                             continue;
                         }
                         *nop_until = None;
+                        active |= bit;
                         if tx
                             .send(Resp {
                                 value: 0,
@@ -1147,6 +1683,7 @@ impl System {
                     // time). A disconnected channel is treated exactly like
                     // `Cmd::Done`.
                     loop {
+                        active |= bit;
                         match rx.recv() {
                             Ok(Cmd::RdCycle) => {
                                 if tx
@@ -1171,6 +1708,7 @@ impl System {
                                 // flight; room is guaranteed.
                                 lsus[i].enqueue(tok, op, now);
                                 *busy = Some(tok);
+                                enqueued |= bit;
                                 break;
                             }
                             Ok(Cmd::Done) | Err(_) => {
@@ -1182,6 +1720,7 @@ impl System {
                 }
             }
         }
+        (enqueued, active)
     }
 
     #[cfg(test)]
@@ -1271,6 +1810,8 @@ impl System {
             self.cfg.cores
         );
         let start = self.now;
+        // Installing frontends mutates state outside the wheel's view.
+        self.wheel.valid = false;
         for (i, ops) in programs.into_iter().enumerate() {
             self.frontends[i] = Frontend::Program {
                 ops,
@@ -1285,12 +1826,14 @@ impl System {
         for fe in &mut self.frontends {
             *fe = Frontend::Idle;
         }
+        self.wheel.valid = false;
         self.now - start
     }
 
     /// Runs the system until every cache and the L2 are quiescent (drains
     /// asynchronous writebacks that no fence waited for).
     pub fn quiesce(&mut self) {
+        self.wheel.valid = false;
         let watchdog = self.now + 1_000_000;
         while !self.step_engine(|s| s.l1s.iter().all(|c| c.is_quiescent()) && s.l2.is_quiescent()) {
             assert!(self.now < watchdog, "quiesce exceeded watchdog budget");
@@ -1319,6 +1862,7 @@ impl System {
             self.cfg.cores
         );
         let start = self.now;
+        self.wheel.valid = false;
         self.deadline = budget.map_or(u64::MAX, |b| start + b);
         let n = workers.len();
         let mut handles = Vec::with_capacity(n);
@@ -1349,6 +1893,7 @@ impl System {
         for fe in &mut self.frontends {
             *fe = Frontend::Idle;
         }
+        self.wheel.valid = false;
         self.deadline = u64::MAX;
         (self.now - start, results)
     }
@@ -1801,10 +2346,10 @@ mod tests {
         vec![p0, p1]
     }
 
-    fn engine_run(fast: bool) -> (u64, SystemStats, Vec<u64>, EngineStats) {
+    fn engine_run(kind: EngineKind) -> (u64, SystemStats, Vec<u64>, EngineStats) {
         let mut s = System::new(SystemConfig {
             cores: 2,
-            fast_forward: fast,
+            engine: kind,
             ..SystemConfig::default()
         });
         let cycles = s.run_programs(contended_programs());
@@ -1816,20 +2361,57 @@ mod tests {
     }
 
     #[test]
-    fn fast_forward_matches_naive_engine_exactly() {
-        let (naive_cycles, naive_stats, naive_mem, naive_engine) = engine_run(false);
-        let (fast_cycles, fast_stats, fast_mem, fast_engine) = engine_run(true);
-        assert_eq!(naive_cycles, fast_cycles, "elapsed cycles diverge");
-        assert_eq!(naive_stats, fast_stats, "statistics diverge");
-        assert_eq!(naive_mem, fast_mem, "DRAM contents diverge");
+    fn fast_engines_match_naive_engine_exactly() {
+        let (naive_cycles, naive_stats, naive_mem, naive_engine) = engine_run(EngineKind::Naive);
+        for kind in [EngineKind::GlobalGate, EngineKind::ComponentWheel] {
+            let (cycles, stats, mem, engine) = engine_run(kind);
+            assert_eq!(naive_cycles, cycles, "elapsed cycles diverge ({kind:?})");
+            assert_eq!(naive_stats, stats, "statistics diverge ({kind:?})");
+            assert_eq!(naive_mem, mem, "DRAM contents diverge ({kind:?})");
+            assert!(
+                engine.jumps > 0 && engine.skipped_cycles > 0,
+                "{kind:?} never skipped on an idle-heavy workload: {engine:?}"
+            );
+            assert!(
+                engine.component_steps < engine.component_slots,
+                "{kind:?} skipped no component work: {engine:?}"
+            );
+        }
         assert_eq!(
             naive_engine,
             EngineStats::default(),
             "naive engine must not count jumps"
         );
+    }
+
+    #[test]
+    fn wheel_skips_idle_cores_inside_busy_cycles() {
+        // Four cores, only core 0 busy: even on executed (non-jumped)
+        // cycles the wheel must leave the three idle core slots asleep, so
+        // well over half of all component slots go unstepped.
+        let mut s = System::new(SystemConfig {
+            cores: 4,
+            ..SystemConfig::default()
+        });
+        let mut prog = Vec::new();
+        for i in 0..16u64 {
+            prog.push(Op::Store {
+                addr: 0x2_0000 + i * 64,
+                value: i + 1,
+            });
+        }
+        for i in 0..16u64 {
+            prog.push(Op::Clean {
+                addr: 0x2_0000 + i * 64,
+            });
+        }
+        prog.push(Op::Fence);
+        s.run_programs(vec![prog]);
+        let e = s.engine_stats();
+        let pct = e.component_skipped_pct().unwrap();
         assert!(
-            fast_engine.jumps > 0 && fast_engine.skipped_cycles > 0,
-            "fast engine never skipped on an idle-heavy workload: {fast_engine:?}"
+            pct > 50.0,
+            "wheel burned idle-core slots: {pct:.1}% skipped, {e:?}"
         );
     }
 
@@ -1849,10 +2431,10 @@ mod tests {
 
     #[test]
     fn thread_mode_matches_naive_engine() {
-        let run = |fast: bool| {
+        let run = |kind: EngineKind| {
             let mut s = System::new(SystemConfig {
                 cores: 2,
-                fast_forward: fast,
+                engine: kind,
                 ..SystemConfig::default()
             });
             s.run_threads(
@@ -1879,7 +2461,9 @@ mod tests {
                 None,
             )
         };
-        assert_eq!(run(false), run(true));
+        let naive = run(EngineKind::Naive);
+        assert_eq!(naive, run(EngineKind::GlobalGate));
+        assert_eq!(naive, run(EngineKind::ComponentWheel));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Fluent construction of simulated systems.
 
-use skipit_boom::{System, SystemConfig};
+use skipit_boom::{EngineKind, System, SystemConfig};
 use skipit_dcache::L1Config;
 use skipit_llc::L2Config;
 use skipit_mem::DramConfig;
@@ -93,11 +93,25 @@ impl SystemBuilder {
         self
     }
 
-    /// Enables or disables the event-driven fast-forward engine. Cycle
-    /// counts and statistics are bit-identical either way; `false` selects
-    /// plain cycle-by-cycle stepping. Default on.
+    /// Enables or disables event-driven fast simulation. Cycle counts and
+    /// statistics are bit-identical either way; `true` (the default)
+    /// selects the component-wheel engine, `false` plain cycle-by-cycle
+    /// stepping. Use [`SystemBuilder::engine`] to pick a specific engine.
     pub fn fast_forward(mut self, on: bool) -> Self {
-        self.cfg.fast_forward = on;
+        self.cfg.engine = if on {
+            EngineKind::ComponentWheel
+        } else {
+            EngineKind::Naive
+        };
+        self
+    }
+
+    /// Selects the simulation engine explicitly (naive / global-gate /
+    /// component-wheel). All engines produce bit-identical cycles, stats,
+    /// durable images and trace-event streams. Default
+    /// [`EngineKind::ComponentWheel`].
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.cfg.engine = kind;
         self
     }
 

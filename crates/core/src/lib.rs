@@ -61,8 +61,8 @@ pub mod metrics;
 pub use builder::SystemBuilder;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use skipit_boom::{
-    CoreHandle, EngineStats, LatencyHistogram, Op, System, SystemConfig, SystemStats, TraceLog,
-    TraceRecord,
+    CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, System, SystemConfig, SystemStats,
+    TraceLog, TraceRecord,
 };
 pub use skipit_dcache::{DataCache, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};

@@ -84,11 +84,18 @@ impl MetricsSnapshot {
         let engine = sys.engine_stats();
         e.insert("engine.skipped_cycles".to_string(), engine.skipped_cycles);
         e.insert("engine.jumps".to_string(), engine.jumps);
+        e.insert("engine.component_steps".to_string(), engine.component_steps);
+        e.insert("engine.component_slots".to_string(), engine.component_slots);
         for core in 0..sys.config().cores {
             for ch in ['A', 'B', 'C', 'D', 'E'] {
+                let ch_lower = ch.to_ascii_lowercase();
                 e.insert(
-                    format!("link.{}.{core}.pushed", ch.to_ascii_lowercase()),
+                    format!("link.{ch_lower}.{core}.pushed"),
                     sys.link_pushed(ch, core),
+                );
+                e.insert(
+                    format!("link.{ch_lower}.{core}.popped"),
+                    sys.link_popped(ch, core),
                 );
             }
         }

@@ -12,7 +12,9 @@ use crate::persist::{OptKind, PHandle, PersistMode};
 use crate::{Bst, ConcurrentSet, HarrisList, HashTable, SkipList};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit_core::{CoreHandle, LineAddr, System, SystemBuilder, SystemStats};
+use skipit_core::{
+    CoreHandle, EngineKind, EngineStats, LineAddr, System, SystemBuilder, SystemStats,
+};
 use std::sync::Arc;
 
 /// Simulated heap base for data-structure nodes.
@@ -75,9 +77,9 @@ pub struct WorkloadCfg {
     pub seed: u64,
     /// Hash-table buckets (only for [`DsKind::Hash`]).
     pub hash_buckets: usize,
-    /// Simulation engine selector (cycle counts are identical either way;
-    /// `false` forces naive cycle-by-cycle stepping). Default on.
-    pub fast_forward: bool,
+    /// Simulation engine selector (cycle counts are identical for every
+    /// engine). Default [`EngineKind::ComponentWheel`].
+    pub engine: EngineKind,
 }
 
 impl Default for WorkloadCfg {
@@ -93,7 +95,7 @@ impl Default for WorkloadCfg {
             budget_cycles: 300_000,
             seed: 42,
             hash_buckets: 512,
-            fast_forward: true,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -107,6 +109,12 @@ pub struct BenchResult {
     pub cycles: u64,
     /// System counters at the end of the run.
     pub stats: SystemStats,
+    /// Simulation-engine counters of the measured phase only (prefill
+    /// excluded): cycles jumped and component steps/slots. All zero under
+    /// [`EngineKind::Naive`]; use
+    /// [`EngineStats::component_skipped_pct`] for the component-weighted
+    /// skipped-work share.
+    pub engine: EngineStats,
 }
 
 impl BenchResult {
@@ -160,7 +168,7 @@ fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
     let mut sys = SystemBuilder::new()
         .cores(cfg.threads)
         .skip_it(cfg.opt.wants_skip_it_hardware())
-        .fast_forward(cfg.fast_forward)
+        .engine(cfg.engine)
         .build();
     let stride = if matches!(cfg.opt, OptKind::FlitAdjacent) {
         FieldStride::WordPlusCounter
@@ -216,6 +224,7 @@ pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
     let set = ds.as_set();
     let mode = cfg.mode;
     let opt = cfg.opt;
+    let engine_before = sys.engine_stats();
     let (cycles, ops): (u64, Vec<u64>) = {
         let workers: Vec<_> = (0..cfg.threads)
             .map(|tid| {
@@ -248,10 +257,17 @@ pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
             .collect();
         sys.run_threads(workers, Some(cfg.budget_cycles))
     };
+    let after = sys.engine_stats();
     BenchResult {
         ops: ops.iter().sum(),
         cycles,
         stats: sys.stats(),
+        engine: EngineStats {
+            skipped_cycles: after.skipped_cycles - engine_before.skipped_cycles,
+            jumps: after.jumps - engine_before.jumps,
+            component_steps: after.component_steps - engine_before.component_steps,
+            component_slots: after.component_slots - engine_before.component_slots,
+        },
     }
 }
 

@@ -128,6 +128,10 @@ pub struct Link<T> {
     /// Cumulative messages pushed (metrics; engine-invariant by the PR 1
     /// guarantee, since pushes only happen from state-mutating steps).
     pushed: u64,
+    /// Cumulative messages popped (metrics; with `pushed` this gives
+    /// consumed traffic and, by difference, in-flight occupancy without
+    /// walking the queue).
+    popped: u64,
     /// Event sink + the core index this per-core link belongs to, installed
     /// by `System::enable_event_trace`. `None` (the default) keeps push/pop
     /// at a single branch of overhead.
@@ -149,6 +153,7 @@ impl<T: Beats + fmt::Debug> Link<T> {
             capacity,
             next_free: 0,
             pushed: 0,
+            popped: 0,
             trace: None,
         }
     }
@@ -178,6 +183,11 @@ impl<T: Beats + fmt::Debug> Link<T> {
     /// Cumulative number of messages ever pushed (metrics counter).
     pub fn pushed(&self) -> u64 {
         self.pushed
+    }
+
+    /// Cumulative number of messages ever popped (metrics counter).
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// Whether a message can be pushed this cycle.
@@ -219,6 +229,7 @@ impl<T: Beats + fmt::Debug> Link<T> {
     pub fn pop(&mut self, now: u64) -> Option<T> {
         if self.queue.front().is_some_and(|&(ready, _)| ready <= now) {
             let msg = self.queue.pop_front().map(|(_, m)| m);
+            self.popped += 1;
             if skipit_trace::TRACE_COMPILED {
                 if let (Some(m), Some((core, sink))) = (msg.as_ref(), self.trace.as_mut()) {
                     let d = m.describe();

@@ -6,25 +6,60 @@
 //! that was never written (no corruption anywhere in the hierarchy).
 
 use proptest::prelude::*;
-use skipit::core::{CoreHandle, Op, SystemBuilder};
+use skipit::core::{CoreHandle, EngineKind, Op, StreamEvent, SystemBuilder};
 use std::collections::HashMap;
 
 /// A compact generator for op scripts over a small line pool.
 #[derive(Clone, Debug)]
 enum POp {
-    Store { line: u8, word: u8, tag: u16 },
-    Load { line: u8, word: u8 },
-    Clean { line: u8 },
-    Flush { line: u8 },
+    Store {
+        line: u8,
+        word: u8,
+        tag: u16,
+    },
+    Load {
+        line: u8,
+        word: u8,
+    },
+    /// Store to a same-set alias of line 0 (see [`conflict_addr_of`]):
+    /// touching more aliases than the L1 has ways forces evictions, and two
+    /// cores doing so forces probe/eviction/writeback-coalescing races.
+    StoreConflict {
+        way: u8,
+        word: u8,
+        tag: u16,
+    },
+    LoadConflict {
+        way: u8,
+        word: u8,
+    },
+    Clean {
+        line: u8,
+    },
+    FlushConflict {
+        way: u8,
+    },
+    Flush {
+        line: u8,
+    },
     Fence,
-    Nop { cycles: u8 },
+    Nop {
+        cycles: u8,
+    },
 }
 
 fn pop_strategy() -> impl Strategy<Value = POp> {
     prop_oneof![
         (0..12u8, 0..8u8, 1..u16::MAX).prop_map(|(line, word, tag)| POp::Store { line, word, tag }),
         (0..12u8, 0..8u8).prop_map(|(line, word)| POp::Load { line, word }),
+        (0..12u8, 0..8u8, 1..u16::MAX).prop_map(|(way, word, tag)| POp::StoreConflict {
+            way,
+            word,
+            tag
+        }),
+        (0..12u8, 0..8u8).prop_map(|(way, word)| POp::LoadConflict { way, word }),
         (0..12u8).prop_map(|line| POp::Clean { line }),
+        (0..12u8).prop_map(|way| POp::FlushConflict { way }),
         (0..12u8).prop_map(|line| POp::Flush { line }),
         Just(POp::Fence),
         (1..200u8).prop_map(|cycles| POp::Nop { cycles }),
@@ -33,6 +68,13 @@ fn pop_strategy() -> impl Strategy<Value = POp> {
 
 fn addr_of(line: u8, word: u8) -> u64 {
     0x4_0000 + line as u64 * 64 + word as u64 * 8
+}
+
+/// Same-L1-set aliases: the default L1 has 64 sets of 64 B lines, so
+/// addresses 0x1000 apart land in the same set. Twelve aliases overflow the
+/// 8 ways and keep the set churning.
+fn conflict_addr_of(way: u8, word: u8) -> u64 {
+    0x8_0000 + way as u64 * 0x1000 + word as u64 * 8
 }
 
 fn to_prog(ops: &[POp]) -> Vec<Op> {
@@ -45,8 +87,18 @@ fn to_prog(ops: &[POp]) -> Vec<Op> {
             POp::Load { line, word } => Op::Load {
                 addr: addr_of(line, word),
             },
+            POp::StoreConflict { way, word, tag } => Op::Store {
+                addr: conflict_addr_of(way, word),
+                value: tag as u64,
+            },
+            POp::LoadConflict { way, word } => Op::Load {
+                addr: conflict_addr_of(way, word),
+            },
             POp::Clean { line } => Op::Clean {
                 addr: addr_of(line, 0),
+            },
+            POp::FlushConflict { way } => Op::Flush {
+                addr: conflict_addr_of(way, 0),
             },
             POp::Flush { line } => Op::Flush {
                 addr: addr_of(line, 0),
@@ -90,7 +142,19 @@ proptest! {
                             bad.push((addr_of(line, word), got, want));
                         }
                     }
+                    POp::StoreConflict { way, word, tag } => {
+                        h.store(conflict_addr_of(way, word), tag as u64);
+                        model_t.insert(conflict_addr_of(way, word), tag as u64);
+                    }
+                    POp::LoadConflict { way, word } => {
+                        let got = h.load(conflict_addr_of(way, word));
+                        let want = model_t.get(&conflict_addr_of(way, word)).copied().unwrap_or(0);
+                        if got != want {
+                            bad.push((conflict_addr_of(way, word), got, want));
+                        }
+                    }
                     POp::Clean { line } => h.clean(addr_of(line, 0)),
+                    POp::FlushConflict { way } => h.flush(conflict_addr_of(way, 0)),
                     POp::Flush { line } => h.flush(addr_of(line, 0)),
                     POp::Fence => h.fence(),
                     POp::Nop { cycles } => h.work(cycles as u64),
@@ -165,28 +229,88 @@ proptest! {
         prop_assert_eq!(&results[0], &results[1]);
     }
 
-    /// Engine equivalence (DESIGN.md §5): the fast-forward engine produces
-    /// bit-identical elapsed cycles, statistics, and durable memory to naive
-    /// cycle-by-cycle stepping, for random contending multi-core programs.
+    /// Engine equivalence (DESIGN.md §5): all three engines — naive,
+    /// global-gate and component-wheel — produce bit-identical elapsed
+    /// cycles, statistics, durable memory *and* trace-event streams (modulo
+    /// the engines' own jump markers) for random contending two-core
+    /// programs, including the same-set conflict ops that force
+    /// probe/eviction/coalescing races.
     #[test]
-    fn fast_forward_engine_is_cycle_exact(ops0 in prop::collection::vec(pop_strategy(), 1..40),
-                                          ops1 in prop::collection::vec(pop_strategy(), 1..40),
-                                          skip_it in any::<bool>()) {
-        let run = |fast: bool| {
+    fn all_engines_are_cycle_exact(ops0 in prop::collection::vec(pop_strategy(), 1..40),
+                                   ops1 in prop::collection::vec(pop_strategy(), 1..40),
+                                   skip_it in any::<bool>()) {
+        let run = |engine: EngineKind| {
             let mut sys = SystemBuilder::new()
                 .cores(2)
                 .skip_it(skip_it)
-                .fast_forward(fast)
+                .engine(engine)
                 .build();
+            sys.enable_event_trace(1 << 15);
             let cycles = sys.run_programs(vec![to_prog(&ops0), to_prog(&ops1)]);
             sys.quiesce();
             let stats = sys.stats();
+            let events: Vec<StreamEvent> = sys
+                .trace_events()
+                .into_iter()
+                .filter(|se| !se.event.is_engine_event())
+                .collect();
             let dram = sys.crash();
             let image: Vec<u64> = (0..12 * 8)
                 .map(|w| dram.read_word_direct(0x4_0000 + w * 8))
+                .chain((0..12 * 8).map(|w| dram.read_word_direct(0x8_0000 + (w / 8) * 0x1000 + (w % 8) * 8)))
                 .collect();
-            (cycles, stats, image)
+            (cycles, stats, image, events)
         };
-        prop_assert_eq!(run(false), run(true));
+        let naive = run(EngineKind::Naive);
+        prop_assert_eq!(&naive, &run(EngineKind::GlobalGate), "global-gate diverges from naive");
+        prop_assert_eq!(&naive, &run(EngineKind::ComponentWheel), "component-wheel diverges from naive");
     }
+}
+
+/// Wake-edge regression (DESIGN.md §5): core 1 dirties a line and then goes
+/// to sleep in a long `Nop`; core 0 stores to the same line mid-sleep,
+/// forcing the L2 to probe core 1's L1 while the wheel considers that core
+/// idle. The B-channel push must wake the slept component the very cycle
+/// the message arrives — cycles, statistics and the non-engine event stream
+/// all match naive stepping, and the probe demonstrably happened.
+#[test]
+fn probe_wakes_slept_core_same_cycle_as_naive() {
+    let run = |engine: EngineKind| {
+        let mut sys = SystemBuilder::new().cores(2).engine(engine).build();
+        sys.enable_event_trace(1 << 14);
+        let prog0 = vec![
+            Op::Nop { cycles: 60 },
+            Op::Store {
+                addr: 0x4_0000,
+                value: 2,
+            },
+            Op::Fence,
+        ];
+        let prog1 = vec![
+            Op::Store {
+                addr: 0x4_0000,
+                value: 1,
+            },
+            Op::Nop { cycles: 400 },
+            Op::Load { addr: 0x4_0000 },
+        ];
+        let cycles = sys.run_programs(vec![prog0, prog1]);
+        let stats = sys.stats();
+        assert!(
+            stats.l1[1].probes_handled > 0,
+            "core 1 was never probed; the scenario lost its race"
+        );
+        let events: Vec<StreamEvent> = sys
+            .trace_events()
+            .into_iter()
+            .filter(|se| !se.event.is_engine_event())
+            .collect();
+        (cycles, stats, events)
+    };
+    let naive = run(EngineKind::Naive);
+    let wheel = run(EngineKind::ComponentWheel);
+    assert_eq!(
+        naive, wheel,
+        "component-wheel handled the mid-sleep probe differently from naive"
+    );
 }
