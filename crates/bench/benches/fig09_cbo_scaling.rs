@@ -1,30 +1,42 @@
 //! Fig. 9 — CBO.X latency vs writeback size for 1/2/4/8 threads
 //! (non-contended regions, sequential flushes, one trailing fence).
 //!
+//! The (threads × size) grid is described by
+//! `skipit_bench::sweeps::fig9_sweep` and executed across worker threads by
+//! `skipit_sweep::SweepRunner`; each grid point builds its own system and
+//! reports the median/stddev over its reps, so results are independent of
+//! which worker ran them.
+//!
 //! Paper's reported shape (§7.2): one line ≈ 100 cycles median (σ 13.2),
 //! 32 KiB single-thread ≈ 7460 cycles (σ 286.1), 8 threads ≈ 7.2× faster.
 
-use skipit_bench::micro::{fig9_sample, system};
-use skipit_bench::{fmt_size, median, quick, size_sweep, stddev};
+use skipit_bench::sweeps::{fig9_label, fig9_sweep};
+use skipit_bench::{fmt_size, quick, size_sweep};
+use skipit_sweep::SweepRunner;
 
 fn main() {
     let reps = if quick() { 5 } else { 50 };
-    println!("# Fig. 9: CBO.X writeback latency (cycles), median of {reps} reps");
+    let report = SweepRunner::new().run(fig9_sweep(reps));
+    println!(
+        "# Fig. 9: CBO.X writeback latency (cycles), median of {reps} reps \
+         [{} sweep workers, {:.2}s wall]",
+        report.threads(),
+        report.wall().as_secs_f64()
+    );
     println!("threads,size,median_cycles,stddev");
-    let mut one_line_median = 0;
-    let mut full_1t = 0;
-    let mut full_8t = 0;
+    let mut one_line_median = 0u64;
+    let mut full_1t = 0u64;
+    let mut full_8t = 0u64;
     for threads in [1u64, 2, 4, 8] {
-        let mut sys = system(threads as usize, false);
         for size in size_sweep() {
             if size / 64 < threads {
                 continue; // fewer lines than threads: skip like the paper
             }
-            let mut samples: Vec<u64> = (0..reps)
-                .map(|_| fig9_sample(&mut sys, threads, size, false))
-                .collect();
-            let sd = stddev(&samples);
-            let med = median(&mut samples);
+            let row = report
+                .get(&fig9_label(threads, size))
+                .expect("grid point executed");
+            let med = row.value("median_cycles").unwrap_or(f64::NAN) as u64;
+            let sd = row.value("stddev").unwrap_or(f64::NAN);
             println!("{threads},{},{med},{sd:.1}", fmt_size(size));
             if threads == 1 && size == 64 {
                 one_line_median = med;

@@ -3,63 +3,46 @@
 //! the paper does not pin the algorithm for this figure — EXPERIMENTS.md
 //! documents the choice).
 //!
+//! The grid is described by `skipit_bench::sweeps::fig15_sweep` and executed
+//! across worker threads by `skipit_sweep::SweepRunner` (thread count:
+//! `SKIPIT_SWEEP_THREADS` or the host's available parallelism); results are
+//! printed in grid order, which is identical at any thread count.
+//!
 //! Paper's reported shape: throughput falls as the update percentage grows
 //! (more writebacks on the critical path); the ordering between methods is
 //! preserved across the sweep.
 
-use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
-
-const FLIT_TABLE: u64 = 0x0800_0000;
+use skipit_bench::sweeps::{fig15_label, fig15_opts, fig15_sweep};
+use skipit_pds::DsKind;
+use skipit_sweep::SweepRunner;
 
 fn main() {
     let quick = skipit_bench::quick();
-    println!("# Fig. 15: throughput (ops per Mcycle) vs update percentage, 2 threads");
+    let runner = SweepRunner::new();
+    let report = runner.run(fig15_sweep(quick));
+    println!(
+        "# Fig. 15: throughput (ops per Mcycle) vs update percentage, 2 threads \
+         [{} sweep workers, {:.2}s wall]",
+        report.threads(),
+        report.wall().as_secs_f64()
+    );
     println!("structure,update_pct,method,ops_per_mcycle");
-    let opts: Vec<(&str, OptKind)> = vec![
-        ("plain", OptKind::Plain),
-        ("flit-adjacent", OptKind::FlitAdjacent),
-        (
-            "flit-hash",
-            OptKind::FlitHash {
-                base: FLIT_TABLE,
-                slots: 4096,
-            },
-        ),
-        ("link-and-persist", OptKind::LinkAndPersist),
-        ("skip-it", OptKind::SkipIt),
-    ];
     for ds in DsKind::ALL {
         for update_pct in [0u32, 5, 20, 50] {
-            for (name, opt) in &opts {
+            for (name, opt) in fig15_opts() {
                 if !opt.applicable_to(ds) {
                     println!("{},{update_pct},{name},n/a", ds.name());
                     continue;
                 }
-                let (key_range, prefill) = if quick {
-                    match ds {
-                        DsKind::List => (128, 64),
-                        _ => (1024, 512),
+                let row = report
+                    .get(&fig15_label(ds, update_pct, name))
+                    .expect("grid point executed");
+                match row.value("ops_per_mcycle") {
+                    Some(t) if row.is_ok() => {
+                        println!("{},{update_pct},{name},{t:.1}", ds.name());
                     }
-                } else {
-                    match ds {
-                        DsKind::List => (1024, 512),
-                        _ => (16384, 8192),
-                    }
-                };
-                let r = run_set_benchmark(&WorkloadCfg {
-                    ds,
-                    mode: PersistMode::NvTraverse,
-                    opt: *opt,
-                    threads: 2,
-                    key_range,
-                    prefill,
-                    update_pct,
-                    budget_cycles: if quick { 30_000 } else { 200_000 },
-                    seed: 11,
-                    hash_buckets: if quick { 256 } else { 1024 },
-                    ..WorkloadCfg::default()
-                });
-                println!("{},{update_pct},{name},{:.1}", ds.name(), r.throughput());
+                    _ => println!("{},{update_pct},{name},{}", ds.name(), row.status.as_str()),
+                }
             }
         }
     }

@@ -1,47 +1,33 @@
 //! Fig. 16 — sensitivity of the FliT hash-table variant to its counter
 //! table size (BST workload).
 //!
+//! The slot-count grid is described by `skipit_bench::sweeps::fig16_sweep`
+//! and executed across worker threads by `skipit_sweep::SweepRunner`.
+//!
 //! Paper's reported shape: BST throughput varies markedly with the FliT
 //! table size — small tables alias many addresses onto each counter
 //! (spurious flushes + contention); very large tables pollute the small
 //! 544 KiB cache hierarchy, the effect the paper blames for FliT's overall
 //! weakness on SonicBOOM (§7.4).
 
-use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
-
-const FLIT_TABLE: u64 = 0x0800_0000;
+use skipit_bench::sweeps::fig16_sweep;
+use skipit_sweep::SweepRunner;
 
 fn main() {
     let quick = skipit_bench::quick();
-    println!("# Fig. 16: BST throughput vs FliT hash-table size (2 threads, 5% updates)");
+    let report = SweepRunner::new().run(fig16_sweep(quick));
+    println!(
+        "# Fig. 16: BST throughput vs FliT hash-table size (2 threads, 5% updates) \
+         [{} sweep workers, {:.2}s wall]",
+        report.threads(),
+        report.wall().as_secs_f64()
+    );
     println!("slots,table_bytes,ops_per_mcycle");
-    let slot_sweep: &[usize] = if quick {
-        &[64, 4096, 262_144]
-    } else {
-        &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576]
-    };
     let mut best = (0usize, 0.0f64);
     let mut worst = (0usize, f64::MAX);
-    for &slots in slot_sweep {
-        let r = run_set_benchmark(&WorkloadCfg {
-            ds: DsKind::Bst,
-            mode: PersistMode::Automatic,
-            opt: OptKind::FlitHash {
-                base: FLIT_TABLE,
-                slots,
-            },
-            threads: 2,
-            // The paper's Fig. 16 uses a 10k-key BST: big enough that the
-            // counter table competes with the tree for the small caches.
-            key_range: if quick { 2048 } else { 20_000 },
-            prefill: if quick { 1024 } else { 10_000 },
-            update_pct: 20,
-            budget_cycles: if quick { 30_000 } else { 200_000 },
-            seed: 5,
-            hash_buckets: 256,
-            ..WorkloadCfg::default()
-        });
-        let t = r.throughput();
+    for row in report.rows() {
+        let slots: usize = row.label.parse().expect("label is the slot count");
+        let t = row.value("ops_per_mcycle").unwrap_or(f64::NAN);
         if t > best.1 {
             best = (slots, t);
         }

@@ -29,8 +29,10 @@
 
 use skipit_bench::micro::{fig9_sample, fig9_serialized_sample};
 use skipit_bench::quick;
-use skipit_core::{EngineKind, SystemBuilder};
+use skipit_bench::sweeps::fig15_reduced_sweep;
+use skipit_core::{EngineKind, SystemBuilder, TraceConfig};
 use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+use skipit_sweep::SweepRunner;
 use std::time::Instant;
 
 /// Timed blocks per engine per workload; the reported figure is the median.
@@ -228,7 +230,7 @@ fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32
     let exec = |mode: u8, reps: u32| {
         let mut sys = SystemBuilder::new().cores(threads).build();
         if mode > 0 {
-            sys.enable_event_trace(1 << 16);
+            sys.set_trace(TraceConfig::new().events(1 << 16));
         }
         let mut exported = 0usize;
         let wall = Instant::now();
@@ -259,6 +261,67 @@ fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32
         off_kcps: median_kcps(off_b),
         ring_kcps: median_kcps(ring_b),
         export_kcps: median_kcps(export_b),
+    }
+}
+
+/// Wall-clock of the reduced Fig. 15 sweep executed serially vs across the
+/// sharded worker pool, plus the determinism cross-check (the two result
+/// tables must export bit-identical JSON).
+struct SweepWall {
+    workload: &'static str,
+    points: usize,
+    host_cpus: usize,
+    threads: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    identical: bool,
+}
+
+impl SweepWall {
+    fn wall_speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-9)
+    }
+}
+
+/// Times the 16-point reduced Fig. 15 grid under `SweepRunner::serial()`
+/// and under a `threads`-wide pool, interleaved round-robin with one
+/// discarded warm-up pair (same protocol as the engine rows). The parallel
+/// speedup is bounded by the host's core count — `host_cpus` is recorded
+/// alongside so a 1-CPU CI container's ≈1× is interpretable.
+fn sweep_wall(threads: usize) -> SweepWall {
+    let serial = SweepRunner::serial();
+    let pool = SweepRunner::new().threads(threads);
+    let exec = |runner: &SweepRunner| {
+        let report = runner.run(fig15_reduced_sweep());
+        assert!(
+            report.all_ok(),
+            "sweep wall-clock workload has a failing point"
+        );
+        (report.wall().as_secs_f64(), report.to_json())
+    };
+    exec(&serial); // warm-up, discarded
+    exec(&pool);
+    let mut serial_b = Vec::new();
+    let mut parallel_b = Vec::new();
+    let mut jsons = (String::new(), String::new());
+    for _ in 0..MEASURE_BLOCKS {
+        // Round-robin serial/parallel; see `fig09_shaped`.
+        let (s, sj) = exec(&serial);
+        let (p, pj) = exec(&pool);
+        serial_b.push(s);
+        parallel_b.push(p);
+        jsons = (sj, pj);
+    }
+    serial_b.sort_by(f64::total_cmp);
+    parallel_b.sort_by(f64::total_cmp);
+    SweepWall {
+        workload: "fig15_sweep_16pt",
+        points: fig15_reduced_sweep().len(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        threads,
+        serial_secs: serial_b[serial_b.len() / 2],
+        parallel_secs: parallel_b[parallel_b.len() / 2],
+        identical: jsons.0 == jsons.1,
     }
 }
 
@@ -399,11 +462,46 @@ fn main() {
         json_num(TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps))
     );
 
+    let sw = sweep_wall(8);
+    assert!(
+        sw.identical,
+        "sweep result tables diverge between serial and parallel execution"
+    );
+    println!(
+        "# sharded sweep wall-clock on {} ({} points, host has {} CPUs)",
+        sw.workload, sw.points, sw.host_cpus
+    );
+    println!("sweep_threads,serial_secs,parallel_secs,wall_speedup,identical");
+    println!(
+        "{},{:.3},{:.3},{:.2},{}",
+        sw.threads,
+        sw.serial_secs,
+        sw.parallel_secs,
+        sw.wall_speedup(),
+        sw.identical
+    );
+    // Keys deliberately avoid "workload"/"speedup" so `baseline_speedups`'s
+    // naive scanner keeps pairing engine rows correctly.
+    let sweep_json = format!(
+        "  \"sweep\": {{\"name\": \"{}\", \"points\": {}, \"host_cpus\": {}, \
+         \"threads\": {}, \"serial_secs\": {}, \"parallel_secs\": {}, \
+         \"wall_speedup\": {}, \"identical\": {}}},",
+        sw.workload,
+        sw.points,
+        sw.host_cpus,
+        sw.threads,
+        format_args!("{:.3}", sw.serial_secs),
+        format_args!("{:.3}", sw.parallel_secs),
+        json_num(sw.wall_speedup()),
+        sw.identical
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
-         \"quick\": {},\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"quick\": {},\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
         tracing_json,
+        sweep_json,
         entries.join(",\n")
     );
     if let Ok(path) = std::env::var("SKIPIT_BENCH_BASELINE") {

@@ -11,6 +11,7 @@
 
 pub mod commercial;
 pub mod micro;
+pub mod sweeps;
 
 /// Whether quick mode is requested (`SKIPIT_BENCH_QUICK=1`).
 pub fn quick() -> bool {

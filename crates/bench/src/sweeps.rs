@@ -1,0 +1,246 @@
+//! The paper's §7 figure grids described as [`skipit_sweep::Sweep`]s.
+//!
+//! Each builder returns the full parameter grid of one figure as a sweep of
+//! independent points, so the figure benches (and `simspeed`'s sweep
+//! wall-clock section) all execute through the same sharded
+//! [`skipit_sweep::SweepRunner`] instead of hand-rolled nested loops. Every
+//! point builds its own `System` inside its closure, which is what makes the
+//! grids relocatable across worker threads.
+
+use crate::micro::{fig9_sample, system};
+use crate::{median, size_sweep, stddev};
+use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+use skipit_sweep::{Point, PointOutput, Sweep};
+
+/// Base address of the FliT counter table used by Figs. 15–16.
+pub const FLIT_TABLE: u64 = 0x0800_0000;
+
+/// The Fig. 15 redundant-flush-elimination methods, in figure order.
+pub fn fig15_opts() -> Vec<(&'static str, OptKind)> {
+    vec![
+        ("plain", OptKind::Plain),
+        ("flit-adjacent", OptKind::FlitAdjacent),
+        (
+            "flit-hash",
+            OptKind::FlitHash {
+                base: FLIT_TABLE,
+                slots: 4096,
+            },
+        ),
+        ("link-and-persist", OptKind::LinkAndPersist),
+        ("skip-it", OptKind::SkipIt),
+    ]
+}
+
+/// Row label of one Fig. 15 grid point (also used to look results back up
+/// when printing the figure's CSV in grid order).
+pub fn fig15_label(ds: DsKind, update_pct: u32, method: &str) -> String {
+    format!("{}/{update_pct}%/{method}", ds.name())
+}
+
+/// The full Fig. 15 grid (structure × update% × applicable method) as a
+/// sweep. `quick` shrinks key ranges and budgets the same way the
+/// standalone bench does under `SKIPIT_BENCH_QUICK=1`.
+pub fn fig15_sweep(quick: bool) -> Sweep {
+    let mut sweep = Sweep::new("fig15_update_sweep")
+        .unit("ops_per_mcycle")
+        .seed(11);
+    for ds in DsKind::ALL {
+        for update_pct in [0u32, 5, 20, 50] {
+            for (name, opt) in fig15_opts() {
+                if !opt.applicable_to(ds) {
+                    continue;
+                }
+                let (key_range, prefill) = if quick {
+                    match ds {
+                        DsKind::List => (128, 64),
+                        _ => (1024, 512),
+                    }
+                } else {
+                    match ds {
+                        DsKind::List => (1024, 512),
+                        _ => (16384, 8192),
+                    }
+                };
+                sweep.push(
+                    Point::new(fig15_label(ds, update_pct, name), move |_ctx| {
+                        let r = run_set_benchmark(&WorkloadCfg {
+                            ds,
+                            mode: PersistMode::NvTraverse,
+                            opt,
+                            threads: 2,
+                            key_range,
+                            prefill,
+                            update_pct,
+                            budget_cycles: if quick { 30_000 } else { 200_000 },
+                            seed: 11,
+                            hash_buckets: if quick { 256 } else { 1024 },
+                            ..WorkloadCfg::default()
+                        });
+                        PointOutput::new()
+                            .with_cycles(r.cycles)
+                            .value("ops_per_mcycle", r.throughput())
+                            .value("ops", r.ops as f64)
+                    })
+                    .param("structure", ds.name())
+                    .param("update_pct", update_pct)
+                    .param("method", name),
+                );
+            }
+        }
+    }
+    sweep
+}
+
+/// A 16-point reduction of the Fig. 15 grid (List + Bst, plain vs skip-it)
+/// sized for `simspeed`'s sweep wall-clock comparison: long enough per
+/// point to measure, short enough to run twice (serial + parallel) in CI.
+pub fn fig15_reduced_sweep() -> Sweep {
+    let mut sweep = Sweep::new("fig15_sweep_16pt")
+        .unit("ops_per_mcycle")
+        .seed(11);
+    for ds in [DsKind::List, DsKind::Bst] {
+        for update_pct in [0u32, 5, 20, 50] {
+            for (name, opt) in [("plain", OptKind::Plain), ("skip-it", OptKind::SkipIt)] {
+                sweep.push(
+                    Point::new(fig15_label(ds, update_pct, name), move |_ctx| {
+                        let r = run_set_benchmark(&WorkloadCfg {
+                            ds,
+                            mode: PersistMode::NvTraverse,
+                            opt,
+                            threads: 2,
+                            key_range: 1024,
+                            prefill: 512,
+                            update_pct,
+                            budget_cycles: 60_000,
+                            seed: 11,
+                            hash_buckets: 256,
+                            ..WorkloadCfg::default()
+                        });
+                        PointOutput::new()
+                            .with_cycles(r.cycles)
+                            .value("ops_per_mcycle", r.throughput())
+                    })
+                    .param("structure", ds.name())
+                    .param("update_pct", update_pct)
+                    .param("method", name),
+                );
+            }
+        }
+    }
+    sweep
+}
+
+/// Row label of one Fig. 9 grid point.
+pub fn fig9_label(threads: u64, size: u64) -> String {
+    format!("{threads}t/{}", crate::fmt_size(size))
+}
+
+/// The Fig. 9 grid (thread count × writeback size, skipping combos with
+/// fewer lines than threads) as a sweep. Each point builds its own system
+/// and reports the median and population stddev over `reps` samples.
+pub fn fig9_sweep(reps: u32) -> Sweep {
+    let mut sweep = Sweep::new("fig09_cbo_scaling").unit("cycles").seed(9);
+    for threads in [1u64, 2, 4, 8] {
+        for size in size_sweep() {
+            if size / 64 < threads {
+                continue; // fewer lines than threads: skip like the paper
+            }
+            sweep.push(
+                Point::new(fig9_label(threads, size), move |_ctx| {
+                    let mut sys = system(threads as usize, false);
+                    let mut samples: Vec<u64> = (0..reps)
+                        .map(|_| fig9_sample(&mut sys, threads, size, false))
+                        .collect();
+                    let sd = stddev(&samples);
+                    let med = median(&mut samples);
+                    PointOutput::new()
+                        .with_cycles(med)
+                        .value("median_cycles", med as f64)
+                        .value("stddev", sd)
+                })
+                .param("threads", threads)
+                .param("size", crate::fmt_size(size)),
+            );
+        }
+    }
+    sweep
+}
+
+/// The Fig. 16 FliT-table-size sensitivity grid (BST workload) as a sweep.
+pub fn fig16_sweep(quick: bool) -> Sweep {
+    let slot_sweep: &[usize] = if quick {
+        &[64, 4096, 262_144]
+    } else {
+        &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576]
+    };
+    let mut sweep = Sweep::new("fig16_flit_size").unit("ops_per_mcycle").seed(5);
+    for &slots in slot_sweep {
+        sweep.push(
+            Point::new(format!("{slots}"), move |_ctx| {
+                let r = run_set_benchmark(&WorkloadCfg {
+                    ds: DsKind::Bst,
+                    mode: PersistMode::Automatic,
+                    opt: OptKind::FlitHash {
+                        base: FLIT_TABLE,
+                        slots,
+                    },
+                    threads: 2,
+                    // The paper's Fig. 16 uses a 10k-key BST: big enough that
+                    // the counter table competes with the tree for the small
+                    // caches.
+                    key_range: if quick { 2048 } else { 20_000 },
+                    prefill: if quick { 1024 } else { 10_000 },
+                    update_pct: 20,
+                    budget_cycles: if quick { 30_000 } else { 200_000 },
+                    seed: 5,
+                    hash_buckets: 256,
+                    ..WorkloadCfg::default()
+                });
+                PointOutput::new()
+                    .with_cycles(r.cycles)
+                    .value("ops_per_mcycle", r.throughput())
+            })
+            .param("slots", slots)
+            .param("table_bytes", slots * 8),
+        );
+    }
+    sweep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_grid_covers_every_applicable_combo() {
+        let sweep = fig15_sweep(true);
+        let applicable: usize = DsKind::ALL
+            .iter()
+            .map(|&ds| {
+                4 * fig15_opts()
+                    .iter()
+                    .filter(|(_, o)| o.applicable_to(ds))
+                    .count()
+            })
+            .sum();
+        assert_eq!(sweep.len(), applicable);
+    }
+
+    #[test]
+    fn fig15_reduced_is_16_points() {
+        assert_eq!(fig15_reduced_sweep().len(), 16);
+    }
+
+    #[test]
+    fn fig9_grid_skips_thread_heavy_small_sizes() {
+        let sweep = fig9_sweep(1);
+        // 10 sizes at 1t, 9 at 2t, 8 at 4t, 7 at 8t.
+        assert_eq!(sweep.len(), 10 + 9 + 8 + 7);
+    }
+
+    #[test]
+    fn fig16_quick_grid() {
+        assert_eq!(fig16_sweep(true).len(), 3);
+    }
+}

@@ -793,7 +793,7 @@ mod tests {
             cores: 2,
             ..SystemConfig::default()
         });
-        sys.enable_event_trace(1 << 14);
+        sys.set_trace(skipit_trace::TraceConfig::new().events(1 << 14));
         let mut programs: Vec<Vec<Op>> = Vec::new();
         for core in 0..2u64 {
             let mut p = Vec::new();

@@ -115,6 +115,11 @@ impl Lsu {
         self.trace = Some(TraceLog::new(capacity));
     }
 
+    /// Stops op-latency recording and discards the log.
+    pub fn disable_tracing(&mut self) {
+        self.trace = None;
+    }
+
     /// The trace log, if tracing is enabled.
     pub fn trace(&self) -> Option<&TraceLog> {
         self.trace.as_ref()

@@ -9,7 +9,7 @@ use skipit_dcache::{DataCache, L1Config, L1Stats};
 use skipit_llc::{InclusiveCache, L2Config, L2Ports, L2Stats};
 use skipit_mem::{Dram, DramConfig, MemStats};
 use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link};
-use skipit_trace::{StreamEvent, TraceEvent, TraceFilter, TraceSink};
+use skipit_trace::{StreamEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink};
 
 /// Which simulation engine advances the clock. All three engines produce
 /// bit-identical elapsed cycles, statistics, durable memory images and
@@ -341,9 +341,11 @@ pub struct System {
     wheel: Wheel,
     /// Event sink of the fast-forward engine itself
     /// ([`TraceEvent::FastForwardJump`] markers). Installed by
-    /// [`System::enable_event_trace`]; host-side, never part of simulated
+    /// [`System::set_trace`]; host-side, never part of simulated
     /// state.
     engine_sink: Option<TraceSink>,
+    /// The tracing setup currently installed (see [`System::set_trace`]).
+    trace_cfg: TraceConfig,
 }
 
 impl std::fmt::Debug for System {
@@ -387,6 +389,7 @@ impl System {
             engine: EngineStats::default(),
             wheel: Wheel::default(),
             engine_sink: None,
+            trace_cfg: TraceConfig::off(),
             cfg,
         }
     }
@@ -446,12 +449,73 @@ impl System {
         self.dram
     }
 
+    /// Installs the tracing setup described by `cfg` — the single entry
+    /// point for both tracing facilities:
+    ///
+    /// * [`TraceConfig::events`] installs cycle-stamped event-ring sinks on
+    ///   every component (each LSU, L1 front end + flush unit, per-core
+    ///   TileLink links, L2, DRAM, and the fast-forward engine), optionally
+    ///   narrowed by [`TraceConfig::filter`]. Harvest with
+    ///   [`System::trace_events`] or the exporters in [`crate::export`].
+    /// * [`TraceConfig::latency`] starts per-op completion-latency
+    ///   recording on every core (see [`crate::trace`],
+    ///   [`System::trace_records`], [`System::latency_histograms`]).
+    ///
+    /// Facilities absent from `cfg` are uninstalled, so
+    /// `set_trace(TraceConfig::off())` returns the system to the
+    /// zero-overhead untraced state. The call is idempotent: re-applying
+    /// the currently installed setup leaves buffered events and records in
+    /// place (use [`System::clear_event_trace`] / [`System::clear_traces`]
+    /// to discard those).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use skipit_boom::{System, SystemConfig};
+    /// use skipit_trace::TraceConfig;
+    ///
+    /// let mut sys = System::new(SystemConfig::default());
+    /// sys.set_trace(TraceConfig::new().events(1 << 14).latency(1024));
+    /// ```
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        let cur = self.trace_cfg;
+        if (cfg.event_capacity(), cfg.event_filter()) != (cur.event_capacity(), cur.event_filter())
+        {
+            match cfg.event_capacity() {
+                Some(capacity) => self.install_event_sinks(capacity, cfg.event_filter()),
+                None => self.uninstall_event_sinks(),
+            }
+        }
+        if cfg.latency_capacity() != cur.latency_capacity() {
+            match cfg.latency_capacity() {
+                Some(capacity) => {
+                    for lsu in &mut self.lsus {
+                        lsu.enable_tracing(capacity);
+                    }
+                }
+                None => {
+                    for lsu in &mut self.lsus {
+                        lsu.disable_tracing();
+                    }
+                }
+            }
+        }
+        self.trace_cfg = cfg;
+    }
+
+    /// The tracing setup currently installed.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace_cfg
+    }
+
     /// Starts recording per-op completion latencies on every core (bounded
     /// to `capacity` records per core). See [`crate::trace`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::set_trace(sys.trace_config().latency(capacity))`"
+    )]
     pub fn enable_tracing(&mut self, capacity: usize) {
-        for lsu in &mut self.lsus {
-            lsu.enable_tracing(capacity);
-        }
+        self.set_trace(self.trace_cfg.latency(capacity));
     }
 
     /// All trace records across cores, merged into one stream ordered by
@@ -469,7 +533,8 @@ impl System {
     }
 
     /// Per-op-kind completion-latency histograms merged across all cores
-    /// (empty unless [`System::enable_tracing`] is on). Histograms keep
+    /// (empty unless op-latency tracing is installed via
+    /// [`System::set_trace`]). Histograms keep
     /// counting after the bounded record logs fill, so the percentiles
     /// cover every completion of the run.
     pub fn latency_histograms(
@@ -500,13 +565,31 @@ impl System {
     /// and the fast-forward engine get their own bounded ring buffer of
     /// `capacity` events. Harvest with [`System::trace_events`] or the
     /// exporters in [`crate::export`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::set_trace(sys.trace_config().events(capacity))`"
+    )]
     pub fn enable_event_trace(&mut self, capacity: usize) {
-        self.enable_event_trace_filtered(capacity, TraceFilter::default());
+        self.set_trace(
+            self.trace_cfg
+                .events(capacity)
+                .filter(TraceFilter::default()),
+        );
     }
 
-    /// [`System::enable_event_trace`] with a per-sink admission `filter`
+    /// `enable_event_trace` with a per-sink admission `filter`
     /// (core mask / address range).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::set_trace(sys.trace_config().events(capacity).filter(filter))`"
+    )]
     pub fn enable_event_trace_filtered(&mut self, capacity: usize, filter: TraceFilter) {
+        self.set_trace(self.trace_cfg.events(capacity).filter(filter));
+    }
+
+    /// Builds and installs one fresh sink per component (the
+    /// [`System::set_trace`] event-side install path).
+    fn install_event_sinks(&mut self, capacity: usize, filter: TraceFilter) {
         let sink = || TraceSink::with_filter(capacity, filter);
         self.engine_sink = Some(sink());
         for i in 0..self.cfg.cores {
@@ -523,9 +606,18 @@ impl System {
         self.dram.set_trace(sink());
     }
 
-    /// Uninstalls every event sink (tracing returns to its zero-overhead
-    /// disabled state; buffered events are discarded).
+    /// Uninstalls every event sink (event tracing returns to its
+    /// zero-overhead disabled state; buffered events are discarded). Any
+    /// op-latency tracing stays installed — equivalent to
+    /// `set_trace(sys.trace_config().without_events())`.
     pub fn disable_event_trace(&mut self) {
+        self.trace_cfg = self.trace_cfg.without_events();
+        self.uninstall_event_sinks();
+    }
+
+    /// Drops every component's event sink (the [`System::set_trace`]
+    /// event-side uninstall path).
+    fn uninstall_event_sinks(&mut self) {
         self.engine_sink = None;
         for i in 0..self.cfg.cores {
             self.lsus[i].take_event_trace();
@@ -625,7 +717,7 @@ impl System {
 
     /// Total events dropped by ring-buffer bounds across all sinks (a
     /// nonzero value means the exported timeline has holes; enlarge the
-    /// capacity passed to [`System::enable_event_trace`]).
+    /// capacity passed to [`System::set_trace`]).
     pub fn trace_events_dropped(&self) -> u64 {
         let mut dropped = self.engine_sink.as_ref().map_or(0, |s| s.dropped());
         for i in 0..self.cfg.cores {

@@ -1,6 +1,6 @@
 //! Per-operation latency tracing.
 //!
-//! When enabled (see [`System::enable_tracing`]), the LSU records one
+//! When enabled (see [`System::set_trace`]), the LSU records one
 //! [`TraceRecord`] per completed operation: what it was, when the frontend
 //! issued it, and when it completed. This is how the latency distributions
 //! behind the paper's medians/σ (§7.1: "we repeat all microbenchmarks 50
@@ -10,7 +10,7 @@
 //! Tracing is bounded: once `capacity` records exist, further completions
 //! are counted but not stored (check [`TraceLog::dropped`]).
 //!
-//! [`System::enable_tracing`]: crate::System::enable_tracing
+//! [`System::set_trace`]: crate::System::set_trace
 
 use crate::op::{Op, OpToken};
 use std::collections::BTreeMap;

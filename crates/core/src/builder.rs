@@ -5,6 +5,97 @@ use skipit_dcache::L1Config;
 use skipit_llc::L2Config;
 use skipit_mem::DramConfig;
 
+/// A reason a [`SystemConfig`] cannot be built into a [`System`].
+///
+/// Returned by [`SystemBuilder::try_build`]; [`SystemBuilder::build`]
+/// panics with the same rendering. Every variant corresponds to an
+/// invariant the simulation models rely on (index math on power-of-two set
+/// counts, nonzero resource pools, a fast engine for the lockstep oracle
+/// to check).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `cores` is outside the supported `1..=32` range.
+    Cores {
+        /// The rejected core count.
+        got: usize,
+    },
+    /// A structure whose indexing requires a power-of-two size has some
+    /// other size.
+    NonPowerOfTwo {
+        /// Which field (e.g. `"l1.sets"`).
+        what: &'static str,
+        /// The rejected size.
+        got: usize,
+    },
+    /// A resource pool the models divide work across is empty.
+    Zero {
+        /// Which field (e.g. `"l1.fshrs"`).
+        what: &'static str,
+    },
+    /// `lockstep_oracle` was requested together with [`EngineKind::Naive`]:
+    /// the oracle re-executes fast-forward jumps with the naive engine, so
+    /// there is nothing for it to check — the combination is always a
+    /// configuration mistake.
+    OracleNeedsFastEngine,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Cores { got } => {
+                write!(f, "cores must be in 1..=32, got {got}")
+            }
+            ConfigError::NonPowerOfTwo { what, got } => {
+                write!(f, "{what} must be a power of two, got {got}")
+            }
+            ConfigError::Zero { what } => write!(f, "{what} must be nonzero"),
+            ConfigError::OracleNeedsFastEngine => write!(
+                f,
+                "lockstep_oracle requires a fast engine (GlobalGate or \
+                 ComponentWheel) to check; it does nothing under Naive"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates every invariant [`System::new`] (and the sub-component
+/// constructors) would otherwise assert, as one typed error.
+fn validate(cfg: &SystemConfig) -> Result<(), ConfigError> {
+    if !(1..=32).contains(&cfg.cores) {
+        return Err(ConfigError::Cores { got: cfg.cores });
+    }
+    for (what, got) in [("l1.sets", cfg.l1.sets), ("l2.sets", cfg.l2.sets)] {
+        if !got.is_power_of_two() {
+            return Err(ConfigError::NonPowerOfTwo { what, got });
+        }
+    }
+    for (what, got) in [
+        ("l1.ways", cfg.l1.ways),
+        ("l1.mshrs", cfg.l1.mshrs),
+        ("l1.rpq_depth", cfg.l1.rpq_depth),
+        ("l1.flush_queue_depth", cfg.l1.flush_queue_depth),
+        ("l1.fshrs", cfg.l1.fshrs),
+        ("l2.ways", cfg.l2.ways),
+        ("l2.mshrs", cfg.l2.mshrs),
+        ("l2.list_buffer_depth", cfg.l2.list_buffer_depth),
+        ("lsu.ldq_depth", cfg.lsu.ldq_depth),
+        ("lsu.stq_depth", cfg.lsu.stq_depth),
+        ("lsu.fire_width", cfg.lsu.fire_width),
+        ("issue_width", cfg.issue_width),
+        ("link_capacity", cfg.link_capacity),
+    ] {
+        if got == 0 {
+            return Err(ConfigError::Zero { what });
+        }
+    }
+    if cfg.lockstep_oracle && cfg.engine == EngineKind::Naive {
+        return Err(ConfigError::OracleNeedsFastEngine);
+    }
+    Ok(())
+}
+
 /// Builder for a [`System`].
 ///
 /// Defaults reproduce the paper's evaluation platform (§7.1) with Skip It
@@ -97,6 +188,10 @@ impl SystemBuilder {
     /// statistics are bit-identical either way; `true` (the default)
     /// selects the component-wheel engine, `false` plain cycle-by-cycle
     /// stepping. Use [`SystemBuilder::engine`] to pick a specific engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `engine(EngineKind::ComponentWheel)` / `engine(EngineKind::Naive)`"
+    )]
     pub fn fast_forward(mut self, on: bool) -> Self {
         self.cfg.engine = if on {
             EngineKind::ComponentWheel
@@ -129,14 +224,40 @@ impl SystemBuilder {
         &self.cfg
     }
 
+    /// Builds the system, or explains why the configuration is invalid.
+    ///
+    /// The fallible twin of [`SystemBuilder::build`]: every invariant the
+    /// component constructors would assert (power-of-two set counts,
+    /// nonzero resource pools, the supported core range, a fast engine
+    /// under the lockstep oracle) is checked up front and reported as a
+    /// typed [`ConfigError`] instead of a panic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use skipit_core::{ConfigError, SystemBuilder};
+    ///
+    /// let err = SystemBuilder::new().cores(0).try_build().unwrap_err();
+    /// assert_eq!(err, ConfigError::Cores { got: 0 });
+    /// assert!(SystemBuilder::new().cores(4).try_build().is_ok());
+    /// ```
+    pub fn try_build(self) -> Result<System, ConfigError> {
+        validate(&self.cfg)?;
+        Ok(System::new(self.cfg))
+    }
+
     /// Builds the system.
     ///
     /// # Panics
     ///
     /// Panics if the assembled configuration is invalid (zero-sized
-    /// structures, non-power-of-two set counts, more than 32 cores).
+    /// structures, non-power-of-two set counts, more than 32 cores, the
+    /// lockstep oracle under the naive engine) — the panicking rendering
+    /// of exactly the checks [`SystemBuilder::try_build`] reports as
+    /// [`ConfigError`]s.
     pub fn build(self) -> System {
-        System::new(self.cfg)
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"))
     }
 }
 
@@ -174,8 +295,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "cores must be in 1..=32")]
     fn zero_cores_rejected_at_build() {
         SystemBuilder::new().cores(0).build();
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        assert_eq!(
+            SystemBuilder::new().cores(33).try_build().unwrap_err(),
+            ConfigError::Cores { got: 33 }
+        );
+        let mut l1 = L1Config::default();
+        l1.sets = 48;
+        assert_eq!(
+            SystemBuilder::new().l1(l1).try_build().unwrap_err(),
+            ConfigError::NonPowerOfTwo {
+                what: "l1.sets",
+                got: 48
+            }
+        );
+        let mut l1 = L1Config::default();
+        l1.fshrs = 0;
+        assert_eq!(
+            SystemBuilder::new().l1(l1).try_build().unwrap_err(),
+            ConfigError::Zero { what: "l1.fshrs" }
+        );
+        assert_eq!(
+            SystemBuilder::new()
+                .engine(EngineKind::Naive)
+                .lockstep_oracle(true)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::OracleNeedsFastEngine
+        );
+        // The same combination under a fast engine is the supported debug
+        // mode.
+        assert!(SystemBuilder::new()
+            .engine(EngineKind::ComponentWheel)
+            .lockstep_oracle(true)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn config_error_renders_the_reason() {
+        let msg = ConfigError::NonPowerOfTwo {
+            what: "l2.sets",
+            got: 100,
+        }
+        .to_string();
+        assert!(msg.contains("l2.sets") && msg.contains("100"), "{msg}");
     }
 }

@@ -58,7 +58,7 @@ pub mod builder;
 pub mod check;
 pub mod metrics;
 
-pub use builder::SystemBuilder;
+pub use builder::{ConfigError, SystemBuilder};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use skipit_boom::{
     CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, System, SystemConfig, SystemStats,
@@ -71,7 +71,8 @@ pub use skipit_tilelink::{
     ClientState, LineAddr, LineData, WritebackKind, LINE_BYTES, WORDS_PER_LINE,
 };
 pub use skipit_trace::{
-    MsgDesc, StreamEvent, TimedEvent, TraceEvent, TraceFilter, TraceSink, TRACE_COMPILED,
+    MsgDesc, StreamEvent, TimedEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink,
+    TRACE_COMPILED,
 };
 
 /// Convenience: builds the paper's §7.1 evaluation platform (dual-core,

@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn capture_diff_and_json() {
         let mut sys = SystemBuilder::new().cores(1).build();
-        sys.enable_tracing(1024);
+        sys.set_trace(skipit_trace::TraceConfig::new().latency(1024));
         let mut reg = MetricsRegistry::new();
         reg.snapshot("start", &sys);
         sys.run_programs(vec![vec![

@@ -1,0 +1,234 @@
+//! One executable point of a sweep: its closure, parameters, budget, and
+//! the output/status it produces.
+
+use skipit_core::{EngineStats, MetricsSnapshot, System, SystemStats};
+
+/// Execution context handed to a point's closure.
+///
+/// Everything in here is a pure function of the sweep description — never
+/// of scheduling — which is what makes sweep results bit-identical at any
+/// worker-thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct PointCtx {
+    /// The point's insertion index within its sweep.
+    pub index: usize,
+    /// Deterministic per-point RNG seed, mixed from the sweep seed and the
+    /// point index. Use this (not a global or time-based seed) for any
+    /// randomized workload so the point's result does not depend on which
+    /// worker ran it.
+    pub seed: u64,
+    /// The simulated-cycle budget the point is expected to stay within,
+    /// when one was set via [`Point::budget`]. The runner classifies a
+    /// point whose [`PointOutput::cycles`] exceeds this as
+    /// [`PointStatus::Timeout`].
+    pub cycle_budget: Option<u64>,
+}
+
+/// What one executed point reports back: simulated-cycle consumption, the
+/// standard stats structs, and any named scalar series values
+/// (insertion-ordered, so exports are deterministic).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointOutput {
+    /// Simulated cycles the point consumed (drives timeout
+    /// classification).
+    pub cycles: u64,
+    /// Full system counters, when captured.
+    pub stats: Option<SystemStats>,
+    /// Fast-forward engine counters, when captured.
+    pub engine: Option<EngineStats>,
+    /// Flat metrics snapshot, when captured — this is what the JSON export
+    /// embeds per point.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Named scalar results (`("ops_per_mcycle", 123.4)`, …) in insertion
+    /// order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl PointOutput {
+    /// An empty output (all `None`, zero cycles).
+    pub fn new() -> Self {
+        PointOutput::default()
+    }
+
+    /// Captures `sys`'s elapsed cycles, [`SystemStats`] and
+    /// [`EngineStats`]. Chain [`PointOutput::with_metrics`] to also embed
+    /// the flat snapshot in JSON exports.
+    pub fn from_system(sys: &System) -> Self {
+        PointOutput {
+            cycles: sys.now(),
+            stats: Some(sys.stats()),
+            engine: Some(sys.engine_stats()),
+            metrics: None,
+            values: Vec::new(),
+        }
+    }
+
+    /// Sets the simulated-cycle consumption.
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Attaches a flat [`MetricsSnapshot`].
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Appends a named scalar result.
+    pub fn value(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.values.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a named scalar result.
+    pub fn get_value(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(*v))
+    }
+}
+
+/// How one point of a sweep ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PointStatus {
+    /// The point completed within its budget (if any).
+    Ok,
+    /// The point's closure panicked; the payload is captured here and the
+    /// rest of the sweep was unaffected.
+    Error {
+        /// The panic payload (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// The point completed but consumed more simulated cycles than its
+    /// [`Point::budget`].
+    Timeout {
+        /// The configured budget.
+        budget: u64,
+        /// What the point actually consumed.
+        cycles: u64,
+    },
+}
+
+impl PointStatus {
+    /// `true` for [`PointStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PointStatus::Ok)
+    }
+
+    /// The JSON/table rendering: `"ok"`, `"error"`, `"timeout"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PointStatus::Ok => "ok",
+            PointStatus::Error { .. } => "error",
+            PointStatus::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+pub(crate) type PointFn = Box<dyn FnOnce(&PointCtx) -> PointOutput + Send + 'static>;
+
+/// One point of a [`crate::Sweep`]: a label, display parameters, an
+/// optional cycle budget, and the closure that runs the simulation.
+///
+/// The closure receives a [`PointCtx`] and returns a [`PointOutput`]; it
+/// must build all of its own state (typically a fresh `System`) so points
+/// are independent and relocatable across worker threads.
+pub struct Point {
+    pub(crate) label: String,
+    pub(crate) params: Vec<(String, String)>,
+    pub(crate) budget: Option<u64>,
+    pub(crate) run: PointFn,
+}
+
+impl std::fmt::Debug for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Point")
+            .field("label", &self.label)
+            .field("params", &self.params)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Point {
+    /// A point labelled `label` running `run`.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl FnOnce(&PointCtx) -> PointOutput + Send + 'static,
+    ) -> Self {
+        Point {
+            label: label.into(),
+            params: Vec::new(),
+            budget: None,
+            run: Box::new(run),
+        }
+    }
+
+    /// Attaches a display parameter (`("update_pct", 20)`, …). Parameters
+    /// are carried into the result row and the JSON export in insertion
+    /// order.
+    pub fn param(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Sets the simulated-cycle budget used for timeout classification.
+    pub fn budget(mut self, cycles: u64) -> Self {
+        self.budget = Some(cycles);
+        self
+    }
+
+    /// The point's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_builders_and_lookup() {
+        let out = PointOutput::new()
+            .with_cycles(7)
+            .value("a", 1.5)
+            .value("b", 2.5);
+        assert_eq!(out.cycles, 7);
+        assert_eq!(out.get_value("b"), Some(2.5));
+        assert_eq!(out.get_value("missing"), None);
+    }
+
+    #[test]
+    fn status_renderings() {
+        assert!(PointStatus::Ok.is_ok());
+        assert_eq!(PointStatus::Ok.as_str(), "ok");
+        assert_eq!(
+            PointStatus::Error {
+                message: "x".into()
+            }
+            .as_str(),
+            "error"
+        );
+        assert_eq!(
+            PointStatus::Timeout {
+                budget: 1,
+                cycles: 2
+            }
+            .as_str(),
+            "timeout"
+        );
+    }
+
+    #[test]
+    fn point_builder_collects_params() {
+        let p = Point::new("p", |_| PointOutput::new())
+            .param("k", 1)
+            .param("m", "v")
+            .budget(10);
+        assert_eq!(p.label(), "p");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.budget, Some(10));
+    }
+}

@@ -1,0 +1,389 @@
+//! The sweep description and the sharded runner that executes it.
+
+use crate::point::{Point, PointCtx, PointFn, PointOutput, PointStatus};
+use crate::report::{SweepReport, SweepRow};
+use crossbeam::channel::unbounded;
+use crossbeam::deque::{Injector, Steal};
+use std::panic::AssertUnwindSafe;
+use std::time::Instant;
+
+/// Default sweep seed (mixed per point; see [`PointCtx::seed`]).
+const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// An ordered set of independent simulation points to execute.
+///
+/// Build one with [`Sweep::new`], add [`Point`]s with [`Sweep::push`] (or
+/// the chaining [`Sweep::point`]), and hand it to a [`SweepRunner`]. The
+/// insertion order is the row order of the resulting [`SweepReport`],
+/// regardless of which workers execute which points.
+pub struct Sweep {
+    pub(crate) name: String,
+    pub(crate) unit: Option<String>,
+    pub(crate) seed: u64,
+    pub(crate) points: Vec<Point>,
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("name", &self.name)
+            .field("points", &self.points.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep named `name` (the `"bench"` key of the JSON export).
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            unit: None,
+            seed: DEFAULT_SEED,
+            points: Vec::new(),
+        }
+    }
+
+    /// Annotates the unit of the points' primary values (export metadata
+    /// only).
+    pub fn unit(mut self, unit: impl Into<String>) -> Self {
+        self.unit = Some(unit.into());
+        self
+    }
+
+    /// Sets the sweep seed that per-point seeds are mixed from. Two runs
+    /// with the same seed and point list produce bit-identical tables at
+    /// any thread count.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends a point (builder-by-reference, for loops).
+    pub fn push(&mut self, point: Point) -> &mut Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Appends a point (chaining form).
+    pub fn point(mut self, point: Point) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// SplitMix64 — the standard cheap seed mixer; full-period, so distinct
+/// point indices never collide.
+fn mix_seed(sweep_seed: u64, index: usize) -> u64 {
+    let mut z = sweep_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One unit of work on the injector queue.
+struct Task {
+    index: usize,
+    label: String,
+    params: Vec<(String, String)>,
+    budget: Option<u64>,
+    seed: u64,
+    run: PointFn,
+}
+
+/// Runs a task to a finished row: panic capture, then budget
+/// classification.
+fn execute(task: Task) -> SweepRow {
+    let ctx = PointCtx {
+        index: task.index,
+        seed: task.seed,
+        cycle_budget: task.budget,
+    };
+    let run = task.run;
+    let (status, output) = match std::panic::catch_unwind(AssertUnwindSafe(move || run(&ctx))) {
+        Ok(output) => match task.budget {
+            Some(budget) if output.cycles > budget => (
+                PointStatus::Timeout {
+                    budget,
+                    cycles: output.cycles,
+                },
+                output,
+            ),
+            _ => (PointStatus::Ok, output),
+        },
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            (PointStatus::Error { message }, PointOutput::new())
+        }
+    };
+    SweepRow {
+        index: task.index,
+        label: task.label,
+        params: task.params,
+        status,
+        output,
+    }
+}
+
+/// Executes a [`Sweep`] across a pool of worker threads.
+///
+/// Workers pull points from a shared `crossbeam::deque::Injector` (pure
+/// work stealing: a long point on one worker never blocks short points on
+/// the others) and send finished rows back over a channel; the caller
+/// reassembles them by point index, so the table order is the sweep's
+/// insertion order no matter how execution interleaved.
+///
+/// The thread count resolves, in order of precedence: an explicit
+/// [`SweepRunner::threads`] call, the `SKIPIT_SWEEP_THREADS` environment
+/// variable, `std::thread::available_parallelism()`. A count of 1 (or a
+/// single-point sweep) runs inline on the calling thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepRunner {
+    threads: Option<usize>,
+}
+
+impl SweepRunner {
+    /// A runner with automatic thread-count resolution.
+    pub fn new() -> Self {
+        SweepRunner::default()
+    }
+
+    /// The serial fallback: everything on the calling thread.
+    pub fn serial() -> Self {
+        SweepRunner { threads: Some(1) }
+    }
+
+    /// Pins the worker-thread count (clamped to at least 1; also clamped
+    /// to the point count at run time).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// The thread count this runner would use for a sweep of `points`
+    /// points.
+    pub fn resolved_threads(&self, points: usize) -> usize {
+        let n = self
+            .threads
+            .or_else(|| {
+                std::env::var("SKIPIT_SWEEP_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        n.max(1).min(points.max(1))
+    }
+
+    /// Executes every point and collects the deterministic result table.
+    ///
+    /// Never panics on a failing point: per-shard panic capture turns a
+    /// poisoned point into a [`PointStatus::Error`] row while the rest of
+    /// the sweep completes.
+    pub fn run(&self, sweep: Sweep) -> SweepReport {
+        let n = sweep.points.len();
+        let threads = self.resolved_threads(n);
+        // Identity of every point, kept host-side so a row can be
+        // synthesized even if a worker vanishes (defense in depth — the
+        // execute path already captures panics).
+        let identities: Vec<(String, Vec<(String, String)>)> = sweep
+            .points
+            .iter()
+            .map(|p| (p.label.clone(), p.params.clone()))
+            .collect();
+        let tasks: Vec<Task> = sweep
+            .points
+            .into_iter()
+            .enumerate()
+            .map(|(index, p)| Task {
+                index,
+                label: p.label,
+                params: p.params,
+                budget: p.budget,
+                seed: mix_seed(sweep.seed, index),
+                run: p.run,
+            })
+            .collect();
+
+        let started = Instant::now();
+        let mut slots: Vec<Option<SweepRow>> = (0..n).map(|_| None).collect();
+        if threads <= 1 {
+            for task in tasks {
+                let row = execute(task);
+                let index = row.index;
+                slots[index] = Some(row);
+            }
+        } else {
+            let injector = Injector::new();
+            for task in tasks {
+                injector.push(task);
+            }
+            let (tx, rx) = unbounded();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    let injector = &injector;
+                    s.spawn(move || loop {
+                        match injector.steal() {
+                            Steal::Success(task) => {
+                                if tx.send(execute(task)).is_err() {
+                                    break;
+                                }
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    });
+                }
+                drop(tx);
+                while let Ok(row) = rx.recv() {
+                    let index = row.index;
+                    slots[index] = Some(row);
+                }
+            });
+        }
+        let rows = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    let (label, params) = identities[index].clone();
+                    SweepRow {
+                        index,
+                        label,
+                        params,
+                        status: PointStatus::Error {
+                            message: "worker disappeared before reporting".into(),
+                        },
+                        output: PointOutput::new(),
+                    }
+                })
+            })
+            .collect();
+        SweepReport {
+            name: sweep.name,
+            unit: sweep.unit,
+            threads,
+            wall: started.elapsed(),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    /// A deterministic CPU-only sweep: no simulation needed to test the
+    /// scheduling machinery.
+    fn arithmetic_sweep() -> Sweep {
+        let mut sweep = Sweep::new("arith").unit("units").seed(7);
+        for i in 0..9u64 {
+            sweep.push(
+                Point::new(format!("p{i}"), move |ctx| {
+                    PointOutput::new()
+                        .with_cycles(i * 10)
+                        .value("seed_lo", (ctx.seed & 0xffff) as f64)
+                        .value("sq", (i * i) as f64)
+                })
+                .param("i", i),
+            );
+        }
+        sweep
+    }
+
+    #[test]
+    fn table_is_identical_across_thread_counts() {
+        let serial = SweepRunner::serial().run(arithmetic_sweep());
+        for threads in [2, 4, 8] {
+            let par = SweepRunner::new().threads(threads).run(arithmetic_sweep());
+            assert_eq!(serial.rows(), par.rows(), "threads={threads}");
+            assert_eq!(serial.to_json(), par.to_json(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rows_keep_insertion_order() {
+        let report = SweepRunner::new().threads(4).run(arithmetic_sweep());
+        let labels: Vec<&str> = report.rows().iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            ["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"]
+        );
+        for (i, row) in report.rows().iter().enumerate() {
+            assert_eq!(row.index, i);
+        }
+    }
+
+    #[test]
+    fn panicking_point_yields_error_row_and_sweep_completes() {
+        let mut sweep = Sweep::new("poison");
+        sweep.push(Point::new("good0", |_| PointOutput::new().with_cycles(1)));
+        sweep.push(Point::new("bad", |_| -> PointOutput {
+            panic!("poisoned point")
+        }));
+        sweep.push(Point::new("good1", |_| PointOutput::new().with_cycles(2)));
+        let report = SweepRunner::new().threads(2).run(sweep);
+        assert!(!report.all_ok());
+        assert_eq!(report.failed_rows().count(), 1);
+        let bad = report.get("bad").unwrap();
+        match &bad.status {
+            PointStatus::Error { message } => assert!(message.contains("poisoned"), "{message}"),
+            other => panic!("expected error row, got {other:?}"),
+        }
+        assert!(report.get("good0").unwrap().is_ok());
+        assert!(report.get("good1").unwrap().is_ok());
+    }
+
+    #[test]
+    fn budget_overrun_is_classified_timeout() {
+        let sweep = Sweep::new("budget")
+            .point(Point::new("fits", |_| PointOutput::new().with_cycles(50)).budget(100))
+            .point(Point::new("overruns", |_| PointOutput::new().with_cycles(500)).budget(100));
+        let report = SweepRunner::serial().run(sweep);
+        assert!(report.get("fits").unwrap().is_ok());
+        assert_eq!(
+            report.get("overruns").unwrap().status,
+            PointStatus::Timeout {
+                budget: 100,
+                cycles: 500
+            }
+        );
+    }
+
+    #[test]
+    fn seeds_depend_on_index_not_schedule() {
+        assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+        assert_ne!(mix_seed(1, 0), mix_seed(2, 0));
+        assert_eq!(mix_seed(9, 4), mix_seed(9, 4));
+    }
+
+    #[test]
+    fn thread_resolution_clamps() {
+        assert_eq!(SweepRunner::new().threads(0).resolved_threads(5), 1);
+        assert_eq!(SweepRunner::new().threads(16).resolved_threads(3), 3);
+        assert_eq!(SweepRunner::serial().resolved_threads(8), 1);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let report = SweepRunner::new().threads(4).run(Sweep::new("empty"));
+        assert!(report.rows().is_empty());
+        assert!(report.all_ok());
+        assert!(report.to_json().contains("\"points\": [\n\n  ]"));
+    }
+}

@@ -133,7 +133,7 @@ pub struct Link<T> {
     /// walking the queue).
     popped: u64,
     /// Event sink + the core index this per-core link belongs to, installed
-    /// by `System::enable_event_trace`. `None` (the default) keeps push/pop
+    /// by `System::set_trace`. `None` (the default) keeps push/pop
     /// at a single branch of overhead.
     trace: Option<(usize, TraceSink)>,
 }

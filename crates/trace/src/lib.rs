@@ -4,7 +4,7 @@
 //! L2, DRAM, the fast-forward engine itself) owns an optional
 //! [`TraceSink`] — a bounded ring buffer of [`TraceEvent`]s stamped with the
 //! cycle they occurred on. Sinks are installed by
-//! `System::enable_event_trace` and harvested into one deterministically
+//! `System::set_trace` and harvested into one deterministically
 //! merged stream for export (Chrome-trace JSON for Perfetto, or a
 //! human-readable text dump).
 //!
@@ -434,6 +434,113 @@ impl TraceFilter {
             }
         }
         true
+    }
+}
+
+/// Builder-style description of a system's complete tracing setup: what
+/// `System::set_trace` consumes. One value describes both tracing
+/// facilities —
+///
+/// * **event tracing**: cycle-stamped [`TraceEvent`] ring buffers on every
+///   component ([`TraceConfig::events`], optionally narrowed by
+///   [`TraceConfig::filter`]), and
+/// * **op-latency tracing**: per-core completion records and latency
+///   histograms ([`TraceConfig::latency`]).
+///
+/// The default ([`TraceConfig::off`]) disables both, so
+/// `set_trace(TraceConfig::off())` returns a system to the zero-overhead
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use skipit_trace::{TraceConfig, TraceFilter};
+///
+/// let cfg = TraceConfig::new()
+///     .events(1 << 16)
+///     .filter(TraceFilter::cores(0b01))
+///     .latency(1024);
+/// assert_eq!(cfg.event_capacity(), Some(1 << 16));
+/// assert_eq!(cfg.latency_capacity(), Some(1024));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    event_capacity: Option<usize>,
+    filter: TraceFilter,
+    latency_capacity: Option<usize>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+impl TraceConfig {
+    /// Everything disabled (the zero-overhead state).
+    pub fn off() -> Self {
+        TraceConfig {
+            event_capacity: None,
+            filter: TraceFilter::default(),
+            latency_capacity: None,
+        }
+    }
+
+    /// Starts from everything-disabled; chain [`TraceConfig::events`],
+    /// [`TraceConfig::filter`] and [`TraceConfig::latency`] to enable
+    /// facilities.
+    pub fn new() -> Self {
+        TraceConfig::off()
+    }
+
+    /// Enables component event tracing with ring buffers of `capacity`
+    /// events per component sink.
+    pub fn events(mut self, capacity: usize) -> Self {
+        self.event_capacity = Some(capacity);
+        self
+    }
+
+    /// Admission filter applied by every event sink (core mask / address
+    /// range). Only meaningful together with [`TraceConfig::events`].
+    pub fn filter(mut self, filter: TraceFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Enables per-core op-latency tracing, keeping up to `capacity`
+    /// completion records per core (histograms keep counting past the
+    /// bound).
+    pub fn latency(mut self, capacity: usize) -> Self {
+        self.latency_capacity = Some(capacity);
+        self
+    }
+
+    /// Disables component event tracing (keeping any latency setup).
+    pub fn without_events(mut self) -> Self {
+        self.event_capacity = None;
+        self
+    }
+
+    /// Disables op-latency tracing (keeping any event setup).
+    pub fn without_latency(mut self) -> Self {
+        self.latency_capacity = None;
+        self
+    }
+
+    /// Per-sink event capacity, `None` when event tracing is off.
+    pub fn event_capacity(&self) -> Option<usize> {
+        self.event_capacity
+    }
+
+    /// The event admission filter.
+    pub fn event_filter(&self) -> TraceFilter {
+        self.filter
+    }
+
+    /// Per-core latency-record capacity, `None` when op-latency tracing is
+    /// off.
+    pub fn latency_capacity(&self) -> Option<usize> {
+        self.latency_capacity
     }
 }
 

@@ -5,7 +5,8 @@
 //! cargo run --release --example asm_program
 //! ```
 
-use skipit::core::{asm, SystemBuilder};
+use skipit::core::asm;
+use skipit::prelude::*;
 
 const PROGRAM: &str = "
     # Build a small persistent record: three fields + a commit flag,
@@ -48,7 +49,7 @@ fn main() {
     );
 
     let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
-    sys.enable_tracing(64);
+    sys.set_trace(TraceConfig::new().latency(64));
     let cycles = sys.run_programs(vec![ops]);
     println!("ran in {cycles} cycles\n");
 

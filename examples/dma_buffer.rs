@@ -12,7 +12,7 @@
 //! cargo run --release --example dma_buffer
 //! ```
 
-use skipit::core::{CoreHandle, SystemBuilder};
+use skipit::prelude::*;
 
 const BUF: u64 = 0x8_0000;
 const BUF_LINES: u64 = 16; // 1 KiB buffer

@@ -6,7 +6,7 @@
 //! cargo run --release --example litmus
 //! ```
 
-use skipit::core::{CoreHandle, Op, SystemBuilder};
+use skipit::prelude::*;
 
 fn check(name: &str, ok: bool, detail: String) {
     println!("{:45} {} {detail}", name, if ok { "PASS" } else { "FAIL" });

@@ -5,13 +5,16 @@
 //! Two workload threads hammer a persistent lock-free hash table under the
 //! NVTraverse discipline. On Skip It hardware the redundant writebacks of
 //! already-persisted lines are dropped at the L1; the run reports both
-//! throughputs and the hardware drop counters.
+//! throughputs and the hardware drop counters. The plain/Skip It ablation
+//! is described as a two-point [`Sweep`] and executed by the sharded
+//! [`SweepRunner`] — each variant simulates on its own worker thread.
 //!
 //! ```text
 //! cargo run --release --example persistent_kv
 //! ```
 
 use skipit::pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+use skipit::prelude::*;
 
 fn main() {
     let base = WorkloadCfg {
@@ -29,32 +32,45 @@ fn main() {
 
     println!("persistent hash table, NVTraverse, 20% updates, 2 threads\n");
 
-    let plain = run_set_benchmark(&WorkloadCfg {
-        opt: OptKind::Plain,
-        ..base
-    });
-    println!(
-        "plain hardware : {:>6.1} ops/Mcycle ({} ops in {} cycles)",
-        plain.throughput(),
-        plain.ops,
-        plain.cycles
-    );
+    let mut sweep = Sweep::new("persistent_kv").unit("ops_per_mcycle");
+    for (label, opt) in [("plain", OptKind::Plain), ("skip-it", OptKind::SkipIt)] {
+        let cfg = WorkloadCfg { opt, ..base };
+        sweep.push(
+            Point::new(label, move |_ctx| {
+                let r = run_set_benchmark(&cfg);
+                let mut out = PointOutput::new()
+                    .with_cycles(r.cycles)
+                    .value("ops_per_mcycle", r.throughput())
+                    .value("ops", r.ops as f64);
+                out.stats = Some(r.stats);
+                out
+            })
+            .param("opt", label),
+        );
+    }
+    let report = SweepRunner::new().threads(2).run(sweep);
+    assert!(report.all_ok(), "a variant failed:\n{}", report.table());
 
-    let skipit = run_set_benchmark(&WorkloadCfg {
-        opt: OptKind::SkipIt,
-        ..base
-    });
-    let dropped: u64 = skipit.stats.l1.iter().map(|s| s.writebacks_skipped).sum();
-    println!(
-        "Skip It        : {:>6.1} ops/Mcycle ({} ops in {} cycles)",
-        skipit.throughput(),
-        skipit.ops,
-        skipit.cycles
-    );
+    let plain = report.get("plain").expect("plain row");
+    let skipit = report.get("skip-it").expect("skip-it row");
+    for (name, row) in [("plain hardware", plain), ("Skip It       ", skipit)] {
+        println!(
+            "{name} : {:>6.1} ops/Mcycle ({} ops in {} cycles)",
+            row.value("ops_per_mcycle").unwrap(),
+            row.value("ops").unwrap() as u64,
+            row.output.cycles
+        );
+    }
+
+    let stats = skipit.output.stats.as_ref().expect("skip-it stats");
+    let dropped: u64 = stats.l1.iter().map(|s| s.writebacks_skipped).sum();
     println!(
         "\nSkip It dropped {dropped} redundant writebacks at the L1 \
          (L2 trivially skipped {} more DRAM writes)",
-        skipit.stats.l2.root_release_dram_skipped
+        stats.l2.root_release_dram_skipped
     );
-    println!("speedup: {:.2}x", skipit.throughput() / plain.throughput());
+    println!(
+        "speedup: {:.2}x",
+        skipit.value("ops_per_mcycle").unwrap() / plain.value("ops_per_mcycle").unwrap()
+    );
 }

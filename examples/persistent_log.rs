@@ -16,7 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit::core::{CoreHandle, SystemBuilder};
+use skipit::prelude::*;
 
 const HEADER: u64 = 0x1_0000; // header line: [count]
 const ENTRIES: u64 = 0x1_0040; // entry i at HEADER + 64 * (i + 1)

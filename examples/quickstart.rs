@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use skipit::core::{Op, SystemBuilder};
+use skipit::prelude::*;
 
 fn main() {
     // The paper's platform (§7.1): dual-core BOOM-style SoC, 32 KiB L1s,

@@ -13,7 +13,7 @@
 //! cargo run --release --example security_flush
 //! ```
 
-use skipit::core::{CoreHandle, Op, SystemBuilder};
+use skipit::prelude::*;
 
 const DOMAIN: u64 = 0x10_0000;
 const LINES: u64 = 64; // 4 KiB secret-dependent footprint

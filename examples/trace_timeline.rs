@@ -11,12 +11,11 @@
 //! engine's jumps over idle windows. Also prints the tail of the
 //! human-readable text dump and the per-op-kind latency percentiles.
 
-use skipit::core::{Op, SystemBuilder};
+use skipit::prelude::*;
 
 fn main() {
     let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
-    sys.enable_event_trace(1 << 16);
-    sys.enable_tracing(1 << 16);
+    sys.set_trace(TraceConfig::new().events(1 << 16).latency(1 << 16));
 
     // A flush-heavy two-core program: core 0 dirties and persists a buffer
     // line by line (CBO.CLEAN), core 1 contends on part of it with flushes —

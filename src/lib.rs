@@ -10,8 +10,38 @@
 
 pub use skipit_core as core;
 pub use skipit_pds as pds;
+pub use skipit_sweep as sweep;
 
 pub use skipit_core::{
     paper_platform, CoreHandle, Op, System, SystemBuilder, SystemConfig, SystemStats,
 };
 pub use skipit_pds::{run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistMode, WorkloadCfg};
+
+/// The one-stop import for programs driving the simulator.
+///
+/// Brings in the system construction surface ([`SystemBuilder`],
+/// [`System`], [`SystemConfig`], typed [`ConfigError`]), the simulation
+/// vocabulary ([`Op`], [`CoreHandle`], [`EngineKind`], [`TraceConfig`]),
+/// and the sweep-execution types ([`Sweep`], [`SweepRunner`], …):
+///
+/// ```
+/// use skipit::prelude::*;
+///
+/// let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
+/// sys.run_programs(vec![vec![Op::Store { addr: 0x100, value: 1 }, Op::Fence]]);
+/// ```
+///
+/// [`ConfigError`]: prelude::ConfigError
+/// [`EngineKind`]: prelude::EngineKind
+/// [`TraceConfig`]: prelude::TraceConfig
+/// [`Sweep`]: prelude::Sweep
+/// [`SweepRunner`]: prelude::SweepRunner
+pub mod prelude {
+    pub use skipit_core::{
+        paper_platform, ConfigError, CoreHandle, EngineKind, EngineStats, MetricsSnapshot, Op,
+        System, SystemBuilder, SystemConfig, SystemStats, TraceConfig, TraceFilter,
+    };
+    pub use skipit_sweep::{
+        Point, PointCtx, PointOutput, PointStatus, Sweep, SweepReport, SweepRow, SweepRunner,
+    };
+}

@@ -1,7 +1,7 @@
 //! Cross-core atomicity stress: CAS/fetch-add counters must never lose
 //! updates; two-core message passing must respect coherence.
 
-use skipit::core::{CoreHandle, SystemBuilder};
+use skipit::prelude::*;
 
 #[test]
 fn cas_increments_are_never_lost() {

@@ -7,7 +7,8 @@
 //! Skip It never drops an inval (its invalidation is architecturally
 //! required even on persisted lines).
 
-use skipit::core::{ClientState, LineAddr, Op, SystemBuilder};
+use skipit::core::{ClientState, LineAddr};
+use skipit::prelude::*;
 
 #[test]
 fn inval_discards_dirty_data() {

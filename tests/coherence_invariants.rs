@@ -4,7 +4,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit::core::{ClientState, CoreHandle, Op, SystemBuilder};
+use skipit::core::ClientState;
+use skipit::prelude::*;
 
 fn random_program(rng: &mut StdRng, lines: u64, ops: usize) -> Vec<Op> {
     let mut prog = Vec::with_capacity(ops);

@@ -4,11 +4,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit::core::{CoreHandle, LineAddr, System, SystemBuilder};
+use skipit::core::LineAddr;
 use skipit::pds::alloc::{FieldStride, SimAlloc};
 use skipit::pds::{
     Bst, ConcurrentSet, HarrisList, HashTable, OptKind, PHandle, PersistMode, SkipList,
 };
+use skipit::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

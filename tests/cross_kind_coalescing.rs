@@ -7,7 +7,8 @@
 //! * either way only one `RootRelease` reaches the L2;
 //! * with the switch off (the paper's hardware), both requests execute.
 
-use skipit::core::{ClientState, Op, SystemBuilder};
+use skipit::core::ClientState;
+use skipit::prelude::*;
 
 fn run_pair(first_clean: bool, cross_kind: bool) -> (skipit::core::SystemStats, ClientState) {
     let mut sys = SystemBuilder::new()

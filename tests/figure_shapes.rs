@@ -2,8 +2,8 @@
 //! if a refactor breaks who-wins or a crossover, these fail before any
 //! benchmark is run.
 
-use skipit::core::SystemBuilder;
 use skipit::pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
+use skipit::prelude::*;
 use skipit_bench::commercial::Machine;
 use skipit_bench::micro::{fig10_sample, fig13_sample, fig9_sample, system};
 

@@ -6,7 +6,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit::core::{L1Config, L2Config, Op, SystemBuilder};
+use skipit::core::{L1Config, L2Config};
+use skipit::prelude::*;
 
 fn tiny_system(seed: u64) -> skipit::System {
     SystemBuilder::new()

@@ -1,6 +1,6 @@
 //! Regression tests for L2-level races found by differential sweeps.
 
-use skipit::core::{Op, SystemBuilder};
+use skipit::prelude::*;
 
 /// The clean→store→flush same-line pattern: the clean's DRAM-write
 /// completion must not clear the dirty bit set by the flush's

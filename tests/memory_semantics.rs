@@ -1,7 +1,7 @@
 //! End-to-end checks of the §4 memory semantics: the three writeback
 //! scenarios of Fig. 5, fence interaction, and crash durability.
 
-use skipit::core::{Op, SystemBuilder};
+use skipit::prelude::*;
 
 fn sys(cores: usize, skip_it: bool) -> skipit::System {
     SystemBuilder::new().cores(cores).skip_it(skip_it).build()

@@ -3,7 +3,7 @@
 //! CBO.CLEAN/CBO.FLUSH + FENCE, crash-tested at every phase boundary.
 
 use skipit::core::check::ModelChecker;
-use skipit::core::{CoreHandle, Op, SystemBuilder};
+use skipit::prelude::*;
 
 const LOG_BASE: u64 = 0x1_0000; // undo log region (line-aligned entries)
 const DATA_BASE: u64 = 0x2_0000; // in-place data

@@ -8,10 +8,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit::core::{CoreHandle, Dram, LineAddr, System, SystemBuilder};
+use skipit::core::{Dram, LineAddr};
 use skipit::pds::alloc::{FieldStride, SimAlloc};
 use skipit::pds::ptr;
 use skipit::pds::{ConcurrentSet, HarrisList, OptKind, PHandle, PersistMode};
+use skipit::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -2,7 +2,8 @@
 //! property.
 
 use proptest::prelude::*;
-use skipit::core::{asm, Op, SystemBuilder};
+use skipit::core::asm;
+use skipit::prelude::*;
 
 #[test]
 fn empty_programs_finish_immediately() {

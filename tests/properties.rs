@@ -6,7 +6,8 @@
 //! that was never written (no corruption anywhere in the hierarchy).
 
 use proptest::prelude::*;
-use skipit::core::{CoreHandle, EngineKind, Op, StreamEvent, SystemBuilder};
+use skipit::core::StreamEvent;
+use skipit::prelude::*;
 use std::collections::HashMap;
 
 /// A compact generator for op scripts over a small line pool.
@@ -245,7 +246,7 @@ proptest! {
                 .skip_it(skip_it)
                 .engine(engine)
                 .build();
-            sys.enable_event_trace(1 << 15);
+            sys.set_trace(TraceConfig::new().events(1 << 15));
             let cycles = sys.run_programs(vec![to_prog(&ops0), to_prog(&ops1)]);
             sys.quiesce();
             let stats = sys.stats();
@@ -277,7 +278,7 @@ proptest! {
 fn probe_wakes_slept_core_same_cycle_as_naive() {
     let run = |engine: EngineKind| {
         let mut sys = SystemBuilder::new().cores(2).engine(engine).build();
-        sys.enable_event_trace(1 << 14);
+        sys.set_trace(TraceConfig::new().events(1 << 14));
         let prog0 = vec![
             Op::Nop { cycles: 60 },
             Op::Store {

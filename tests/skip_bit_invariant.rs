@@ -9,7 +9,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skipit::core::{ClientState, Op, SystemBuilder};
+use skipit::core::ClientState;
+use skipit::prelude::*;
 
 fn check_skip_invariant(s: &skipit::System) {
     for core in 0..s.config().cores {

@@ -2,7 +2,7 @@
 //! program/thread phases, budget semantics, and determinism of the
 //! scheduler itself.
 
-use skipit::core::{CoreHandle, Op, SystemBuilder};
+use skipit::prelude::*;
 
 #[test]
 fn worker_that_does_nothing_terminates() {

@@ -3,7 +3,8 @@
 //! event stream, and the exporters.
 
 use proptest::prelude::*;
-use skipit::core::{Op, StreamEvent, SystemBuilder, TraceEvent};
+use skipit::core::{StreamEvent, TraceEvent};
+use skipit::prelude::*;
 use std::collections::HashMap;
 
 /// A flush-heavy two-core workload: contended stores, every CBO kind,
@@ -62,7 +63,7 @@ fn legal_transition(from: &str, to: &str) -> bool {
 #[test]
 fn fshr_event_sequences_follow_fig7() {
     let mut sys = SystemBuilder::new().cores(2).build();
-    sys.enable_event_trace(1 << 16);
+    sys.set_trace(TraceConfig::new().events(1 << 16));
     sys.run_programs(flush_heavy_programs());
     sys.quiesce();
     let events = sys.trace_events();
@@ -111,9 +112,9 @@ fn fshr_event_sequences_follow_fig7() {
     }
 }
 
-fn event_run(fast: bool, progs: Vec<Vec<Op>>) -> Vec<StreamEvent> {
-    let mut sys = SystemBuilder::new().cores(2).fast_forward(fast).build();
-    sys.enable_event_trace(1 << 16);
+fn event_run(engine: EngineKind, progs: Vec<Vec<Op>>) -> Vec<StreamEvent> {
+    let mut sys = SystemBuilder::new().cores(2).engine(engine).build();
+    sys.set_trace(TraceConfig::new().events(1 << 16));
     sys.run_programs(progs);
     sys.quiesce();
     sys.trace_events()
@@ -124,16 +125,19 @@ fn event_run(fast: bool, progs: Vec<Vec<Op>>) -> Vec<StreamEvent> {
 
 #[test]
 fn event_stream_is_engine_invariant_on_flush_heavy_run() {
-    let naive = event_run(false, flush_heavy_programs());
-    let fast = event_run(true, flush_heavy_programs());
+    let naive = event_run(EngineKind::Naive, flush_heavy_programs());
+    let fast = event_run(EngineKind::ComponentWheel, flush_heavy_programs());
     assert!(!naive.is_empty());
     assert_eq!(naive, fast, "event streams diverge between engines");
 }
 
 #[test]
 fn fast_engine_emits_jump_markers() {
-    let mut sys = SystemBuilder::new().cores(2).fast_forward(true).build();
-    sys.enable_event_trace(1 << 16);
+    let mut sys = SystemBuilder::new()
+        .cores(2)
+        .engine(EngineKind::ComponentWheel)
+        .build();
+    sys.set_trace(TraceConfig::new().events(1 << 16));
     sys.run_programs(flush_heavy_programs());
     let jumps: Vec<_> = sys
         .trace_events()
@@ -156,7 +160,7 @@ fn fast_engine_emits_jump_markers() {
 #[test]
 fn chrome_export_contains_fshr_and_tilelink_spans() {
     let mut sys = SystemBuilder::new().cores(2).build();
-    sys.enable_event_trace(1 << 16);
+    sys.set_trace(TraceConfig::new().events(1 << 16));
     sys.run_programs(flush_heavy_programs());
     sys.quiesce();
     let json = sys.export_chrome_trace();
@@ -211,8 +215,8 @@ proptest! {
         p1 in prop::collection::vec(op_strategy(), 1..40),
     ) {
         let progs = vec![p0, p1];
-        let naive = event_run(false, progs.clone());
-        let fast = event_run(true, progs);
+        let naive = event_run(EngineKind::Naive, progs.clone());
+        let fast = event_run(EngineKind::ComponentWheel, progs);
         prop_assert_eq!(naive, fast);
     }
 }

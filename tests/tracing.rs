@@ -1,12 +1,12 @@
 //! Per-op latency tracing: the tool behind the paper's median/σ
 //! methodology (§7.1), checked end to end.
 
-use skipit::core::{Op, SystemBuilder};
+use skipit::prelude::*;
 
 #[test]
 fn trace_records_op_latencies() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    sys.enable_tracing(1024);
+    sys.set_trace(TraceConfig::new().latency(1024));
     sys.run_programs(vec![vec![
         Op::Store {
             addr: 0x1000,
@@ -44,7 +44,7 @@ fn trace_records_op_latencies() {
 #[test]
 fn trace_is_bounded_and_clearable() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    sys.enable_tracing(4);
+    sys.set_trace(TraceConfig::new().latency(4));
     let prog: Vec<Op> = (0..10)
         .map(|i| Op::Store {
             addr: 0x2000 + i * 8,
@@ -73,7 +73,7 @@ fn skip_it_drop_is_visibly_cheaper_in_traces() {
             Op::Clean { addr: 0x3000 },
             Op::Fence,
         ]]);
-        sys.enable_tracing(16);
+        sys.set_trace(TraceConfig::new().latency(16));
         sys.run_programs(vec![vec![Op::Clean { addr: 0x3000 }, Op::Fence]]);
         let recs = sys.trace_records();
         fence_latency[i] = recs
@@ -96,7 +96,7 @@ fn trace_records_merge_cores_by_completion_cycle() {
     // Two cores completing ops concurrently: the merged log must come back
     // in one global completion-cycle order, not per-core concatenation.
     let mut sys = SystemBuilder::new().cores(2).build();
-    sys.enable_tracing(1024);
+    sys.set_trace(TraceConfig::new().latency(1024));
     let prog = |base: u64| -> Vec<Op> {
         let mut p = Vec::new();
         for i in 0..8u64 {
@@ -134,7 +134,7 @@ fn trace_records_merge_cores_by_completion_cycle() {
 #[test]
 fn latency_histograms_match_trace_records() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    sys.enable_tracing(1024);
+    sys.set_trace(TraceConfig::new().latency(1024));
     let mut prog = Vec::new();
     for i in 0..16u64 {
         prog.push(Op::Store {
@@ -163,4 +163,28 @@ fn latency_histograms_match_trace_records() {
         .unwrap();
     assert!(hists["store"].p99().unwrap() <= max_store.max(1) * 2);
     assert!(hists["store"].p50().unwrap() <= hists["store"].p99().unwrap());
+}
+
+/// The pre-`set_trace` entry points stay working as deprecated shims: they
+/// route through the same `TraceConfig` state and compose (event + latency
+/// tracing are independent aspects, enabling one must not clobber the
+/// other).
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_route_through_set_trace() {
+    let mut sys = SystemBuilder::new().cores(1).build();
+    sys.enable_tracing(64);
+    sys.enable_event_trace(1 << 12);
+    assert_eq!(sys.trace_config().latency_capacity(), Some(64));
+    assert_eq!(sys.trace_config().event_capacity(), Some(1 << 12));
+    sys.run_programs(vec![vec![
+        Op::Store {
+            addr: 0x3000,
+            value: 7,
+        },
+        Op::Flush { addr: 0x3000 },
+        Op::Fence,
+    ]]);
+    assert_eq!(sys.trace_records().len(), 3, "latency shim inactive");
+    assert!(!sys.trace_events().is_empty(), "event shim inactive");
 }

@@ -2,9 +2,11 @@
 //!
 //! The build environment has no network access to a cargo registry, so the
 //! workspace vendors the *exact API subset it uses* — `channel::unbounded`
-//! with blocking `send`/`recv` — implemented over `std::sync::mpsc`. The
-//! semantics this workspace relies on (unbounded FIFO, `Err` on
-//! disconnection, `Send` endpoints) are identical.
+//! with blocking `send`/`recv` (over `std::sync::mpsc`) and the
+//! `deque::Injector` work queue (over `Mutex<VecDeque>`). The semantics
+//! this workspace relies on (unbounded FIFO, `Err` on disconnection,
+//! `Send` endpoints, lock-free-in-spirit stealing) are identical; only the
+//! scalability of the real lock-free implementations is approximated.
 
 pub mod channel {
     use std::sync::mpsc;
@@ -88,6 +90,127 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(1u32), Err(SendError(1)));
+        }
+    }
+}
+
+pub mod deque {
+    //! Subset of `crossbeam-deque`: the global [`Injector`] queue that
+    //! work-stealing pools pull tasks from. The vendored implementation is
+    //! a mutex-guarded FIFO — same observable semantics (FIFO steal order,
+    //! `Steal::Empty` when drained), without the lock-free internals.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt, as in crossbeam-deque.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty at the time of the attempt.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// An unbounded FIFO task injector shared by all workers of a pool.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                // A worker panicked while holding the lock; matching the
+                // real Injector (which cannot be poisoned), tell the
+                // caller to retry rather than propagate.
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().map(|q| q.is_empty()).unwrap_or(true)
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().map(|q| q.len()).unwrap_or(0)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_steal_order_and_empty() {
+            let inj = Injector::new();
+            assert!(inj.is_empty());
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn concurrent_steals_partition_tasks() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let inj = Injector::new();
+            for i in 0..100 {
+                inj.push(i);
+            }
+            let seen = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| loop {
+                        match inj.steal() {
+                            Steal::Success(_) => {
+                                seen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    });
+                }
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 100);
         }
     }
 }
