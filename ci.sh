@@ -9,7 +9,7 @@ cd "$(dirname "$0")"
 # fmt/doc enumerate the first-party crates.
 FIRST_PARTY=(-p skipit -p skipit-core -p skipit-boom -p skipit-dcache -p skipit-llc
   -p skipit-mem -p skipit-tilelink -p skipit-trace -p skipit-pds -p skipit-bench
-  -p skipit-sweep)
+  -p skipit-sweep -p skipit-explore)
 
 cargo fmt --check "${FIRST_PARTY[@]}"
 cargo build --release
@@ -21,12 +21,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 #  - runs the sharded-sweep smoke: a 4-point real-simulation sweep executed
 #    serially and at 2 worker threads; fails on any error row or if the two
 #    result tables are not bit-identical (examples/sweep_smoke.rs).
+#  - runs the adversarial-exploration smoke campaign: 16 seeds x 2 contended
+#    scenarios under full schedule perturbation with the invariant oracle on
+#    every cycle; fails on any invariant violation, any failure that does
+#    not reproduce from its printed (scenario, seed) coordinates, or any
+#    serial-vs-threaded table divergence (examples/explore_smoke.rs).
 #  - smoke-runs the simspeed benchmark (reduced workloads) and fails if any
 #    workload's engine speedup regresses more than 20 % below the committed
 #    BENCH_simspeed.json. The JSON written by the smoke run goes to a temp
 #    file so the committed full-size numbers are never clobbered.
 if [[ "${1:-}" == "--quick" ]]; then
   cargo run --release --example sweep_smoke
+  cargo run --release --example explore_smoke
   SKIPIT_BENCH_QUICK=1 \
   SKIPIT_BENCH_BASELINE="$PWD/BENCH_simspeed.json" \
   SKIPIT_BENCH_OUT="$(mktemp)" \

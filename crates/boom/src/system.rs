@@ -8,7 +8,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use skipit_dcache::{DataCache, L1Config, L1Stats};
 use skipit_llc::{InclusiveCache, L2Config, L2Ports, L2Stats};
 use skipit_mem::{Dram, DramConfig, MemStats};
-use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link};
+use skipit_tilelink::perturb::link_site;
+use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link, PerturbConfig};
 use skipit_trace::{StreamEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink};
 
 /// Which simulation engine advances the clock. All three engines produce
@@ -62,6 +63,12 @@ pub struct SystemConfig {
     /// recheck every skipped component's due-bound each executed cycle (a
     /// missed wake edge panics). Expensive — intended for tests.
     pub lockstep_oracle: bool,
+    /// Seeded adversarial perturbation (arbitration jitter on the TileLink
+    /// channels, flush-dispatch hold-off, L2 MSHR rotation). The default is
+    /// inert: every delay amplitude zero, rotation off — the system is then
+    /// bit-identical to an unperturbed one. See
+    /// [`skipit_tilelink::PerturbConfig`].
+    pub perturb: PerturbConfig,
 }
 
 impl Default for SystemConfig {
@@ -79,6 +86,7 @@ impl Default for SystemConfig {
             lsu: LsuConfig::default(),
             engine: EngineKind::default(),
             lockstep_oracle: false,
+            perturb: PerturbConfig::default(),
         }
     }
 }
@@ -372,7 +380,7 @@ impl System {
                     .collect()
             };
         }
-        System {
+        let mut sys = System {
             now: 0,
             lsus: (0..cfg.cores).map(|i| Lsu::new(i, cfg.lsu)).collect(),
             l1s: (0..cfg.cores).map(|i| DataCache::new(i, cfg.l1)).collect(),
@@ -391,7 +399,19 @@ impl System {
             engine_sink: None,
             trace_cfg: TraceConfig::off(),
             cfg,
+        };
+        if cfg.perturb.is_active() {
+            for i in 0..cfg.cores {
+                sys.a[i].set_perturb(link_site('A', i), cfg.perturb);
+                sys.b[i].set_perturb(link_site('B', i), cfg.perturb);
+                sys.c[i].set_perturb(link_site('C', i), cfg.perturb);
+                sys.d[i].set_perturb(link_site('D', i), cfg.perturb);
+                sys.e[i].set_perturb(link_site('E', i), cfg.perturb);
+                sys.l1s[i].set_perturb(cfg.perturb);
+            }
+            sys.l2.set_perturb(cfg.perturb);
         }
+        sys
     }
 
     /// The current cycle.
@@ -443,10 +463,20 @@ impl System {
         &self.l2
     }
 
-    /// Simulates a power failure: every cache's contents are lost; only the
-    /// DRAM (persistence domain) survives (§2.5).
+    /// The persisted memory image a power failure *right now* would leave
+    /// behind: every cache's contents are lost; only writes that DRAM has
+    /// completed survive (§2.5). Non-consuming — the live system is
+    /// untouched, so a crash-point explorer can snapshot many candidate
+    /// failure instants from one simulation.
+    pub fn durable_image(&self) -> Dram {
+        self.dram.durable_image()
+    }
+
+    /// Simulates a terminal power failure, consuming the system. Equivalent
+    /// to [`Self::durable_image`] when the run is over; prefer that when the
+    /// simulation should continue past the crash point.
     pub fn crash(self) -> Dram {
-        self.dram
+        self.dram.durable_image()
     }
 
     /// Installs the tracing setup described by `cfg` — the single entry
@@ -1484,11 +1514,12 @@ impl System {
     }
 
     /// Hash of every piece of simulated state except the clock, used by the
-    /// lockstep oracle to detect work inside a claimed-idle window. Debug
+    /// lockstep oracle to detect work inside a claimed-idle window and by
+    /// engine-equivalence tests to compare whole machines. Debug
     /// formatting covers the deep state (queues, arrays, MSHRs, stats);
     /// frontends are summarized by hand (channel endpoints carry no
     /// simulated state).
-    fn state_digest(&self) -> u64 {
+    pub fn state_digest(&self) -> u64 {
         use std::fmt::Write as _;
         use std::hash::{Hash, Hasher};
         let mut s = String::new();
@@ -1895,6 +1926,32 @@ impl System {
     /// Panics if more programs than cores are supplied, or if the programs
     /// fail to finish within a watchdog budget (an interlock bug).
     pub fn run_programs(&mut self, programs: Vec<Vec<Op>>) -> u64 {
+        match self.run_programs_observed(programs, |_| Ok::<(), std::convert::Infallible>(())) {
+            Ok(cycles) => cycles,
+            Err((_, e)) => match e {},
+        }
+    }
+
+    /// [`Self::run_programs`] with a continuous observer: `observe` is called
+    /// at every executed cycle boundary (before the cycle runs, and once more
+    /// at completion). Cycles the fast-forward engines skip are provably free
+    /// of state changes, so observing only executed boundaries sees every
+    /// distinct machine state the run passes through — this is the hook the
+    /// exploration harness uses for its always-on invariant oracle and
+    /// crash-point snapshots.
+    ///
+    /// The first `Err(e)` aborts the run (frontends reset to idle) and
+    /// returns `Err((cycle, e))` with the cycle at which the observer
+    /// rejected the state; otherwise returns `Ok(elapsed_cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::run_programs`].
+    pub fn run_programs_observed<E>(
+        &mut self,
+        programs: Vec<Vec<Op>>,
+        mut observe: impl FnMut(&System) -> Result<(), E>,
+    ) -> Result<u64, (u64, E)> {
         assert!(
             programs.len() <= self.cfg.cores,
             "{} programs for {} cores",
@@ -1912,22 +1969,46 @@ impl System {
             };
         }
         let watchdog = self.now + 2_000_000_000;
-        while !self.step_engine(|s| (0..s.cfg.cores).all(|i| s.program_done(i))) {
+        let result = loop {
+            if let Err(e) = observe(self) {
+                break Err((self.now, e));
+            }
+            if self.step_engine(|s| (0..s.cfg.cores).all(|i| s.program_done(i))) {
+                break Ok(self.now - start);
+            }
             assert!(self.now < watchdog, "program run exceeded watchdog budget");
-        }
+        };
         for fe in &mut self.frontends {
             *fe = Frontend::Idle;
         }
         self.wheel.valid = false;
-        self.now - start
+        result
     }
 
     /// Runs the system until every cache and the L2 are quiescent (drains
     /// asynchronous writebacks that no fence waited for).
     pub fn quiesce(&mut self) {
+        match self.quiesce_observed(|_| Ok::<(), std::convert::Infallible>(())) {
+            Ok(()) => {}
+            Err((_, e)) => match e {},
+        }
+    }
+
+    /// [`Self::quiesce`] with a continuous observer, under the same contract
+    /// as [`Self::run_programs_observed`].
+    pub fn quiesce_observed<E>(
+        &mut self,
+        mut observe: impl FnMut(&System) -> Result<(), E>,
+    ) -> Result<(), (u64, E)> {
         self.wheel.valid = false;
         let watchdog = self.now + 1_000_000;
-        while !self.step_engine(|s| s.l1s.iter().all(|c| c.is_quiescent()) && s.l2.is_quiescent()) {
+        loop {
+            if let Err(e) = observe(self) {
+                return Err((self.now, e));
+            }
+            if self.step_engine(|s| s.l1s.iter().all(|c| c.is_quiescent()) && s.l2.is_quiescent()) {
+                return Ok(());
+            }
             assert!(self.now < watchdog, "quiesce exceeded watchdog budget");
         }
     }

@@ -4,6 +4,7 @@ use skipit_boom::{EngineKind, System, SystemConfig};
 use skipit_dcache::L1Config;
 use skipit_llc::L2Config;
 use skipit_mem::DramConfig;
+use skipit_tilelink::PerturbConfig;
 
 /// A reason a [`SystemConfig`] cannot be built into a [`System`].
 ///
@@ -207,6 +208,16 @@ impl SystemBuilder {
     /// [`EngineKind::ComponentWheel`].
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.cfg.engine = kind;
+        self
+    }
+
+    /// Installs a seeded adversarial perturbation: bounded arbitration
+    /// jitter on every TileLink channel, flush-queue→FSHR dispatch hold-off,
+    /// and L2 MSHR scan rotation, all derived from `cfg.seed` by SplitMix64.
+    /// The default [`PerturbConfig`] is inert — the built system is then
+    /// bit-identical to one that never heard of perturbation.
+    pub fn perturb(mut self, cfg: PerturbConfig) -> Self {
+        self.cfg.perturb = cfg;
         self
     }
 

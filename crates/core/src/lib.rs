@@ -64,11 +64,11 @@ pub use skipit_boom::{
     CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, System, SystemConfig, SystemStats,
     TraceLog, TraceRecord,
 };
-pub use skipit_dcache::{DataCache, L1Config, L1Stats};
+pub use skipit_dcache::{DataCache, FlushEntry, FlushUnit, Fshr, FshrState, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};
 pub use skipit_mem::{Dram, DramConfig, MemStats};
 pub use skipit_tilelink::{
-    ClientState, LineAddr, LineData, WritebackKind, LINE_BYTES, WORDS_PER_LINE,
+    ClientState, LineAddr, LineData, PerturbConfig, WritebackKind, LINE_BYTES, WORDS_PER_LINE,
 };
 pub use skipit_trace::{
     MsgDesc, StreamEvent, TimedEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink,

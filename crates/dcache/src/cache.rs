@@ -215,6 +215,20 @@ impl DataCache {
         self.flush.take_trace()
     }
 
+    /// Installs seeded flush-dispatch jitter (adversarial exploration; see
+    /// [`skipit_tilelink::perturb`]). The site key is derived from this
+    /// cache's core id, so every core draws an independent sequence.
+    pub fn set_perturb(&mut self, cfg: skipit_tilelink::PerturbConfig) {
+        self.flush
+            .set_perturb(skipit_tilelink::perturb::flush_site(self.core), cfg);
+    }
+
+    /// Read-only view of the flush unit (invariant oracles, tests): queue
+    /// occupancy, FSHR states and data buffers, flush counter.
+    pub fn flush_unit(&self) -> &FlushUnit {
+        &self.flush
+    }
+
     /// The `flushing` signal for fences (§5.3): true while any `CBO.X` is
     /// pending in the flush queue or an FSHR.
     pub fn is_flushing(&self) -> bool {
@@ -263,6 +277,11 @@ impl DataCache {
             .iter_valid()
             .map(|(set, way, addr, state)| (addr, state, self.arrays.meta(set, way).skip))
             .collect()
+    }
+
+    /// Whether an MSHR is outstanding for `addr`'s line (test/debug helper).
+    pub fn peek_mshr_pending(&self, addr: u64) -> bool {
+        self.mshr_orders_line(LineAddr::containing(addr))
     }
 
     /// Skip bit of a line (test/debug helper; `false` on miss).
@@ -445,15 +464,7 @@ impl DataCache {
 
     /// Pure mirror of [`DataCache::store_flush_conflict`].
     fn store_blocked_by_flush(&self, line: LineAddr) -> bool {
-        if self.flush.queued_entry(line).is_some() {
-            return true;
-        }
-        if let Some(fshr) = self.flush.fshr_for(line) {
-            let allowed = fshr.entry.kind == skipit_tilelink::WritebackKind::Clean
-                && (!fshr.entry.is_dirty || fshr.buffer.is_some());
-            return !allowed;
-        }
-        false
+        self.flush.queued_entry(line).is_some() || self.flush.fshr_blocks_store(line)
     }
 
     /// Presents one LSU request to the cache. See [`ReqOutcome`] for the
@@ -663,6 +674,7 @@ impl DataCache {
                     );
                 }
                 self.arrays.touch(set, way);
+                self.flush.note_line_touched(line);
                 self.stats.stores += 1;
                 self.stats.store_hits += 1;
                 self.respond(now + self.cfg.hit_latency, DcResp::StoreDone { id: req.id });
@@ -739,6 +751,7 @@ impl DataCache {
                     }
                 );
             }
+            self.flush.note_line_touched(line);
         }
         self.arrays.touch(set, way);
         old
@@ -746,18 +759,18 @@ impl DataCache {
 
     /// The §5.3 store rules against pending writebacks. Returns
     /// `Some(Nack)` when the store must be refused.
+    ///
+    /// Every FSHR active on the line must permit the store, not just the
+    /// first one in scan order: a line can occupy several FSHRs at once
+    /// (e.g. a missed CBO.CLEAN still awaiting its ack plus a just-
+    /// dispatched CBO.FLUSH), and a disallowed flush shadowed behind an
+    /// allowed clean must still block the store — otherwise the refilled
+    /// line is later invalidated at the L2 by the stale flush's
+    /// RootRelease while the L1 holds it dirty, breaking inclusion.
     fn store_flush_conflict(&mut self, line: LineAddr) -> Option<ReqOutcome> {
-        if self.flush.queued_entry(line).is_some() {
+        if self.flush.queued_entry(line).is_some() || self.flush.fshr_blocks_store(line) {
             self.stats.nacks += 1;
             return Some(ReqOutcome::Nack);
-        }
-        if let Some(fshr) = self.flush.fshr_for(line) {
-            let allowed = fshr.entry.kind == skipit_tilelink::WritebackKind::Clean
-                && (!fshr.entry.is_dirty || fshr.buffer.is_some());
-            if !allowed {
-                self.stats.nacks += 1;
-                return Some(ReqOutcome::Nack);
-            }
         }
         None
     }
@@ -949,6 +962,7 @@ impl DataCache {
                     }
                     // §5.4.2: the WBU invalidates flush-queue entries for
                     // evicted lines.
+                    self.flush.note_line_touched(victim);
                     let invalidated = self.flush.evict_invalidate(victim);
                     if invalidated > 0 {
                         skipit_trace::trace!(
@@ -1065,6 +1079,7 @@ impl DataCache {
                     );
                 }
                 self.arrays.touch(set, way);
+                self.flush.note_line_touched(line);
                 self.stats.store_hits += 1;
             }
             DcReqKind::Amo { .. } => {
@@ -1183,6 +1198,11 @@ impl DataCache {
                             }
                         );
                     }
+                }
+                if new == ClientState::Invalid || data.is_some() {
+                    // Same reasoning for in-flight FSHRs on the line: their
+                    // snapshot no longer covers what the L2 now holds.
+                    self.flush.note_line_touched(addr);
                 }
                 ports.c.push(
                     now,

@@ -16,7 +16,7 @@
 use crate::meta::CacheArrays;
 use crate::stats::L1Stats;
 use skipit_tilelink::{
-    AgentId, Cap, ChannelC, ClientState, LineAddr, LineData, Link, WritebackKind,
+    AgentId, Cap, ChannelC, ClientState, LineAddr, LineData, Link, PerturbConfig, WritebackKind,
 };
 use skipit_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
@@ -81,6 +81,19 @@ pub struct Fshr {
     /// `(set, way)` latched at `meta_write` time so `fill_buffer` can read
     /// the data array even after a flush invalidated the tag.
     slot: Option<(usize, usize)>,
+    /// Whether this FSHR's eventual ack may still set the skip bit (§6.2).
+    /// True from allocation; cleared by [`FlushUnit::note_line_touched`]
+    /// when a store/AMO dirties the line or a probe/eviction invalidates it
+    /// while the FSHR is in flight — in either case the line's *current*
+    /// data is no longer the snapshot this FSHR persisted, so a late ack
+    /// must not mark it skippable.
+    skip_ok: bool,
+    /// Dispatch order stamp (monotone per flush unit). Same-line
+    /// transactions are serialized by the L2 in arrival order and their
+    /// acks return over FIFO links, so acks for a line always land in
+    /// dispatch order: ack completion matches the *oldest* same-line
+    /// `WaitAck` FSHR by this stamp.
+    seq: u64,
 }
 
 impl Default for FlushEntry {
@@ -113,6 +126,20 @@ pub struct FlushUnit {
     counter: u64,
     /// Event sink for FSHR FSM transitions and ack-time skip-bit updates.
     sink: Option<TraceSink>,
+    /// Adversarial dispatch jitter: `(site key, config)` installed by the
+    /// cache when perturbation is configured (see
+    /// [`skipit_tilelink::perturb`]).
+    perturb: Option<(u64, PerturbConfig)>,
+    /// Count of queue → FSHR dispatches — the state-changing event index
+    /// the jitter draws are keyed on (engine-invariant, unlike call counts).
+    dispatch_seq: u64,
+    /// Pending hold-off: the head dispatch may not happen before this
+    /// cycle. Anchored at the first cycle the dispatch became possible.
+    hold_until: Option<u64>,
+    /// Monotone FSHR allocation counter backing [`Fshr`]'s dispatch-order
+    /// stamp (always incremented, unlike the perturbation-only
+    /// `dispatch_seq`).
+    alloc_seq: u64,
 }
 
 impl FlushUnit {
@@ -125,7 +152,20 @@ impl FlushUnit {
             next_fshr: 0,
             counter: 0,
             sink: None,
+            perturb: None,
+            dispatch_seq: 0,
+            hold_until: None,
+            alloc_seq: 0,
         }
+    }
+
+    /// Installs seeded dispatch jitter: each queue → FSHR dispatch is held
+    /// off by `cfg.draw(site, dispatch index, cfg.dispatch_jitter)` cycles
+    /// from the first cycle it became possible. A stalled dispatch is a
+    /// schedule real arbitration could produce (the flush unit merely loses
+    /// arbitration for a few cycles), so every explored schedule is legal.
+    pub fn set_perturb(&mut self, site: u64, cfg: PerturbConfig) {
+        self.perturb = (cfg.dispatch_jitter > 0).then_some((site, cfg));
     }
 
     /// Installs an event sink; FSHR state transitions
@@ -188,6 +228,28 @@ impl FlushUnit {
     /// The FSHR handling `addr`, if any.
     pub fn fshr_for(&self, addr: LineAddr) -> Option<&Fshr> {
         self.fshrs.iter().find(|f| f.active_on(addr))
+    }
+
+    /// The §5.3 store-admission test against *all* FSHRs active on `addr`:
+    /// a store may proceed only if every one of them is a `CBO.CLEAN` that
+    /// has already captured its data (or never had dirty data to capture).
+    /// A line can occupy several FSHRs at once, so checking only the first
+    /// match would let a disallowed flush hide behind an allowed clean.
+    /// Records that `addr`'s cache line was written (store/AMO) or
+    /// invalidated (probe, eviction) while FSHRs may be in flight for it:
+    /// their snapshots no longer match the line's current data, so their
+    /// acks must not set the skip bit (§6.2). Clears the per-FSHR
+    /// `skip_ok` eligibility flag.
+    pub fn note_line_touched(&mut self, addr: LineAddr) {
+        for f in self.fshrs.iter_mut().filter(|f| f.active_on(addr)) {
+            f.skip_ok = false;
+        }
+    }
+
+    pub fn fshr_blocks_store(&self, addr: LineAddr) -> bool {
+        self.fshrs.iter().filter(|f| f.active_on(addr)).any(|f| {
+            !(f.entry.kind == WritebackKind::Clean && (!f.entry.is_dirty || f.buffer.is_some()))
+        })
     }
 
     /// Whether a same-kind request for `addr` is pending *in the flush
@@ -314,6 +376,21 @@ impl FlushUnit {
         for i in 0..n {
             let idx = (self.next_fshr + i) % n;
             if self.fshrs[idx].state == FshrState::Free {
+                // Adversarial hold-off (set_perturb): the first cycle the
+                // dispatch becomes possible anchors a drawn delay; until it
+                // elapses the dispatch loses arbitration. `has_work` keeps
+                // reporting the pending dispatch, so every engine keeps
+                // stepping the cache here and observes the same hold.
+                if let Some((site, cfg)) = self.perturb {
+                    let until = *self.hold_until.get_or_insert_with(|| {
+                        now + cfg.draw(site, self.dispatch_seq, cfg.dispatch_jitter)
+                    });
+                    if now < until {
+                        return false;
+                    }
+                    self.hold_until = None;
+                    self.dispatch_seq += 1;
+                }
                 let entry = self.queue.pop_front().expect("nonempty");
                 let state = Self::initial_state(&entry);
                 skipit_trace::trace!(
@@ -332,7 +409,10 @@ impl FlushUnit {
                     state,
                     buffer: None,
                     slot: None,
+                    skip_ok: true,
+                    seq: self.alloc_seq,
                 };
+                self.alloc_seq += 1;
                 self.next_fshr = (idx + 1) % n;
                 return true;
             }
@@ -510,14 +590,27 @@ impl FlushUnit {
         arrays: &mut CacheArrays,
         skip_it: bool,
     ) -> bool {
+        // When several FSHRs for the same line are in `WaitAck` (§5.2
+        // allows this), the ack belongs to the *oldest* dispatch: the L2
+        // serializes same-line transactions in arrival order and the links
+        // are FIFOs, so acks come back in dispatch order. Matching by scan
+        // position instead would credit the ack to an arbitrary slot — e.g.
+        // free an invalidating CBO.FLUSH on a completed CBO.CLEAN's ack,
+        // dropping the store interlock while the flush's RootRelease is
+        // still queued at the L2 (an inclusion violation once a refill
+        // races the deferred invalidation).
         let Some(i) = self
             .fshrs
             .iter()
-            .position(|f| f.state == FshrState::WaitAck && f.entry.addr == addr)
+            .enumerate()
+            .filter(|(_, f)| f.state == FshrState::WaitAck && f.entry.addr == addr)
+            .min_by_key(|(_, f)| f.seq)
+            .map(|(i, _)| i)
         else {
             return false;
         };
         let kind = self.fshrs[i].entry.kind;
+        let skip_ok = self.fshrs[i].skip_ok;
         skipit_trace::trace!(
             self.sink,
             now,
@@ -532,7 +625,26 @@ impl FlushUnit {
         self.fshrs[i] = Fshr::default();
         debug_assert!(self.counter > 0, "flush counter underflow");
         self.counter -= 1;
-        if skip_it && kind == WritebackKind::Clean {
+        // §6.2: the skip bit asserts "this line's current data is persisted".
+        // That is only true if *this* ack is the last word on the line:
+        //
+        // * when another FSHR is still flushing the same line, the completed
+        //   clean predates that FSHR's snapshot (e.g. a clean that missed,
+        //   raced by a store and a second clean), and the line's current
+        //   data is still in flight;
+        // * when `skip_ok` was cleared, the line was stored to or
+        //   invalidated after this FSHR captured its snapshot — e.g. a §5.3
+        //   store admitted past a buffer-captured clean, whose new data then
+        //   moved into the L2 via a probe downgrade, leaving the line
+        //   valid+clean here but dirty (unpersisted) at the L2.
+        //
+        // Setting skip in either case would let a later CBO drop a
+        // writeback whose data the persistence domain does not yet hold.
+        let line_still_flushing = self
+            .fshrs
+            .iter()
+            .any(|f| f.state != FshrState::Free && f.entry.addr == addr);
+        if skip_it && kind == WritebackKind::Clean && skip_ok && !line_still_flushing {
             if let Some(way) = arrays.lookup(addr) {
                 let set = arrays.set_index(addr);
                 let m = arrays.meta_mut(set, way);
@@ -780,6 +892,75 @@ mod tests {
         // Ack completes and sets the skip bit (Skip It enabled).
         assert!(fu.complete_ack(99, 0, addr, &mut arrays, true));
         assert!(arrays.meta(set, way).skip);
+        assert!(!fu.is_flushing());
+    }
+
+    #[test]
+    fn ack_completes_oldest_same_line_fshr() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let addr = LineAddr::new(0x40);
+        let other = LineAddr::new(0x80);
+        arrays.install(addr, 0, ClientState::Modified, false, LineData::zeroed());
+
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+
+        // Occupy slot 0 with a release for another line so the clean for
+        // `addr` lands in slot 1.
+        fu.enqueue(entry(0x80, false, false, WritebackKind::Clean));
+        fu.try_allocate(0, 0, true, true);
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        fu.try_allocate(0, 0, true, true);
+        for now in 0..4 {
+            fu.step_fshrs(now, 0, &mut arrays, &mut c, &mut stats);
+        }
+        assert!(fu.complete_ack(4, 0, other, &mut arrays, true));
+
+        // Slot 0 is free again: the same-line flush lands *below* the clean
+        // in scan order while the older clean dispatch sits in slot 1.
+        fu.enqueue(entry(0x40, true, false, WritebackKind::Flush));
+        fu.try_allocate(5, 0, true, true);
+        for now in 5..8 {
+            fu.step_fshrs(now, 0, &mut arrays, &mut c, &mut stats);
+        }
+        let waiting = fu.fshrs().iter().filter(|f| f.active_on(addr));
+        assert!(waiting.clone().all(|f| f.state == FshrState::WaitAck));
+        assert_eq!(waiting.count(), 2);
+
+        // Acks for a line arrive in dispatch order, so the first one is the
+        // clean's: it must free the clean and leave the flush, which keeps
+        // blocking stores until its own ack.
+        assert!(fu.complete_ack(8, 0, addr, &mut arrays, true));
+        let left = fu.fshr_for(addr).expect("flush still active");
+        assert_eq!(left.entry.kind, WritebackKind::Flush);
+        assert!(fu.fshr_blocks_store(addr));
+    }
+
+    #[test]
+    fn touched_line_ack_does_not_set_skip() {
+        let cfg = L1Config::default();
+        let mut arrays = CacheArrays::new(&cfg);
+        let addr = LineAddr::new(0x40);
+        arrays.install(addr, 0, ClientState::Modified, false, LineData::zeroed());
+
+        let mut fu = FlushUnit::new(4, 2);
+        let mut c: Link<ChannelC> = Link::new(0, 8);
+        let mut stats = L1Stats::default();
+        fu.enqueue(entry(0x40, true, true, WritebackKind::Clean));
+        fu.try_allocate(0, 0, true, true);
+        for now in 0..3 {
+            fu.step_fshrs(now, 0, &mut arrays, &mut c, &mut stats);
+        }
+        // A §5.3-admitted store dirtied the line mid-flight: the snapshot
+        // this FSHR persisted is stale, so even though the line is
+        // valid+clean again at ack time (MetaWrite made it Exclusive), the
+        // ack must not set the skip bit.
+        fu.note_line_touched(addr);
+        assert!(fu.complete_ack(3, 0, addr, &mut arrays, true));
+        let (set, way) = (arrays.set_index(addr), arrays.lookup(addr).unwrap());
+        assert!(!arrays.meta(set, way).skip);
         assert!(!fu.is_flushing());
     }
 

@@ -29,5 +29,6 @@ pub mod stats;
 
 pub use cache::{DataCache, L1Ports};
 pub use config::L1Config;
+pub use flush::{FlushEntry, FlushUnit, Fshr, FshrState};
 pub use req::{AmoOp, DcReq, DcResp, ReqId, ReqOutcome};
 pub use stats::L1Stats;

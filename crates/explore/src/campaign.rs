@@ -1,0 +1,81 @@
+//! Campaigns: fan `(scenario, seed)` exploration points out over the
+//! [`skipit_sweep::SweepRunner`] worker pool.
+//!
+//! Each point is fully identified by its label (`scenario/seed`); a failing
+//! point's error row carries the same coordinates in its message, so any
+//! reported failure reproduces with `explore_one(scenario, seed, cfg)` — no
+//! state beyond the printed pair is needed. Result tables are bit-identical
+//! at any thread count (the [`skipit_sweep`] determinism contract).
+
+use crate::explorer::{explore_one, ExploreConfig};
+use crate::scenario::Scenario;
+use skipit_sweep::{Point, PointOutput, Sweep, SweepReport, SweepRunner};
+
+/// Builds the sweep for `seeds` seeds of every scenario in `scenarios`.
+pub fn campaign_sweep(
+    name: &str,
+    scenarios: &[Scenario],
+    seeds: std::ops::Range<u64>,
+    cfg: ExploreConfig,
+) -> Sweep {
+    let mut sweep = Sweep::new(name);
+    for &scenario in scenarios {
+        for seed in seeds.clone() {
+            let point = Point::new(format!("{}/{seed}", scenario.name()), move |_ctx| {
+                let ex = explore_one(scenario, seed, cfg);
+                if let Some(v) = &ex.violation {
+                    // The panic payload becomes the Error row's message;
+                    // everything needed to reproduce is in it.
+                    panic!(
+                        "invariant violation: scenario={} seed={} {v}",
+                        scenario.name(),
+                        seed,
+                    );
+                }
+                PointOutput::new().with_cycles(ex.cycles)
+            })
+            .param("scenario", scenario.name())
+            .param("seed", seed);
+            sweep = sweep.point(point);
+        }
+    }
+    sweep
+}
+
+/// Runs a campaign on `runner` and returns the deterministic report.
+pub fn run_campaign(
+    name: &str,
+    scenarios: &[Scenario],
+    seeds: std::ops::Range<u64>,
+    cfg: ExploreConfig,
+    runner: &SweepRunner,
+) -> SweepReport {
+    runner.run(campaign_sweep(name, scenarios, seeds, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_labels_carry_reproduction_coordinates() {
+        let sweep = campaign_sweep(
+            "t",
+            &[Scenario::FlushStorm, Scenario::PersistLog],
+            0..3,
+            ExploreConfig::default(),
+        );
+        let labels: Vec<&str> = sweep.points().iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "flush_storm/0",
+                "flush_storm/1",
+                "flush_storm/2",
+                "persist_log/0",
+                "persist_log/1",
+                "persist_log/2",
+            ]
+        );
+    }
+}

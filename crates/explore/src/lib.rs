@@ -1,0 +1,47 @@
+//! Adversarial schedule & crash-point exploration for the Skip It simulator.
+//!
+//! The protocol machinery this repository reproduces — the flush unit's
+//! Fig. 7 FSM, the `probe_rdy`/`flush_rdy`/`wb_rdy` interlocks (§5.4), the
+//! L2 `RootRelease` transactions, the skip bit's §6.2 safety argument — is
+//! exactly the kind of logic whose bugs hide in *schedules*: a probe landing
+//! one cycle before a dispatch, an ack overtaking an eviction. The directed
+//! tests pin down known-tricky interleavings; this crate searches for the
+//! unknown ones, deterministically:
+//!
+//! * **Seeded perturbation** ([`skipit_core::PerturbConfig`], threaded
+//!   through [`skipit_core::SystemBuilder::perturb`]) injects bounded,
+//!   SplitMix64-derived arbitration jitter into every TileLink channel, the
+//!   flush-queue→FSHR dispatch, and L2 MSHR scheduling. Every perturbed
+//!   schedule is one a real arbiter could produce, and every run is
+//!   bit-reproducible from `(seed, config)`.
+//! * **A continuous invariant oracle** ([`oracle::InvariantOracle`]) checks
+//!   the paper's structural invariants — skip ⇔ ¬L2-dirty (§6.2), coherence
+//!   single-writer and inclusion, Fig. 7 FSHR transition legality, flush
+//!   counter conservation — at every executed cycle of a run, via
+//!   [`skipit_core::System::run_programs_observed`].
+//! * **Crash-point enumeration** ([`crash::scan_crash_points`]) snapshots
+//!   the durable memory image at every point where it can change and checks
+//!   recoverability of each image, all from a single simulation.
+//! * **Shrinking** ([`shrink::minimize`]) reduces a failing `(scenario,
+//!   seed)` to a minimal op-level reproducer that hits the identical
+//!   violation, deterministically.
+//! * **Campaigns** ([`campaign::campaign_sweep`]) fan seeds × scenarios out
+//!   over the [`skipit_sweep::SweepRunner`] worker pool; result tables are
+//!   bit-identical at any thread count, and a failing point's error message
+//!   carries the `(scenario, seed)` pair that reproduces it.
+
+pub mod campaign;
+pub mod crash;
+pub mod explorer;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+pub use campaign::{campaign_sweep, run_campaign};
+pub use crash::scan_crash_points;
+pub use explorer::{
+    build_system, explore_one, run_with_check, run_with_oracle, Exploration, ExploreConfig,
+};
+pub use oracle::{InvariantOracle, Violation};
+pub use scenario::{OpRng, Scenario};
+pub use shrink::{minimize, replay, shrink_programs, Reproducer};

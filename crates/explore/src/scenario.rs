@@ -1,0 +1,218 @@
+//! Seeded workload generators for exploration campaigns.
+//!
+//! Each [`Scenario`] turns a `(seed, cores)` pair into one op program per
+//! core, using a SplitMix64 counter generator (no external RNG crates) so a
+//! campaign point is identified by its `(scenario, seed)` coordinates alone.
+
+use skipit_core::Op;
+use skipit_tilelink::perturb::splitmix64;
+
+/// Minimal deterministic generator: a SplitMix64 counter stream.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRng {
+    state: u64,
+}
+
+impl OpRng {
+    /// A stream derived from `seed` (distinct seeds give decorrelated
+    /// streams; the same seed always gives the same stream).
+    pub fn new(seed: u64) -> Self {
+        OpRng {
+            state: splitmix64(seed ^ 0x6c62_272e_07bb_0142),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A workload family for exploration. Each stresses a different slice of
+/// the flush-unit / coherence machinery; all are parameterized by seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Dense CBO traffic (stores, cleans, flushes, invals, fences) over a
+    /// small line set: FSHR contention, coalescing, counter bookkeeping.
+    FlushStorm,
+    /// All cores hammer the same few lines: probes racing queued flushes
+    /// and in-flight FSHRs, single-writer and skip-bit maintenance.
+    SharedLines,
+    /// Working set larger than the L1: the writeback unit and flush unit
+    /// compete through the §5.4 interlocks; skip bits meet evictions.
+    EvictionPressure,
+    /// Store → flush → fence logging rhythm, the §4 durability pattern the
+    /// crash scanner slices at every persistence event.
+    PersistLog,
+}
+
+impl Scenario {
+    /// Every scenario, in campaign order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::FlushStorm,
+        Scenario::SharedLines,
+        Scenario::EvictionPressure,
+        Scenario::PersistLog,
+    ];
+
+    /// Stable identifier (used in campaign point labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::FlushStorm => "flush_storm",
+            Scenario::SharedLines => "shared_lines",
+            Scenario::EvictionPressure => "eviction_pressure",
+            Scenario::PersistLog => "persist_log",
+        }
+    }
+
+    /// Inverse of [`Scenario::name`].
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// The per-core programs this scenario generates for `seed`. Pure in
+    /// `(self, seed, cores)`.
+    pub fn programs(self, seed: u64, cores: usize) -> Vec<Vec<Op>> {
+        (0..cores)
+            .map(|core| {
+                // Mix the core index in so cores run distinct streams while
+                // the whole workload stays a function of the seed.
+                let mut rng = OpRng::new(splitmix64(seed).wrapping_add(core as u64));
+                match self {
+                    Scenario::FlushStorm => flush_storm(&mut rng),
+                    Scenario::SharedLines => shared_lines(&mut rng),
+                    Scenario::EvictionPressure => eviction_pressure(&mut rng),
+                    Scenario::PersistLog => persist_log(&mut rng, core),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A word address inside one of `lines` cache lines starting at `base`.
+fn word_addr(rng: &mut OpRng, base: u64, lines: u64) -> u64 {
+    base + rng.below(lines) * 64 + rng.below(8) * 8
+}
+
+fn flush_storm(rng: &mut OpRng) -> Vec<Op> {
+    let mut prog = Vec::with_capacity(121);
+    for _ in 0..120 {
+        let addr = word_addr(rng, 0x4_0000, 8);
+        prog.push(match rng.below(20) {
+            0..=6 => Op::Store {
+                addr,
+                value: rng.next_u64(),
+            },
+            7..=9 => Op::Load { addr },
+            10..=13 => Op::Clean { addr },
+            14..=16 => Op::Flush { addr },
+            17 => Op::Inval { addr },
+            _ => Op::Fence,
+        });
+    }
+    prog.push(Op::Fence);
+    prog
+}
+
+fn shared_lines(rng: &mut OpRng) -> Vec<Op> {
+    let mut prog = Vec::with_capacity(101);
+    for _ in 0..100 {
+        let addr = word_addr(rng, 0x5_0000, 4);
+        prog.push(match rng.below(16) {
+            0..=4 => Op::Store {
+                addr,
+                value: rng.next_u64(),
+            },
+            5..=8 => Op::Load { addr },
+            9..=10 => Op::Cas {
+                addr,
+                expected: 0,
+                new: rng.next_u64() | 1,
+            },
+            11..=12 => Op::Clean { addr },
+            13..=14 => Op::Flush { addr },
+            _ => Op::Fence,
+        });
+    }
+    prog.push(Op::Fence);
+    prog
+}
+
+fn eviction_pressure(rng: &mut OpRng) -> Vec<Op> {
+    let mut prog = Vec::with_capacity(161);
+    for _ in 0..160 {
+        // 1024 lines overflow the 512-line L1, forcing WBU traffic.
+        let addr = word_addr(rng, 0x8_0000, 1024);
+        prog.push(match rng.below(12) {
+            0..=5 => Op::Store {
+                addr,
+                value: rng.next_u64(),
+            },
+            6..=8 => Op::Load { addr },
+            9 => Op::Clean { addr },
+            10 => Op::Flush { addr },
+            _ => Op::Fence,
+        });
+    }
+    prog.push(Op::Fence);
+    prog
+}
+
+/// The §4 persistence rhythm: write a payload, flush it, fence, then
+/// publish a commit marker the same way. `core` offsets the log region so
+/// cores keep private logs while still sharing the cache hierarchy.
+fn persist_log(rng: &mut OpRng, core: usize) -> Vec<Op> {
+    let log = 0xa_0000 + (core as u64) * 0x1_0000;
+    let marker = log + 63 * 64;
+    let mut prog = Vec::with_capacity(8 * 8);
+    for txn in 0..8 {
+        let payload = log + rng.below(32) * 64 + rng.below(8) * 8;
+        prog.push(Op::Store {
+            addr: payload,
+            value: (txn << 32) | 0xbeef,
+        });
+        prog.push(Op::Flush { addr: payload });
+        prog.push(Op::Fence);
+        prog.push(Op::Store {
+            addr: marker,
+            value: txn + 1,
+        });
+        prog.push(Op::Flush { addr: marker });
+        prog.push(Op::Fence);
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_pure_in_seed() {
+        for sc in Scenario::ALL {
+            assert_eq!(sc.programs(7, 2), sc.programs(7, 2), "{}", sc.name());
+            assert_ne!(sc.programs(7, 2), sc.programs(8, 2), "{}", sc.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::from_name(sc.name()), Some(sc));
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cores_get_distinct_streams() {
+        let progs = Scenario::FlushStorm.programs(3, 2);
+        assert_eq!(progs.len(), 2);
+        assert_ne!(progs[0], progs[1]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Reproducer shrinking: reduce a failing `(scenario, seed)` to a minimal
+//! op sequence that still hits the same violation.
+//!
+//! The reducer is a delta-debugging loop over the per-core op vectors:
+//! repeatedly try deleting chunks (halving the chunk size down to single
+//! ops) and keep any deletion under which the run still violates the same
+//! rule. Every candidate runs on a fresh system with the *same* perturbation
+//! seed, so the search is deterministic and the final reproducer replays
+//! bit-identically: same rule, same cycle, every time.
+
+use crate::explorer::{build_system, run_with_oracle, ExploreConfig};
+use crate::oracle::Violation;
+use crate::scenario::Scenario;
+use skipit_core::Op;
+
+/// A minimized failing run, replayable from this value alone.
+#[derive(Clone, Debug)]
+pub struct Reproducer {
+    /// Scenario the failure came from (for bookkeeping; the programs below
+    /// are what actually replays).
+    pub scenario: Scenario,
+    /// Perturbation seed the failure needs.
+    pub seed: u64,
+    /// Minimized per-core programs.
+    pub programs: Vec<Vec<Op>>,
+    /// The violation the minimized programs hit (rule and cycle are stable
+    /// across replays).
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for Reproducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "reproducer: scenario={} seed={} ops={:?} -> {}",
+            self.scenario.name(),
+            self.seed,
+            self.programs.iter().map(Vec::len).collect::<Vec<_>>(),
+            self.violation,
+        )?;
+        for (core, prog) in self.programs.iter().enumerate() {
+            writeln!(f, "  core {core}: {prog:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Greedy per-core ddmin: keeps deleting chunks while `still_fails`
+/// accepts the candidate; terminates when no single deletion (down to
+/// chunk size 1) is accepted. Deterministic in its inputs.
+pub fn shrink_programs<F>(mut programs: Vec<Vec<Op>>, mut still_fails: F) -> Vec<Vec<Op>>
+where
+    F: FnMut(&[Vec<Op>]) -> bool,
+{
+    loop {
+        let mut changed = false;
+        for core in 0..programs.len() {
+            let mut chunk = (programs[core].len() / 2).max(1);
+            loop {
+                let mut i = 0;
+                while i < programs[core].len() {
+                    let mut candidate = programs.clone();
+                    let end = (i + chunk).min(candidate[core].len());
+                    candidate[core].drain(i..end);
+                    if still_fails(&candidate) {
+                        programs = candidate;
+                        changed = true;
+                        // Re-test from the same index: the next chunk slid
+                        // into place.
+                    } else {
+                        i = end;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+        if !changed {
+            return programs;
+        }
+    }
+}
+
+/// Minimizes the failure at `(scenario, seed)`. Returns `None` if the point
+/// does not fail in the first place.
+pub fn minimize(scenario: Scenario, seed: u64, cfg: ExploreConfig) -> Option<Reproducer> {
+    let programs = scenario.programs(seed, cfg.cores);
+    let run = |progs: &[Vec<Op>]| -> Option<Violation> {
+        let mut sys = build_system(cfg, seed);
+        run_with_oracle(&mut sys, progs.to_vec()).1
+    };
+    let first = run(&programs)?;
+    let rule = first.rule;
+    let programs = shrink_programs(programs, |p| run(p).is_some_and(|v| v.rule == rule));
+    let violation = run(&programs).expect("shrinking preserves failure");
+    Some(Reproducer {
+        scenario,
+        seed,
+        programs,
+        violation,
+    })
+}
+
+/// Replays a reproducer on a fresh system; returns the violation it hits
+/// (which must equal `r.violation` — the determinism contract).
+pub fn replay(r: &Reproducer, cfg: ExploreConfig) -> Option<Violation> {
+    let mut sys = build_system(cfg, r.seed);
+    run_with_oracle(&mut sys, r.programs.clone()).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_finds_a_one_op_core() {
+        // Failure model: the run "fails" iff core 0 still contains the
+        // poison op. Everything else must be deleted.
+        let poison = Op::Store {
+            addr: 0xdead,
+            value: 1,
+        };
+        let mut programs = vec![Vec::new(), Vec::new()];
+        for i in 0..37 {
+            programs[0].push(Op::Load { addr: i * 8 });
+            programs[1].push(Op::Load {
+                addr: 0x800 + i * 8,
+            });
+        }
+        programs[0].insert(21, poison);
+        let shrunk = shrink_programs(programs, |p| p[0].contains(&poison));
+        assert_eq!(shrunk[0], vec![poison]);
+        assert!(shrunk[1].is_empty());
+    }
+
+    #[test]
+    fn ddmin_handles_op_pairs() {
+        // Failure needs *both* sentinel ops, in order.
+        let a = Op::Store {
+            addr: 0x10,
+            value: 1,
+        };
+        let b = Op::Flush { addr: 0x10 };
+        let mut program = vec![Op::Fence; 50];
+        program.insert(10, a);
+        program.insert(40, b);
+        let shrunk = shrink_programs(vec![program], |p| {
+            let ia = p[0].iter().position(|&o| o == a);
+            let ib = p[0].iter().position(|&o| o == b);
+            matches!((ia, ib), (Some(x), Some(y)) if x < y)
+        });
+        assert_eq!(shrunk, vec![vec![a, b]]);
+    }
+}

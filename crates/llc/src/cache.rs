@@ -10,9 +10,10 @@ use crate::arrays::L2Arrays;
 use crate::config::L2Config;
 use crate::stats::L2Stats;
 use skipit_mem::{Dram, MemReq, MemResp};
+use skipit_tilelink::perturb::L2_MSHR_SITE;
 use skipit_tilelink::{
     AgentId, Cap, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, GrantFlavor, Grow, LineAddr,
-    LineData, Link, Shrink, WritebackKind,
+    LineData, Link, PerturbConfig, Shrink, WritebackKind,
 };
 use skipit_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
@@ -119,6 +120,11 @@ pub struct InclusiveCache {
     cores: usize,
     /// Event sink for MSHR allocation/retirement and §5.5 DRAM-write skips.
     sink: Option<TraceSink>,
+    /// Adversarial MSHR-scheduling perturbation (None when rotation is off).
+    perturb: Option<PerturbConfig>,
+    /// Count of MSHR allocations; keys the rotation draw so it depends only
+    /// on simulated state transitions, never on how often a cycle is probed.
+    alloc_seq: u64,
 }
 
 impl InclusiveCache {
@@ -141,8 +147,18 @@ impl InclusiveCache {
             stats: L2Stats::default(),
             cores,
             sink: None,
+            perturb: None,
+            alloc_seq: 0,
             cfg,
         }
+    }
+
+    /// Enables seeded MSHR-scheduling perturbation: each allocation picks its
+    /// slot starting from a pseudo-random rotation of the free-slot scan,
+    /// which reorders the MSHR service walk relative to the deterministic
+    /// lowest-free-slot policy. A no-op unless `cfg.mshr_rotation` is set.
+    pub fn set_perturb(&mut self, cfg: PerturbConfig) {
+        self.perturb = cfg.mshr_rotation.then_some(cfg);
     }
 
     /// Installs an event sink; MSHR lifecycle and §5.5 trivial-completion
@@ -194,6 +210,16 @@ impl InclusiveCache {
         self.arrays.lookup(addr).is_some()
     }
 
+    /// Whether a line is resident *or* referenced by an active MSHR (as the
+    /// transaction address or as an inclusive-eviction victim) — the
+    /// invariant-oracle's notion of "the L2 still accounts for this line".
+    /// Mid-transaction a line can be directory-invalid yet fully tracked
+    /// (e.g. a victim between its last probe ack and the fill's
+    /// re-installation); such a line is not an inclusion violation.
+    pub fn peek_tracked(&self, addr: LineAddr) -> bool {
+        self.peek_valid(addr) || self.mshr_conflict(addr)
+    }
+
     fn mshr_conflict(&self, addr: LineAddr) -> bool {
         self.mshrs
             .iter()
@@ -201,8 +227,19 @@ impl InclusiveCache {
             .any(|m| m.addr == addr || m.victim == Some(addr))
     }
 
+    /// First free MSHR slot under the current scan rotation. A pure function
+    /// of simulated state (`alloc_seq` advances only when a slot is actually
+    /// allocated), so repeated calls within a cycle — including the
+    /// [`Self::can_accept_acquire`] pre-check — agree on the answer.
     fn free_mshr(&self) -> Option<usize> {
-        self.mshrs.iter().position(Option::is_none)
+        let n = self.mshrs.len();
+        let start = match self.perturb {
+            Some(cfg) => cfg.draw(L2_MSHR_SITE, self.alloc_seq, n as u64 - 1) as usize,
+            None => 0,
+        };
+        (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&i| self.mshrs[i].is_none())
     }
 
     /// Whether an Acquire for `addr` arriving this cycle would be sunk into
@@ -563,6 +600,7 @@ impl InclusiveCache {
             };
             ports.a[core].pop(now);
             self.occupied |= 1 << slot;
+            self.alloc_seq += 1;
             skipit_trace::trace!(
                 self.sink,
                 now,
@@ -600,6 +638,7 @@ impl InclusiveCache {
             panic!("ListBuffer held a non-RootRelease message: {msg:?}");
         };
         self.occupied |= 1 << slot;
+        self.alloc_seq += 1;
         skipit_trace::trace!(
             self.sink,
             now,

@@ -113,7 +113,6 @@ pub struct MemStats {
 }
 
 /// The main-memory model. See the [crate docs](crate) for semantics.
-#[derive(Debug)]
 pub struct Dram {
     cfg: DramConfig,
     lines: HashMap<u64, LineData>,
@@ -124,7 +123,44 @@ pub struct Dram {
     sink: Option<skipit_trace::TraceSink>,
 }
 
+impl std::fmt::Debug for Dram {
+    /// Deterministic rendering: `lines` is a `HashMap`, whose derived Debug
+    /// order varies per instance, but two `Dram`s holding the same state
+    /// must format identically — `System::state_digest` compares the Debug
+    /// text of independently built systems (engine equivalence, perturbation
+    /// inertness). Lines are therefore printed in address order.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut lines: Vec<(&u64, &LineData)> = self.lines.iter().collect();
+        lines.sort_by_key(|&(addr, _)| *addr);
+        f.debug_struct("Dram")
+            .field("cfg", &self.cfg)
+            .field("lines", &lines)
+            .field("inflight", &self.inflight)
+            .field("ready", &self.ready)
+            .field("next_issue", &self.next_issue)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
 impl Dram {
+    /// Snapshot of the *durable* memory image: exactly the lines whose
+    /// writes have completed. In-flight requests and queued responses are
+    /// dropped — a power failure loses them (§2.5) — so the returned `Dram`
+    /// is what a crash at this instant would leave for recovery. The live
+    /// memory is untouched; simulation can continue afterwards.
+    pub fn durable_image(&self) -> Dram {
+        Dram {
+            cfg: self.cfg,
+            lines: self.lines.clone(),
+            inflight: VecDeque::new(),
+            ready: VecDeque::new(),
+            next_issue: 0,
+            stats: self.stats,
+            sink: None,
+        }
+    }
+
     /// Creates an empty (all-zero) memory with the given timing.
     pub fn new(cfg: DramConfig) -> Self {
         Dram {

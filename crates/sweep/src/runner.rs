@@ -58,6 +58,11 @@ impl Sweep {
         self
     }
 
+    /// The points appended so far, in execution-table order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
     /// Appends a point (builder-by-reference, for loops).
     pub fn push(&mut self, point: Point) -> &mut Self {
         self.points.push(point);
@@ -176,16 +181,41 @@ impl SweepRunner {
 
     /// The thread count this runner would use for a sweep of `points`
     /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `SKIPIT_SWEEP_THREADS` is set but is not a positive
+    /// integer. A malformed override used to fall through silently to
+    /// `available_parallelism()`, which is exactly the wrong behavior for a
+    /// variable whose whole purpose is making runs reproducible.
     pub fn resolved_threads(&self, points: usize) -> usize {
         let n = self
             .threads
             .or_else(|| {
                 std::env::var("SKIPIT_SWEEP_THREADS")
                     .ok()
-                    .and_then(|v| v.parse().ok())
+                    .map(|v| Self::parse_threads_env("SKIPIT_SWEEP_THREADS", &v))
             })
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         n.max(1).min(points.max(1))
+    }
+
+    /// Strictly parses a thread-count environment override. Split out from
+    /// [`SweepRunner::resolved_threads`] so the rejection paths are testable
+    /// without mutating process-global environment state.
+    ///
+    /// # Panics
+    ///
+    /// Panics, naming the variable and the offending value, when the value
+    /// is not a positive integer.
+    fn parse_threads_env(var: &str, value: &str) -> usize {
+        match value.trim().parse::<usize>() {
+            Ok(0) => panic!(
+                "{var} must be a positive integer, got \"{value}\" (0 threads cannot run a sweep)"
+            ),
+            Ok(n) => n,
+            Err(_) => panic!("{var} must be a positive integer, got \"{value}\""),
+        }
     }
 
     /// Executes every point and collects the deterministic result table.
@@ -377,6 +407,24 @@ mod tests {
         assert_eq!(SweepRunner::new().threads(0).resolved_threads(5), 1);
         assert_eq!(SweepRunner::new().threads(16).resolved_threads(3), 3);
         assert_eq!(SweepRunner::serial().resolved_threads(8), 1);
+    }
+
+    #[test]
+    fn threads_env_parses_positive_integers() {
+        assert_eq!(SweepRunner::parse_threads_env("X", "1"), 1);
+        assert_eq!(SweepRunner::parse_threads_env("X", " 12 "), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "SKIPIT_SWEEP_THREADS must be a positive integer, got \"4 threads\"")]
+    fn threads_env_rejects_garbage_loudly() {
+        SweepRunner::parse_threads_env("SKIPIT_SWEEP_THREADS", "4 threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 threads cannot run a sweep")]
+    fn threads_env_rejects_zero_loudly() {
+        SweepRunner::parse_threads_env("SKIPIT_SWEEP_THREADS", "0");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod line;
 pub mod link;
 pub mod msg;
 pub mod perm;
+pub mod perturb;
 
 pub use line::{LineAddr, LineData, LINE_BYTES, WORDS_PER_LINE};
 pub use link::Link;
@@ -45,6 +46,7 @@ pub use msg::{
     AgentId, ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, GrantFlavor, WritebackKind,
 };
 pub use perm::{Cap, ClientState, Grow, Shrink};
+pub use perturb::PerturbConfig;
 
 /// Number of 16 B beats needed to move one full cache line over a TileLink
 /// data bus (Fig. 3: the SonicBOOM system bus is 16 B wide, so a 64 B line

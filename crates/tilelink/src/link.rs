@@ -136,6 +136,11 @@ pub struct Link<T> {
     /// by `System::set_trace`. `None` (the default) keeps push/pop
     /// at a single branch of overhead.
     trace: Option<(usize, TraceSink)>,
+    /// Adversarial-exploration jitter: `(site key, config)` installed by
+    /// `System::new` when perturbation is configured (see
+    /// [`crate::perturb`]). `None` (the default) adds zero overhead and
+    /// leaves timing bit-identical to an unperturbed link.
+    perturb: Option<(u64, crate::perturb::PerturbConfig)>,
 }
 
 impl<T: Beats + fmt::Debug> Link<T> {
@@ -155,7 +160,18 @@ impl<T: Beats + fmt::Debug> Link<T> {
             pushed: 0,
             popped: 0,
             trace: None,
+            perturb: None,
         }
+    }
+
+    /// Installs seeded delivery jitter: every subsequent push's wire delay
+    /// is stretched by `cfg.draw(site, message index, cfg.link_jitter)`
+    /// cycles. Keyed on the cumulative push counter — a state-changing event
+    /// count — so the jitter sequence is identical under every simulation
+    /// engine. Per-link FIFO order is preserved (the link stays a strict
+    /// FIFO); reordering arises only *across* channels.
+    pub fn set_perturb(&mut self, site: u64, cfg: crate::perturb::PerturbConfig) {
+        self.perturb = (cfg.link_jitter > 0).then_some((site, cfg));
     }
 
     /// Installs an event sink; messages entering and leaving the link emit
@@ -219,7 +235,10 @@ impl<T: Beats + fmt::Debug> Link<T> {
                 );
             }
         }
-        let start = (now + self.latency).max(self.next_free);
+        let mut start = (now + self.latency).max(self.next_free);
+        if let Some((site, cfg)) = self.perturb {
+            start += cfg.draw(site, self.pushed, cfg.link_jitter);
+        }
         let ready = start + msg.beats() - 1;
         self.next_free = ready + 1;
         self.queue.push_back((ready, msg));
@@ -390,5 +409,58 @@ mod tests {
         assert_eq!(l.iter().count(), 1);
         assert_eq!(l.len(), 1);
         assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn perturbed_link_is_deterministic_and_fifo() {
+        use crate::perturb::{link_site, PerturbConfig};
+        let cfg = PerturbConfig {
+            seed: 7,
+            link_jitter: 5,
+            ..PerturbConfig::default()
+        };
+        let run = || {
+            let mut l: Link<ChannelE> = Link::new(1, 32);
+            l.set_perturb(link_site('E', 0), cfg);
+            for i in 0..16 {
+                l.push(i, ack(i));
+            }
+            let mut readies = Vec::new();
+            while let Some(t) = l.next_ready() {
+                readies.push(t);
+                assert!(l.pop(t).is_some());
+            }
+            readies
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same (seed, site) must reproduce identical timing");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "FIFO order violated");
+        // Some message must actually have been delayed beyond base timing.
+        let mut base: Link<ChannelE> = Link::new(1, 32);
+        for i in 0..16 {
+            base.push(i, ack(i));
+        }
+        let mut base_readies = Vec::new();
+        while let Some(t) = base.next_ready() {
+            base_readies.push(t);
+            assert!(base.pop(t).is_some());
+        }
+        assert_ne!(a, base_readies, "jitter amplitude 5 never fired");
+    }
+
+    #[test]
+    fn zero_amplitude_perturbation_is_inert() {
+        use crate::perturb::{link_site, PerturbConfig};
+        let mut l: Link<ChannelE> = Link::new(2, 8);
+        l.set_perturb(
+            link_site('E', 1),
+            PerturbConfig {
+                seed: 99,
+                ..PerturbConfig::default()
+            },
+        );
+        l.push(0, ack(0));
+        assert_eq!(l.next_ready(), Some(2), "zero amplitude must not delay");
     }
 }

@@ -9,6 +9,7 @@
 //! `examples/quickstart.rs`.
 
 pub use skipit_core as core;
+pub use skipit_explore as explore;
 pub use skipit_pds as pds;
 pub use skipit_sweep as sweep;
 
@@ -40,6 +41,10 @@ pub mod prelude {
     pub use skipit_core::{
         paper_platform, ConfigError, CoreHandle, EngineKind, EngineStats, MetricsSnapshot, Op,
         System, SystemBuilder, SystemConfig, SystemStats, TraceConfig, TraceFilter,
+    };
+    pub use skipit_explore::{
+        explore_one, minimize, scan_crash_points, ExploreConfig, InvariantOracle, Reproducer,
+        Scenario, Violation,
     };
     pub use skipit_sweep::{
         Point, PointCtx, PointOutput, PointStatus, Sweep, SweepReport, SweepRow, SweepRunner,

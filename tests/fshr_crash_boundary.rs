@@ -1,0 +1,101 @@
+//! The §4 asynchronous-writeback durability boundary, probed at cycle
+//! granularity: once the flush unit has *accepted* a line (FSHR allocated,
+//! data buffer filled) the write is still **not** durable until DRAM
+//! completes it. A crash image taken in that window must not contain the
+//! write; only the fence's retirement guarantees it.
+
+use skipit::core::{FshrState, LineAddr};
+use skipit::prelude::*;
+
+const ADDR: u64 = 0x7_0000;
+
+/// Crash while the FSHR's data buffer holds the line (accepted by the
+/// flush unit, not yet accepted by DRAM): the image must miss the write.
+#[test]
+fn fshr_buffered_line_is_not_durable() {
+    let mut sys = SystemBuilder::new().cores(1).build();
+    let line = LineAddr::containing(ADDR);
+    // Make the line dirty in the L1 first.
+    sys.run_programs(vec![vec![Op::Store {
+        addr: ADDR,
+        value: 42,
+    }]]);
+    assert_eq!(sys.dram().read_word_direct(ADDR), 0);
+
+    // Now flush it, snapshotting the durable image at the first cycle the
+    // FSHR holds the line's data.
+    let mut at_buffer = None;
+    let mut at_waitack = None;
+    sys.run_programs_observed(vec![vec![Op::Flush { addr: ADDR }, Op::Fence]], |s| {
+        let fu = s.l1(0).flush_unit();
+        if let Some(f) = fu.fshr_for(line) {
+            if f.buffer.is_some() && at_buffer.is_none() {
+                at_buffer = Some((s.now(), s.durable_image()));
+            }
+            if f.state == FshrState::WaitAck && at_waitack.is_none() {
+                at_waitack = Some((s.now(), s.durable_image()));
+            }
+        }
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .unwrap();
+
+    // Accepted by the flush unit, data in the FSHR buffer: not durable.
+    let (cycle, image) = at_buffer.expect("observer never saw the FSHR buffer the line");
+    assert_eq!(
+        image.read_word_direct(ADDR),
+        0,
+        "cycle {cycle}: a crash while the FSHR buffers the line must lose the write"
+    );
+    // The FSHR reached wait-ack (release sent). Durability is *still* only
+    // lower-bounded by the DRAM write completion, not by the send.
+    let (wa_cycle, _) = at_waitack.expect("observer never saw wait_ack");
+    assert!(wa_cycle >= cycle);
+
+    // After the fence retires, the write is durable — and stays durable.
+    assert_eq!(sys.durable_image().read_word_direct(ADDR), 42);
+    sys.quiesce();
+    assert_eq!(sys.durable_image().read_word_direct(ADDR), 42);
+}
+
+/// The same boundary under a racing store: a second store to the line
+/// *after* the flush was accepted must not leak into the flushed image
+/// retroactively — the durable image is monotone in completed DRAM writes
+/// only.
+#[test]
+fn durable_image_never_contains_unaccepted_writes() {
+    let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
+    let mut images: Vec<(u64, u64)> = Vec::new(); // (cycle, word at ADDR)
+    let prog = vec![
+        Op::Store {
+            addr: ADDR,
+            value: 1,
+        },
+        Op::Flush { addr: ADDR },
+        Op::Fence,
+        Op::Store {
+            addr: ADDR,
+            value: 2,
+        },
+        Op::Clean { addr: ADDR },
+        Op::Fence,
+    ];
+    let mut last_writes = u64::MAX;
+    sys.run_programs_observed(vec![prog], |s| {
+        let w = s.stats().mem.writes;
+        if w != last_writes {
+            last_writes = w;
+            images.push((s.now(), s.durable_image().read_word_direct(ADDR)));
+        }
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .unwrap();
+    sys.quiesce();
+    // Every observed durable value is one the program actually persisted,
+    // in order: 0 (initial), then 1 (flush), then 2 (clean).
+    let seq: Vec<u64> = images.iter().map(|&(_, v)| v).collect();
+    let mut dedup = seq.clone();
+    dedup.dedup();
+    assert_eq!(dedup, [0, 1, 2], "durable values out of order: {seq:?}");
+    assert_eq!(sys.durable_image().read_word_direct(ADDR), 2);
+}

@@ -12,69 +12,74 @@ const COMMIT: u64 = 0x3_0000; // commit record
 /// Undo-log transaction: persist old values, then in-place updates, then
 /// the commit record. A crash before the commit record is recoverable by
 /// rolling back from the log; after it, the new values are durable.
+///
+/// One simulation, four crash points: `System::durable_image` snapshots
+/// the persisted state at each phase boundary without consuming the
+/// system, so every candidate crash instant is checked against the *same*
+/// execution instead of a per-phase rebuild-and-replay.
 #[test]
 fn undo_log_transaction_recovers_at_every_crash_point() {
     let n = 4u64; // fields updated by the transaction
-    for crash_phase in 0..=3 {
-        let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
-        // Initial durable state: field i = 100 + i.
-        sys.run_threads(
-            vec![move |h: CoreHandle| {
-                for i in 0..n {
-                    h.store(DATA_BASE + i * 64, 100 + i);
-                    h.clean(DATA_BASE + i * 64);
-                }
-                h.fence();
-            }],
-            None,
-        );
+    let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
+    let mut images = Vec::new();
 
-        // Phase 1: write + persist the undo log (old values, addresses).
-        if crash_phase >= 1 {
-            sys.run_threads(
-                vec![move |h: CoreHandle| {
-                    for i in 0..n {
-                        let e = LOG_BASE + i * 64;
-                        h.store(e, DATA_BASE + i * 64); // address
-                        h.store(e + 8, 100 + i); // old value
-                        h.clean(e);
-                    }
-                    h.fence();
-                    // Log valid marker.
-                    h.store(LOG_BASE + n * 64, n);
-                    h.clean(LOG_BASE + n * 64);
-                    h.fence();
-                }],
-                None,
-            );
-        }
-        // Phase 2: in-place updates, persisted.
-        if crash_phase >= 2 {
-            sys.run_threads(
-                vec![move |h: CoreHandle| {
-                    for i in 0..n {
-                        h.store(DATA_BASE + i * 64, 200 + i);
-                        h.clean(DATA_BASE + i * 64);
-                    }
-                    h.fence();
-                }],
-                None,
-            );
-        }
-        // Phase 3: commit record.
-        if crash_phase >= 3 {
-            sys.run_threads(
-                vec![move |h: CoreHandle| {
-                    h.store(COMMIT, 1);
-                    h.clean(COMMIT);
-                    h.fence();
-                }],
-                None,
-            );
-        }
+    // Initial durable state: field i = 100 + i.
+    sys.run_threads(
+        vec![move |h: CoreHandle| {
+            for i in 0..n {
+                h.store(DATA_BASE + i * 64, 100 + i);
+                h.clean(DATA_BASE + i * 64);
+            }
+            h.fence();
+        }],
+        None,
+    );
+    images.push(sys.durable_image()); // crash before phase 1
 
-        // CRASH. Recovery sees only the durable image.
-        let dram = sys.crash();
+    // Phase 1: write + persist the undo log (old values, addresses).
+    sys.run_threads(
+        vec![move |h: CoreHandle| {
+            for i in 0..n {
+                let e = LOG_BASE + i * 64;
+                h.store(e, DATA_BASE + i * 64); // address
+                h.store(e + 8, 100 + i); // old value
+                h.clean(e);
+            }
+            h.fence();
+            // Log valid marker.
+            h.store(LOG_BASE + n * 64, n);
+            h.clean(LOG_BASE + n * 64);
+            h.fence();
+        }],
+        None,
+    );
+    images.push(sys.durable_image()); // crash after log write
+
+    // Phase 2: in-place updates, persisted.
+    sys.run_threads(
+        vec![move |h: CoreHandle| {
+            for i in 0..n {
+                h.store(DATA_BASE + i * 64, 200 + i);
+                h.clean(DATA_BASE + i * 64);
+            }
+            h.fence();
+        }],
+        None,
+    );
+    images.push(sys.durable_image()); // crash after updates, before commit
+
+    // Phase 3: commit record.
+    sys.run_threads(
+        vec![move |h: CoreHandle| {
+            h.store(COMMIT, 1);
+            h.clean(COMMIT);
+            h.fence();
+        }],
+        None,
+    );
+    images.push(sys.durable_image()); // crash after commit
+
+    for (crash_phase, dram) in images.iter().enumerate() {
         let committed = dram.read_word_direct(COMMIT) == 1;
         let log_valid = dram.read_word_direct(LOG_BASE + n * 64) == n;
         for i in 0..n {
@@ -103,30 +108,35 @@ fn undo_log_transaction_recovers_at_every_crash_point() {
 /// Epoch persistence: batches of updates separated by one flush pass +
 /// fence per epoch. After a crash, the durable image reflects a whole
 /// number of epochs per line.
+/// One simulation: after each epoch's fence, half the lines receive torn
+/// (unfenced) stores of the *next* tentative epoch; the durable image
+/// snapshot taken at that instant must show exactly the fenced epoch.
 #[test]
 fn epoch_persistence_is_atomic_per_epoch() {
     let lines = 8u64;
-    for completed_epochs in 0..4u64 {
-        let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
+    let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
+    let mut images = vec![sys.durable_image()]; // 0 completed epochs
+    for epoch in 1..=3u64 {
         sys.run_threads(
             vec![move |h: CoreHandle| {
-                for epoch in 1..=completed_epochs {
-                    for l in 0..lines {
-                        h.store(0x5_0000 + l * 64, epoch * 1000 + l);
-                    }
-                    for l in 0..lines {
-                        h.clean(0x5_0000 + l * 64);
-                    }
-                    h.fence(); // epoch boundary: everything above durable
+                for l in 0..lines {
+                    h.store(0x5_0000 + l * 64, epoch * 1000 + l);
                 }
-                // A torn, unfenced epoch on top (must not be trusted).
+                for l in 0..lines {
+                    h.clean(0x5_0000 + l * 64);
+                }
+                h.fence(); // epoch boundary: everything above durable
+                           // A torn, unfenced epoch on top (must not be trusted).
                 for l in 0..lines / 2 {
                     h.store(0x5_0000 + l * 64, 9_999_000 + l);
                 }
             }],
             None,
         );
-        let dram = sys.crash();
+        images.push(sys.durable_image());
+    }
+    for (completed_epochs, dram) in images.iter().enumerate() {
+        let completed_epochs = completed_epochs as u64;
         for l in 0..lines {
             let v = dram.read_word_direct(0x5_0000 + l * 64);
             let want = if completed_epochs == 0 {

@@ -106,13 +106,18 @@ fn run_crash_trial(mode: PersistMode, opt: OptKind, skip_hw: bool, seed: u64) {
         }
     }
 
-    // Power failure.
-    let dram = sys.crash();
+    // Power failure — non-consuming snapshot, so later snapshots of the
+    // same system stay possible.
+    let dram = sys.durable_image();
     let recovered = recover_list(&dram, head);
     assert_eq!(
         recovered, expected,
         "mode {mode:?} opt {opt:?}: recovered set diverges from committed ops"
     );
+    // The live system keeps running past the crash point: a second
+    // snapshot with no intervening work is byte-identical.
+    let again = recover_list(&sys.durable_image(), head);
+    assert_eq!(again, recovered, "durable image must be stable at rest");
 }
 
 #[test]
@@ -155,7 +160,7 @@ fn automatic_flit_adjacent_list_survives_crash() {
         }],
         None,
     );
-    let dram = sys.crash();
+    let dram = sys.durable_image();
     // Walk with 16-byte field stride.
     let mut found = BTreeSet::new();
     let mut node = ptr::addr(dram.read_word_direct(head + 16));
@@ -209,7 +214,7 @@ fn non_persistent_list_loses_data_on_crash() {
         }],
         None,
     );
-    let dram = sys.crash();
+    let dram = sys.durable_image();
     let recovered = recover_list(&dram, head);
     assert!(
         recovered.len() < 19,
