@@ -18,6 +18,11 @@ cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 
 # `ci.sh --quick` additionally:
+#  - runs the parallel-engine smoke: a fig09-shaped saturated run and a
+#    perturbed exploration scenario executed under the serial component
+#    wheel and again under the parallel wheel at 2 threads; fails on any
+#    divergence in cycles, statistics, durable memory, trace streams, or
+#    oracle verdicts (examples/parallel_smoke.rs).
 #  - runs the sharded-sweep smoke: a 4-point real-simulation sweep executed
 #    serially and at 2 worker threads; fails on any error row or if the two
 #    result tables are not bit-identical (examples/sweep_smoke.rs).
@@ -31,6 +36,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 #    BENCH_simspeed.json. The JSON written by the smoke run goes to a temp
 #    file so the committed full-size numbers are never clobbered.
 if [[ "${1:-}" == "--quick" ]]; then
+  cargo run --release --example parallel_smoke
   cargo run --release --example sweep_smoke
   cargo run --release --example explore_smoke
   SKIPIT_BENCH_QUICK=1 \

@@ -1,11 +1,15 @@
-//! Host-side simulation speed of the three engines (not a paper figure).
+//! Host-side simulation speed of the engines (not a paper figure).
 //!
 //! Runs a Fig. 9-shaped writeback microbenchmark and a Fig. 14-shaped
 //! persistent-set workload under naive cycle-by-cycle stepping, the
 //! global-gate fast-forward engine, and the component-wheel engine; reports
 //! kilo-simulated-cycles per host second for each, asserts all engines agree
 //! cycle-for-cycle, and writes the numbers to `BENCH_simspeed.json` at the
-//! repository root.
+//! repository root. A separate section compares the serial component wheel
+//! against the parallel wheel on a saturated fig09 shape (cycle-identity
+//! asserted); its wall-clock speedup is reported as `null` on single-CPU
+//! hosts, where the comparison measures only dispatch overhead. Every
+//! section records `host_cpus` so committed numbers are interpretable.
 //!
 //! Every timing is the median of [`MEASURE_BLOCKS`] repeated blocks after
 //! one discarded warm-up block, and the blocks of the variants being
@@ -43,6 +47,12 @@ fn median_kcps(mut blocks: Vec<f64>) -> f64 {
     assert!(!blocks.is_empty());
     blocks.sort_by(f64::total_cmp);
     blocks[blocks.len() / 2]
+}
+
+/// Host CPUs available to this process; every JSON section records it so
+/// wall-clock figures committed from one host are interpretable on another.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 struct Row {
@@ -209,6 +219,78 @@ fn fig14_shaped(name: &'static str, ds: DsKind, budget: u64) -> Row {
     }
 }
 
+/// Serial component wheel vs the parallel wheel on a saturated fig09
+/// shape — the busy-path wall the parallel engine exists to break.
+struct ParallelRow {
+    workload: &'static str,
+    sim_cycles: u64,
+    host_cpus: usize,
+    threads: usize,
+    wheel_kcps: f64,
+    parallel_kcps: f64,
+}
+
+impl ParallelRow {
+    /// Wall-clock speedup of the parallel wheel over the serial wheel.
+    /// `None` on a single-CPU host: the pool degenerates to one worker and
+    /// the ratio measures dispatch overhead, not the engine.
+    fn wall_speedup(&self) -> Option<f64> {
+        (self.host_cpus > 1).then(|| self.parallel_kcps / self.wheel_kcps.max(1e-9))
+    }
+}
+
+/// Interleaved wheel-vs-parallel timing on an all-cores-busy fig09 shape
+/// (`threads` simulated cores, every one due every cycle, so the slot pool
+/// genuinely engages). Asserts per-sample and total cycle identity — the
+/// parallel engine's speedup only counts because its results are
+/// bit-identical.
+fn parallel_shaped(name: &'static str, threads: usize, size: u64, reps: u32) -> ParallelRow {
+    let exec = |kind: EngineKind, reps: u32| {
+        let mut sys = SystemBuilder::new().cores(threads).engine(kind).build();
+        let wall = Instant::now();
+        let samples: Vec<u64> = (0..reps)
+            .map(|_| fig9_sample(&mut sys, threads as u64, size, true))
+            .collect();
+        let secs = wall.elapsed().as_secs_f64();
+        (samples, sys.stats().cycles, secs)
+    };
+    const ENGINES: [EngineKind; 2] = [EngineKind::ComponentWheel, EngineKind::ParallelWheel];
+    for kind in ENGINES {
+        exec(kind, 1); // warm-up, discarded
+    }
+    let mut blocks: [Vec<f64>; 2] = Default::default();
+    let mut runs = Vec::new();
+    for block in 0..MEASURE_BLOCKS {
+        // Round-robin wheel/parallel; see `fig09_shaped`.
+        for (e, kind) in ENGINES.into_iter().enumerate() {
+            let (samples, cycles, secs) = exec(kind, reps);
+            blocks[e].push(cycles as f64 / secs / 1e3);
+            if block == 0 {
+                runs.push((samples, cycles));
+            }
+        }
+    }
+    let [wheel_b, parallel_b] = blocks;
+    let (parallel_samples, parallel_cycles) = runs.pop().expect("parallel block");
+    let (wheel_samples, wheel_cycles) = runs.pop().expect("wheel block");
+    assert_eq!(
+        wheel_samples, parallel_samples,
+        "{name}: per-sample cycle counts diverge between wheel and parallel"
+    );
+    assert_eq!(
+        wheel_cycles, parallel_cycles,
+        "{name}: total cycle counts diverge between wheel and parallel"
+    );
+    ParallelRow {
+        workload: name,
+        sim_cycles: wheel_cycles,
+        host_cpus: host_cpus(),
+        threads,
+        wheel_kcps: median_kcps(wheel_b),
+        parallel_kcps: median_kcps(parallel_b),
+    }
+}
+
 /// Tracing overhead on the wheel engine: the same Fig. 9 workload with the
 /// event trace compiled in but off, with the ring buffers live, and with a
 /// Chrome-trace export after every rep.
@@ -317,7 +399,7 @@ fn sweep_wall(threads: usize) -> SweepWall {
     SweepWall {
         workload: "fig15_sweep_16pt",
         points: fig15_reduced_sweep().len(),
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus: host_cpus(),
         threads,
         serial_secs: serial_b[serial_b.len() / 2],
         parallel_secs: parallel_b[parallel_b.len() / 2],
@@ -358,13 +440,51 @@ fn baseline_speedups(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Extracts the committed parallel-engine wall speedup from a previous
+/// `BENCH_simspeed.json`, if its host recorded one (`null` on 1-CPU hosts).
+fn baseline_parallel_wall(text: &str) -> Option<f64> {
+    let i = text.find("\"parallel\": {")?;
+    let rest = &text[i..];
+    let j = rest.find("\"wall_speedup\": ")?;
+    let num: String = rest[j + "\"wall_speedup\": ".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
 /// The CI regression gate: fails the run if any workload's speedup dropped
-/// more than 20 % below the committed baseline.
-fn check_against_baseline(rows: &[Row], path: &str) {
+/// more than 20 % below the committed baseline. Wall-clock comparisons
+/// (the parallel-engine speedup) are skipped on single-CPU hosts, where
+/// the measured ratio reflects host topology rather than a regression.
+fn check_against_baseline(rows: &[Row], parallel: &ParallelRow, path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("SKIPIT_BENCH_BASELINE {path}: {e}"));
     let baseline = baseline_speedups(&text);
     let mut failed = false;
+    match (parallel.wall_speedup(), baseline_parallel_wall(&text)) {
+        (_, None) => println!("# baseline: no parallel wall speedup committed, skipping"),
+        (None, Some(_)) => println!(
+            "# baseline: host has {} CPU(s), skipping wall-clock speedup comparison",
+            parallel.host_cpus
+        ),
+        (Some(got), Some(base)) => {
+            let floor = base * 0.8;
+            if got < floor {
+                eprintln!(
+                    "FAIL {}: parallel wall speedup {got:.2} is below 0.8x the \
+                     baseline {base:.2} (floor {floor:.2})",
+                    parallel.workload
+                );
+                failed = true;
+            } else {
+                println!(
+                    "# baseline ok {}: parallel wall speedup {got:.2} vs committed {base:.2}",
+                    parallel.workload
+                );
+            }
+        }
+    }
     for r in rows {
         let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
             println!("# baseline: {} not in {path}, skipping", r.name);
@@ -437,6 +557,34 @@ fn main() {
         ));
     }
 
+    let pr = parallel_shaped("fig09_8t_parallel", 8, 32 * 1024, reps);
+    println!(
+        "# parallel wheel vs serial wheel on {} ({} simulated cores, host has {} CPUs)",
+        pr.workload, pr.threads, pr.host_cpus
+    );
+    println!("sim_cycles,wheel_kcps,parallel_kcps,wall_speedup");
+    println!(
+        "{},{:.0},{:.0},{}",
+        pr.sim_cycles,
+        pr.wheel_kcps,
+        pr.parallel_kcps,
+        pr.wall_speedup()
+            .map_or("skipped(1-cpu)".into(), |s| format!("{s:.2}"))
+    );
+    // Keys deliberately avoid "workload"/"speedup"; see the sweep section.
+    let parallel_json = format!(
+        "  \"parallel\": {{\"name\": \"{}\", \"sim_cycles\": {}, \"host_cpus\": {}, \
+         \"sim_cores\": {}, \"wheel_kcycles_per_sec\": {}, \
+         \"parallel_kcycles_per_sec\": {}, \"wall_speedup\": {}}},",
+        pr.workload,
+        pr.sim_cycles,
+        pr.host_cpus,
+        pr.threads,
+        json_num(pr.wheel_kcps),
+        json_num(pr.parallel_kcps),
+        pr.wall_speedup().map_or("null".into(), json_num)
+    );
+
     let tr = tracing_overhead("fig09_1t_32k", 1, 32 * 1024, reps);
     println!("# tracing overhead on {} (wheel engine)", tr.workload);
     println!(
@@ -451,7 +599,7 @@ fn main() {
         TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps)
     );
     let tracing_json = format!(
-        "  \"tracing\": {{\"workload\": \"{}\", \"off_kcycles_per_sec\": {}, \
+        "  \"tracing\": {{\"workload\": \"{}\", \"host_cpus\": {host}, \"off_kcycles_per_sec\": {}, \
          \"ring_kcycles_per_sec\": {}, \"export_kcycles_per_sec\": {}, \
          \"ring_overhead_pct\": {}, \"export_overhead_pct\": {}}},",
         tr.workload,
@@ -459,7 +607,8 @@ fn main() {
         json_num(tr.ring_kcps),
         json_num(tr.export_kcps),
         json_num(TraceRow::overhead_pct(tr.off_kcps, tr.ring_kcps)),
-        json_num(TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps))
+        json_num(TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps)),
+        host = host_cpus()
     );
 
     let sw = sweep_wall(8);
@@ -498,14 +647,16 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
-         \"quick\": {},\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
+        host_cpus(),
+        parallel_json,
         tracing_json,
         sweep_json,
         entries.join(",\n")
     );
     if let Ok(path) = std::env::var("SKIPIT_BENCH_BASELINE") {
-        check_against_baseline(&rows, &path);
+        check_against_baseline(&rows, &pr, &path);
     }
     let path = match std::env::var("SKIPIT_BENCH_OUT") {
         Ok(p) => std::path::PathBuf::from(p),

@@ -1,0 +1,56 @@
+//! Quick busy-path profiling harness for the serial engines.
+//!
+//! Runs the fig09-shaped saturated-writeback workload (all cores busy every
+//! cycle — the workload where cycle skipping is useless and raw per-cycle
+//! step cost dominates) under one engine and prints kcycles/sec. Used for
+//! before/after numbers when optimising the busy path; not part of the
+//! committed benchmark protocol (see `benches/simspeed.rs` for that).
+//!
+//! Usage: `cargo run --release -p skipit-bench --example busy_profile [engine] [reps]`
+//! where `engine` is `naive`, `gate`, `wheel` (default) or `parallel`.
+
+use skipit_bench::micro;
+use skipit_core::{EngineKind, SystemBuilder};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let engine = match args.next().as_deref() {
+        None | Some("wheel") => EngineKind::ComponentWheel,
+        Some("naive") => EngineKind::Naive,
+        Some("gate") => EngineKind::GlobalGate,
+        Some("parallel") => EngineKind::ParallelWheel,
+        Some(other) => panic!("unknown engine {other:?} (naive|gate|wheel|parallel)"),
+    };
+    let reps: u32 = args
+        .next()
+        .map(|s| s.parse().expect("reps must be an integer"))
+        .unwrap_or(6);
+
+    let threads = 8u64;
+    let bytes = 4 * 1024 * 1024;
+    // Warm-up rep, then `reps` measured reps; report the best (least-noise)
+    // and median kcycles/sec.
+    let mut sys = SystemBuilder::new()
+        .cores(threads as usize)
+        .skip_it(true)
+        .engine(engine)
+        .build();
+    micro::fig9_sample(&mut sys, threads, bytes, true);
+    let mut rates = Vec::new();
+    let mut total_cycles = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let cycles = micro::fig9_sample(&mut sys, threads, bytes, true);
+        let dt = t0.elapsed().as_secs_f64();
+        total_cycles += cycles;
+        rates.push(cycles as f64 / dt / 1000.0);
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "engine={engine:?} reps={reps} cycles/rep={} median_kcps={:.1} best_kcps={:.1}",
+        total_cycles / reps as u64,
+        rates[rates.len() / 2],
+        rates[rates.len() - 1],
+    );
+}

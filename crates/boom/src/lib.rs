@@ -22,6 +22,7 @@ pub mod export;
 pub mod handle;
 pub mod lsu;
 pub mod op;
+pub mod pool;
 pub mod system;
 pub mod trace;
 

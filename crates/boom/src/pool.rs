@@ -1,0 +1,352 @@
+//! A persistent host-thread pool for the parallel wheel engine.
+//!
+//! [`WheelPool::run`] executes one closure across `threads` slots — slot 0
+//! on the calling thread, slots 1.. on persistent workers — and returns only
+//! after every slot finished (the cycle barrier). Dispatch is epoch-based:
+//! the caller publishes a job and bumps an epoch counter; workers spin
+//! briefly on the epoch and park when a cycle gap leaves them idle, so a
+//! simulation that falls back to serial stepping pays nothing for an idle
+//! pool. The pool is rebuilt per [`System`](crate::System), never shared, so
+//! dispatch needs no locking beyond the epoch/done counters.
+//!
+//! Worker panics are caught at the slot boundary, the barrier still
+//! completes (no worker is ever left running into the next cycle's state),
+//! and the payload is re-thrown on the calling thread.
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Spins on the epoch before parking. Parking costs a futex round trip on
+/// wake; a busy simulation dispatches every few microseconds, so a short
+/// spin window keeps workers hot without burning a host CPU during jumps.
+const SPIN_LIMIT: u32 = 4096;
+
+/// A type-erased job: `run(data, slot)` steps one slot's share of the
+/// cycle. `data` points at the borrowed closure passed to
+/// [`WheelPool::run`]; it is only dereferenced between the epoch bump and
+/// the barrier, while the closure is provably alive on the caller's stack.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const (), usize),
+    data: *const (),
+}
+
+struct Shared {
+    /// Bumped once per dispatch (and once at shutdown). Workers treat any
+    /// change as "a job (or shutdown) is published".
+    epoch: AtomicU64,
+    /// Workers finished with the current epoch's job.
+    done: AtomicUsize,
+    shutdown: AtomicBool,
+    /// The published job. Written by the caller before the epoch bump
+    /// (release) and read by workers after observing the bump (acquire);
+    /// workers never touch it after their `done` increment.
+    job: UnsafeCell<Job>,
+    /// First worker panic of the current dispatch, re-thrown by the caller
+    /// after the barrier.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `job` is the only non-Sync field. It is written only by the
+// dispatching thread while no worker is between epoch-observation and
+// done-increment (the caller blocks on the barrier before returning from
+// `run`, and holds `&mut self`/ownership exclusivity between dispatches),
+// and the release epoch bump / acquire epoch load pair orders the write
+// before every worker read. The raw `data` pointer is dereferenced only
+// inside that same window, during which the pointee is a live stack
+// borrow of the caller.
+unsafe impl Sync for Shared {}
+unsafe impl Send for Shared {}
+
+/// Persistent worker threads stepping wheel slots in parallel. See the
+/// [module docs](self).
+pub struct WheelPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WheelPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WheelPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WheelPool {
+    /// Spawns a pool running jobs across `threads` slots (`threads - 1`
+    /// worker threads; slot 0 always runs on the caller). `threads` is
+    /// clamped to at least 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            job: UnsafeCell::new(Job {
+                run: |_, _| {},
+                data: std::ptr::null(),
+            }),
+            panic: Mutex::new(None),
+        });
+        let workers = (1..threads)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("skipit-wheel-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawning a wheel worker thread failed")
+            })
+            .collect();
+        WheelPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of slots a job is dispatched across (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(slot)` for every slot in `0..threads()`, slot 0 on the
+    /// calling thread, and returns after all slots completed. If any slot
+    /// panicked, the barrier still completes and the first captured payload
+    /// is re-thrown here.
+    pub fn run<F: Fn(usize) + Sync>(&self, f: &F) {
+        if self.workers.is_empty() {
+            f(0);
+            return;
+        }
+        unsafe fn trampoline<F: Fn(usize)>(data: *const (), slot: usize) {
+            // SAFETY: `data` was derived from `&F` by the caller below and
+            // stays borrowed until the barrier completes.
+            let f = unsafe { &*(data.cast::<F>()) };
+            f(slot);
+        }
+        // SAFETY: no worker is between epoch-observation and done-increment
+        // (the previous `run` blocked on its barrier), so this write does
+        // not race; the release bump below publishes it.
+        unsafe {
+            *self.shared.job.get() = Job {
+                run: trampoline::<F>,
+                data: (f as *const F).cast(),
+            };
+        }
+        self.shared.done.store(0, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in &self.workers {
+            h.thread().unpark();
+        }
+        let local = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) != self.workers.len() {
+            // Spin briefly, then yield: when workers outnumber host CPUs
+            // (or the host has one CPU), an unyielding spin here would burn
+            // the caller's whole scheduler timeslice before a worker ever
+            // gets to run, turning every barrier into milliseconds.
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if let Err(payload) = local {
+            panic::resume_unwind(payload);
+        }
+        // Take the payload with the guard already dropped: rethrowing while
+        // the `if let` scrutinee's temporary guard is live would poison the
+        // mutex and break every later dispatch on this pool.
+        let worker_panic = self
+            .shared
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(payload) = worker_panic {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WheelPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in &self.workers {
+            h.thread().unpark();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    // Baseline at the creation-time epoch (0), NOT a fresh load: a dispatch
+    // can land between `spawn` and the worker's first instruction, and a
+    // fresh load would adopt that bumped epoch as "already seen" — the
+    // worker would sleep through the first job and deadlock the barrier.
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                // An unpark between the epoch check and this park leaves a
+                // token, so the park returns immediately — no lost wakeup.
+                std::thread::park();
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: published before the epoch bump we just observed.
+        let job = unsafe { *shared.job.get() };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the dispatching thread keeps the pointee alive until
+            // the barrier, which cannot complete before our `done`
+            // increment below.
+            unsafe { (job.run)(job.data, slot) }
+        }));
+        if let Err(payload) = result {
+            let mut guard = shared.panic.lock().unwrap_or_else(|e| e.into_inner());
+            guard.get_or_insert(payload);
+        }
+        shared.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Parses a thread-count environment variable, panicking with a clear
+/// message on unparseable or zero values (the same contract as
+/// `SKIPIT_SWEEP_THREADS` in the sweep runner).
+///
+/// # Panics
+///
+/// Panics unless `value` parses as a positive integer.
+pub fn parse_threads_env(var: &str, value: &str) -> usize {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => panic!("{var} must be a positive integer, got {value:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn runs_every_slot_exactly_once() {
+        let pool = WheelPool::new(4);
+        let hits: Vec<Counter> = (0..4).map(|_| Counter::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(&|slot| {
+                hits[slot].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WheelPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hit = Counter::new(0);
+        pool.run(&|slot| {
+            assert_eq!(slot, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn barrier_orders_worker_writes_before_return() {
+        // Each slot writes its own cell; after `run` returns the caller
+        // must observe every write (the done-counter acquire/release pair).
+        let pool = WheelPool::new(3);
+        let cells: Vec<Counter> = (0..3).map(|_| Counter::new(0)).collect();
+        for round in 1..=50u64 {
+            pool.run(&|slot| {
+                cells[slot].store(round, Ordering::Relaxed);
+            });
+            for c in &cells {
+                assert_eq!(c.load(Ordering::Relaxed), round);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_rethrown_on_caller() {
+        let pool = WheelPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|slot| {
+                if slot == 1 {
+                    panic!("boom in worker");
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panic must surface");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom in worker"), "got {msg:?}");
+        // The pool must stay usable after a caught panic.
+        pool.run(&|_| {});
+    }
+
+    #[test]
+    fn first_dispatch_races_worker_startup() {
+        // Regression: a dispatch can land before a freshly spawned worker
+        // executes its first instruction; if workers baseline their seen
+        // epoch with a load instead of the creation-time value they sleep
+        // through that job and the barrier never completes. Fresh pool per
+        // iteration maximizes the window.
+        for _ in 0..50 {
+            let pool = WheelPool::new(3);
+            let hits = Counter::new(0);
+            pool.run(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 3);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WheelPool::new(4);
+        pool.run(&|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn parse_threads_env_accepts_positive() {
+        assert_eq!(parse_threads_env("X", "1"), 1);
+        assert_eq!(parse_threads_env("X", " 8 "), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "SKIPIT_ENGINE_THREADS must be a positive integer")]
+    fn parse_threads_env_rejects_zero() {
+        parse_threads_env("SKIPIT_ENGINE_THREADS", "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "SKIPIT_ENGINE_THREADS must be a positive integer")]
+    fn parse_threads_env_rejects_garbage() {
+        parse_threads_env("SKIPIT_ENGINE_THREADS", "two");
+    }
+}

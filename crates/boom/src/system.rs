@@ -12,7 +12,7 @@ use skipit_tilelink::perturb::link_site;
 use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link, PerturbConfig};
 use skipit_trace::{StreamEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink};
 
-/// Which simulation engine advances the clock. All three engines produce
+/// Which simulation engine advances the clock. All engines produce
 /// bit-identical elapsed cycles, statistics, durable memory images and
 /// trace-event streams (modulo [`TraceEvent::is_engine_event`] jump
 /// markers); they differ only in host time.
@@ -32,6 +32,21 @@ pub enum EngineKind {
     /// DESIGN.md §5 "Clocking".
     #[default]
     ComponentWheel,
+    /// The component wheel with its per-cycle core phase partitioned
+    /// across a persistent host-thread pool ([`crate::pool::WheelPool`]):
+    /// the L2+DRAM slot steps serially first (its same-cycle effects are
+    /// observable by the cores, exactly as in serial order), then the due
+    /// core slots step in parallel — each slot owns its L1+LSU and its
+    /// five per-core links outright, and wake edges toward the L2 are
+    /// buffered in per-slot staging lanes
+    /// ([`skipit_tilelink::staged::WakeStage`]) merged in fixed slot order
+    /// at the cycle barrier — then frontends step serially. Observable
+    /// behavior is bit-identical to [`EngineKind::ComponentWheel`] at any
+    /// thread count; cycles with fewer due core slots than
+    /// [`PARALLEL_MIN_DUE`] fall back to serial stepping so quiescent
+    /// workloads keep the full fast-forward win. Thread count comes from
+    /// [`SystemConfig::engine_threads`].
+    ParallelWheel,
 }
 
 /// Configuration of the whole simulated SoC.
@@ -69,6 +84,14 @@ pub struct SystemConfig {
     /// bit-identical to an unperturbed one. See
     /// [`skipit_tilelink::PerturbConfig`].
     pub perturb: PerturbConfig,
+    /// Host threads for [`EngineKind::ParallelWheel`]'s intra-cycle core
+    /// phase. `0` (the default) resolves lazily at the first parallel
+    /// cycle: `SKIPIT_ENGINE_THREADS` if set — panicking on unparseable or
+    /// zero values, like `SKIPIT_SWEEP_THREADS` — else the host's available
+    /// parallelism. The resolved count is clamped to the core count (one
+    /// thread per core slot is the maximum useful parallelism). Ignored by
+    /// the serial engines.
+    pub engine_threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -87,6 +110,7 @@ impl Default for SystemConfig {
             engine: EngineKind::default(),
             lockstep_oracle: false,
             perturb: PerturbConfig::default(),
+            engine_threads: 0,
         }
     }
 }
@@ -188,6 +212,14 @@ const WHEEL_EAGER_PROBES: u32 = 2;
 /// steps when a streaking component goes idle.
 const WHEEL_PROBE_PERIOD: u32 = 4;
 
+/// Minimum due core slots in a cycle before [`EngineKind::ParallelWheel`]
+/// dispatches the core phase to the thread pool; below this, the
+/// pool-barrier overhead (an unpark plus two fence round trips, single-digit
+/// microseconds) exceeds the stepping work and the cycle runs serially.
+/// Serialized workloads — where at most one or two slots are ever due —
+/// therefore never pay for the pool and keep their fast-forward win.
+pub const PARALLEL_MIN_DUE: usize = 3;
+
 /// The component-wheel scheduler's state (host-side bookkeeping only — never
 /// part of the simulated machine's state or the oracle digest). One due
 /// cycle per component slot; a slot is stepped only on cycles where its due
@@ -217,6 +249,13 @@ struct Wheel {
     streak_comp: Vec<u32>,
     /// Same, for the L2 + DRAM slot.
     streak_l2: u32,
+    /// Reusable scratch listing the core slots due this cycle, in core
+    /// order (the parallel engine's work list; built before dispatch so the
+    /// partition is fixed regardless of thread count).
+    par_due: Vec<u32>,
+    /// Per-slot staging lanes for core→L2 wake edges during the parallel
+    /// core phase, merged in fixed slot order at the cycle barrier.
+    wake_stage: skipit_tilelink::staged::WakeStage,
 }
 
 impl Wheel {
@@ -232,6 +271,208 @@ impl Wheel {
         }
         t
     }
+}
+
+/// The state partition one core slot owns while it steps: its L1 + LSU,
+/// its five per-core link endpoints, and its wheel bookkeeping. In serial
+/// engines this is just a borrow split of [`System`]; in the parallel
+/// engine each worker thread holds exactly one lane per due slot
+/// (disjoint by construction), which is what makes lock-free intra-cycle
+/// parallelism sound — see [`skipit_tilelink::staged`] for the contract.
+struct CoreLane<'a> {
+    a: &'a mut Link<ChannelA>,
+    b: &'a mut Link<ChannelB>,
+    c: &'a mut Link<ChannelC>,
+    d: &'a mut Link<ChannelD>,
+    e: &'a mut Link<ChannelE>,
+    l1: &'a mut DataCache,
+    lsu: &'a mut Lsu,
+    due: &'a mut u64,
+    streak: &'a mut u32,
+}
+
+/// Steps one due core slot and re-arms its due bound from lane-local state
+/// only; returns the slot's wake edge toward the L2 ([`NEVER`] when none).
+/// Single body shared by the serial core loop and the parallel workers, so
+/// the two cannot drift apart.
+fn step_core_lane(now: u64, l2_sleeping: bool, lane: CoreLane<'_>) -> u64 {
+    let CoreLane {
+        a,
+        b,
+        c,
+        d,
+        e,
+        l1,
+        lsu,
+        due,
+        streak,
+    } = lane;
+    let a_empty = l2_sleeping && a.is_empty();
+    let c_empty = l2_sleeping && c.is_empty();
+    let e_empty = l2_sleeping && e.is_empty();
+    let b_can = !l2_sleeping || b.can_push();
+    let d_can = !l2_sleeping || d.can_push();
+    {
+        let mut ports = skipit_dcache::L1Ports {
+            a: &mut *a,
+            b: &mut *b,
+            c: &mut *c,
+            d: &mut *d,
+            e: &mut *e,
+        };
+        l1.step(now, &mut ports);
+    }
+    lsu.step(now, l1);
+    // Mirror image of the L2 phase's edges; the L2 cannot act on either
+    // before the next cycle (it steps first).
+    let mut wake = NEVER;
+    if a_empty {
+        if let Some(t) = a.next_ready() {
+            wake = wake.min(t);
+        }
+    }
+    if c_empty {
+        if let Some(t) = c.next_ready() {
+            wake = wake.min(t);
+        }
+    }
+    if e_empty {
+        if let Some(t) = e.next_ready() {
+            wake = wake.min(t);
+        }
+    }
+    if (!b_can && b.can_push()) || (!d_can && d.can_push()) {
+        wake = wake.min(now + 1);
+    }
+    *streak += 1;
+    *due = if *streak <= WHEEL_EAGER_PROBES || streak.is_multiple_of(WHEEL_PROBE_PERIOD) {
+        let next = core_lane_due(now, a, b, c, d, e, l1, lsu).max(now + 1);
+        if next > now + 1 {
+            *streak = 0;
+        }
+        next
+    } else {
+        now + 1
+    };
+    wake
+}
+
+/// Lane-form of [`System::core_comp_due`]: the slot's self-contained due
+/// bound from lane-local state only.
+#[allow(clippy::too_many_arguments)]
+fn core_lane_due(
+    now: u64,
+    a: &Link<ChannelA>,
+    b: &Link<ChannelB>,
+    c: &Link<ChannelC>,
+    d: &Link<ChannelD>,
+    e: &Link<ChannelE>,
+    l1: &DataCache,
+    lsu: &Lsu,
+) -> u64 {
+    let mut due = NEVER;
+    // An inbound Grant wakes the core at head arrival.
+    if let Some(t) = d.next_ready() {
+        due = due.min(t);
+    }
+    // An inbound Probe only while the probe unit can sink it; the
+    // L1 transition freeing the unit re-raises the head on re-arm.
+    // Not collapsible into the arm guard: an arrived-but-unsinkable head
+    // must arm *nothing* (the L1 transition freeing the probe unit
+    // re-raises it), while the guard's fallthrough would arm `t`.
+    #[allow(clippy::collapsible_match)]
+    match b.next_ready() {
+        Some(t) if t <= now => {
+            if l1.probe_rdy() {
+                due = due.min(t);
+            }
+        }
+        Some(t) => due = due.min(t),
+        None => {}
+    }
+    // Unlike `plan_tick`, outbound readiness is plain `can_push`: a
+    // head the L2 pops this cycle frees a slot usable the same cycle,
+    // but that arrives as an explicit pop wake edge from the L2 phase
+    // (the wheel never speculates about a neighbor's step).
+    if let Some(t) = l1.next_event(now, a.can_push(), c.can_push(), e.can_push()) {
+        due = due.min(t);
+    }
+    if let Some(t) = lsu.next_event(now, l1) {
+        due = due.min(t);
+    }
+    due
+}
+
+/// Raw-pointer view of the per-core state the parallel core phase steps,
+/// shared read-only across worker threads; every dereference lands in a
+/// distinct core's lane (see [`ParCoreCtx::step`]).
+struct ParCoreCtx {
+    a: *mut Link<ChannelA>,
+    b: *mut Link<ChannelB>,
+    c: *mut Link<ChannelC>,
+    d: *mut Link<ChannelD>,
+    e: *mut Link<ChannelE>,
+    l1s: *mut DataCache,
+    lsus: *mut Lsu,
+    due_comp: *mut u64,
+    streak_comp: *mut u32,
+    /// Wake-stage lanes, indexed by core (not by work-list position).
+    wake: *mut u64,
+    due_list: *const u32,
+    n: usize,
+    threads: usize,
+    now: u64,
+    l2_sleeping: bool,
+}
+
+// SAFETY: the pointers target `System`-owned buffers that outlive the
+// dispatch (the caller blocks on the pool barrier), and the dispatch
+// protocol guarantees disjoint access: each work-list index is processed by
+// exactly one thread, and distinct indices name distinct cores, so no two
+// threads ever form references to the same element. All per-core payloads
+// are `Send` (asserted in their crates).
+unsafe impl Sync for ParCoreCtx {}
+
+impl ParCoreCtx {
+    /// Steps the `k`-th due core slot and stages its wake edge.
+    ///
+    /// # Safety
+    ///
+    /// `k < self.n`, and no other thread may process the same `k` during
+    /// this dispatch (disjointness of the lanes relies on it).
+    unsafe fn step(&self, k: usize) {
+        // SAFETY: per the contract above, `i` is a valid core index owned
+        // exclusively by this thread for the duration of the call, so the
+        // references below are unique.
+        unsafe {
+            let i = *self.due_list.add(k) as usize;
+            let wake = step_core_lane(
+                self.now,
+                self.l2_sleeping,
+                CoreLane {
+                    a: &mut *self.a.add(i),
+                    b: &mut *self.b.add(i),
+                    c: &mut *self.c.add(i),
+                    d: &mut *self.d.add(i),
+                    e: &mut *self.e.add(i),
+                    l1: &mut *self.l1s.add(i),
+                    lsu: &mut *self.lsus.add(i),
+                    due: &mut *self.due_comp.add(i),
+                    streak: &mut *self.streak_comp.add(i),
+                },
+            );
+            *self.wake.add(i) = wake;
+        }
+    }
+}
+
+/// Parallel-stepping audit: a [`System`] (pool included) must stay
+/// movable across host threads — the sweep runner depends on it.
+#[allow(dead_code)]
+fn _assert_system_send() {
+    fn send<T: Send>() {}
+    send::<System>();
+    send::<crate::pool::WheelPool>();
 }
 
 /// Aggregated counters of a system.
@@ -347,6 +588,10 @@ pub struct System {
     engine: EngineStats,
     /// Component-wheel scheduler state (see [`Wheel`]).
     wheel: Wheel,
+    /// Persistent worker threads for [`EngineKind::ParallelWheel`], created
+    /// lazily at the first parallel-eligible cycle (so serial engines and
+    /// serialized workloads never spawn threads). Host-side only.
+    pool: Option<crate::pool::WheelPool>,
     /// Event sink of the fast-forward engine itself
     /// ([`TraceEvent::FastForwardJump`] markers). Installed by
     /// [`System::set_trace`]; host-side, never part of simulated
@@ -396,6 +641,7 @@ impl System {
             deadline: u64::MAX,
             engine: EngineStats::default(),
             wheel: Wheel::default(),
+            pool: None,
             engine_sink: None,
             trace_cfg: TraceConfig::off(),
             cfg,
@@ -986,7 +1232,10 @@ impl System {
                 false
             }
             EngineKind::GlobalGate => self.step_gated(done),
-            EngineKind::ComponentWheel => self.step_wheel(done),
+            // The parallel wheel shares the serial wheel's scheduling (jump
+            // planning, due bookkeeping, oracle); only the intra-cycle core
+            // phase inside `tick_wheel` differs.
+            EngineKind::ComponentWheel | EngineKind::ParallelWheel => self.step_wheel(done),
         }
     }
 
@@ -1085,43 +1334,16 @@ impl System {
     /// later (an L2 push/pop, a frontend enqueue) are injected as wake
     /// edges when they happen, so this bound deliberately ignores them.
     fn core_comp_due(&self, i: usize) -> u64 {
-        let now = self.now;
-        let mut due = NEVER;
-        // An inbound Grant wakes the core at head arrival.
-        if let Some(t) = self.d[i].next_ready() {
-            due = due.min(t);
-        }
-        // An inbound Probe only while the probe unit can sink it; the
-        // L1 transition freeing the unit re-raises the head on re-arm.
-        // Not collapsible into the arm guard: an arrived-but-unsinkable head
-        // must arm *nothing* (the L1 transition freeing the probe unit
-        // re-raises it), while the guard's fallthrough would arm `t`.
-        #[allow(clippy::collapsible_match)]
-        match self.b[i].next_ready() {
-            Some(t) if t <= now => {
-                if self.l1s[i].probe_rdy() {
-                    due = due.min(t);
-                }
-            }
-            Some(t) => due = due.min(t),
-            None => {}
-        }
-        // Unlike `plan_tick`, outbound readiness is plain `can_push`: a
-        // head the L2 pops this cycle frees a slot usable the same cycle,
-        // but that arrives as an explicit pop wake edge from the L2 phase
-        // (the wheel never speculates about a neighbor's step).
-        if let Some(t) = self.l1s[i].next_event(
-            now,
-            self.a[i].can_push(),
-            self.c[i].can_push(),
-            self.e[i].can_push(),
-        ) {
-            due = due.min(t);
-        }
-        if let Some(t) = self.lsus[i].next_event(now, &self.l1s[i]) {
-            due = due.min(t);
-        }
-        due
+        core_lane_due(
+            self.now,
+            &self.a[i],
+            &self.b[i],
+            &self.c[i],
+            &self.d[i],
+            &self.e[i],
+            &self.l1s[i],
+            &self.lsus[i],
+        )
     }
 
     /// Self-contained due bound of the L2 + DRAM slot (same wake-edge
@@ -1272,61 +1494,19 @@ impl System {
         // `now + 1` (the L2 steps first), so when the L2 is already due by
         // then the edge scan below is skipped entirely.
         let l2_sleeping = self.wheel.due_l2 > now + 1;
-        let mut l2_wake = NEVER;
-        for i in 0..cores {
-            if self.wheel.due_comp[i] <= now {
-                let a_empty = l2_sleeping && self.a[i].is_empty();
-                let c_empty = l2_sleeping && self.c[i].is_empty();
-                let e_empty = l2_sleeping && self.e[i].is_empty();
-                let b_can = !l2_sleeping || self.b[i].can_push();
-                let d_can = !l2_sleeping || self.d[i].can_push();
-                {
-                    let mut ports = skipit_dcache::L1Ports {
-                        a: &mut self.a[i],
-                        b: &mut self.b[i],
-                        c: &mut self.c[i],
-                        d: &mut self.d[i],
-                        e: &mut self.e[i],
-                    };
-                    self.l1s[i].step(now, &mut ports);
+        let l2_wake = if self.cfg.engine == EngineKind::ParallelWheel {
+            self.core_phase_parallel(now, l2_sleeping)
+        } else {
+            let mut wake = NEVER;
+            for i in 0..cores {
+                if self.wheel.due_comp[i] <= now {
+                    wake = wake.min(self.step_core_slot(i, now, l2_sleeping));
+                    self.engine.component_steps += 1;
+                    self.wheel.due_fe[i] = self.fe_due(i).max(now + 1);
                 }
-                self.lsus[i].step(now, &mut self.l1s[i]);
-                self.engine.component_steps += 1;
-                // Mirror image of the L2 phase's edges; the L2 cannot act
-                // on either before the next cycle (it steps first).
-                if a_empty {
-                    if let Some(t) = self.a[i].next_ready() {
-                        l2_wake = l2_wake.min(t);
-                    }
-                }
-                if c_empty {
-                    if let Some(t) = self.c[i].next_ready() {
-                        l2_wake = l2_wake.min(t);
-                    }
-                }
-                if e_empty {
-                    if let Some(t) = self.e[i].next_ready() {
-                        l2_wake = l2_wake.min(t);
-                    }
-                }
-                if (!b_can && self.b[i].can_push()) || (!d_can && self.d[i].can_push()) {
-                    l2_wake = l2_wake.min(now + 1);
-                }
-                self.wheel.streak_comp[i] += 1;
-                let streak = self.wheel.streak_comp[i];
-                self.wheel.due_comp[i] =
-                    if streak <= WHEEL_EAGER_PROBES || streak.is_multiple_of(WHEEL_PROBE_PERIOD) {
-                        let due = self.core_comp_due(i).max(now + 1);
-                        if due > now + 1 {
-                            self.wheel.streak_comp[i] = 0;
-                        }
-                        due
-                    } else {
-                        now + 1
-                    };
-                self.wheel.due_fe[i] = self.fe_due(i).max(now + 1);
             }
-        }
+            wake
+        };
         if l2_wake != NEVER {
             let l2_wake = l2_wake.max(now + 1);
             if l2_wake < self.wheel.due_l2 {
@@ -1351,6 +1531,134 @@ impl System {
             }
         }
         self.now += 1;
+    }
+
+    /// Steps one due core slot (L1 + LSU + the five per-core link
+    /// endpoints) and re-arms its due bound; returns the slot's wake edge
+    /// toward the L2 ([`NEVER`] when none). The borrow split into a
+    /// [`CoreLane`] is exactly the state partition the parallel engine
+    /// hands each worker thread, so serial and parallel stepping share one
+    /// body by construction.
+    fn step_core_slot(&mut self, i: usize, now: u64, l2_sleeping: bool) -> u64 {
+        step_core_lane(
+            now,
+            l2_sleeping,
+            CoreLane {
+                a: &mut self.a[i],
+                b: &mut self.b[i],
+                c: &mut self.c[i],
+                d: &mut self.d[i],
+                e: &mut self.e[i],
+                l1: &mut self.l1s[i],
+                lsu: &mut self.lsus[i],
+                due: &mut self.wheel.due_comp[i],
+                streak: &mut self.wheel.streak_comp[i],
+            },
+        )
+    }
+
+    /// The parallel engine's core phase: lists the due core slots, steps
+    /// them on the thread pool (strided partition, one exclusive
+    /// [`CoreLane`] per slot), and commits the staged wake edges at the
+    /// barrier. Falls back to serial stepping below [`PARALLEL_MIN_DUE`]
+    /// due slots or when only one thread resolved. Returns the merged
+    /// core→L2 wake edge.
+    ///
+    /// Bit-identity with the serial core loop holds because the loop's
+    /// only cross-slot dataflow is commutative: per-slot state (L1, LSU,
+    /// links, due/streak bookkeeping, trace sinks, perturbation counters)
+    /// is touched by exactly one thread, the wake edges merge by `min`,
+    /// and the step counter by sum. The frontend due re-arms move after
+    /// the barrier — value-identical, since stepping core `j` never
+    /// touches core `i`'s frontend or LSU.
+    fn core_phase_parallel(&mut self, now: u64, l2_sleeping: bool) -> u64 {
+        let cores = self.cfg.cores;
+        let mut due_list = std::mem::take(&mut self.wheel.par_due);
+        due_list.clear();
+        for i in 0..cores {
+            if self.wheel.due_comp[i] <= now {
+                due_list.push(i as u32);
+            }
+        }
+        let n = due_list.len();
+        let threads = if n >= PARALLEL_MIN_DUE {
+            self.ensure_pool().min(n)
+        } else {
+            1
+        };
+        let wake = if threads <= 1 {
+            let mut wake = NEVER;
+            for &i in &due_list {
+                wake = wake.min(self.step_core_slot(i as usize, now, l2_sleeping));
+            }
+            wake
+        } else {
+            self.wheel.wake_stage.reset(cores);
+            let ctx = ParCoreCtx {
+                a: self.a.as_mut_ptr(),
+                b: self.b.as_mut_ptr(),
+                c: self.c.as_mut_ptr(),
+                d: self.d.as_mut_ptr(),
+                e: self.e.as_mut_ptr(),
+                l1s: self.l1s.as_mut_ptr(),
+                lsus: self.lsus.as_mut_ptr(),
+                due_comp: self.wheel.due_comp.as_mut_ptr(),
+                streak_comp: self.wheel.streak_comp.as_mut_ptr(),
+                wake: self.wheel.wake_stage.lanes_mut().as_mut_ptr(),
+                due_list: due_list.as_ptr(),
+                n,
+                threads,
+                now,
+                l2_sleeping,
+            };
+            // Taking the pool out keeps the dispatch free of any live
+            // borrow of `self` while worker threads mutate core slots
+            // through `ctx`'s raw pointers.
+            let pool = self.pool.take().expect("ensure_pool installed the pool");
+            pool.run(&|slot| {
+                let mut k = slot;
+                while k < ctx.n {
+                    // SAFETY: the strided partition visits each index of
+                    // `due_list` exactly once across all slots, and
+                    // `due_list` holds distinct core indices — every lane
+                    // is touched by exactly one thread.
+                    unsafe { ctx.step(k) };
+                    k += ctx.threads;
+                }
+            });
+            self.pool = Some(pool);
+            self.wheel.wake_stage.commit()
+        };
+        // Post-barrier bookkeeping in fixed slot order.
+        self.engine.component_steps += n as u64;
+        for &i in &due_list {
+            let i = i as usize;
+            self.wheel.due_fe[i] = self.fe_due(i).max(now + 1);
+        }
+        self.wheel.par_due = due_list;
+        wake
+    }
+
+    /// Creates the thread pool on first use and returns its thread count.
+    /// Resolution order: [`SystemConfig::engine_threads`] if nonzero, else
+    /// `SKIPIT_ENGINE_THREADS` (panicking on unparseable or zero values),
+    /// else the host's available parallelism; always clamped to the core
+    /// count. The environment is read once per [`System`].
+    fn ensure_pool(&mut self) -> usize {
+        if self.pool.is_none() {
+            let requested = if self.cfg.engine_threads > 0 {
+                self.cfg.engine_threads
+            } else {
+                match std::env::var("SKIPIT_ENGINE_THREADS") {
+                    Ok(v) => crate::pool::parse_threads_env("SKIPIT_ENGINE_THREADS", &v),
+                    Err(_) => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1),
+                }
+            };
+            self.pool = Some(crate::pool::WheelPool::new(requested.min(self.cfg.cores)));
+        }
+        self.pool.as_ref().unwrap().threads()
     }
 
     /// One step of the [`EngineKind::ComponentWheel`] engine: jump the
@@ -2519,10 +2827,11 @@ mod tests {
         vec![p0, p1]
     }
 
-    fn engine_run(kind: EngineKind) -> (u64, SystemStats, Vec<u64>, EngineStats) {
+    fn engine_run(kind: EngineKind, threads: usize) -> (u64, SystemStats, Vec<u64>, EngineStats) {
         let mut s = System::new(SystemConfig {
             cores: 2,
             engine: kind,
+            engine_threads: threads,
             ..SystemConfig::default()
         });
         let cycles = s.run_programs(contended_programs());
@@ -2535,9 +2844,14 @@ mod tests {
 
     #[test]
     fn fast_engines_match_naive_engine_exactly() {
-        let (naive_cycles, naive_stats, naive_mem, naive_engine) = engine_run(EngineKind::Naive);
-        for kind in [EngineKind::GlobalGate, EngineKind::ComponentWheel] {
-            let (cycles, stats, mem, engine) = engine_run(kind);
+        let (naive_cycles, naive_stats, naive_mem, naive_engine) = engine_run(EngineKind::Naive, 0);
+        for (kind, threads) in [
+            (EngineKind::GlobalGate, 0),
+            (EngineKind::ComponentWheel, 0),
+            (EngineKind::ParallelWheel, 1),
+            (EngineKind::ParallelWheel, 2),
+        ] {
+            let (cycles, stats, mem, engine) = engine_run(kind, threads);
             assert_eq!(naive_cycles, cycles, "elapsed cycles diverge ({kind:?})");
             assert_eq!(naive_stats, stats, "statistics diverge ({kind:?})");
             assert_eq!(naive_mem, mem, "DRAM contents diverge ({kind:?})");
@@ -2555,6 +2869,69 @@ mod tests {
             EngineStats::default(),
             "naive engine must not count jumps"
         );
+    }
+
+    /// The wheel's `EngineStats` (jump structure, per-slot step counts) are
+    /// scheduling decisions, not just outcomes — the parallel engine must
+    /// reproduce them bit-for-bit at every thread count, or its due-cycle
+    /// bookkeeping has drifted from the serial wheel's.
+    #[test]
+    fn parallel_wheel_reproduces_wheel_engine_stats_exactly() {
+        let wheel = engine_run(EngineKind::ComponentWheel, 0);
+        for threads in [1, 2] {
+            let par = engine_run(EngineKind::ParallelWheel, threads);
+            assert_eq!(wheel, par, "parallel wheel @ {threads} threads diverges");
+        }
+    }
+
+    /// An all-cores-busy workload on more cores than [`PARALLEL_MIN_DUE`],
+    /// so the pool genuinely dispatches (no serial fallback): cycles,
+    /// stats, durable words and engine counters must match the serial
+    /// wheel at several thread counts.
+    #[test]
+    fn parallel_wheel_is_exact_on_saturated_workload() {
+        let run = |kind: EngineKind, threads: usize| {
+            let mut s = System::new(SystemConfig {
+                cores: 8,
+                engine: kind,
+                engine_threads: threads,
+                ..SystemConfig::default()
+            });
+            let progs = (0..8u64)
+                .map(|t| {
+                    let base = 0x10_0000 + t * 0x1_0000;
+                    let mut p = Vec::new();
+                    for i in 0..24 {
+                        p.push(Op::Store {
+                            addr: base + i * 64,
+                            value: t << 32 | i,
+                        });
+                    }
+                    for i in 0..24 {
+                        p.push(Op::Clean {
+                            addr: base + i * 64,
+                        });
+                    }
+                    p.push(Op::Fence);
+                    p
+                })
+                .collect();
+            let cycles = s.run_programs(progs);
+            s.quiesce();
+            let words: Vec<u64> = (0..8u64)
+                .flat_map(|t| (0..24).map(move |i| (0x10_0000 + t * 0x1_0000) + i * 64))
+                .map(|a| s.dram().read_word_direct(a))
+                .collect();
+            (cycles, s.stats(), words, s.engine_stats())
+        };
+        let wheel = run(EngineKind::ComponentWheel, 0);
+        for threads in [2, 3, 8] {
+            let par = run(EngineKind::ParallelWheel, threads);
+            assert_eq!(
+                wheel, par,
+                "saturated parallel wheel @ {threads} threads diverges"
+            );
+        }
     }
 
     #[test]
@@ -2637,6 +3014,7 @@ mod tests {
         let naive = run(EngineKind::Naive);
         assert_eq!(naive, run(EngineKind::GlobalGate));
         assert_eq!(naive, run(EngineKind::ComponentWheel));
+        assert_eq!(naive, run(EngineKind::ParallelWheel));
     }
 
     #[test]

@@ -203,11 +203,22 @@ impl SystemBuilder {
     }
 
     /// Selects the simulation engine explicitly (naive / global-gate /
-    /// component-wheel). All engines produce bit-identical cycles, stats,
-    /// durable images and trace-event streams. Default
+    /// component-wheel / parallel-wheel). All engines produce bit-identical
+    /// cycles, stats, durable images and trace-event streams. Default
     /// [`EngineKind::ComponentWheel`].
     pub fn engine(mut self, kind: EngineKind) -> Self {
         self.cfg.engine = kind;
+        self
+    }
+
+    /// Host threads for [`EngineKind::ParallelWheel`]'s intra-cycle core
+    /// phase. `0` (the default) resolves at first use from
+    /// `SKIPIT_ENGINE_THREADS` — which panics on unparseable or zero
+    /// values, like `SKIPIT_SWEEP_THREADS` — falling back to the host's
+    /// available parallelism. The resolved count is clamped to the core
+    /// count. Other engines ignore this knob.
+    pub fn engine_threads(mut self, threads: usize) -> Self {
+        self.cfg.engine_threads = threads;
         self
     }
 
@@ -295,6 +306,21 @@ mod tests {
         assert_eq!(b.config().l1.flush_queue_depth, 4);
         assert_eq!(b.config().l1.fshrs, 2);
         assert_eq!(b.config().link_latency, 1);
+    }
+
+    #[test]
+    fn engine_threads_knob_applies() {
+        let b = SystemBuilder::new()
+            .engine(EngineKind::ParallelWheel)
+            .engine_threads(4);
+        assert_eq!(b.config().engine, EngineKind::ParallelWheel);
+        assert_eq!(b.config().engine_threads, 4);
+        assert_eq!(
+            SystemBuilder::new().config().engine_threads,
+            0,
+            "default must be auto-resolve"
+        );
+        b.build();
     }
 
     #[test]

@@ -134,6 +134,13 @@ enum ProbePhase {
 /// assert_eq!(out, ReqOutcome::Accepted); // buffered; instruction may commit
 /// assert!(l1.is_flushing());
 /// ```
+///
+/// A `DataCache` communicates with its neighbors only through the
+/// [`L1Ports`] links passed into [`DataCache::step`] — it holds no shared
+/// references into other components. Parallel engines rely on that slot
+/// confinement (see `skipit_tilelink::staged`): an L1 is owned outright by
+/// whichever host thread steps its core slot, which the assertion below
+/// keeps honest at compile time.
 #[derive(Debug)]
 pub struct DataCache {
     cfg: L1Config,
@@ -148,6 +155,14 @@ pub struct DataCache {
     /// Event sink for front-end, MSHR, and skip-bit events; the flush unit
     /// carries its own sink for FSHR FSM transitions.
     sink: Option<TraceSink>,
+}
+
+/// Parallel-stepping audit: the L1 (trace sink and perturbation state
+/// included) must be movable to whichever host thread owns its slot.
+#[allow(dead_code)]
+fn _assert_l1_send() {
+    fn send<T: Send>() {}
+    send::<DataCache>();
 }
 
 impl DataCache {

@@ -24,11 +24,19 @@ pub struct MetaEntry {
     pub reserved: bool,
 }
 
+/// log2 of the line size, for shift-based address splitting.
+const LINE_SHIFT: u32 = (LINE_BYTES as u64).trailing_zeros();
+
 /// Combined metadata + data arrays with LRU tracking.
 #[derive(Debug)]
 pub struct CacheArrays {
     sets: usize,
     ways: usize,
+    /// `log2(sets)`. Set counts are validated power-of-two, so index/tag
+    /// extraction is a shift and mask instead of two 64-bit divides — the
+    /// divides dominated `lookup`, which runs several times per busy cycle
+    /// (hit checks, victim picks, probe and flush FSM walks).
+    set_bits: u32,
     meta: Vec<MetaEntry>,
     data: Vec<LineData>,
     /// Monotonic last-use stamps for LRU victim selection.
@@ -42,10 +50,12 @@ pub type Way = usize;
 impl CacheArrays {
     /// Allocates empty arrays for `cfg`.
     pub fn new(cfg: &L1Config) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "l1.sets must be a power of two");
         let n = cfg.sets * cfg.ways;
         CacheArrays {
             sets: cfg.sets,
             ways: cfg.ways,
+            set_bits: cfg.sets.trailing_zeros(),
             meta: vec![MetaEntry::default(); n],
             data: vec![LineData::zeroed(); n],
             lru: vec![0; n],
@@ -55,11 +65,11 @@ impl CacheArrays {
 
     /// Set index for a line address.
     pub fn set_index(&self, addr: LineAddr) -> usize {
-        ((addr.base() / LINE_BYTES as u64) % self.sets as u64) as usize
+        ((addr.base() >> LINE_SHIFT) & (self.sets as u64 - 1)) as usize
     }
 
     fn tag(&self, addr: LineAddr) -> u64 {
-        addr.base() / (LINE_BYTES as u64 * self.sets as u64)
+        addr.base() >> (LINE_SHIFT + self.set_bits)
     }
 
     fn slot(&self, set: usize, way: Way) -> usize {
@@ -69,7 +79,7 @@ impl CacheArrays {
     /// Reconstructs the line address stored in `(set, way)`.
     pub fn addr_of(&self, set: usize, way: Way) -> LineAddr {
         let e = &self.meta[self.slot(set, way)];
-        LineAddr::new((e.tag * self.sets as u64 + set as u64) * LINE_BYTES as u64)
+        LineAddr::new((e.tag << self.set_bits | set as u64) << LINE_SHIFT)
     }
 
     /// Looks up `addr`; returns its way if present (any valid state).

@@ -59,11 +59,18 @@ impl DirEntry {
     }
 }
 
+/// log2 of the line size, for shift-based address splitting.
+const LINE_SHIFT: u32 = (LINE_BYTES as u64).trailing_zeros();
+
 /// The L2 directory + banked store.
 #[derive(Debug)]
 pub struct L2Arrays {
     sets: usize,
     ways: usize,
+    /// `log2(sets)` — same shift/mask address split as the L1 arrays: set
+    /// counts are validated power-of-two, and the two 64-bit divides per
+    /// `lookup` showed up on every directory walk of the busy path.
+    set_bits: u32,
     dir: Vec<DirEntry>,
     data: Vec<LineData>,
     lru: Vec<u64>,
@@ -73,10 +80,12 @@ pub struct L2Arrays {
 impl L2Arrays {
     /// Allocates empty arrays.
     pub fn new(cfg: &L2Config) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "l2.sets must be a power of two");
         let n = cfg.sets * cfg.ways;
         L2Arrays {
             sets: cfg.sets,
             ways: cfg.ways,
+            set_bits: cfg.sets.trailing_zeros(),
             dir: vec![DirEntry::default(); n],
             data: vec![LineData::zeroed(); n],
             lru: vec![0; n],
@@ -86,11 +95,11 @@ impl L2Arrays {
 
     /// Set index of `addr`.
     pub fn set_index(&self, addr: LineAddr) -> usize {
-        ((addr.base() / LINE_BYTES as u64) % self.sets as u64) as usize
+        ((addr.base() >> LINE_SHIFT) & (self.sets as u64 - 1)) as usize
     }
 
     fn tag(&self, addr: LineAddr) -> u64 {
-        addr.base() / (LINE_BYTES as u64 * self.sets as u64)
+        addr.base() >> (LINE_SHIFT + self.set_bits)
     }
 
     fn slot(&self, set: usize, way: usize) -> usize {
@@ -100,7 +109,7 @@ impl L2Arrays {
     /// Line address stored in `(set, way)` (meaningful when valid).
     pub fn addr_of(&self, set: usize, way: usize) -> LineAddr {
         let e = &self.dir[self.slot(set, way)];
-        LineAddr::new((e.tag * self.sets as u64 + set as u64) * LINE_BYTES as u64)
+        LineAddr::new((e.tag << self.set_bits | set as u64) << LINE_SHIFT)
     }
 
     /// Looks up `addr`, returning its way if resident.

@@ -106,6 +106,13 @@ struct L2Mshr {
 struct Deferred(ChannelC);
 
 /// The inclusive L2 cache. See [module docs](self).
+///
+/// The L2 communicates with the L1s only through the [`L2Ports`] links —
+/// no shared references into other components. Under the parallel wheel
+/// engine the L2+DRAM slot steps serially *before* the parallel core phase
+/// (its same-cycle effects are observable by the cores, exactly as in
+/// serial engine order), so it is never stepped concurrently with anything;
+/// the assertion below keeps it movable across host threads all the same.
 #[derive(Debug)]
 pub struct InclusiveCache {
     cfg: L2Config,
@@ -125,6 +132,13 @@ pub struct InclusiveCache {
     /// Count of MSHR allocations; keys the rotation draw so it depends only
     /// on simulated state transitions, never on how often a cycle is probed.
     alloc_seq: u64,
+}
+
+/// Parallel-stepping audit: the L2 must be movable across host threads.
+#[allow(dead_code)]
+fn _assert_l2_send() {
+    fn send<T: Send>() {}
+    send::<InclusiveCache>();
 }
 
 impl InclusiveCache {

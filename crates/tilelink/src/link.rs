@@ -109,6 +109,13 @@ impl Beats for crate::msg::ChannelE {
 /// Messages pushed at cycle `t` become poppable at
 /// `max(t + latency, previous message end + 1) + beats - 1`.
 ///
+/// A link carries no interior synchronization: parallel engines rely on the
+/// [single-owner contract](crate::staged) — each link is touched by at most
+/// one host thread at a time, and the arrival-stamped queue itself stages
+/// cross-slot traffic across the cycle barrier. The compile-time assertion
+/// below keeps the links (with their thread-confined trace sinks and
+/// perturbation state) `Send`, which that contract depends on.
+///
 /// # Example
 ///
 /// ```
@@ -141,6 +148,18 @@ pub struct Link<T> {
     /// [`crate::perturb`]). `None` (the default) adds zero overhead and
     /// leaves timing bit-identical to an unperturbed link.
     perturb: Option<(u64, crate::perturb::PerturbConfig)>,
+}
+
+/// Parallel-stepping audit (see [`crate::staged`]): a link must be movable
+/// to whichever host thread owns its slot this cycle.
+#[allow(dead_code)]
+fn _assert_links_send() {
+    fn send<T: Send>() {}
+    send::<Link<crate::msg::ChannelA>>();
+    send::<Link<crate::msg::ChannelB>>();
+    send::<Link<crate::msg::ChannelC>>();
+    send::<Link<crate::msg::ChannelD>>();
+    send::<Link<crate::msg::ChannelE>>();
 }
 
 impl<T: Beats + fmt::Debug> Link<T> {

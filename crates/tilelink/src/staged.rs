@@ -1,0 +1,143 @@
+//! Per-slot staging for deterministic parallel stepping.
+//!
+//! # The single-owner contract
+//!
+//! The parallel wheel engine steps component slots of one simulated cycle on
+//! several host threads. [`Link`](crate::Link)s need no locking for this
+//! because the wheel's slot boundaries already make every link
+//! **single-owner per phase**: each per-core link connects exactly one core
+//! slot to the L2 slot, the L2 phase runs serially *before* the core phase,
+//! and within the core phase each core slot is stepped by exactly one
+//! thread. A link is therefore touched by at most one thread at a time, and
+//! the link's own arrival-stamped FIFO (`push` computes the ready cycle from
+//! `now + latency`; the L2 steps first and so cannot observe a same-cycle
+//! core push) *is* the staging queue for cross-slot channel traffic — no
+//! copy into a side buffer is needed, and per-link trace sinks and
+//! perturbation counters stay thread-confined.
+//!
+//! What genuinely crosses slot boundaries inside the parallel phase are the
+//! **wake edges**: a core slot that observes an A/C/E empty→non-empty or
+//! B/D full→non-full transition must re-arm the L2 slot. Those edges are
+//! buffered here, one lane per slot, and merged at the cycle barrier in
+//! fixed slot order, so the merged value — and every engine decision made
+//! from it — is bit-identical to serial stepping at any thread count.
+//! (Merging a `min` is order-independent; the fixed order keeps the commit
+//! auditable and covers future lane payloads that are not.)
+
+/// Due-cycle sentinel for an empty lane: no wake posted.
+pub const NEVER: u64 = u64::MAX;
+
+/// Per-slot wake-edge staging lanes, merged in fixed slot order at the
+/// cycle barrier.
+///
+/// During a parallel phase each slot owns exactly one lane and posts the
+/// earliest cycle its neighbor must be re-armed for; [`WakeStage::commit`]
+/// folds the lanes in ascending slot order into the single wake value the
+/// serial engine would have accumulated in its step loop.
+///
+/// ```
+/// use skipit_tilelink::staged::{WakeStage, NEVER};
+///
+/// let mut stage = WakeStage::new();
+/// stage.reset(3);
+/// stage.post(2, 40);
+/// stage.post(0, 17);
+/// stage.post(0, 25); // keeps the earlier wake
+/// assert_eq!(stage.commit(), 17);
+/// stage.reset(3);
+/// assert_eq!(stage.commit(), NEVER);
+/// ```
+#[derive(Debug, Default)]
+pub struct WakeStage {
+    lanes: Vec<u64>,
+}
+
+impl WakeStage {
+    /// An empty stage; call [`WakeStage::reset`] before each parallel phase.
+    pub fn new() -> Self {
+        WakeStage::default()
+    }
+
+    /// Clears every lane to [`NEVER`] and (re)sizes the stage to `slots`
+    /// lanes. Reuses the allocation in steady state.
+    pub fn reset(&mut self, slots: usize) {
+        self.lanes.clear();
+        self.lanes.resize(slots, NEVER);
+    }
+
+    /// Number of lanes.
+    pub fn slots(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Posts a wake edge at `cycle` from `slot` (keeps the earliest posted
+    /// cycle per lane).
+    pub fn post(&mut self, slot: usize, cycle: u64) {
+        let lane = &mut self.lanes[slot];
+        *lane = (*lane).min(cycle);
+    }
+
+    /// The lanes as a mutable slice, for engines that give each worker
+    /// thread exclusive access to its own slots' lanes (the single-owner
+    /// contract above makes disjoint-index access sound).
+    pub fn lanes_mut(&mut self) -> &mut [u64] {
+        &mut self.lanes
+    }
+
+    /// Merges the lanes in fixed slot order: the earliest posted wake
+    /// cycle, or [`NEVER`] when no slot posted one.
+    pub fn commit(&self) -> u64 {
+        self.lanes.iter().fold(NEVER, |acc, &w| acc.min(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stage_commits_never() {
+        let mut s = WakeStage::new();
+        s.reset(4);
+        assert_eq!(s.slots(), 4);
+        assert_eq!(s.commit(), NEVER);
+    }
+
+    #[test]
+    fn commit_is_min_across_lanes() {
+        let mut s = WakeStage::new();
+        s.reset(4);
+        s.post(3, 90);
+        s.post(1, 12);
+        s.post(2, 30);
+        assert_eq!(s.commit(), 12);
+    }
+
+    #[test]
+    fn post_keeps_earliest_per_lane() {
+        let mut s = WakeStage::new();
+        s.reset(2);
+        s.post(0, 50);
+        s.post(0, 20);
+        s.post(0, 60);
+        assert_eq!(s.commit(), 20);
+    }
+
+    #[test]
+    fn reset_clears_and_resizes() {
+        let mut s = WakeStage::new();
+        s.reset(2);
+        s.post(0, 5);
+        s.reset(8);
+        assert_eq!(s.slots(), 8);
+        assert_eq!(s.commit(), NEVER);
+    }
+
+    #[test]
+    fn lanes_mut_exposes_every_lane() {
+        let mut s = WakeStage::new();
+        s.reset(3);
+        s.lanes_mut()[1] = 7;
+        assert_eq!(s.commit(), 7);
+    }
+}

@@ -1,0 +1,157 @@
+//! CI smoke check for the parallel wheel engine (`./ci.sh --quick`).
+//!
+//! Runs two workloads under the serial component wheel and again under
+//! [`EngineKind::ParallelWheel`] at 2 threads, and exits nonzero on any
+//! divergence — the parallel engine's contract is bit-identity, not
+//! statistical closeness:
+//!
+//! * a fig09-shaped saturated store/clean workload on 8 cores (every core
+//!   due every cycle, so the pool path genuinely engages past the
+//!   serial-fallback threshold), compared on elapsed cycles, system and
+//!   engine statistics, durable memory words, and the merged trace-event
+//!   stream; and
+//! * an adversarial exploration scenario (`Scenario::FlushStorm` across
+//!   4 seeds) under full schedule perturbation with the invariant oracle
+//!   observing every executed cycle, compared on cycles and violations.
+//!
+//! ```text
+//! cargo run --release --example parallel_smoke
+//! ```
+
+use skipit::core::{PerturbConfig, StreamEvent};
+use skipit::explore::run_with_oracle;
+use skipit::prelude::*;
+
+const CORES: usize = 8;
+const THREADS: usize = 2;
+const SEEDS: u64 = 4;
+
+/// All-cores-busy store/clean loops in the shape of the paper's fig. 9
+/// saturated-writeback experiment.
+fn fig9_programs() -> Vec<Vec<Op>> {
+    (0..CORES as u64)
+        .map(|t| {
+            let base = 0x20_0000 + t * 0x1_0000;
+            let mut p = Vec::new();
+            for i in 0..48 {
+                p.push(Op::Store {
+                    addr: base + i * 64,
+                    value: t << 32 | i,
+                });
+            }
+            for i in 0..48 {
+                p.push(Op::Clean {
+                    addr: base + i * 64,
+                });
+            }
+            p.push(Op::Fence);
+            p
+        })
+        .collect()
+}
+
+/// One traced fig09-shaped run; returns everything bit-identity covers.
+fn fig9_run(engine: EngineKind) -> (u64, SystemStats, EngineStats, Vec<u64>, Vec<StreamEvent>) {
+    let mut sys = SystemBuilder::new()
+        .cores(CORES)
+        .skip_it(true)
+        .engine(engine)
+        .engine_threads(THREADS)
+        .build();
+    sys.set_trace(TraceConfig::new().events(1 << 14));
+    let cycles = sys.run_programs(fig9_programs());
+    sys.quiesce();
+    let words = (0..CORES as u64)
+        .flat_map(|t| (0..48).map(move |i| 0x20_0000 + t * 0x1_0000 + i * 64))
+        .map(|a| sys.dram().read_word_direct(a))
+        .collect();
+    (
+        cycles,
+        sys.stats(),
+        sys.engine_stats(),
+        words,
+        sys.trace_events(),
+    )
+}
+
+/// One perturbed exploration point under `engine`, oracle on every cycle.
+fn explore_run(engine: EngineKind, seed: u64) -> (u64, Option<Violation>) {
+    let mut sys = SystemBuilder::new()
+        .cores(2)
+        .skip_it(true)
+        .engine(engine)
+        .engine_threads(THREADS)
+        .perturb(PerturbConfig::exploring(seed))
+        .build();
+    run_with_oracle(&mut sys, Scenario::FlushStorm.programs(seed, 2))
+}
+
+fn main() {
+    let mut failed = false;
+
+    let serial = fig9_run(EngineKind::ComponentWheel);
+    let parallel = fig9_run(EngineKind::ParallelWheel);
+    if serial.0 != parallel.0 {
+        eprintln!(
+            "FAIL: fig09 cycles diverge (wheel {} vs parallel {})",
+            serial.0, parallel.0
+        );
+        failed = true;
+    }
+    if serial.1 != parallel.1 {
+        eprintln!("FAIL: fig09 system statistics diverge");
+        failed = true;
+    }
+    if serial.2 != parallel.2 {
+        eprintln!(
+            "FAIL: fig09 engine statistics diverge\n  wheel:    {:?}\n  parallel: {:?}",
+            serial.2, parallel.2
+        );
+        failed = true;
+    }
+    if serial.3 != parallel.3 {
+        eprintln!("FAIL: fig09 durable memory words diverge");
+        failed = true;
+    }
+    if serial.4 != parallel.4 {
+        eprintln!(
+            "FAIL: fig09 trace streams diverge ({} vs {} events)",
+            serial.4.len(),
+            parallel.4.len()
+        );
+        failed = true;
+    }
+
+    let mut oracle_cycles = 0u64;
+    for seed in 0..SEEDS {
+        let a = explore_run(EngineKind::ComponentWheel, seed);
+        let b = explore_run(EngineKind::ParallelWheel, seed);
+        if let Some(v) = &a.1 {
+            eprintln!("FAIL: flush_storm/{seed} invariant violation under wheel: {v:?}");
+            failed = true;
+        }
+        if let Some(v) = &b.1 {
+            eprintln!("FAIL: flush_storm/{seed} invariant violation under parallel: {v:?}");
+            failed = true;
+        }
+        if a != b {
+            eprintln!(
+                "FAIL: flush_storm/{seed} diverges (wheel {:?} vs parallel {:?})",
+                a, b
+            );
+            failed = true;
+        }
+        oracle_cycles += a.0;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "parallel smoke ok: fig09-shaped run bit-identical at {THREADS} threads \
+         ({} cycles, {} trace events) and flush_storm x {SEEDS} perturbed seeds \
+         bit-identical under the oracle ({oracle_cycles} cycles total)",
+        serial.0,
+        serial.4.len(),
+    );
+}

@@ -6,7 +6,7 @@
 //! that was never written (no corruption anywhere in the hierarchy).
 
 use proptest::prelude::*;
-use skipit::core::StreamEvent;
+use skipit::core::{PerturbConfig, StreamEvent};
 use skipit::prelude::*;
 use std::collections::HashMap;
 
@@ -230,24 +230,32 @@ proptest! {
         prop_assert_eq!(&results[0], &results[1]);
     }
 
-    /// Engine equivalence (DESIGN.md §5): all three engines — naive,
-    /// global-gate and component-wheel — produce bit-identical elapsed
+    /// Engine equivalence (DESIGN.md §5): all four engines — naive,
+    /// global-gate, component-wheel and parallel-wheel (the latter at one,
+    /// two and core-count host threads) — produce bit-identical elapsed
     /// cycles, statistics, durable memory *and* trace-event streams (modulo
-    /// the engines' own jump markers) for random contending two-core
+    /// the engines' own jump markers) for random contending four-core
     /// programs, including the same-set conflict ops that force
     /// probe/eviction/coalescing races.
     #[test]
     fn all_engines_are_cycle_exact(ops0 in prop::collection::vec(pop_strategy(), 1..40),
                                    ops1 in prop::collection::vec(pop_strategy(), 1..40),
                                    skip_it in any::<bool>()) {
-        let run = |engine: EngineKind| {
+        const CORES: usize = 4;
+        let run = |engine: EngineKind, threads: usize| {
             let mut sys = SystemBuilder::new()
-                .cores(2)
+                .cores(CORES)
                 .skip_it(skip_it)
                 .engine(engine)
+                .engine_threads(threads)
                 .build();
             sys.set_trace(TraceConfig::new().events(1 << 15));
-            let cycles = sys.run_programs(vec![to_prog(&ops0), to_prog(&ops1)]);
+            // Four cores, two scripts: adjacent cores share a script so
+            // same-line contention still happens across the larger system.
+            let progs = (0..CORES)
+                .map(|i| to_prog(if i % 2 == 0 { &ops0 } else { &ops1 }))
+                .collect();
+            let cycles = sys.run_programs(progs);
             sys.quiesce();
             let stats = sys.stats();
             let events: Vec<StreamEvent> = sys
@@ -262,9 +270,62 @@ proptest! {
                 .collect();
             (cycles, stats, image, events)
         };
-        let naive = run(EngineKind::Naive);
-        prop_assert_eq!(&naive, &run(EngineKind::GlobalGate), "global-gate diverges from naive");
-        prop_assert_eq!(&naive, &run(EngineKind::ComponentWheel), "component-wheel diverges from naive");
+        let naive = run(EngineKind::Naive, 0);
+        prop_assert_eq!(&naive, &run(EngineKind::GlobalGate, 0), "global-gate diverges from naive");
+        prop_assert_eq!(&naive, &run(EngineKind::ComponentWheel, 0), "component-wheel diverges from naive");
+        for threads in [1, 2, CORES] {
+            prop_assert_eq!(
+                &naive,
+                &run(EngineKind::ParallelWheel, threads),
+                "parallel-wheel @ {} threads diverges from naive", threads
+            );
+        }
+    }
+
+    /// Perturbed runs stay bit-reproducible under the parallel engine: a
+    /// `(seed, config)` pair gives the same cycles/stats/events as the
+    /// serial wheel at every thread count, because perturbation counters
+    /// are keyed per site (per link, per component) and each site is
+    /// stepped by exactly one thread.
+    #[test]
+    fn perturbed_runs_are_bit_reproducible_in_parallel(
+        ops in prop::collection::vec(pop_strategy(), 1..30),
+        seed in any::<u64>()) {
+        const CORES: usize = 4;
+        let perturb = PerturbConfig::exploring(seed);
+        let run = |engine: EngineKind, threads: usize| {
+            let mut sys = SystemBuilder::new()
+                .cores(CORES)
+                .skip_it(true)
+                .engine(engine)
+                .engine_threads(threads)
+                .perturb(perturb)
+                .build();
+            sys.set_trace(TraceConfig::new().events(1 << 14));
+            let cycles = sys.run_programs(vec![to_prog(&ops); CORES]);
+            sys.quiesce();
+            let stats = sys.stats();
+            let events: Vec<StreamEvent> = sys
+                .trace_events()
+                .into_iter()
+                .filter(|se| !se.event.is_engine_event())
+                .collect();
+            (cycles, stats, events)
+        };
+        let serial = run(EngineKind::ComponentWheel, 0);
+        for threads in [1, 2, CORES] {
+            prop_assert_eq!(
+                &serial,
+                &run(EngineKind::ParallelWheel, threads),
+                "perturbed parallel-wheel @ {} threads diverges from serial wheel", threads
+            );
+        }
+        // Same (seed, config) twice under the parallel engine: identical.
+        prop_assert_eq!(
+            &run(EngineKind::ParallelWheel, 2),
+            &run(EngineKind::ParallelWheel, 2),
+            "perturbed parallel-wheel run is not reproducible"
+        );
     }
 }
 
