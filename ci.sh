@@ -31,6 +31,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 #    every cycle; fails on any invariant violation, any failure that does
 #    not reproduce from its printed (scenario, seed) coordinates, or any
 #    serial-vs-threaded table divergence (examples/explore_smoke.rs).
+#  - runs the telemetry smoke: a short fig09-shaped run with interval
+#    sampling on; fails if telemetry-on vs telemetry-off runs diverge in
+#    cycles/stats, if any sampled interval delta disagrees with the
+#    end-of-run MetricsSnapshot totals, or if the exported Perfetto
+#    counter tracks are malformed (examples/telemetry_smoke.rs).
 #  - smoke-runs the simspeed benchmark (reduced workloads) and fails if any
 #    workload's engine speedup regresses more than 20 % below the committed
 #    BENCH_simspeed.json. The JSON written by the smoke run goes to a temp
@@ -39,6 +44,7 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo run --release --example parallel_smoke
   cargo run --release --example sweep_smoke
   cargo run --release --example explore_smoke
+  cargo run --release --example telemetry_smoke
   SKIPIT_BENCH_QUICK=1 \
   SKIPIT_BENCH_BASELINE="$PWD/BENCH_simspeed.json" \
   SKIPIT_BENCH_OUT="$(mktemp)" \

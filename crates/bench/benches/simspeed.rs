@@ -10,6 +10,15 @@
 //! asserted); its wall-clock speedup is reported as `null` on single-CPU
 //! hosts, where the comparison measures only dispatch overhead. Every
 //! section records `host_cpus` so committed numbers are interpretable.
+//! A tracing section measures the overhead of event rings, Chrome-trace
+//! export, and telemetry sampling; a phase section records the wheel
+//! engines' wall-time breakdown and the serial fraction (Amdahl bound).
+//! Phase data needs `--features profile`, whose per-cycle timers deflate
+//! the throughput sections — so regeneration is two-step: run
+//! `cargo bench --bench simspeed --features profile` to record real phase
+//! data, then run it again without the feature; the plain run restores
+//! honest throughput numbers and carries the committed phase section
+//! forward instead of zeroing it.
 //!
 //! Every timing is the median of [`MEASURE_BLOCKS`] repeated blocks after
 //! one discarded warm-up block, and the blocks of the variants being
@@ -292,13 +301,14 @@ fn parallel_shaped(name: &'static str, threads: usize, size: u64, reps: u32) -> 
 }
 
 /// Tracing overhead on the wheel engine: the same Fig. 9 workload with the
-/// event trace compiled in but off, with the ring buffers live, and with a
-/// Chrome-trace export after every rep.
+/// event trace compiled in but off, with the ring buffers live, with a
+/// Chrome-trace export after every rep, and with telemetry sampling only.
 struct TraceRow {
     workload: &'static str,
     off_kcps: f64,
     ring_kcps: f64,
     export_kcps: f64,
+    telemetry_kcps: f64,
 }
 
 impl TraceRow {
@@ -308,11 +318,14 @@ impl TraceRow {
 }
 
 fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32) -> TraceRow {
-    // mode 0: tracing off; 1: ring buffers on; 2: ring on + export each rep.
+    // mode 0: tracing off; 1: ring buffers on; 2: ring on + export each
+    // rep; 3: telemetry sampling only (1 Ki-cycle interval, no events).
     let exec = |mode: u8, reps: u32| {
         let mut sys = SystemBuilder::new().cores(threads).build();
-        if mode > 0 {
-            sys.set_trace(TraceConfig::new().events(1 << 16));
+        match mode {
+            0 => {}
+            3 => sys.set_trace(TraceConfig::new().telemetry(1024)),
+            _ => sys.set_trace(TraceConfig::new().events(1 << 16)),
         }
         let mut exported = 0usize;
         let wall = Instant::now();
@@ -327,23 +340,76 @@ fn tracing_overhead(workload: &'static str, threads: usize, size: u64, reps: u32
         std::hint::black_box(exported);
         sys.stats().cycles as f64 / secs / 1e3
     };
-    for mode in 0..3u8 {
+    for mode in 0..4u8 {
         exec(mode, 1); // warm-up, discarded
     }
-    let mut blocks: [Vec<f64>; 3] = Default::default();
+    let mut blocks: [Vec<f64>; 4] = Default::default();
     for _ in 0..MEASURE_BLOCKS {
         // Round-robin across modes; see `fig09_shaped`.
         for (m, b) in blocks.iter_mut().enumerate() {
             b.push(exec(m as u8, reps));
         }
     }
-    let [off_b, ring_b, export_b] = blocks;
+    let [off_b, ring_b, export_b, telemetry_b] = blocks;
     TraceRow {
         workload,
         off_kcps: median_kcps(off_b),
         ring_kcps: median_kcps(ring_b),
         export_kcps: median_kcps(export_b),
+        telemetry_kcps: median_kcps(telemetry_b),
     }
+}
+
+/// Host wall-time phase breakdown of the wheel engines on a saturated
+/// fig09 shape — where host time goes inside a busy cycle, and the Amdahl
+/// bound it implies for parallel core stepping. All zeros unless built
+/// with `--features profile`.
+struct PhaseRow {
+    threads: usize,
+    wheel: skipit_core::PhaseProfile,
+    parallel: skipit_core::PhaseProfile,
+}
+
+fn phase_profile(threads: usize, size: u64) -> PhaseRow {
+    let run = |kind: EngineKind| {
+        let mut sys = SystemBuilder::new().cores(threads).engine(kind).build();
+        fig9_sample(&mut sys, threads as u64, size, true); // warm-up
+        let before = sys.engine_stats().phase;
+        fig9_sample(&mut sys, threads as u64, size, true);
+        let after = sys.engine_stats().phase;
+        skipit_core::PhaseProfile {
+            serial_ns: after.serial_ns - before.serial_ns,
+            core_ns: after.core_ns - before.core_ns,
+            frontend_ns: after.frontend_ns - before.frontend_ns,
+            barrier_ns: after.barrier_ns.saturating_sub(before.barrier_ns),
+            worker_wait_ns: after.worker_wait_ns.saturating_sub(before.worker_wait_ns),
+        }
+    };
+    PhaseRow {
+        threads,
+        wheel: run(EngineKind::ComponentWheel),
+        parallel: run(EngineKind::ParallelWheel),
+    }
+}
+
+/// One phase sub-object of the `"phase"` JSON section. Keys deliberately
+/// avoid `"workload"`/`"speedup"`/`"parallel": {` so `baseline_speedups`
+/// and `baseline_parallel_wall` keep scanning correctly.
+fn phase_json(p: &skipit_core::PhaseProfile, threads: usize) -> String {
+    format!(
+        "{{\"serial_ns\": {}, \"core_ns\": {}, \"frontend_ns\": {}, \
+         \"barrier_ns\": {}, \"worker_wait_ns\": {}, \"serial_fraction\": {}, \
+         \"amdahl_bound_{threads}t\": {}}}",
+        p.serial_ns,
+        p.core_ns,
+        p.frontend_ns,
+        p.barrier_ns,
+        p.worker_wait_ns,
+        p.serial_fraction()
+            .map_or("null".into(), |f| format!("{f:.4}")),
+        p.predicted_speedup(threads)
+            .map_or("null".into(), |s| format!("{s:.2}")),
+    )
 }
 
 /// Wall-clock of the reduced Fig. 15 sweep executed serially vs across the
@@ -412,6 +478,32 @@ fn json_num(v: f64) -> String {
         format!("{v:.1}")
     } else {
         "null".into()
+    }
+}
+
+/// The `"phase"` line of the previously written output file (falling back
+/// to `SKIPIT_BENCH_BASELINE`), if one with real (`profile_compiled`)
+/// data exists — see the carry-forward note in `main`.
+fn committed_phase_section() -> Option<String> {
+    let text = std::fs::read_to_string(out_path()).ok().or_else(|| {
+        let baseline = std::env::var("SKIPIT_BENCH_BASELINE").ok()?;
+        std::fs::read_to_string(baseline).ok()
+    })?;
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"phase\": {"))?;
+    line.contains("\"profile_compiled\": true")
+        .then(|| line.to_string())
+}
+
+/// Output path of the JSON report (`SKIPIT_BENCH_OUT` or the committed
+/// `BENCH_simspeed.json` at the repository root).
+fn out_path() -> std::path::PathBuf {
+    match std::env::var("SKIPIT_BENCH_OUT") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_simspeed.json"),
     }
 }
 
@@ -588,28 +680,79 @@ fn main() {
     let tr = tracing_overhead("fig09_1t_32k", 1, 32 * 1024, reps);
     println!("# tracing overhead on {} (wheel engine)", tr.workload);
     println!(
-        "tracing_off_kcps,ring_on_kcps,ring_plus_export_kcps,ring_overhead_pct,export_overhead_pct"
+        "tracing_off_kcps,ring_on_kcps,ring_plus_export_kcps,telemetry_kcps,\
+         ring_overhead_pct,export_overhead_pct,telemetry_overhead_pct"
     );
     println!(
-        "{:.0},{:.0},{:.0},{:.1},{:.1}",
+        "{:.0},{:.0},{:.0},{:.0},{:.1},{:.1},{:.1}",
         tr.off_kcps,
         tr.ring_kcps,
         tr.export_kcps,
+        tr.telemetry_kcps,
         TraceRow::overhead_pct(tr.off_kcps, tr.ring_kcps),
-        TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps)
+        TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps),
+        TraceRow::overhead_pct(tr.off_kcps, tr.telemetry_kcps)
     );
     let tracing_json = format!(
         "  \"tracing\": {{\"workload\": \"{}\", \"host_cpus\": {host}, \"off_kcycles_per_sec\": {}, \
          \"ring_kcycles_per_sec\": {}, \"export_kcycles_per_sec\": {}, \
-         \"ring_overhead_pct\": {}, \"export_overhead_pct\": {}}},",
+         \"telemetry_kcycles_per_sec\": {}, \"ring_overhead_pct\": {}, \
+         \"export_overhead_pct\": {}, \"telemetry_overhead_pct\": {}}},",
         tr.workload,
         json_num(tr.off_kcps),
         json_num(tr.ring_kcps),
         json_num(tr.export_kcps),
+        json_num(tr.telemetry_kcps),
         json_num(TraceRow::overhead_pct(tr.off_kcps, tr.ring_kcps)),
         json_num(TraceRow::overhead_pct(tr.off_kcps, tr.export_kcps)),
+        json_num(TraceRow::overhead_pct(tr.off_kcps, tr.telemetry_kcps)),
         host = host_cpus()
     );
+
+    let ph = phase_profile(8, 32 * 1024);
+    println!(
+        "# engine phase profile on fig09_8t_32k (profile feature {})",
+        if skipit_core::PROFILE_COMPILED {
+            "on"
+        } else {
+            "off — all zeros"
+        }
+    );
+    println!("engine,serial_ns,core_ns,frontend_ns,barrier_ns,serial_fraction,amdahl_bound_8t");
+    for (name, p) in [("wheel", &ph.wheel), ("parallel", &ph.parallel)] {
+        println!(
+            "{name},{},{},{},{},{},{}",
+            p.serial_ns,
+            p.core_ns,
+            p.frontend_ns,
+            p.barrier_ns,
+            p.serial_fraction()
+                .map_or("-".into(), |f| format!("{f:.4}")),
+            p.predicted_speedup(ph.threads)
+                .map_or("-".into(), |s| format!("{s:.2}")),
+        );
+    }
+    let mut phase_json = format!(
+        "  \"phase\": {{\"name\": \"fig09_8t_32k\", \"profile_compiled\": {}, \
+         \"host_cpus\": {}, \"sim_cores\": {}, \"serial_wheel\": {}, \
+         \"parallel_wheel\": {}}},",
+        skipit_core::PROFILE_COMPILED,
+        host_cpus(),
+        ph.threads,
+        phase_json(&ph.wheel, ph.threads),
+        phase_json(&ph.parallel, ph.threads),
+    );
+    // A non-profile build measures all-zero phases; carry the committed
+    // phase section forward instead of clobbering it, so the two-step
+    // regeneration recipe works: `--features profile` records real phase
+    // data (its per-cycle timers deflate the throughput sections), then a
+    // plain run restores honest throughput and keeps the phase section.
+    if !skipit_core::PROFILE_COMPILED {
+        if let Some(committed) = committed_phase_section() {
+            println!("# phase: profile feature off, keeping committed phase section");
+            phase_json = committed;
+        }
+    }
 
     let sw = sweep_wall(8);
     assert!(
@@ -647,23 +790,19 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
-         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
         host_cpus(),
         parallel_json,
         tracing_json,
+        phase_json,
         sweep_json,
         entries.join(",\n")
     );
     if let Ok(path) = std::env::var("SKIPIT_BENCH_BASELINE") {
         check_against_baseline(&rows, &pr, &path);
     }
-    let path = match std::env::var("SKIPIT_BENCH_OUT") {
-        Ok(p) => std::path::PathBuf::from(p),
-        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_simspeed.json"),
-    };
+    let path = out_path();
     std::fs::write(&path, json).expect("write benchmark JSON");
     println!("# wrote {}", path.display());
 }

@@ -7,7 +7,12 @@
 //! the five TileLink channels and every MSHR. Paired events — FSHR state
 //! transitions, TileLink begin/end, MSHR alloc/free, fence stalls, engine
 //! jumps — become duration (`"X"`) events so transaction lifecycles show as
-//! spans; everything else becomes an instant (`"i"`). Timestamps are
+//! spans; everything else becomes an instant (`"i"`). When telemetry
+//! sampling is installed ([`skipit_trace::TraceConfig::telemetry`]), every
+//! buffered sample additionally renders as counter (`"C"`) tracks — per-core
+//! ops, MSHR/FSHR occupancy, flush-queue depth, skip/enqueue mix and
+//! TileLink beats, plus system-wide L2 occupancy and DRAM line traffic — so
+//! the time series plot directly above the event timelines. Timestamps are
 //! simulated cycles, 1 µs per cycle in the viewer's units.
 //!
 //! The JSON renderer is deliberately hand-rolled: one output `String`
@@ -134,6 +139,96 @@ impl Tracks {
 
 fn pid_of(ev: &TraceEvent) -> u64 {
     ev.core().map_or(0, |c| c as u64 + 1)
+}
+
+/// Appends one counter (`"C"`) event. Counter tracks are keyed by
+/// `(pid, name)` — no tid — and `args` holds one or more series rendered
+/// stacked in the viewer.
+fn push_counter(body: &mut String, name: &str, ts: u64, pid: u64, args: &[(&str, u64)]) {
+    body.push_str(r#",{"name":""#);
+    body.push_str(name);
+    body.push_str(r#"","ph":"C","ts":"#);
+    push_u64(body, ts);
+    body.push_str(r#","pid":"#);
+    push_u64(body, pid);
+    body.push_str(r#","args":{"#);
+    for (k, (key, v)) in args.iter().enumerate() {
+        if k > 0 {
+            body.push(',');
+        }
+        body.push('"');
+        body.push_str(key);
+        body.push_str("\":");
+        push_u64(body, *v);
+    }
+    body.push_str("}}");
+}
+
+/// Appends the telemetry samples as counter tracks (shared series layout
+/// of the fast renderer; the reference implementation in the test module
+/// mirrors it with `format!`).
+fn push_counter_tracks(body: &mut String, tel: &skipit_trace::Telemetry) {
+    for s in tel.samples() {
+        for (i, c) in s.cores.iter().enumerate() {
+            let pid = i as u64 + 1;
+            push_counter(body, "core ops", s.cycle, pid, &[("ops", c.ops)]);
+            push_counter(
+                body,
+                "L1 MSHR",
+                s.cycle,
+                pid,
+                &[("occupancy", c.mshr_occupancy)],
+            );
+            push_counter(
+                body,
+                "FSHR",
+                s.cycle,
+                pid,
+                &[("occupancy", c.fshr_occupancy)],
+            );
+            push_counter(
+                body,
+                "flush queue",
+                s.cycle,
+                pid,
+                &[("depth", c.flush_queue_depth)],
+            );
+            push_counter(
+                body,
+                "skip",
+                s.cycle,
+                pid,
+                &[("skipped", c.skips), ("enqueued", c.enqueued)],
+            );
+            push_counter(
+                body,
+                "TL beats",
+                s.cycle,
+                pid,
+                &[
+                    ("A", c.link_beats[0]),
+                    ("B", c.link_beats[1]),
+                    ("C", c.link_beats[2]),
+                    ("D", c.link_beats[3]),
+                    ("E", c.link_beats[4]),
+                ],
+            );
+        }
+        push_counter(
+            body,
+            "L2 MSHR",
+            s.cycle,
+            0,
+            &[("occupancy", s.l2_mshr_occupancy)],
+        );
+        push_counter(
+            body,
+            "DRAM lines",
+            s.cycle,
+            0,
+            &[("reads", s.dram_reads), ("writes", s.dram_writes)],
+        );
+    }
 }
 
 /// The track an *instant* event lands on (paired events get their own
@@ -443,6 +538,9 @@ impl System {
             // stays the single source of truth for event text.
             let _ = write!(body, "{}", se.event);
             body.push_str("\"}}");
+        }
+        if let Some(tel) = self.telemetry() {
+            push_counter_tracks(&mut body, tel);
         }
         let mut out = String::with_capacity(body.len() + 96 * (tracks.names.len() + 8) + 64);
         out.push_str(r#"{"displayTimeUnit":"ms","traceEvents":["#);
@@ -763,6 +861,82 @@ mod tests {
                     se.event
                 );
             }
+            if let Some(tel) = sys.telemetry() {
+                let counter = |body: &mut String, name: &str, ts: u64, pid: u64, args: String| {
+                    let _ = write!(
+                        body,
+                        r#",{{"name":"{name}","ph":"C","ts":{ts},"pid":{pid},"args":{{{args}}}}}"#
+                    );
+                };
+                for s in tel.samples() {
+                    for (i, c) in s.cores.iter().enumerate() {
+                        let pid = i as u64 + 1;
+                        counter(
+                            &mut body,
+                            "core ops",
+                            s.cycle,
+                            pid,
+                            format!(r#""ops":{}"#, c.ops),
+                        );
+                        counter(
+                            &mut body,
+                            "L1 MSHR",
+                            s.cycle,
+                            pid,
+                            format!(r#""occupancy":{}"#, c.mshr_occupancy),
+                        );
+                        counter(
+                            &mut body,
+                            "FSHR",
+                            s.cycle,
+                            pid,
+                            format!(r#""occupancy":{}"#, c.fshr_occupancy),
+                        );
+                        counter(
+                            &mut body,
+                            "flush queue",
+                            s.cycle,
+                            pid,
+                            format!(r#""depth":{}"#, c.flush_queue_depth),
+                        );
+                        counter(
+                            &mut body,
+                            "skip",
+                            s.cycle,
+                            pid,
+                            format!(r#""skipped":{},"enqueued":{}"#, c.skips, c.enqueued),
+                        );
+                        counter(
+                            &mut body,
+                            "TL beats",
+                            s.cycle,
+                            pid,
+                            format!(
+                                r#""A":{},"B":{},"C":{},"D":{},"E":{}"#,
+                                c.link_beats[0],
+                                c.link_beats[1],
+                                c.link_beats[2],
+                                c.link_beats[3],
+                                c.link_beats[4]
+                            ),
+                        );
+                    }
+                    counter(
+                        &mut body,
+                        "L2 MSHR",
+                        s.cycle,
+                        0,
+                        format!(r#""occupancy":{}"#, s.l2_mshr_occupancy),
+                    );
+                    counter(
+                        &mut body,
+                        "DRAM lines",
+                        s.cycle,
+                        0,
+                        format!(r#""reads":{},"writes":{}"#, s.dram_reads, s.dram_writes),
+                    );
+                }
+            }
             format!(
                 r#"{{"displayTimeUnit":"ms","traceEvents":[{}{}]}}"#,
                 tracks.metadata_json(sys.config().cores),
@@ -785,15 +959,19 @@ mod tests {
 
     /// The rewritten exporter must reproduce the reference renderer's
     /// output byte for byte, on a trace exercising every span class (FSHR,
-    /// TileLink, both MSHR levels, fences, engine jumps) plus instants and
-    /// open spans.
+    /// TileLink, both MSHR levels, fences, engine jumps) plus instants,
+    /// open spans, and telemetry counter tracks.
     #[test]
     fn fast_export_matches_reference_byte_for_byte() {
         let mut sys = System::new(SystemConfig {
             cores: 2,
             ..SystemConfig::default()
         });
-        sys.set_trace(skipit_trace::TraceConfig::new().events(1 << 14));
+        sys.set_trace(
+            skipit_trace::TraceConfig::new()
+                .events(1 << 14)
+                .telemetry(64),
+        );
         let mut programs: Vec<Vec<Op>> = Vec::new();
         for core in 0..2u64 {
             let mut p = Vec::new();
@@ -813,6 +991,10 @@ mod tests {
                 .iter()
                 .any(|se| matches!(se.event, TraceEvent::FastForwardJump { .. })),
             "workload must exercise engine-jump spans"
+        );
+        assert!(
+            fast.contains(r#""ph":"C""#),
+            "workload must exercise telemetry counter tracks"
         );
         assert_eq!(
             fast.len(),

@@ -23,11 +23,13 @@ pub mod handle;
 pub mod lsu;
 pub mod op;
 pub mod pool;
+pub mod prof;
 pub mod system;
 pub mod trace;
 
 pub use handle::CoreHandle;
 pub use lsu::Lsu;
 pub use op::{Op, OpToken};
-pub use system::{EngineKind, EngineStats, System, SystemConfig, SystemStats};
+pub use prof::PROFILE_COMPILED;
+pub use system::{EngineKind, EngineStats, PhaseProfile, System, SystemConfig, SystemStats};
 pub use trace::{LatencyHistogram, TraceLog, TraceRecord};

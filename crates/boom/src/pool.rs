@@ -48,6 +48,14 @@ struct Shared {
     /// First worker panic of the current dispatch, re-thrown by the caller
     /// after the barrier.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Wall ns the caller spent waiting on the cycle barrier (`profile`
+    /// feature; folded into `PhaseProfile::barrier_ns`).
+    #[cfg(feature = "profile")]
+    caller_wait_ns: AtomicU64,
+    /// Wall ns workers spent waiting for the next dispatch, summed across
+    /// workers (`profile` feature; `PhaseProfile::worker_wait_ns`).
+    #[cfg(feature = "profile")]
+    worker_wait_ns: AtomicU64,
 }
 
 // SAFETY: `job` is the only non-Sync field. It is written only by the
@@ -92,6 +100,10 @@ impl WheelPool {
                 data: std::ptr::null(),
             }),
             panic: Mutex::new(None),
+            #[cfg(feature = "profile")]
+            caller_wait_ns: AtomicU64::new(0),
+            #[cfg(feature = "profile")]
+            worker_wait_ns: AtomicU64::new(0),
         });
         let workers = (1..threads)
             .map(|slot| {
@@ -112,6 +124,23 @@ impl WheelPool {
     /// Number of slots a job is dispatched across (including the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Accumulated `(caller barrier wait, summed worker dispatch wait)`
+    /// wall nanoseconds. Both zero unless the `profile` feature is
+    /// compiled in.
+    pub fn wait_ns(&self) -> (u64, u64) {
+        #[cfg(feature = "profile")]
+        {
+            (
+                self.shared.caller_wait_ns.load(Ordering::Relaxed),
+                self.shared.worker_wait_ns.load(Ordering::Relaxed),
+            )
+        }
+        #[cfg(not(feature = "profile"))]
+        {
+            (0, 0)
+        }
     }
 
     /// Runs `f(slot)` for every slot in `0..threads()`, slot 0 on the
@@ -144,6 +173,7 @@ impl WheelPool {
             h.thread().unpark();
         }
         let local = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+        let barrier = crate::prof::Timer::start();
         let mut spins = 0u32;
         while self.shared.done.load(Ordering::Acquire) != self.workers.len() {
             // Spin briefly, then yield: when workers outnumber host CPUs
@@ -157,6 +187,12 @@ impl WheelPool {
                 std::thread::yield_now();
             }
         }
+        #[cfg(feature = "profile")]
+        self.shared
+            .caller_wait_ns
+            .fetch_add(barrier.elapsed_ns(), Ordering::Relaxed);
+        #[cfg(not(feature = "profile"))]
+        let _ = barrier;
         if let Err(payload) = local {
             panic::resume_unwind(payload);
         }
@@ -195,6 +231,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
     // worker would sleep through the first job and deadlock the barrier.
     let mut seen = 0u64;
     loop {
+        let wait = crate::prof::Timer::start();
         let mut spins = 0u32;
         loop {
             let e = shared.epoch.load(Ordering::Acquire);
@@ -211,6 +248,12 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 std::thread::park();
             }
         }
+        #[cfg(feature = "profile")]
+        shared
+            .worker_wait_ns
+            .fetch_add(wait.elapsed_ns(), Ordering::Relaxed);
+        #[cfg(not(feature = "profile"))]
+        let _ = wait;
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }

@@ -10,7 +10,10 @@ use skipit_llc::{InclusiveCache, L2Config, L2Ports, L2Stats};
 use skipit_mem::{Dram, DramConfig, MemStats};
 use skipit_tilelink::perturb::link_site;
 use skipit_tilelink::{ChannelA, ChannelB, ChannelC, ChannelD, ChannelE, Link, PerturbConfig};
-use skipit_trace::{StreamEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink};
+use skipit_trace::{
+    CoreCounters, StreamEvent, Telemetry, TelemetryCounters, TraceConfig, TraceEvent, TraceFilter,
+    TraceSink,
+};
 
 /// Which simulation engine advances the clock. All engines produce
 /// bit-identical elapsed cycles, statistics, durable memory images and
@@ -118,7 +121,7 @@ impl Default for SystemConfig {
 /// Counters of the event-driven engine itself (host-side bookkeeping, not
 /// part of the simulated machine's statistics — [`SystemStats`] is identical
 /// whether or not fast-forwarding is enabled).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Simulated cycles the engine never executed (jumped over).
     pub skipped_cycles: u64,
@@ -131,6 +134,86 @@ pub struct EngineStats {
     /// Component-step opportunities the naive engine would have burned:
     /// `1 + cores` per simulated cycle, jumped-over cycles included.
     pub component_slots: u64,
+    /// Host wall-time attribution of the wheel engines' per-cycle phases
+    /// (all zero unless the `profile` feature is compiled in).
+    pub phase: PhaseProfile,
+}
+
+/// Equality deliberately ignores [`EngineStats::phase`]: wall-time
+/// attribution is a property of the *host run*, not of the simulated
+/// machine, and the cross-engine / cross-thread-count bit-identity
+/// contracts compare `EngineStats` values.
+impl PartialEq for EngineStats {
+    fn eq(&self, other: &Self) -> bool {
+        (
+            self.skipped_cycles,
+            self.jumps,
+            self.component_steps,
+            self.component_slots,
+        ) == (
+            other.skipped_cycles,
+            other.jumps,
+            other.component_steps,
+            other.component_slots,
+        )
+    }
+}
+
+impl Eq for EngineStats {}
+
+/// Per-phase host wall-time attribution of the wheel engines (the
+/// `profile` feature; see [`crate::prof`]). An executed wheel cycle has
+/// three phases in fixed order — the serial L2+DRAM step, the (possibly
+/// parallel) core phase, and the serial frontend sweep — so the measured
+/// serial share of the busy-cycle loop is exactly the Amdahl term bounding
+/// [`EngineKind::ParallelWheel`]'s possible speedup.
+///
+/// All fields are zero when the `profile` feature is compiled out (the
+/// default), when a non-wheel engine ran, or before any cycle executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Wall nanoseconds in the serial L2 + DRAM phase (includes the wake-edge
+    /// scan and the L2 slot re-arm).
+    pub serial_ns: u64,
+    /// Wall nanoseconds in the core phase (parallel dispatch, stepping and
+    /// the cycle barrier under [`EngineKind::ParallelWheel`]; the serial
+    /// core-slot loop otherwise).
+    pub core_ns: u64,
+    /// Wall nanoseconds in the frontend sweep + slot re-arms.
+    pub frontend_ns: u64,
+    /// Wall nanoseconds the dispatching thread spent spinning on the
+    /// cycle barrier waiting for workers to finish (a subset of
+    /// [`PhaseProfile::core_ns`]; zero when the pool never dispatched).
+    pub barrier_ns: u64,
+    /// Wall nanoseconds worker threads spent waiting for the next epoch
+    /// dispatch, summed across workers (idle-worker time, not part of
+    /// the caller-observed phase times above).
+    pub worker_wait_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Total attributed busy-cycle wall time.
+    pub fn total_ns(&self) -> u64 {
+        self.serial_ns + self.core_ns + self.frontend_ns
+    }
+
+    /// Measured serial fraction of the busy-cycle loop — the Amdahl bound:
+    /// `(serial_ns + frontend_ns) / total_ns`. The core phase is counted
+    /// as the parallelizable part even when it ran serially (the point of
+    /// the measurement is to predict what parallelizing it can buy).
+    /// `None` until any phase time was recorded.
+    pub fn serial_fraction(&self) -> Option<f64> {
+        let total = self.total_ns();
+        (total > 0).then(|| (self.serial_ns + self.frontend_ns) as f64 / total as f64)
+    }
+
+    /// Speedup of the busy-cycle loop Amdahl's law predicts at `threads`
+    /// threads, from the measured serial fraction. `None` until any phase
+    /// time was recorded.
+    pub fn predicted_speedup(&self, threads: usize) -> Option<f64> {
+        let s = self.serial_fraction()?;
+        Some(1.0 / (s + (1.0 - s) / threads.max(1) as f64))
+    }
 }
 
 impl EngineStats {
@@ -597,6 +680,9 @@ pub struct System {
     /// [`System::set_trace`]; host-side, never part of simulated
     /// state.
     engine_sink: Option<TraceSink>,
+    /// Interval telemetry sampler ([`TraceConfig::telemetry`]); host-side
+    /// observation only, never part of simulated state or digests.
+    telemetry: Option<Telemetry>,
     /// The tracing setup currently installed (see [`System::set_trace`]).
     trace_cfg: TraceConfig,
 }
@@ -643,6 +729,7 @@ impl System {
             wheel: Wheel::default(),
             pool: None,
             engine_sink: None,
+            telemetry: None,
             trace_cfg: TraceConfig::off(),
             cfg,
         };
@@ -682,8 +769,18 @@ impl System {
 
     /// Counters of the fast-forward engine (cycles skipped, jumps taken,
     /// component steps/slots). All zero under [`EngineKind::Naive`].
+    /// With the `profile` feature compiled in, [`EngineStats::phase`]
+    /// carries the wheel engines' wall-time phase attribution, with the
+    /// pool's barrier/worker wait counters folded in here (they accumulate
+    /// in shared atomics while worker threads run).
     pub fn engine_stats(&self) -> EngineStats {
-        self.engine
+        let mut stats = self.engine;
+        if let Some(pool) = &self.pool {
+            let (caller, worker) = pool.wait_ns();
+            stats.phase.barrier_ns = caller;
+            stats.phase.worker_wait_ns = worker;
+        }
+        stats
     }
 
     /// The persisted memory image (what a crash-recovery procedure sees).
@@ -736,6 +833,9 @@ impl System {
     /// * [`TraceConfig::latency`] starts per-op completion-latency
     ///   recording on every core (see [`crate::trace`],
     ///   [`System::trace_records`], [`System::latency_histograms`]).
+    /// * [`TraceConfig::telemetry`] installs the interval counter-series
+    ///   sampler (see [`Telemetry`], [`System::telemetry`],
+    ///   [`System::telemetry_snapshot`]).
     ///
     /// Facilities absent from `cfg` are uninstalled, so
     /// `set_trace(TraceConfig::off())` returns the system to the
@@ -776,6 +876,18 @@ impl System {
                 }
             }
         }
+        if (cfg.telemetry_interval(), cfg.telemetry_capacity())
+            != (cur.telemetry_interval(), cur.telemetry_capacity())
+        {
+            self.telemetry = cfg.telemetry_interval().map(|interval| {
+                Telemetry::new(
+                    interval,
+                    cfg.telemetry_capacity(),
+                    self.now,
+                    self.telemetry_counters(),
+                )
+            });
+        }
         self.trace_cfg = cfg;
     }
 
@@ -784,14 +896,72 @@ impl System {
         self.trace_cfg
     }
 
-    /// Starts recording per-op completion latencies on every core (bounded
-    /// to `capacity` records per core). See [`crate::trace`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::set_trace(sys.trace_config().latency(capacity))`"
-    )]
-    pub fn enable_tracing(&mut self, capacity: usize) {
-        self.set_trace(self.trace_cfg.latency(capacity));
+    /// Cumulative counters + gauges in the shape the telemetry sampler
+    /// consumes. Pure observation of existing counters.
+    fn telemetry_counters(&self) -> TelemetryCounters {
+        TelemetryCounters {
+            cores: (0..self.cfg.cores)
+                .map(|i| {
+                    let l1 = &self.l1s[i];
+                    let s = l1.stats();
+                    CoreCounters {
+                        ops: s.loads + s.stores + s.amos,
+                        mshr_occupancy: l1.mshr_occupancy() as u64,
+                        fshr_occupancy: l1.fshr_occupancy() as u64,
+                        flush_queue_depth: l1.flush_queue_depth() as u64,
+                        skips: s.writebacks_skipped,
+                        enqueued: s.writebacks_enqueued,
+                        link_pushed: [
+                            self.a[i].pushed(),
+                            self.b[i].pushed(),
+                            self.c[i].pushed(),
+                            self.d[i].pushed(),
+                            self.e[i].pushed(),
+                        ],
+                    }
+                })
+                .collect(),
+            l2_mshr_occupancy: self.l2.mshr_occupancy() as u64,
+            dram_reads: self.dram.stats().reads,
+            dram_writes: self.dram.stats().writes,
+        }
+    }
+
+    /// Samples every telemetry boundary the clock has reached. Called at
+    /// the top of each tick variant and right after fast-forward landings,
+    /// so boundary `B` always captures the machine state at the start of
+    /// cycle `B` — for jumped-over boundaries that state is provably the
+    /// window-start state, which is exactly what the call passes (no
+    /// counter changes inside a skipped window), keeping the sample series
+    /// engine-independent. Idempotent; one branch when nothing is due.
+    #[inline]
+    fn poll_telemetry(&mut self) {
+        if self.telemetry.as_ref().is_some_and(|t| t.due(self.now)) {
+            let counters = self.telemetry_counters();
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record_up_to(self.now, &counters);
+            }
+        }
+    }
+
+    /// The installed telemetry sampler, synced to every boundary the clock
+    /// has reached. `None` unless [`TraceConfig::telemetry`] is installed.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// A copy of the sampler with a final partial sample appended covering
+    /// the tail `(last boundary, now]` — so the samples' deltas sum
+    /// exactly to the end-of-run cumulative totals. The live sampler is
+    /// left untouched (still boundary-aligned). `None` unless telemetry is
+    /// installed.
+    pub fn telemetry_snapshot(&self) -> Option<Telemetry> {
+        let t = self.telemetry.as_ref()?;
+        let counters = self.telemetry_counters();
+        let mut snap = t.clone();
+        snap.record_up_to(self.now, &counters);
+        snap.finish(self.now, &counters);
+        Some(snap)
     }
 
     /// All trace records across cores, merged into one stream ordered by
@@ -834,33 +1004,6 @@ impl System {
         for lsu in &mut self.lsus {
             lsu.clear_trace();
         }
-    }
-
-    /// Installs cycle-stamped event tracing on every component: each LSU,
-    /// L1 (front end + flush unit), per-core TileLink link, the L2, DRAM,
-    /// and the fast-forward engine get their own bounded ring buffer of
-    /// `capacity` events. Harvest with [`System::trace_events`] or the
-    /// exporters in [`crate::export`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::set_trace(sys.trace_config().events(capacity))`"
-    )]
-    pub fn enable_event_trace(&mut self, capacity: usize) {
-        self.set_trace(
-            self.trace_cfg
-                .events(capacity)
-                .filter(TraceFilter::default()),
-        );
-    }
-
-    /// `enable_event_trace` with a per-sink admission `filter`
-    /// (core mask / address range).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `System::set_trace(sys.trace_config().events(capacity).filter(filter))`"
-    )]
-    pub fn enable_event_trace_filtered(&mut self, capacity: usize, filter: TraceFilter) {
-        self.set_trace(self.trace_cfg.events(capacity).filter(filter));
     }
 
     /// Builds and installs one fresh sink per component (the
@@ -1054,6 +1197,7 @@ impl System {
 
     /// Advances the system by one cycle.
     pub fn tick(&mut self) {
+        self.poll_telemetry();
         // A full sweep may step components the wheel believed idle, so its
         // due bounds are stale afterwards.
         self.wheel.valid = false;
@@ -1183,6 +1327,7 @@ impl System {
     /// have no due event, no consumable link head, and no freed output slot,
     /// so their step functions could only fall through.
     fn tick_gated(&mut self, plan: &TickPlan) {
+        self.poll_telemetry();
         self.wheel.valid = false;
         self.engine.component_slots += 1 + self.cfg.cores as u64;
         self.engine.component_steps += plan.l2 as u64 + u64::from(plan.cores.count_ones());
@@ -1286,6 +1431,10 @@ impl System {
                 } else {
                     self.now = t;
                 }
+                // Sample boundaries the jump crossed before `done` can end
+                // the run (no state changed inside the window, so the
+                // current counters are each boundary's counters).
+                self.poll_telemetry();
                 if done(self) {
                     return true;
                 }
@@ -1399,6 +1548,8 @@ impl System {
     /// for the next cycle. Frontends run every executed cycle: they are
     /// cheap, and a worker rendezvous must not be deferred.
     fn tick_wheel(&mut self) {
+        self.poll_telemetry();
+        let mut lap = crate::prof::Timer::start();
         let now = self.now;
         let cores = self.cfg.cores;
         self.engine.component_slots += 1 + cores as u64;
@@ -1490,6 +1641,7 @@ impl System {
                     now + 1
                 };
         }
+        lap.lap(&mut self.engine.phase.serial_ns);
         // Mirror guard: wake edges toward the L2 can never arrive before
         // `now + 1` (the L2 steps first), so when the L2 is already due by
         // then the edge scan below is skipped entirely.
@@ -1514,6 +1666,7 @@ impl System {
                 self.wheel.streak_l2 = 0;
             }
         }
+        lap.lap(&mut self.engine.phase.core_ns);
         let (enqueued, active) = self.step_frontends();
         let mut m = active;
         while m != 0 {
@@ -1530,6 +1683,7 @@ impl System {
                 self.wheel.streak_comp[i] = 0;
             }
         }
+        lap.lap(&mut self.engine.phase.frontend_ns);
         self.now += 1;
     }
 
@@ -1714,6 +1868,10 @@ impl System {
             } else {
                 self.now = target;
             }
+            // Sample boundaries the jump crossed before `done` can end the
+            // run (window is state-change-free, so current counters are
+            // each boundary's counters).
+            self.poll_telemetry();
             if done(self) {
                 return true;
             }
@@ -1796,6 +1954,7 @@ impl System {
                 } else {
                     self.now = t;
                 }
+                self.poll_telemetry();
                 true
             }
             _ => false,

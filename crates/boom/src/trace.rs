@@ -56,7 +56,7 @@ impl LatencyHistogram {
     pub fn record(&mut self, latency: u64) {
         self.buckets[Self::bucket_of(latency)] += 1;
         self.count += 1;
-        self.sum += latency;
+        self.sum = self.sum.saturating_add(latency);
         self.min = self.min.min(latency);
         self.max = self.max.max(latency);
     }
@@ -66,7 +66,8 @@ impl LatencyHistogram {
         self.count
     }
 
-    /// Sum of all recorded latencies (for exact means).
+    /// Sum of all recorded latencies (for exact means; saturates at
+    /// `u64::MAX` rather than overflowing on extreme samples).
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -98,7 +99,8 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let bound = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                // Bucket 64 holds samples >= 2^63; its bound saturates.
+                let bound = 1u64.checked_shl(i as u32).map_or(u64::MAX, |b| b - 1);
                 return Some(bound.min(self.max).max(self.min));
             }
         }
@@ -126,7 +128,7 @@ impl LatencyHistogram {
             *b += o;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -280,6 +282,48 @@ mod tests {
         assert_eq!(other.count(), 11);
         assert_eq!(other.min(), Some(0));
         assert_eq!(other.max(), Some(1000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none_everywhere() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        for p in [0.001, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), None);
+        }
+        // Merging an empty histogram into an empty histogram stays empty
+        // (the `u64::MAX` min sentinel must not leak into observables).
+        let mut a = LatencyHistogram::new();
+        a.merge(&h);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.p50(), None);
+    }
+
+    #[test]
+    fn top_bucket_saturation() {
+        // u64::MAX lands in the last bucket (index 64) without indexing
+        // past the array, and every percentile clamps to the observed max
+        // rather than the bucket's unrepresentable upper bound.
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(1u64 << 63));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.p50(), Some(u64::MAX));
+        assert_eq!(h.p99(), Some(u64::MAX));
+        // A merge on saturated top buckets keeps the counts.
+        let mut other = LatencyHistogram::new();
+        other.record(0);
+        other.merge(&h);
+        assert_eq!(other.count(), 4);
+        assert_eq!(other.min(), Some(0));
+        assert_eq!(other.max(), Some(u64::MAX));
     }
 
     #[test]

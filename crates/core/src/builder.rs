@@ -185,23 +185,6 @@ impl SystemBuilder {
         self
     }
 
-    /// Enables or disables event-driven fast simulation. Cycle counts and
-    /// statistics are bit-identical either way; `true` (the default)
-    /// selects the component-wheel engine, `false` plain cycle-by-cycle
-    /// stepping. Use [`SystemBuilder::engine`] to pick a specific engine.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `engine(EngineKind::ComponentWheel)` / `engine(EngineKind::Naive)`"
-    )]
-    pub fn fast_forward(mut self, on: bool) -> Self {
-        self.cfg.engine = if on {
-            EngineKind::ComponentWheel
-        } else {
-            EngineKind::Naive
-        };
-        self
-    }
-
     /// Selects the simulation engine explicitly (naive / global-gate /
     /// component-wheel / parallel-wheel). All engines produce bit-identical
     /// cycles, stats, durable images and trace-event streams. Default

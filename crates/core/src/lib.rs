@@ -61,8 +61,8 @@ pub mod metrics;
 pub use builder::{ConfigError, SystemBuilder};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use skipit_boom::{
-    CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, System, SystemConfig, SystemStats,
-    TraceLog, TraceRecord,
+    CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, PhaseProfile, System, SystemConfig,
+    SystemStats, TraceLog, TraceRecord, PROFILE_COMPILED,
 };
 pub use skipit_dcache::{DataCache, FlushEntry, FlushUnit, Fshr, FshrState, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};
@@ -71,8 +71,8 @@ pub use skipit_tilelink::{
     ClientState, LineAddr, LineData, PerturbConfig, WritebackKind, LINE_BYTES, WORDS_PER_LINE,
 };
 pub use skipit_trace::{
-    MsgDesc, StreamEvent, TimedEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink,
-    TRACE_COMPILED,
+    CoreCounters, CoreSample, MsgDesc, StreamEvent, Telemetry, TelemetryCounters, TelemetrySample,
+    TimedEvent, TraceConfig, TraceEvent, TraceFilter, TraceSink, TRACE_COMPILED,
 };
 
 /// Convenience: builds the paper's §7.1 evaluation platform (dual-core,

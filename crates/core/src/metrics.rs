@@ -254,6 +254,43 @@ mod tests {
     }
 
     #[test]
+    fn diff_across_disjoint_key_sets() {
+        // Snapshots of differently-shaped systems (1 vs 2 cores) have
+        // disjoint per-core keys: `diff` keeps `self`'s key set, counts
+        // keys missing from `earlier` from zero, and never underflows on
+        // keys where `earlier` is ahead.
+        let one = MetricsSnapshot::capture(&SystemBuilder::new().cores(1).build());
+        let mut two = SystemBuilder::new().cores(2).build();
+        two.run_programs(vec![
+            vec![Op::Store {
+                addr: 0x2000,
+                value: 9,
+            }],
+            vec![],
+        ]);
+        let two = MetricsSnapshot::capture(&two);
+        assert_eq!(
+            one.get("l1.1.stores"),
+            None,
+            "1-core snapshot has no core 1"
+        );
+
+        let d = two.diff(&one);
+        let keys: Vec<&str> = d.entries().map(|(k, _)| k).collect();
+        let keys_two: Vec<&str> = two.entries().map(|(k, _)| k).collect();
+        assert_eq!(keys, keys_two, "diff must keep self's key set verbatim");
+        // Core-1 keys exist only in `two`; they count from zero.
+        assert_eq!(d.get("l1.1.stores"), Some(0));
+        assert_eq!(d.get("l1.0.stores"), Some(1));
+        // The reverse diff drops the core-1 keys entirely and saturates
+        // (rather than underflows) where `two` ran ahead.
+        let r = one.diff(&two);
+        assert_eq!(r.get("l1.1.stores"), None);
+        assert_eq!(r.get("cycles"), Some(0));
+        assert_eq!(r.get("l1.0.stores"), Some(0));
+    }
+
+    #[test]
     fn snapshot_json_is_flat_and_sorted() {
         let sys = SystemBuilder::new().cores(2).build();
         let snap = MetricsSnapshot::capture(&sys);

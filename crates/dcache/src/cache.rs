@@ -255,6 +255,24 @@ impl DataCache {
         self.stats
     }
 
+    /// MSHRs currently mid-transaction (telemetry gauge).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshrs
+            .iter()
+            .filter(|m| m.state != MshrState::Free)
+            .count()
+    }
+
+    /// FSHRs currently executing a writeback (telemetry gauge).
+    pub fn fshr_occupancy(&self) -> usize {
+        self.flush.fshr_occupancy()
+    }
+
+    /// Requests buffered in the flush queue (telemetry gauge).
+    pub fn flush_queue_depth(&self) -> usize {
+        self.flush.queue_len()
+    }
+
     /// Configuration this cache was built with.
     pub fn config(&self) -> &L1Config {
         &self.cfg

@@ -215,6 +215,14 @@ impl FlushUnit {
         self.queue.len()
     }
 
+    /// FSHRs currently executing a writeback (telemetry gauge).
+    pub fn fshr_occupancy(&self) -> usize {
+        self.fshrs
+            .iter()
+            .filter(|f| f.state != FshrState::Free)
+            .count()
+    }
+
     /// Whether a request to `addr` is pending in the queue or any FSHR.
     pub fn has_pending(&self, addr: LineAddr) -> bool {
         self.queued_entry(addr).is_some() || self.fshr_for(addr).is_some()

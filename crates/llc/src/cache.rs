@@ -201,6 +201,11 @@ impl InclusiveCache {
         self.stats
     }
 
+    /// MSHRs currently live (telemetry gauge).
+    pub fn mshr_occupancy(&self) -> usize {
+        self.occupied.count_ones() as usize
+    }
+
     /// Configuration.
     pub fn config(&self) -> &L2Config {
         &self.cfg

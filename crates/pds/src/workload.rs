@@ -267,6 +267,7 @@ pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
             jumps: after.jumps - engine_before.jumps,
             component_steps: after.component_steps - engine_before.component_steps,
             component_slots: after.component_slots - engine_before.component_slots,
+            phase: after.phase,
         },
     }
 }

@@ -122,6 +122,35 @@ impl SweepReport {
         out
     }
 
+    /// A host-side wall-time phase breakdown, one line per row that
+    /// captured engine stats: per-phase nanoseconds and the serial
+    /// fraction of the wheel engines (`skipit_core::PhaseProfile`).
+    ///
+    /// All zeros unless the simulator was compiled with the `profile`
+    /// feature. Like [`SweepReport::wall`], this is a property of the
+    /// host run — it is deliberately **not** part of
+    /// [`SweepReport::to_json`], so the JSON export stays bit-identical
+    /// at any worker-thread count and with profiling on or off.
+    pub fn phase_table(&self) -> String {
+        let mut out =
+            String::from("label,serial_ns,core_ns,frontend_ns,barrier_ns,serial_fraction\n");
+        for r in &self.rows {
+            let Some(engine) = &r.output.engine else {
+                continue;
+            };
+            let p = engine.phase;
+            let frac = p
+                .serial_fraction()
+                .map_or_else(|| "-".into(), |f| format!("{f:.3}"));
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                r.label, p.serial_ns, p.core_ns, p.frontend_ns, p.barrier_ns, frac
+            );
+        }
+        out
+    }
+
     /// Renders the table as one JSON document in the repository's
     /// `BENCH_*.json` shape: a `"bench"` name, an optional `"unit"`, and a
     /// `"points"` array of flat row objects (params, status, cycles, named
@@ -262,6 +291,22 @@ mod tests {
         assert_eq!(r.get("a").unwrap().value("v"), Some(1.25));
         assert_eq!(r.total_sim_cycles(), 10);
         assert!(r.table().contains("a,k=1,ok,10,v=1.2"));
+    }
+
+    #[test]
+    fn phase_table_is_host_side_only() {
+        let mut r = report();
+        let mut engine = skipit_core::EngineStats::default();
+        engine.phase.serial_ns = 30;
+        engine.phase.core_ns = 60;
+        engine.phase.frontend_ns = 10;
+        r.rows[0].output.engine = Some(engine);
+        let t = r.phase_table();
+        assert!(t.contains("a,30,60,10,0,0.400"), "table was:\n{t}");
+        // Row "b" captured no engine stats and is skipped.
+        assert_eq!(t.lines().count(), 2);
+        // Phase wall-times never leak into the deterministic JSON export.
+        assert!(!r.to_json().contains("serial_ns"));
     }
 
     #[test]

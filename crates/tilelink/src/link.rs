@@ -225,6 +225,12 @@ impl<T: Beats + fmt::Debug> Link<T> {
         self.popped
     }
 
+    /// Both cumulative counters at once, `(pushed, popped)` — the shape
+    /// telemetry capture wants.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.pushed, self.popped)
+    }
+
     /// Whether a message can be pushed this cycle.
     pub fn can_push(&self) -> bool {
         self.queue.len() < self.capacity

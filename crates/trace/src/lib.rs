@@ -30,6 +30,13 @@
 
 use std::collections::VecDeque;
 
+mod telemetry;
+
+pub use telemetry::{
+    CoreCounters, CoreSample, Telemetry, TelemetryCounters, TelemetrySample,
+    DEFAULT_TELEMETRY_CAPACITY,
+};
+
 /// `true` when the `trace` feature is compiled in. [`trace!`] tests this
 /// constant first, so disabled builds optimize every emission site away.
 pub const TRACE_COMPILED: bool = cfg!(feature = "trace");
@@ -445,9 +452,11 @@ impl TraceFilter {
 ///   component ([`TraceConfig::events`], optionally narrowed by
 ///   [`TraceConfig::filter`]), and
 /// * **op-latency tracing**: per-core completion records and latency
-///   histograms ([`TraceConfig::latency`]).
+///   histograms ([`TraceConfig::latency`]), and
+/// * **telemetry sampling**: interval-aligned counter-series samples
+///   ([`TraceConfig::telemetry`], see the [`Telemetry`] sampler).
 ///
-/// The default ([`TraceConfig::off`]) disables both, so
+/// The default ([`TraceConfig::off`]) disables all three, so
 /// `set_trace(TraceConfig::off())` returns a system to the zero-overhead
 /// state.
 ///
@@ -459,15 +468,19 @@ impl TraceFilter {
 /// let cfg = TraceConfig::new()
 ///     .events(1 << 16)
 ///     .filter(TraceFilter::cores(0b01))
-///     .latency(1024);
+///     .latency(1024)
+///     .telemetry(4096);
 /// assert_eq!(cfg.event_capacity(), Some(1 << 16));
 /// assert_eq!(cfg.latency_capacity(), Some(1024));
+/// assert_eq!(cfg.telemetry_interval(), Some(4096));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceConfig {
     event_capacity: Option<usize>,
     filter: TraceFilter,
     latency_capacity: Option<usize>,
+    telemetry_interval: Option<u64>,
+    telemetry_capacity: usize,
 }
 
 impl Default for TraceConfig {
@@ -483,6 +496,8 @@ impl TraceConfig {
             event_capacity: None,
             filter: TraceFilter::default(),
             latency_capacity: None,
+            telemetry_interval: None,
+            telemetry_capacity: DEFAULT_TELEMETRY_CAPACITY,
         }
     }
 
@@ -515,6 +530,25 @@ impl TraceConfig {
         self
     }
 
+    /// Enables telemetry sampling: one [`TelemetrySample`] every
+    /// `interval` simulated cycles, cycle-aligned and engine-independent.
+    ///
+    /// # Panics
+    ///
+    /// A zero `interval` panics when the config is installed.
+    pub fn telemetry(mut self, interval: u64) -> Self {
+        self.telemetry_interval = Some(interval);
+        self
+    }
+
+    /// Bounds the telemetry sample ring at `capacity` samples
+    /// (drop-oldest; default [`DEFAULT_TELEMETRY_CAPACITY`]). Only
+    /// meaningful together with [`TraceConfig::telemetry`].
+    pub fn telemetry_ring(mut self, capacity: usize) -> Self {
+        self.telemetry_capacity = capacity;
+        self
+    }
+
     /// Disables component event tracing (keeping any latency setup).
     pub fn without_events(mut self) -> Self {
         self.event_capacity = None;
@@ -524,6 +558,12 @@ impl TraceConfig {
     /// Disables op-latency tracing (keeping any event setup).
     pub fn without_latency(mut self) -> Self {
         self.latency_capacity = None;
+        self
+    }
+
+    /// Disables telemetry sampling (keeping event/latency setup).
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry_interval = None;
         self
     }
 
@@ -541,6 +581,16 @@ impl TraceConfig {
     /// off.
     pub fn latency_capacity(&self) -> Option<usize> {
         self.latency_capacity
+    }
+
+    /// Sampling interval in cycles, `None` when telemetry is off.
+    pub fn telemetry_interval(&self) -> Option<u64> {
+        self.telemetry_interval
+    }
+
+    /// Telemetry sample-ring capacity.
+    pub fn telemetry_capacity(&self) -> usize {
+        self.telemetry_capacity
     }
 }
 

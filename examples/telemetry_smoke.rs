@@ -1,0 +1,229 @@
+//! CI smoke check for the telemetry sampler (`./ci.sh --quick`).
+//!
+//! Runs a short fig09-shaped store/clean workload with telemetry sampling
+//! on, and exits nonzero on any of:
+//!
+//! * **observer effect** — the telemetry-on run diverges from an identical
+//!   telemetry-off run in elapsed cycles or system statistics (sampling
+//!   must be observation-only);
+//! * **delta/total disagreement** — the per-interval deltas of any sampled
+//!   series, summed over the whole run via [`System::telemetry_snapshot`],
+//!   do not reproduce the end-of-run [`MetricsSnapshot`] totals exactly
+//!   (ops, skip/enqueue counts, per-channel beats, DRAM traffic);
+//! * **malformed counter tracks** — the Chrome-trace export is not valid
+//!   JSON-shaped, emits the wrong number of `"ph":"C"` counter events for
+//!   the sample count, or stamps them off the sampling grid.
+//!
+//! ```text
+//! cargo run --release --example telemetry_smoke
+//! ```
+
+use skipit::core::MetricsSnapshot;
+use skipit::prelude::*;
+
+const CORES: usize = 4;
+const INTERVAL: u64 = 256;
+
+/// All-cores-busy store/clean loops in the shape of the paper's fig. 9
+/// saturated-writeback experiment, plus a reload pass so skip-bit drops
+/// actually fire.
+fn fig9_programs() -> Vec<Vec<Op>> {
+    (0..CORES as u64)
+        .map(|t| {
+            let base = 0x30_0000 + t * 0x1_0000;
+            let mut p = Vec::new();
+            for i in 0..64 {
+                p.push(Op::Store {
+                    addr: base + i * 64,
+                    value: t << 32 | i,
+                });
+            }
+            for i in 0..64 {
+                p.push(Op::Clean {
+                    addr: base + i * 64,
+                });
+            }
+            p.push(Op::Fence);
+            for i in 0..64 {
+                p.push(Op::Load {
+                    addr: base + i * 64,
+                });
+                p.push(Op::Clean {
+                    addr: base + i * 64,
+                });
+            }
+            p.push(Op::Fence);
+            p
+        })
+        .collect()
+}
+
+fn run(telemetry: bool) -> (System, u64) {
+    let mut sys = SystemBuilder::new().cores(CORES).skip_it(true).build();
+    let mut cfg = TraceConfig::new().events(1 << 15);
+    if telemetry {
+        cfg = cfg.telemetry(INTERVAL);
+    }
+    sys.set_trace(cfg);
+    let cycles = sys.run_programs(fig9_programs());
+    sys.quiesce();
+    (sys, cycles)
+}
+
+/// Summed sample deltas must exactly reproduce the end-of-run counter
+/// totals — one `(series, summed, total)` check per line.
+fn check_totals(tel: &Telemetry, snap: &MetricsSnapshot, cycles: u64) {
+    let sum = |f: &dyn Fn(&TelemetrySample) -> u64| tel.samples().map(f).sum::<u64>();
+    let total = |key: &str| snap.get(key).unwrap_or_else(|| panic!("no metric {key}"));
+
+    let mut checks: Vec<(String, u64, u64)> = vec![
+        (
+            "dram_reads".into(),
+            sum(&|s| s.dram_reads),
+            total("dram.reads"),
+        ),
+        (
+            "dram_writes".into(),
+            sum(&|s| s.dram_writes),
+            total("dram.writes"),
+        ),
+    ];
+    for i in 0..CORES {
+        checks.push((
+            format!("core{i}.ops"),
+            sum(&|s| s.cores[i].ops),
+            total(&format!("l1.{i}.loads"))
+                + total(&format!("l1.{i}.stores"))
+                + total(&format!("l1.{i}.amos")),
+        ));
+        checks.push((
+            format!("core{i}.skips"),
+            sum(&|s| s.cores[i].skips),
+            total(&format!("l1.{i}.writebacks_skipped")),
+        ));
+        checks.push((
+            format!("core{i}.enqueued"),
+            sum(&|s| s.cores[i].enqueued),
+            total(&format!("l1.{i}.writebacks_enqueued")),
+        ));
+        for (ch_idx, ch) in ['a', 'b', 'c', 'd', 'e'].into_iter().enumerate() {
+            checks.push((
+                format!("core{i}.beats_{ch}"),
+                sum(&|s| s.cores[i].link_beats[ch_idx]),
+                total(&format!("link.{ch}.{i}.pushed")),
+            ));
+        }
+    }
+    let mut failed = false;
+    for (name, summed, total) in &checks {
+        if summed != total {
+            eprintln!("FAIL {name}: summed interval deltas {summed} != end-of-run total {total}");
+            failed = true;
+        }
+    }
+    assert!(
+        !failed,
+        "telemetry interval deltas disagree with MetricsSnapshot totals"
+    );
+    // The snapshot must cover the whole run: the final (partial) sample
+    // ends exactly at the last simulated cycle.
+    let spans: u64 = tel.samples().map(|s| s.span).sum();
+    let first = tel.samples().next().expect("run is long enough to sample");
+    assert_eq!(
+        first.cycle - first.span + spans,
+        cycles,
+        "telemetry samples do not tile the run"
+    );
+    println!(
+        "# telemetry totals ok: {} series x {} samples match end-of-run metrics",
+        checks.len(),
+        tel.len()
+    );
+}
+
+/// Structural validation of the exported counter tracks.
+fn check_export(sys: &System, tel: &Telemetry) {
+    let json = sys.export_chrome_trace();
+    assert!(
+        json.starts_with(r#"{"displayTimeUnit":"ms","traceEvents":["#) && json.ends_with("]}"),
+        "chrome trace envelope malformed"
+    );
+    let counters: Vec<&str> = json
+        .split("},{")
+        .filter(|e| e.contains(r#""ph":"C""#))
+        .collect();
+    // The live sampler holds only boundary-aligned samples; every one of
+    // them exports 6 per-core tracks + 2 system-wide tracks.
+    let cycles: Vec<u64> = tel
+        .samples()
+        .filter(|s| s.cycle % tel.interval() == 0)
+        .map(|s| s.cycle)
+        .collect();
+    let expected = cycles.len() * (6 * CORES + 2);
+    assert_eq!(
+        counters.len(),
+        expected,
+        "counter-track event count off: {} events for {} samples",
+        counters.len(),
+        tel.len()
+    );
+    for c in &counters {
+        assert!(
+            c.contains(r#""args":{"#) && c.contains(r#""pid":"#),
+            "counter event missing pid/args: {c}"
+        );
+        let ts: u64 = c
+            .split(r#""ts":"#)
+            .nth(1)
+            .and_then(|r| r.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("counter event without numeric ts: {c}"));
+        assert!(
+            cycles.contains(&ts),
+            "counter event stamped off the sampling grid (ts {ts}): {c}"
+        );
+    }
+    println!(
+        "# counter tracks ok: {} well-formed events on {} sampling points",
+        counters.len(),
+        cycles.len()
+    );
+}
+
+fn main() {
+    let (sys_off, cycles_off) = run(false);
+    let (sys_on, cycles_on) = run(true);
+
+    // Observation-only: telemetry must not move the simulation by a cycle.
+    assert_eq!(cycles_off, cycles_on, "telemetry changed elapsed cycles");
+    assert_eq!(
+        sys_off.stats(),
+        sys_on.stats(),
+        "telemetry changed system statistics"
+    );
+    assert!(sys_off.telemetry_snapshot().is_none());
+    println!("# observation-only ok: on/off runs identical over {cycles_on} cycles");
+
+    let tel = sys_on
+        .telemetry_snapshot()
+        .expect("telemetry was configured");
+    assert!(tel.len() >= 4, "run too short to exercise sampling");
+    assert_eq!(tel.dropped(), 0, "ring too small for the smoke run");
+    check_totals(&tel, &MetricsSnapshot::capture(&sys_on), cycles_on);
+    check_export(&sys_on, sys_on.telemetry().expect("live sampler"));
+
+    // The machine-readable exports must agree on the sample count.
+    let json = tel.to_json();
+    let csv = tel.to_csv();
+    assert_eq!(
+        json.matches("\"cycle\":").count(),
+        tel.len(),
+        "telemetry JSON sample count off"
+    );
+    assert_eq!(
+        csv.lines().count(),
+        1 + tel.len() * CORES,
+        "telemetry CSV row count off"
+    );
+    println!("# telemetry smoke ok");
+}

@@ -40,7 +40,8 @@ pub use skipit_pds::{run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistM
 pub mod prelude {
     pub use skipit_core::{
         paper_platform, ConfigError, CoreHandle, EngineKind, EngineStats, MetricsSnapshot, Op,
-        System, SystemBuilder, SystemConfig, SystemStats, TraceConfig, TraceFilter,
+        PhaseProfile, System, SystemBuilder, SystemConfig, SystemStats, Telemetry, TelemetrySample,
+        TraceConfig, TraceFilter,
     };
     pub use skipit_explore::{
         explore_one, minimize, scan_crash_points, ExploreConfig, InvariantOracle, Reproducer,

@@ -327,6 +327,78 @@ proptest! {
             "perturbed parallel-wheel run is not reproducible"
         );
     }
+
+    /// Telemetry sampling is observation-only: enabling it changes nothing
+    /// the simulation can see — cycles, statistics, durable memory and the
+    /// non-engine trace-event stream are bit-identical to a telemetry-off
+    /// run, on all four engines, with and without link perturbation. The
+    /// sample series itself is also engine-independent: every engine
+    /// (including the jump-taking ones, whose samplers materialize one
+    /// sample per crossed boundary on landing) reports the same samples.
+    #[test]
+    fn telemetry_is_observation_only_on_all_engines(
+        ops in prop::collection::vec(pop_strategy(), 1..30),
+        interval in 16..400u64,
+        perturbed in any::<bool>(),
+        seed in any::<u64>()) {
+        const CORES: usize = 4;
+        let perturb_seed = perturbed.then_some(seed);
+        let run = |engine: EngineKind, telemetry: bool| {
+            let mut b = SystemBuilder::new()
+                .cores(CORES)
+                .skip_it(true)
+                .engine(engine)
+                .engine_threads(2);
+            if let Some(seed) = perturb_seed {
+                b = b.perturb(PerturbConfig::exploring(seed));
+            }
+            let mut sys = b.build();
+            let mut cfg = TraceConfig::new().events(1 << 14);
+            if telemetry {
+                cfg = cfg.telemetry(interval);
+            }
+            sys.set_trace(cfg);
+            let cycles = sys.run_programs(vec![to_prog(&ops); CORES]);
+            sys.quiesce();
+            let stats = sys.stats();
+            let events: Vec<StreamEvent> = sys
+                .trace_events()
+                .into_iter()
+                .filter(|se| !se.event.is_engine_event())
+                .collect();
+            let samples = sys
+                .telemetry_snapshot()
+                .map(|t| t.samples().cloned().collect::<Vec<_>>());
+            let dram = sys.crash();
+            let image: Vec<u64> = (0..12 * 8)
+                .map(|w| dram.read_word_direct(0x4_0000 + w * 8))
+                .collect();
+            ((cycles, stats, image, events), samples)
+        };
+        const ENGINES: [EngineKind; 4] = [
+            EngineKind::Naive,
+            EngineKind::GlobalGate,
+            EngineKind::ComponentWheel,
+            EngineKind::ParallelWheel,
+        ];
+        let mut sampled = Vec::new();
+        for engine in ENGINES {
+            let (off, none) = run(engine, false);
+            let (on, samples) = run(engine, true);
+            prop_assert_eq!(none, None);
+            prop_assert_eq!(
+                &off, &on,
+                "telemetry sampling perturbed the simulation under {:?}", engine
+            );
+            sampled.push(samples.expect("telemetry-on run must produce a sampler"));
+        }
+        for (engine, samples) in ENGINES.iter().zip(&sampled) {
+            prop_assert_eq!(
+                &sampled[0], samples,
+                "telemetry samples diverge between naive and {:?}", engine
+            );
+        }
+    }
 }
 
 /// Wake-edge regression (DESIGN.md §5): core 1 dirties a line and then goes

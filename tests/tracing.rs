@@ -165,16 +165,13 @@ fn latency_histograms_match_trace_records() {
     assert!(hists["store"].p50().unwrap() <= hists["store"].p99().unwrap());
 }
 
-/// The pre-`set_trace` entry points stay working as deprecated shims: they
-/// route through the same `TraceConfig` state and compose (event + latency
-/// tracing are independent aspects, enabling one must not clobber the
-/// other).
+/// Event + latency tracing are independent aspects of one `TraceConfig`:
+/// enabling one must not clobber the other, and both activate through the
+/// same `set_trace` path.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_route_through_set_trace() {
+fn event_and_latency_tracing_compose() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    sys.enable_tracing(64);
-    sys.enable_event_trace(1 << 12);
+    sys.set_trace(TraceConfig::new().latency(64).events(1 << 12));
     assert_eq!(sys.trace_config().latency_capacity(), Some(64));
     assert_eq!(sys.trace_config().event_capacity(), Some(1 << 12));
     sys.run_programs(vec![vec![
@@ -185,6 +182,6 @@ fn deprecated_shims_route_through_set_trace() {
         Op::Flush { addr: 0x3000 },
         Op::Fence,
     ]]);
-    assert_eq!(sys.trace_records().len(), 3, "latency shim inactive");
-    assert!(!sys.trace_events().is_empty(), "event shim inactive");
+    assert_eq!(sys.trace_records().len(), 3, "latency tracing inactive");
+    assert!(!sys.trace_events().is_empty(), "event tracing inactive");
 }
