@@ -9,7 +9,7 @@ cd "$(dirname "$0")"
 # fmt/doc enumerate the first-party crates.
 FIRST_PARTY=(-p skipit -p skipit-core -p skipit-boom -p skipit-dcache -p skipit-llc
   -p skipit-mem -p skipit-tilelink -p skipit-trace -p skipit-pds -p skipit-bench
-  -p skipit-sweep -p skipit-explore)
+  -p skipit-sweep -p skipit-explore -p skipit-snap)
 
 cargo fmt --check "${FIRST_PARTY[@]}"
 cargo build --release
@@ -36,15 +36,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 #    cycles/stats, if any sampled interval delta disagrees with the
 #    end-of-run MetricsSnapshot totals, or if the exported Perfetto
 #    counter tracks are malformed (examples/telemetry_smoke.rs).
+#  - runs the snapshot smoke: a traced 2-core run snapshotted mid-flight
+#    must restore and finish bit-identically (cycles, stats, durable
+#    memory, post-snapshot trace stream), and a 4-point set grid run warm
+#    (one snapshotted fill shared by all points) must export a result
+#    table bit-identical to the cold run (examples/snapshot_smoke.rs).
 #  - smoke-runs the simspeed benchmark (reduced workloads) and fails if any
 #    workload's engine speedup regresses more than 20 % below the committed
-#    BENCH_simspeed.json. The JSON written by the smoke run goes to a temp
-#    file so the committed full-size numbers are never clobbered.
+#    BENCH_simspeed.json — including the warm-started sweep's wall-clock
+#    ratio. The JSON written by the smoke run goes to a temp file so the
+#    committed full-size numbers are never clobbered.
 if [[ "${1:-}" == "--quick" ]]; then
   cargo run --release --example parallel_smoke
   cargo run --release --example sweep_smoke
   cargo run --release --example explore_smoke
   cargo run --release --example telemetry_smoke
+  cargo run --release --example snapshot_smoke
   SKIPIT_BENCH_QUICK=1 \
   SKIPIT_BENCH_BASELINE="$PWD/BENCH_simspeed.json" \
   SKIPIT_BENCH_OUT="$(mktemp)" \

@@ -440,7 +440,7 @@ fn sweep_wall(threads: usize) -> SweepWall {
     let serial = SweepRunner::serial();
     let pool = SweepRunner::new().threads(threads);
     let exec = |runner: &SweepRunner| {
-        let report = runner.run(fig15_reduced_sweep());
+        let report = runner.run(fig15_reduced_sweep(false));
         assert!(
             report.all_ok(),
             "sweep wall-clock workload has a failing point"
@@ -464,11 +464,80 @@ fn sweep_wall(threads: usize) -> SweepWall {
     parallel_b.sort_by(f64::total_cmp);
     SweepWall {
         workload: "fig15_sweep_16pt",
-        points: fig15_reduced_sweep().len(),
+        points: fig15_reduced_sweep(false).len(),
         host_cpus: host_cpus(),
         threads,
         serial_secs: serial_b[serial_b.len() / 2],
         parallel_secs: parallel_b[parallel_b.len() / 2],
+        identical: jsons.0 == jsons.1,
+    }
+}
+
+/// Wall-clock of the reduced Fig. 15 sweep executed cold (every point
+/// simulates its own fill) vs warm-started (the grid's four distinct fills
+/// are snapshotted once and shared), plus the determinism cross-check: the
+/// two result tables must export bit-identical JSON, row by row.
+struct WarmWall {
+    name: &'static str,
+    points: usize,
+    fills: usize,
+    host_cpus: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    /// Total encoded bytes of the shared fill snapshots.
+    warm_bytes: u64,
+    identical: bool,
+}
+
+impl WarmWall {
+    /// Cold wall-clock over warm wall-clock (>1 means warming wins).
+    fn wall_ratio(&self) -> f64 {
+        self.cold_secs / self.warm_secs.max(1e-9)
+    }
+}
+
+/// Times the 16-point reduced Fig. 15 grid cold vs warm-started, both under
+/// `SweepRunner::serial()` so the comparison isolates fill sharing from
+/// host parallelism. Same protocol as `sweep_wall`: one discarded warm-up
+/// pair, then `MEASURE_BLOCKS` interleaved pairs, medians. The warm timing
+/// includes the prefill snapshots themselves — the honest campaign cost.
+fn warm_wall() -> WarmWall {
+    let runner = SweepRunner::serial();
+    let exec = |warm: bool| {
+        let report = runner.run(fig15_reduced_sweep(warm));
+        assert!(
+            report.all_ok(),
+            "warm wall-clock workload has a failing point"
+        );
+        let bytes: u64 = report.warm_sizes().iter().map(|(_, b)| b).sum();
+        (report.wall().as_secs_f64(), report.to_json(), bytes)
+    };
+    exec(false); // warm-up, discarded
+    exec(true);
+    let mut cold_b = Vec::new();
+    let mut warm_b = Vec::new();
+    let mut jsons = (String::new(), String::new());
+    let mut warm_bytes = 0;
+    let mut fills = 0;
+    for _ in 0..MEASURE_BLOCKS {
+        let (c, cj, _) = exec(false);
+        let (w, wj, bytes) = exec(true);
+        cold_b.push(c);
+        warm_b.push(w);
+        jsons = (cj, wj);
+        warm_bytes = bytes;
+        fills = fig15_reduced_sweep(true).prefill_count();
+    }
+    cold_b.sort_by(f64::total_cmp);
+    warm_b.sort_by(f64::total_cmp);
+    WarmWall {
+        name: "fig15_sweep_16pt",
+        points: fig15_reduced_sweep(false).len(),
+        fills,
+        host_cpus: host_cpus(),
+        cold_secs: cold_b[cold_b.len() / 2],
+        warm_secs: warm_b[warm_b.len() / 2],
+        warm_bytes,
         identical: jsons.0 == jsons.1,
     }
 }
@@ -545,15 +614,50 @@ fn baseline_parallel_wall(text: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Extracts the committed warm-start wall ratio from a previous
+/// `BENCH_simspeed.json`, if it has a `warm_sweep` section.
+fn baseline_warm_wall(text: &str) -> Option<f64> {
+    let i = text.find("\"warm_sweep\": {")?;
+    let rest = &text[i..];
+    let j = rest.find("\"warm_wall_ratio\": ")?;
+    let num: String = rest[j + "\"warm_wall_ratio\": ".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
 /// The CI regression gate: fails the run if any workload's speedup dropped
 /// more than 20 % below the committed baseline. Wall-clock comparisons
 /// (the parallel-engine speedup) are skipped on single-CPU hosts, where
 /// the measured ratio reflects host topology rather than a regression.
-fn check_against_baseline(rows: &[Row], parallel: &ParallelRow, path: &str) {
+/// The warm-start ratio is host-parallelism-independent (both sides run
+/// serially), so it is gated on every host.
+fn check_against_baseline(rows: &[Row], parallel: &ParallelRow, warm: &WarmWall, path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("SKIPIT_BENCH_BASELINE {path}: {e}"));
     let baseline = baseline_speedups(&text);
     let mut failed = false;
+    match baseline_warm_wall(&text) {
+        None => println!("# baseline: no warm-start wall ratio committed, skipping"),
+        Some(base) => {
+            let floor = base * 0.8;
+            let got = warm.wall_ratio();
+            if got < floor {
+                eprintln!(
+                    "FAIL {}: warm-start wall ratio {got:.2} is below 0.8x the \
+                     baseline {base:.2} (floor {floor:.2})",
+                    warm.name
+                );
+                failed = true;
+            } else {
+                println!(
+                    "# baseline ok {}: warm-start wall ratio {got:.2} vs committed {base:.2}",
+                    warm.name
+                );
+            }
+        }
+    }
     match (parallel.wall_speedup(), baseline_parallel_wall(&text)) {
         (_, None) => println!("# baseline: no parallel wall speedup committed, skipping"),
         (None, Some(_)) => println!(
@@ -788,19 +892,55 @@ fn main() {
         sw.identical
     );
 
+    let ww = warm_wall();
+    assert!(
+        ww.identical,
+        "sweep result tables diverge between cold and warm-started execution"
+    );
+    println!(
+        "# warm-started sweep wall-clock on {} ({} points sharing {} fills)",
+        ww.name, ww.points, ww.fills
+    );
+    println!("cold_secs,warm_secs,warm_wall_ratio,warm_bytes,identical");
+    println!(
+        "{:.3},{:.3},{:.2},{},{}",
+        ww.cold_secs,
+        ww.warm_secs,
+        ww.wall_ratio(),
+        ww.warm_bytes,
+        ww.identical
+    );
+    // Keys deliberately avoid "workload"/"speedup" (see the sweep section);
+    // "warm_wall_ratio" is the warm-start gain the regression gate tracks.
+    let warm_json = format!(
+        "  \"warm_sweep\": {{\"name\": \"{}\", \"points\": {}, \"fills\": {}, \
+         \"host_cpus\": {}, \"cold_secs\": {}, \"warm_secs\": {}, \
+         \"warm_wall_ratio\": {}, \"warm_bytes\": {}, \"identical\": {}}},",
+        ww.name,
+        ww.points,
+        ww.fills,
+        ww.host_cpus,
+        format_args!("{:.3}", ww.cold_secs),
+        format_args!("{:.3}", ww.warm_secs),
+        json_num(ww.wall_ratio()),
+        ww.warm_bytes,
+        ww.identical
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
-         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
         host_cpus(),
         parallel_json,
         tracing_json,
         phase_json,
         sweep_json,
+        warm_json,
         entries.join(",\n")
     );
     if let Ok(path) = std::env::var("SKIPIT_BENCH_BASELINE") {
-        check_against_baseline(&rows, &pr, &path);
+        check_against_baseline(&rows, &pr, &ww, &path);
     }
     let path = out_path();
     std::fs::write(&path, json).expect("write benchmark JSON");

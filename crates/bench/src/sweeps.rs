@@ -6,11 +6,26 @@
 //! [`skipit_sweep::SweepRunner`] instead of hand-rolled nested loops. Every
 //! point builds its own `System` inside its closure, which is what makes the
 //! grids relocatable across worker threads.
+//!
+//! The §7.4 set grids (Figs. 15–16) are **warm-started**: each distinct
+//! fill phase ([`skipit_pds::warm_key`]) is registered once as a sweep
+//! prefill that snapshots the filled platform
+//! ([`skipit_pds::prefill_snapshot`]), and every grid point restores that
+//! shared snapshot and runs only its measured phase
+//! ([`skipit_pds::run_set_benchmark_warm`]). Fig. 15's four update ratios
+//! of one structure × method cell share a single simulated fill, and the
+//! results are bit-identical to the cold path (the pds crate's
+//! `warm_benchmark_matches_cold_exactly` test and `simspeed`'s
+//! `warm_sweep` section both enforce this).
 
 use crate::micro::{fig9_sample, system};
 use crate::{median, size_sweep, stddev};
-use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
-use skipit_sweep::{Point, PointOutput, Sweep};
+use skipit_pds::{
+    prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key, DsKind, OptKind,
+    PersistMode, WarmSet, WorkloadCfg,
+};
+use skipit_sweep::{Point, PointCtx, PointOutput, Sweep, WarmState};
+use std::collections::BTreeSet;
 
 /// Base address of the FliT counter table used by Figs. 15–16.
 pub const FLIT_TABLE: u64 = 0x0800_0000;
@@ -38,13 +53,45 @@ pub fn fig15_label(ds: DsKind, update_pct: u32, method: &str) -> String {
     format!("{}/{update_pct}%/{method}", ds.name())
 }
 
+/// Snapshots the fill phase of `cfg` as a [`WarmState`] (the closure a
+/// sweep prefill runs once per distinct [`warm_key`]).
+fn fill_state(cfg: WorkloadCfg) -> WarmState {
+    let ws = prefill_snapshot(&cfg);
+    let bytes = ws.encoded_bytes();
+    WarmState::new(ws, bytes)
+}
+
+/// Registers the fill phase of `cfg` as a prefill of `sweep` unless an
+/// identical fill (same [`warm_key`]) is already registered, and returns
+/// the key to tag the point with via [`Point::warm`].
+fn register_fill(sweep: Sweep, seen: &mut BTreeSet<String>, cfg: WorkloadCfg) -> (Sweep, String) {
+    let key = warm_key(&cfg);
+    if seen.insert(key.clone()) {
+        (sweep.prefill(key.clone(), move || fill_state(cfg)), key)
+    } else {
+        (sweep, key)
+    }
+}
+
+/// Restores the shared fill snapshot delivered to a warm point and runs
+/// `cfg`'s measured phase on it.
+fn warm_result(ctx: &PointCtx, cfg: &WorkloadCfg) -> skipit_pds::BenchResult {
+    let warm = ctx
+        .warm::<WarmSet>()
+        .expect("a fill was registered for this point's warm key");
+    run_set_benchmark_warm(cfg, warm)
+}
+
 /// The full Fig. 15 grid (structure × update% × applicable method) as a
 /// sweep. `quick` shrinks key ranges and budgets the same way the
-/// standalone bench does under `SKIPIT_BENCH_QUICK=1`.
+/// standalone bench does under `SKIPIT_BENCH_QUICK=1`. Warm-started: the
+/// four update ratios of each structure × method cell share one simulated
+/// fill.
 pub fn fig15_sweep(quick: bool) -> Sweep {
     let mut sweep = Sweep::new("fig15_update_sweep")
         .unit("ops_per_mcycle")
         .seed(11);
+    let mut fills = BTreeSet::new();
     for ds in DsKind::ALL {
         for update_pct in [0u32, 5, 20, 50] {
             for (name, opt) in fig15_opts() {
@@ -62,26 +109,30 @@ pub fn fig15_sweep(quick: bool) -> Sweep {
                         _ => (16384, 8192),
                     }
                 };
+                let cfg = WorkloadCfg {
+                    ds,
+                    mode: PersistMode::NvTraverse,
+                    opt,
+                    threads: 2,
+                    key_range,
+                    prefill,
+                    update_pct,
+                    budget_cycles: if quick { 30_000 } else { 200_000 },
+                    seed: 11,
+                    hash_buckets: if quick { 256 } else { 1024 },
+                    ..WorkloadCfg::default()
+                };
+                let (warmed, key) = register_fill(sweep, &mut fills, cfg);
+                sweep = warmed;
                 sweep.push(
-                    Point::new(fig15_label(ds, update_pct, name), move |_ctx| {
-                        let r = run_set_benchmark(&WorkloadCfg {
-                            ds,
-                            mode: PersistMode::NvTraverse,
-                            opt,
-                            threads: 2,
-                            key_range,
-                            prefill,
-                            update_pct,
-                            budget_cycles: if quick { 30_000 } else { 200_000 },
-                            seed: 11,
-                            hash_buckets: if quick { 256 } else { 1024 },
-                            ..WorkloadCfg::default()
-                        });
+                    Point::new(fig15_label(ds, update_pct, name), move |ctx| {
+                        let r = warm_result(ctx, &cfg);
                         PointOutput::new()
                             .with_cycles(r.cycles)
                             .value("ops_per_mcycle", r.throughput())
                             .value("ops", r.ops as f64)
                     })
+                    .warm(key)
                     .param("structure", ds.name())
                     .param("update_pct", update_pct)
                     .param("method", name),
@@ -95,36 +146,53 @@ pub fn fig15_sweep(quick: bool) -> Sweep {
 /// A 16-point reduction of the Fig. 15 grid (List + Bst, plain vs skip-it)
 /// sized for `simspeed`'s sweep wall-clock comparison: long enough per
 /// point to measure, short enough to run twice (serial + parallel) in CI.
-pub fn fig15_reduced_sweep() -> Sweep {
+///
+/// `warm` selects between the cold path (every point simulates its own
+/// fill) and the warm path (the grid's four distinct fills are snapshotted
+/// once and shared). Both produce bit-identical result tables —
+/// `simspeed`'s `warm_sweep` section measures the wall-clock gap and
+/// cross-checks the identity.
+pub fn fig15_reduced_sweep(warm: bool) -> Sweep {
     let mut sweep = Sweep::new("fig15_sweep_16pt")
         .unit("ops_per_mcycle")
         .seed(11);
+    let mut fills = BTreeSet::new();
     for ds in [DsKind::List, DsKind::Bst] {
         for update_pct in [0u32, 5, 20, 50] {
             for (name, opt) in [("plain", OptKind::Plain), ("skip-it", OptKind::SkipIt)] {
-                sweep.push(
-                    Point::new(fig15_label(ds, update_pct, name), move |_ctx| {
-                        let r = run_set_benchmark(&WorkloadCfg {
-                            ds,
-                            mode: PersistMode::NvTraverse,
-                            opt,
-                            threads: 2,
-                            key_range: 1024,
-                            prefill: 512,
-                            update_pct,
-                            budget_cycles: 60_000,
-                            seed: 11,
-                            hash_buckets: 256,
-                            ..WorkloadCfg::default()
-                        });
-                        PointOutput::new()
-                            .with_cycles(r.cycles)
-                            .value("ops_per_mcycle", r.throughput())
-                    })
-                    .param("structure", ds.name())
-                    .param("update_pct", update_pct)
-                    .param("method", name),
-                );
+                let cfg = WorkloadCfg {
+                    ds,
+                    mode: PersistMode::NvTraverse,
+                    opt,
+                    threads: 2,
+                    key_range: 1024,
+                    prefill: 512,
+                    update_pct,
+                    budget_cycles: 60_000,
+                    seed: 11,
+                    hash_buckets: 256,
+                    ..WorkloadCfg::default()
+                };
+                let point = Point::new(fig15_label(ds, update_pct, name), move |ctx| {
+                    let r = if warm {
+                        warm_result(ctx, &cfg)
+                    } else {
+                        run_set_benchmark(&cfg)
+                    };
+                    PointOutput::new()
+                        .with_cycles(r.cycles)
+                        .value("ops_per_mcycle", r.throughput())
+                })
+                .param("structure", ds.name())
+                .param("update_pct", update_pct)
+                .param("method", name);
+                if warm {
+                    let (warmed, key) = register_fill(sweep, &mut fills, cfg);
+                    sweep = warmed;
+                    sweep.push(point.warm(key));
+                } else {
+                    sweep.push(point);
+                }
             }
         }
     }
@@ -168,6 +236,11 @@ pub fn fig9_sweep(reps: u32) -> Sweep {
 }
 
 /// The Fig. 16 FliT-table-size sensitivity grid (BST workload) as a sweep.
+///
+/// Warm-started like Fig. 15. Every point here has a *distinct* fill (the
+/// counter-table geometry is part of the fill identity), so warming buys
+/// no sharing — it exercises the per-point snapshot path and keeps the
+/// grid resumable through a `SweepRunner` checkpoint.
 pub fn fig16_sweep(quick: bool) -> Sweep {
     let slot_sweep: &[usize] = if quick {
         &[64, 4096, 262_144]
@@ -175,32 +248,37 @@ pub fn fig16_sweep(quick: bool) -> Sweep {
         &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576]
     };
     let mut sweep = Sweep::new("fig16_flit_size").unit("ops_per_mcycle").seed(5);
+    let mut fills = BTreeSet::new();
     for &slots in slot_sweep {
+        let cfg = WorkloadCfg {
+            ds: DsKind::Bst,
+            mode: PersistMode::Automatic,
+            opt: OptKind::FlitHash {
+                base: FLIT_TABLE,
+                slots,
+            },
+            threads: 2,
+            // The paper's Fig. 16 uses a 10k-key BST: big enough that
+            // the counter table competes with the tree for the small
+            // caches.
+            key_range: if quick { 2048 } else { 20_000 },
+            prefill: if quick { 1024 } else { 10_000 },
+            update_pct: 20,
+            budget_cycles: if quick { 30_000 } else { 200_000 },
+            seed: 5,
+            hash_buckets: 256,
+            ..WorkloadCfg::default()
+        };
+        let (warmed, key) = register_fill(sweep, &mut fills, cfg);
+        sweep = warmed;
         sweep.push(
-            Point::new(format!("{slots}"), move |_ctx| {
-                let r = run_set_benchmark(&WorkloadCfg {
-                    ds: DsKind::Bst,
-                    mode: PersistMode::Automatic,
-                    opt: OptKind::FlitHash {
-                        base: FLIT_TABLE,
-                        slots,
-                    },
-                    threads: 2,
-                    // The paper's Fig. 16 uses a 10k-key BST: big enough that
-                    // the counter table competes with the tree for the small
-                    // caches.
-                    key_range: if quick { 2048 } else { 20_000 },
-                    prefill: if quick { 1024 } else { 10_000 },
-                    update_pct: 20,
-                    budget_cycles: if quick { 30_000 } else { 200_000 },
-                    seed: 5,
-                    hash_buckets: 256,
-                    ..WorkloadCfg::default()
-                });
+            Point::new(format!("{slots}"), move |ctx| {
+                let r = warm_result(ctx, &cfg);
                 PointOutput::new()
                     .with_cycles(r.cycles)
                     .value("ops_per_mcycle", r.throughput())
             })
+            .warm(key)
             .param("slots", slots)
             .param("table_bytes", slots * 8),
         );
@@ -225,11 +303,18 @@ mod tests {
             })
             .sum();
         assert_eq!(sweep.len(), applicable);
+        // One fill per structure × method cell: the four update ratios of a
+        // cell share a single snapshotted prefill.
+        assert_eq!(sweep.prefill_count(), applicable / 4);
     }
 
     #[test]
     fn fig15_reduced_is_16_points() {
-        assert_eq!(fig15_reduced_sweep().len(), 16);
+        assert_eq!(fig15_reduced_sweep(false).len(), 16);
+        let warm = fig15_reduced_sweep(true);
+        assert_eq!(warm.len(), 16);
+        assert_eq!(warm.prefill_count(), 4); // {list,bst} × {plain,skip-it}
+        assert_eq!(fig15_reduced_sweep(false).prefill_count(), 0);
     }
 
     #[test]
@@ -241,6 +326,9 @@ mod tests {
 
     #[test]
     fn fig16_quick_grid() {
-        assert_eq!(fig16_sweep(true).len(), 3);
+        let sweep = fig16_sweep(true);
+        assert_eq!(sweep.len(), 3);
+        // Every FliT-table size is its own fill identity.
+        assert_eq!(sweep.prefill_count(), 3);
     }
 }

@@ -24,6 +24,8 @@ pub mod lsu;
 pub mod op;
 pub mod pool;
 pub mod prof;
+mod snap;
+pub mod snapshot;
 pub mod system;
 pub mod trace;
 
@@ -31,5 +33,6 @@ pub use handle::CoreHandle;
 pub use lsu::Lsu;
 pub use op::{Op, OpToken};
 pub use prof::PROFILE_COMPILED;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{EngineKind, EngineStats, PhaseProfile, System, SystemConfig, SystemStats};
 pub use trace::{LatencyHistogram, TraceLog, TraceRecord};

@@ -446,6 +446,68 @@ enum LoadDep {
     Clear,
 }
 
+// --- snapshot codec (DESIGN.md §11) ---
+
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter};
+
+impl Codec for Entry {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.token.encode(w);
+        self.seq.encode(w);
+        self.op.encode(w);
+        self.req_id.encode(w);
+        self.fired.encode(w);
+        self.done.encode(w);
+        self.value.encode(w);
+        self.retry_at.encode(w);
+        self.issued_at.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Entry {
+            token: OpToken::decode(r)?,
+            seq: u64::decode(r)?,
+            op: Op::decode(r)?,
+            req_id: ReqId::decode(r)?,
+            fired: bool::decode(r)?,
+            done: bool::decode(r)?,
+            value: u64::decode(r)?,
+            retry_at: u64::decode(r)?,
+            issued_at: u64::decode(r)?,
+        })
+    }
+}
+
+impl Lsu {
+    /// Encodes the LSU's simulated state: both queues, the sequence and
+    /// request-id allocators, and buffered results. Config, core index and
+    /// the trace facilities are host-side and excluded.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.tag(0x55);
+        self.stq.encode(w);
+        self.ldq.encode(w);
+        self.seq.encode(w);
+        self.next_req.encode(w);
+        self.finished.encode(w);
+    }
+
+    /// Overwrites the LSU's simulated state from `r` (the inverse of
+    /// [`Lsu::encode_state`]).
+    pub fn decode_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(0x55, "lsu section")?;
+        let stq = VecDeque::<Entry>::decode(r)?;
+        let ldq = VecDeque::<Entry>::decode(r)?;
+        if stq.len() > self.cfg.stq_depth || ldq.len() > self.cfg.ldq_depth {
+            return Err(SnapError::Corrupt("lsu queue exceeds depth"));
+        }
+        self.stq = stq;
+        self.ldq = ldq;
+        self.seq = u64::decode(r)?;
+        self.next_req = ReqId::decode(r)?;
+        self.finished = VecDeque::decode(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -818,6 +818,11 @@ impl System {
     /// Simulates a terminal power failure, consuming the system. Equivalent
     /// to [`Self::durable_image`] when the run is over; prefer that when the
     /// simulation should continue past the crash point.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `durable_image`, which does not consume the system; \
+                combine with `snapshot` to capture a restartable state"
+    )]
     pub fn crash(self) -> Dram {
         self.dram.durable_image()
     }
@@ -2539,6 +2544,206 @@ impl System {
     }
 }
 
+// --- snapshot & restore (DESIGN.md §11) ---
+
+use crate::snapshot::Snapshot;
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter};
+
+impl Frontend {
+    /// Thread-mode frontends hold host channel endpoints that no byte
+    /// encoding can capture; snapshotting them is a typed error.
+    fn encode(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        match self {
+            Frontend::Idle => w.put_u8(0),
+            Frontend::Program {
+                ops,
+                next,
+                nop_until,
+            } => {
+                w.put_u8(1);
+                ops.encode(w);
+                next.encode(w);
+                nop_until.encode(w);
+            }
+            Frontend::Thread { .. } => return Err(SnapError::LiveThreads),
+        }
+        Ok(())
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Frontend::Idle),
+            1 => {
+                let ops = Vec::<Op>::decode(r)?;
+                let next = usize::decode(r)?;
+                if next > ops.len() {
+                    return Err(SnapError::Corrupt("frontend program cursor"));
+                }
+                Ok(Frontend::Program {
+                    ops,
+                    next,
+                    nop_until: u64::decode(r)?,
+                })
+            }
+            _ => Err(SnapError::Corrupt("frontend tag")),
+        }
+    }
+}
+
+/// Fingerprint of the configuration fields that shape simulated state:
+/// geometry, latencies, queue depths and the perturbation setup. The
+/// engine choice, thread count and the lockstep oracle are deliberately
+/// *excluded* — they are host-side scheduling decisions whose observable
+/// behaviour is bit-identical by contract, so a snapshot taken under one
+/// engine restores under any other.
+fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!(
+        "{}|{:?}|{:?}|{:?}|{}|{}|{}|{:?}|{:?}",
+        cfg.cores,
+        cfg.l1,
+        cfg.l2,
+        cfg.dram,
+        cfg.link_latency,
+        cfg.link_capacity,
+        cfg.issue_width,
+        cfg.lsu,
+        cfg.perturb
+    )
+    .hash(&mut h);
+    h.finish()
+}
+
+impl System {
+    /// Captures every piece of simulated state into a versioned,
+    /// self-describing [`Snapshot`]: per-core frontends and LSUs, L1
+    /// arrays + flush units + MSHRs, all five TileLink links per core, the
+    /// L2, DRAM, the clock, token allocator, deadline and engine counters
+    /// (including the perturbation draw positions, so a perturbed run
+    /// resumes on the exact jitter sequence it would have seen).
+    ///
+    /// Host-side observation machinery — trace sinks, telemetry, the wheel
+    /// scheduler and thread pool — is not captured; [`System::restore`]
+    /// rebuilds it from the offered configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::LiveThreads`] if any core is in thread mode (inside
+    /// [`System::run_threads`]): host channel endpoints cannot be encoded.
+    /// Snapshot between runs, or from program mode's observer hook.
+    pub fn snapshot(&self) -> Result<Snapshot, SnapError> {
+        let mut w = SnapWriter::new();
+        Snapshot::write_header(&mut w, config_fingerprint(&self.cfg));
+        w.put_u64(self.cfg.cores as u64);
+        self.now.encode(&mut w);
+        self.next_token.encode(&mut w);
+        self.deadline.encode(&mut w);
+        self.engine.encode(&mut w);
+        for fe in &self.frontends {
+            fe.encode(&mut w)?;
+        }
+        for lsu in &self.lsus {
+            lsu.encode_state(&mut w);
+        }
+        for l1 in &self.l1s {
+            l1.encode_state(&mut w);
+        }
+        self.l2.encode_state(&mut w);
+        self.dram.encode_state(&mut w);
+        for i in 0..self.cfg.cores {
+            self.a[i].encode_state(&mut w);
+            self.b[i].encode_state(&mut w);
+            self.c[i].encode_state(&mut w);
+            self.d[i].encode_state(&mut w);
+            self.e[i].encode_state(&mut w);
+        }
+        Ok(Snapshot::from_writer(w))
+    }
+
+    /// Rebuilds a live system from `snap` under `cfg`. The restored system
+    /// is bit-identical to the snapshotted one going forward — same cycle
+    /// count, statistics, durable image, state digests and trace streams —
+    /// on any engine at any thread count: `cfg` may differ from the
+    /// snapshotting configuration in [`SystemConfig::engine`],
+    /// [`SystemConfig::engine_threads`] and
+    /// [`SystemConfig::lockstep_oracle`] (host-side scheduling choices),
+    /// but in nothing that shapes simulated state.
+    ///
+    /// Tracing and telemetry come up uninstalled (the snapshot carries no
+    /// host-side observers); call [`System::set_trace`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::ConfigMismatch`] if `cfg` disagrees with the
+    /// snapshot's fingerprint; any other [`SnapError`] for corrupt,
+    /// truncated, foreign or wrong-version bytes. Never panics on bad
+    /// input.
+    pub fn restore(snap: &Snapshot, cfg: &SystemConfig) -> Result<System, SnapError> {
+        let mut r = snap.payload_reader()?;
+        if r.get_u64()? != config_fingerprint(cfg) {
+            return Err(SnapError::ConfigMismatch);
+        }
+        if r.get_u64()? != cfg.cores as u64 {
+            return Err(SnapError::ConfigMismatch);
+        }
+        let mut sys = System::new(*cfg);
+        sys.now = u64::decode(&mut r)?;
+        sys.next_token = OpToken::decode(&mut r)?;
+        sys.deadline = u64::decode(&mut r)?;
+        sys.engine = EngineStats::decode(&mut r)?;
+        for fe in &mut sys.frontends {
+            *fe = Frontend::decode(&mut r)?;
+        }
+        for lsu in &mut sys.lsus {
+            lsu.decode_state(&mut r)?;
+        }
+        for l1 in &mut sys.l1s {
+            l1.decode_state(&mut r)?;
+        }
+        sys.l2.decode_state(&mut r)?;
+        sys.dram.decode_state(&mut r)?;
+        for i in 0..cfg.cores {
+            sys.a[i].decode_state(&mut r)?;
+            sys.b[i].decode_state(&mut r)?;
+            sys.c[i].decode_state(&mut r)?;
+            sys.d[i].decode_state(&mut r)?;
+            sys.e[i].decode_state(&mut r)?;
+        }
+        r.finish()?;
+        // The fresh wheel has never seen this state; force a replan.
+        sys.wheel.valid = false;
+        Ok(sys)
+    }
+
+    /// Continues a run restored mid-flight: steps the system until every
+    /// program frontend has drained (immediately returning `0` if all
+    /// cores are idle), then resets frontends to idle — exactly the tail
+    /// of the [`System::run_programs`] the snapshot interrupted, so a
+    /// restore-then-resume reaches the same final state, cycle count and
+    /// statistics as the uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// As [`System::run_programs`] (watchdog budget).
+    pub fn resume_programs(&mut self) -> u64 {
+        let start = self.now;
+        self.wheel.valid = false;
+        let watchdog = self.now + 2_000_000_000;
+        let elapsed = loop {
+            if self.step_engine(|s| (0..s.cfg.cores).all(|i| s.program_done(i))) {
+                break self.now - start;
+            }
+            assert!(self.now < watchdog, "program run exceeded watchdog budget");
+        };
+        for fe in &mut self.frontends {
+            *fe = Frontend::Idle;
+        }
+        self.wheel.valid = false;
+        elapsed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2728,7 +2933,7 @@ mod tests {
             value: 7,
         }]]);
         s.quiesce();
-        let dram = s.crash();
+        let dram = s.durable_image();
         assert_eq!(
             dram.read_word_direct(0x1000),
             0,
@@ -3194,5 +3399,161 @@ mod tests {
             ],
             Some(1_000_000),
         );
+    }
+
+    /// Snapshots the contended 2-core run at the first observed cycle
+    /// `>= at`, restores it under `restore_cfg`, resumes, and checks the
+    /// resumed tail reaches the exact final state of the uninterrupted
+    /// run (digest, cycles, stats, engine counters, durable words).
+    fn snapshot_resume_matches(at: u64, restore_cfg: SystemConfig) {
+        let base_cfg = SystemConfig {
+            cores: 2,
+            ..SystemConfig::default()
+        };
+        // Uninterrupted reference.
+        let mut reference = System::new(base_cfg);
+        let ref_cycles = reference.run_programs(contended_programs());
+        let ref_digest = reference.state_digest();
+
+        // Interrupted run: snapshot mid-flight, discard the original.
+        let mut s = System::new(base_cfg);
+        let mut snap = None;
+        s.run_programs_observed(contended_programs(), |sys| {
+            if sys.now() >= at && snap.is_none() {
+                snap = Some(sys.snapshot().expect("program mode snapshots"));
+            }
+            Ok::<(), std::convert::Infallible>(())
+        })
+        .unwrap();
+        let snap = snap.expect("observer fired");
+        let pre_cycles = {
+            let r = System::restore(&snap, &base_cfg).unwrap();
+            assert!(r.now() >= at, "snapshot taken at the requested cycle");
+            r.now()
+        };
+
+        let mut resumed = System::restore(&snap, &restore_cfg).unwrap();
+        let tail = resumed.resume_programs();
+        assert_eq!(pre_cycles + tail, ref_cycles, "cycle counts agree");
+        assert_eq!(resumed.state_digest(), ref_digest, "digests agree");
+        assert_eq!(resumed.stats(), reference.stats(), "stats agree");
+        // Engine counters are per-engine-kind bookkeeping; they only track
+        // the reference when the tail runs under the same engine. Even
+        // then, exact `component_steps` may differ by a step or two at the
+        // resume boundary — the fresh wheel's replan can prove idle a
+        // component the continuous run's incrementally-armed wheel stepped
+        // as a no-op. Wheel arming history is host-side, not simulated
+        // state; the cycle-derived slot count must agree exactly.
+        if restore_cfg.engine == base_cfg.engine {
+            assert_eq!(
+                resumed.engine_stats().component_slots,
+                reference.engine_stats().component_slots,
+                "component slots agree"
+            );
+        }
+        for i in 0..8 {
+            let addr = 0x1_0000 + i * 64;
+            assert_eq!(
+                resumed.durable_image().read_word_direct(addr),
+                reference.durable_image().read_word_direct(addr)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resume_is_bit_identical() {
+        snapshot_resume_matches(
+            40,
+            SystemConfig {
+                cores: 2,
+                ..SystemConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn snapshot_restores_under_any_engine() {
+        // Snapshot under the default wheel engine; resume under each of the
+        // other engines (and a fixed parallel thread count) — the simulated
+        // tail must be bit-identical.
+        for engine in [
+            EngineKind::Naive,
+            EngineKind::GlobalGate,
+            EngineKind::ParallelWheel,
+        ] {
+            snapshot_resume_matches(
+                60,
+                SystemConfig {
+                    cores: 2,
+                    engine,
+                    engine_threads: 2,
+                    ..SystemConfig::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn quiesced_snapshot_roundtrips_exactly() {
+        let mut s = sys(2, true);
+        s.run_programs(contended_programs());
+        s.quiesce();
+        let snap = s.snapshot().unwrap();
+        let restored = System::restore(&snap, s.config()).unwrap();
+        assert_eq!(restored.state_digest(), s.state_digest());
+        assert_eq!(restored.now(), s.now());
+        assert_eq!(restored.stats(), s.stats());
+        // And the restored image re-snapshots to the same bytes.
+        assert_eq!(restored.snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let mut s = sys(1, false);
+        s.run_programs(vec![vec![Op::Store {
+            addr: 0x40,
+            value: 1,
+        }]]);
+        let snap = s.snapshot().unwrap();
+        let other = SystemConfig {
+            cores: 2,
+            ..SystemConfig::default()
+        };
+        assert!(matches!(
+            System::restore(&snap, &other),
+            Err(SnapError::ConfigMismatch)
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_trailing_bytes() {
+        let s = sys(1, false);
+        let bytes = s.snapshot().unwrap().into_bytes();
+
+        let truncated = Snapshot::from_bytes(bytes[..bytes.len() - 1].to_vec()).unwrap();
+        assert!(System::restore(&truncated, s.config()).is_err());
+
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let padded = Snapshot::from_bytes(padded).unwrap();
+        assert!(matches!(
+            System::restore(&padded, s.config()),
+            Err(SnapError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn live_thread_frontends_refuse_to_snapshot() {
+        let mut s = sys(1, false);
+        let (_cmd_tx, cmd_rx) = unbounded();
+        let (res_tx, _res_rx) = unbounded();
+        s.frontends[0] = Frontend::Thread {
+            rx: cmd_rx,
+            tx: res_tx,
+            busy: None,
+            nop_until: None,
+            finished: false,
+        };
+        assert_eq!(s.snapshot().unwrap_err(), SnapError::LiveThreads);
     }
 }

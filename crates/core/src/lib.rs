@@ -49,9 +49,20 @@
 //!
 //! # Crash consistency
 //!
-//! The DRAM model is the persistence domain: [`System::crash`] discards all
-//! cache state and hands back the durable image, which is how the
-//! crash-consistency tests verify the §4 memory semantics end to end.
+//! The DRAM model is the persistence domain: [`System::durable_image`]
+//! hands back what a power failure *right now* would leave behind (caches
+//! and in-flight traffic lost), which is how the crash-consistency tests
+//! verify the §4 memory semantics end to end.
+//!
+//! # Checkpoint / restore
+//!
+//! [`System::snapshot`] serializes the *complete* simulated state — LSUs,
+//! frontends, both cache levels with their MSHRs and flush units, the
+//! TileLink FIFOs, DRAM, clock and perturbation counters — into a
+//! versioned [`Snapshot`]; [`System::restore`] turns it back into a live
+//! system that is bit-identical going forward, on any engine at any
+//! thread count. The sweep layer builds warm-started parameter sweeps and
+//! resumable campaigns on top of this (see `skipit-sweep`).
 
 pub mod asm;
 pub mod builder;
@@ -61,8 +72,8 @@ pub mod metrics;
 pub use builder::{ConfigError, SystemBuilder};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use skipit_boom::{
-    CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, PhaseProfile, System, SystemConfig,
-    SystemStats, TraceLog, TraceRecord, PROFILE_COMPILED,
+    CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, PhaseProfile, Snapshot,
+    SnapshotError, System, SystemConfig, SystemStats, TraceLog, TraceRecord, PROFILE_COMPILED,
 };
 pub use skipit_dcache::{DataCache, FlushEntry, FlushUnit, Fshr, FshrState, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};

@@ -1121,3 +1121,115 @@ mod inval_tests {
         assert!(!fu.try_cross_kind_coalesce(LineAddr::new(0x80), WritebackKind::Clean));
     }
 }
+
+// --- snapshot codec (DESIGN.md §11) ---
+
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter};
+
+impl Codec for FlushEntry {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.addr.encode(w);
+        self.is_hit.encode(w);
+        self.is_dirty.encode(w);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FlushEntry {
+            addr: LineAddr::decode(r)?,
+            is_hit: bool::decode(r)?,
+            is_dirty: bool::decode(r)?,
+            kind: WritebackKind::decode(r)?,
+        })
+    }
+}
+
+impl Codec for FshrState {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            FshrState::Free => 0,
+            FshrState::MetaWrite => 1,
+            FshrState::FillBuffer => 2,
+            FshrState::SendReleaseData => 3,
+            FshrState::SendRelease => 4,
+            FshrState::WaitAck => 5,
+        });
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => FshrState::Free,
+            1 => FshrState::MetaWrite,
+            2 => FshrState::FillBuffer,
+            3 => FshrState::SendReleaseData,
+            4 => FshrState::SendRelease,
+            5 => FshrState::WaitAck,
+            _ => return Err(SnapError::Corrupt("fshr state")),
+        })
+    }
+}
+
+impl Codec for Fshr {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.entry.encode(w);
+        self.state.encode(w);
+        self.buffer.encode(w);
+        self.slot.map(|(s, wy)| (s as u64, wy as u64)).encode(w);
+        self.skip_ok.encode(w);
+        self.seq.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Fshr {
+            entry: FlushEntry::decode(r)?,
+            state: FshrState::decode(r)?,
+            buffer: Option::decode(r)?,
+            slot: Option::<(u64, u64)>::decode(r)?.map(|(s, wy)| (s as usize, wy as usize)),
+            skip_ok: bool::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
+
+impl FlushUnit {
+    /// Encodes the flush unit's simulated state: the flush queue, every
+    /// FSHR (including the private skip-eligibility and dispatch-order
+    /// stamps), the round-robin pointer, the §5.2 flush counter, and the
+    /// perturbation bookkeeping (`dispatch_seq` keys jitter draws,
+    /// `hold_until` is a drawn-but-unexpired delay — both must survive a
+    /// round trip for perturbed runs to continue bit-identically).
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.tag(0x46);
+        self.queue.encode(w);
+        self.fshrs.encode(w);
+        self.next_fshr.encode(w);
+        self.counter.encode(w);
+        self.dispatch_seq.encode(w);
+        self.hold_until.encode(w);
+        self.alloc_seq.encode(w);
+    }
+
+    /// Overwrites the flush unit's simulated state from `r` (the inverse
+    /// of [`FlushUnit::encode_state`]); queue depth and FSHR count must
+    /// match the configured geometry.
+    pub fn decode_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(0x46, "flush unit section")?;
+        let queue = std::collections::VecDeque::decode(r)?;
+        if queue.len() > self.depth {
+            return Err(SnapError::Corrupt("flush queue exceeds depth"));
+        }
+        let fshrs: Vec<Fshr> = Vec::decode(r)?;
+        if fshrs.len() != self.fshrs.len() {
+            return Err(SnapError::ConfigMismatch);
+        }
+        let next_fshr = usize::decode(r)?;
+        if next_fshr >= fshrs.len().max(1) {
+            return Err(SnapError::Corrupt("fshr pointer out of range"));
+        }
+        self.queue = queue;
+        self.fshrs = fshrs;
+        self.next_fshr = next_fshr;
+        self.counter = u64::decode(r)?;
+        self.dispatch_seq = u64::decode(r)?;
+        self.hold_until = Option::decode(r)?;
+        self.alloc_seq = u64::decode(r)?;
+        Ok(())
+    }
+}

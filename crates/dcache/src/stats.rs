@@ -68,3 +68,64 @@ mod tests {
         assert_eq!(s.writebacks_eliminated(), 7);
     }
 }
+
+// --- snapshot codec (DESIGN.md §11) ---
+
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter};
+
+impl Codec for L1Stats {
+    fn encode(&self, w: &mut SnapWriter) {
+        for v in [
+            self.loads,
+            self.load_hits,
+            self.load_fshr_forwards,
+            self.stores,
+            self.store_hits,
+            self.amos,
+            self.nacks,
+            self.writebacks_enqueued,
+            self.writebacks_skipped,
+            self.writebacks_coalesced,
+            self.root_releases_sent,
+            self.root_releases_with_data,
+            self.probes_handled,
+            self.probes_with_data,
+            self.evictions,
+            self.dirty_evictions,
+            self.mshr_allocs,
+            self.mshr_secondaries,
+            self.flush_entries_probe_invalidated,
+            self.flush_entries_evict_invalidated,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut s = L1Stats::default();
+        for f in [
+            &mut s.loads,
+            &mut s.load_hits,
+            &mut s.load_fshr_forwards,
+            &mut s.stores,
+            &mut s.store_hits,
+            &mut s.amos,
+            &mut s.nacks,
+            &mut s.writebacks_enqueued,
+            &mut s.writebacks_skipped,
+            &mut s.writebacks_coalesced,
+            &mut s.root_releases_sent,
+            &mut s.root_releases_with_data,
+            &mut s.probes_handled,
+            &mut s.probes_with_data,
+            &mut s.evictions,
+            &mut s.dirty_evictions,
+            &mut s.mshr_allocs,
+            &mut s.mshr_secondaries,
+            &mut s.flush_entries_probe_invalidated,
+            &mut s.flush_entries_evict_invalidated,
+        ] {
+            *f = r.get_u64()?;
+        }
+        Ok(s)
+    }
+}

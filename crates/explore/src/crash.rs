@@ -7,20 +7,59 @@
 //! completions leave byte-identical images. Snapshotting at every
 //! completed-write count change therefore covers **all** distinct crash
 //! images of the run, without re-simulating per crash point.
+//!
+//! Each visited point is handed to the checker as a [`CrashPoint`]: besides
+//! the lossy durable image (what a recovery procedure would see after power
+//! failure), it can capture the **full restartable machine state** as a
+//! [`Snapshot`] — in-flight TileLink traffic, cache contents, program
+//! counters and all — so a rejected point can be re-materialized with
+//! [`System::restore`] and single-stepped instead of re-simulating the run
+//! from cycle zero.
 
-use skipit_core::{Op, System};
+use skipit_core::{Op, Snapshot, SnapshotError, System};
 use skipit_mem::Dram;
 
-/// Runs `programs` (then quiesces), calling `check(cycle, image)` on the
-/// initial durable image and on every distinct image the run produces.
+/// One distinct crash instant of a scanned run, borrowed from the running
+/// system at an executed cycle boundary.
+#[derive(Debug)]
+pub struct CrashPoint<'a> {
+    sys: &'a System,
+}
+
+impl CrashPoint<'_> {
+    /// The crash instant (current simulated cycle).
+    pub fn cycle(&self) -> u64 {
+        self.sys.now()
+    }
+
+    /// What survives power failure at this instant: DRAM with every
+    /// incomplete write dropped. This is the image a recovery procedure
+    /// runs against.
+    pub fn durable_image(&self) -> Dram {
+        self.sys.durable_image()
+    }
+
+    /// The full restartable state at this instant — everything, not just
+    /// the durable image. Restore it with [`System::restore`] (then
+    /// [`System::resume_programs`]) to replay forward from this exact
+    /// point, e.g. to bisect how a rejected image came to be.
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        self.sys.snapshot()
+    }
+}
+
+/// Runs `programs` (then quiesces), calling `check(point)` on the initial
+/// durable image and on every distinct image the run produces.
 ///
 /// Returns the number of distinct images checked, or the first rejection as
 /// `Err((cycle, why))` — `cycle` being a crash instant that would strand an
-/// unrecoverable image.
+/// unrecoverable image. Capture [`CrashPoint::snapshot`] inside `check`
+/// (e.g. in the rejecting arm) to keep a restartable state of the offending
+/// instant.
 pub fn scan_crash_points<E>(
     sys: &mut System,
     programs: Vec<Vec<Op>>,
-    mut check: impl FnMut(u64, &Dram) -> Result<(), E>,
+    mut check: impl FnMut(&CrashPoint<'_>) -> Result<(), E>,
 ) -> Result<usize, (u64, E)> {
     let mut last_writes = u64::MAX;
     let mut points = 0usize;
@@ -29,7 +68,7 @@ pub fn scan_crash_points<E>(
         if writes != last_writes {
             last_writes = writes;
             points += 1;
-            check(s.now(), &s.durable_image())?;
+            check(&CrashPoint { sys: s })?;
         }
         Ok(())
     };
@@ -61,9 +100,10 @@ mod tests {
             Op::Fence,
         ];
         let mut seen = Vec::new();
-        let points = scan_crash_points(&mut sys, vec![prog], |cycle, image| {
+        let points = scan_crash_points(&mut sys, vec![prog], |point| {
+            let image = point.durable_image();
             seen.push((
-                cycle,
+                point.cycle(),
                 image.read_word_direct(0x9000),
                 image.read_word_direct(0x9040),
             ));
@@ -92,8 +132,8 @@ mod tests {
             Op::Flush { addr: 0x9100 },
             Op::Fence,
         ];
-        let err = scan_crash_points(&mut sys, vec![prog], |_cycle, image| {
-            if image.read_word_direct(0x9100) == 9 {
+        let err = scan_crash_points(&mut sys, vec![prog], |point| {
+            if point.durable_image().read_word_direct(0x9100) == 9 {
                 Err("value became durable")
             } else {
                 Ok(())
@@ -102,5 +142,58 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.1, "value became durable");
         assert!(err.0 > 0);
+    }
+
+    /// A crash point is a *restartable state*, not just a DRAM image: the
+    /// snapshot captured at a mid-run point restores to a system that
+    /// replays the rest of the run bit-identically to the original.
+    #[test]
+    fn crash_point_snapshots_are_restartable() {
+        let prog = || {
+            vec![
+                Op::Store {
+                    addr: 0x9200,
+                    value: 7,
+                },
+                Op::Flush { addr: 0x9200 },
+                Op::Fence,
+                Op::Store {
+                    addr: 0x9240,
+                    value: 8,
+                },
+                Op::Flush { addr: 0x9240 },
+                Op::Fence,
+                Op::Load { addr: 0x9200 },
+            ]
+        };
+        let mut sys = SystemBuilder::new().cores(1).build();
+        let mut mid: Option<(u64, Snapshot)> = None;
+        scan_crash_points(&mut sys, vec![prog()], |point| {
+            // Keep the first point after the initial image: the run is
+            // still in flight there (the second store hasn't completed).
+            if mid.is_none() && point.cycle() > 0 {
+                mid = Some((point.cycle(), point.snapshot().expect("snapshottable")));
+            }
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        sys.quiesce();
+        let (cycle, snap) = mid.expect("run produced a mid-run crash point");
+        let mut resumed = System::restore(&snap, sys.config()).unwrap();
+        assert_eq!(resumed.now(), cycle);
+        resumed.resume_programs();
+        resumed.quiesce();
+        assert_eq!(
+            resumed.now(),
+            sys.now(),
+            "resumed run must land on the same cycle"
+        );
+        assert_eq!(resumed.stats(), sys.stats());
+        for addr in [0x9200, 0x9240] {
+            assert_eq!(
+                resumed.durable_image().read_word_direct(addr),
+                sys.durable_image().read_word_direct(addr)
+            );
+        }
     }
 }

@@ -19,9 +19,12 @@
 //!   single-writer and inclusion, Fig. 7 FSHR transition legality, flush
 //!   counter conservation — at every executed cycle of a run, via
 //!   [`skipit_core::System::run_programs_observed`].
-//! * **Crash-point enumeration** ([`crash::scan_crash_points`]) snapshots
-//!   the durable memory image at every point where it can change and checks
-//!   recoverability of each image, all from a single simulation.
+//! * **Crash-point enumeration** ([`crash::scan_crash_points`]) visits
+//!   every point where the durable memory image can change and checks
+//!   recoverability of each image, all from a single simulation. Each
+//!   visited [`crash::CrashPoint`] can also capture the full restartable
+//!   machine state as a [`skipit_core::Snapshot`], so an offending instant
+//!   replays from itself instead of from cycle zero.
 //! * **Shrinking** ([`shrink::minimize`]) reduces a failing `(scenario,
 //!   seed)` to a minimal op-level reproducer that hits the identical
 //!   violation, deterministically.
@@ -38,7 +41,7 @@ pub mod scenario;
 pub mod shrink;
 
 pub use campaign::{campaign_sweep, run_campaign};
-pub use crash::scan_crash_points;
+pub use crash::{scan_crash_points, CrashPoint};
 pub use explorer::{
     build_system, explore_one, run_with_check, run_with_oracle, Exploration, ExploreConfig,
 };

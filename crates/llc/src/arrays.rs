@@ -246,3 +246,82 @@ mod tests {
         assert_eq!(a.victim_way(addr), Some(1));
     }
 }
+
+// --- snapshot codec (DESIGN.md §11) ---
+
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter};
+
+impl Codec for DirEntry {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.tag.encode(w);
+        self.valid.encode(w);
+        self.dirty.encode(w);
+        self.owners.encode(w);
+        self.trunk.encode(w);
+        self.reserved.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DirEntry {
+            tag: u64::decode(r)?,
+            valid: bool::decode(r)?,
+            dirty: bool::decode(r)?,
+            owners: u32::decode(r)?,
+            trunk: Option::decode(r)?,
+            reserved: bool::decode(r)?,
+        })
+    }
+}
+
+impl L2Arrays {
+    /// Whether way slot `i` carries no information: pristine directory
+    /// entry, zero data, zero LRU stamp (collapses to one flag byte).
+    fn way_is_pristine(&self, i: usize) -> bool {
+        self.dir[i] == DirEntry::default() && self.lru[i] == 0 && self.data[i].0 == [0u64; 8]
+    }
+
+    /// Encodes the L2 arrays' simulated state; same shape and rationale as
+    /// the L1 `CacheArrays::encode_state` (stale data of invalid ways is
+    /// preserved bit-for-bit, pristine ways collapse to a flag byte).
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.tag(0x32);
+        self.sets.encode(w);
+        self.ways.encode(w);
+        for i in 0..self.dir.len() {
+            if self.way_is_pristine(i) {
+                w.put_u8(0);
+            } else {
+                w.put_u8(1);
+                self.dir[i].encode(w);
+                self.data[i].encode(w);
+                self.lru[i].encode(w);
+            }
+        }
+        self.tick.encode(w);
+    }
+
+    /// Overwrites the arrays' simulated state from `r`; geometry must
+    /// match.
+    pub fn decode_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.expect_tag(0x32, "l2 arrays section")?;
+        if usize::decode(r)? != self.sets || usize::decode(r)? != self.ways {
+            return Err(SnapError::ConfigMismatch);
+        }
+        for i in 0..self.dir.len() {
+            match r.get_u8()? {
+                0 => {
+                    self.dir[i] = DirEntry::default();
+                    self.data[i] = LineData::zeroed();
+                    self.lru[i] = 0;
+                }
+                1 => {
+                    self.dir[i] = DirEntry::decode(r)?;
+                    self.data[i] = LineData::decode(r)?;
+                    self.lru[i] = u64::decode(r)?;
+                }
+                _ => return Err(SnapError::Corrupt("l2 way flag")),
+            }
+        }
+        self.tick = u64::decode(r)?;
+        Ok(())
+    }
+}

@@ -44,3 +44,52 @@ mod tests {
         assert_eq!(L2Stats::default().acquires, 0);
     }
 }
+
+// --- snapshot codec (DESIGN.md §11) ---
+
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter};
+
+impl Codec for L2Stats {
+    fn encode(&self, w: &mut SnapWriter) {
+        for v in [
+            self.acquires,
+            self.grants_clean,
+            self.grants_dirty,
+            self.root_release_flush,
+            self.root_release_clean,
+            self.root_release_inval,
+            self.root_release_dram_skipped,
+            self.root_release_dram_writes,
+            self.probes_sent,
+            self.releases,
+            self.evictions,
+            self.dirty_evictions,
+            self.mem_fills,
+            self.list_buffered,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut s = L2Stats::default();
+        for f in [
+            &mut s.acquires,
+            &mut s.grants_clean,
+            &mut s.grants_dirty,
+            &mut s.root_release_flush,
+            &mut s.root_release_clean,
+            &mut s.root_release_inval,
+            &mut s.root_release_dram_skipped,
+            &mut s.root_release_dram_writes,
+            &mut s.probes_sent,
+            &mut s.releases,
+            &mut s.evictions,
+            &mut s.dirty_evictions,
+            &mut s.mem_fills,
+            &mut s.list_buffered,
+        ] {
+            *f = r.get_u64()?;
+        }
+        Ok(s)
+    }
+}

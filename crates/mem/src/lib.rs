@@ -328,6 +328,8 @@ impl Default for Dram {
     }
 }
 
+mod snap;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,34 @@ impl SimAlloc {
     pub fn used(&self) -> u64 {
         self.next.load(Ordering::Relaxed) - self.base
     }
+
+    /// Current bump pointer (the next unallocated simulated address) — the
+    /// one piece of allocator state a warm restart must carry over.
+    pub fn next_addr(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Rebuilds an allocator whose bump pointer is already at `next`, as
+    /// captured from [`SimAlloc::next_addr`] of a prefilled run. New
+    /// allocations continue exactly where the captured run stopped, so a
+    /// restored workload allocates the same addresses the uninterrupted
+    /// one would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` lies outside `[base, base + size]` (a bump pointer
+    /// this allocator could never have produced), or on the same geometry
+    /// violations as [`SimAlloc::new`].
+    pub fn resume(base: u64, size: u64, stride: FieldStride, next: u64) -> Self {
+        let a = SimAlloc::new(base, size, stride);
+        assert!(
+            (base..=a.limit).contains(&next),
+            "resumed bump pointer {next:#x} outside arena [{base:#x}, {:#x}]",
+            a.limit
+        );
+        a.next.store(next, Ordering::Relaxed);
+        a
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,17 @@ impl Bst {
         Bst { root: r, alloc }
     }
 
+    /// Rebuilds a tree over an existing root (warm restarts: the sentinel
+    /// skeleton already lives in restored simulated memory).
+    pub(crate) fn with_root(root: u64, alloc: Arc<SimAlloc>) -> Self {
+        Bst { root, alloc }
+    }
+
+    /// Simulated address of the `R(∞₂)` sentinel root.
+    pub(crate) fn root_addr(&self) -> u64 {
+        self.root
+    }
+
     fn f(&self, node: u64, i: usize) -> u64 {
         self.alloc.field(node, i)
     }

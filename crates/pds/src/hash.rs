@@ -31,6 +31,24 @@ impl HashTable {
         HashTable { buckets: chains }
     }
 
+    /// Rebuilds a table over existing bucket chains (warm restarts: the
+    /// sentinels already live in restored simulated memory).
+    pub(crate) fn with_heads(heads: &[u64], alloc: Arc<SimAlloc>) -> Self {
+        assert!(!heads.is_empty(), "need at least one bucket");
+        HashTable {
+            buckets: heads
+                .iter()
+                .map(|&h| HarrisList::with_head(h, Arc::clone(&alloc)))
+                .collect(),
+        }
+    }
+
+    /// Simulated addresses of every bucket's head sentinel, in bucket
+    /// order.
+    pub(crate) fn bucket_heads(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.head_addr()).collect()
+    }
+
     /// Number of buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()

@@ -41,7 +41,10 @@ pub use hash::HashTable;
 pub use list::HarrisList;
 pub use persist::{OptKind, PHandle, PersistMode};
 pub use skiplist::SkipList;
-pub use workload::{run_set_benchmark, BenchResult, DsKind, WorkloadCfg};
+pub use workload::{
+    prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key, BenchResult, DsKind,
+    WarmSet, WorkloadCfg,
+};
 
 use skipit_core::CoreHandle;
 

@@ -61,6 +61,18 @@ impl SkipList {
         SkipList { head, alloc }
     }
 
+    /// Rebuilds a skiplist over an existing head tower (warm restarts: the
+    /// towers already live in restored simulated memory; node levels are a
+    /// pure function of the key hash, so no per-node state is needed).
+    pub(crate) fn with_head(head: u64, alloc: Arc<SimAlloc>) -> Self {
+        SkipList { head, alloc }
+    }
+
+    /// Simulated address of the head tower.
+    pub(crate) fn head_addr(&self) -> u64 {
+        self.head
+    }
+
     fn f(&self, node: u64, i: usize) -> u64 {
         self.alloc.field(node, i)
     }

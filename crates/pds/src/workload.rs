@@ -6,6 +6,13 @@
 //! [`OptKind::SkipIt`]), constructs and prefills the chosen structure,
 //! runs one workload thread per core for a cycle budget, and reports
 //! throughput.
+//!
+//! The fill phase dominates the wall-clock of figure grids whose points
+//! differ only in the measured mix (Fig. 15's update-ratio axis), so it
+//! can also run **once**: [`prefill_snapshot`] captures the filled system
+//! as a [`WarmSet`] (a full-system `Snapshot` plus the host-side structure
+//! roots), and [`run_set_benchmark_warm`] restores it and runs only the
+//! measured phase — bit-identical to the cold path, because restore is.
 
 use crate::alloc::{FieldStride, SimAlloc};
 use crate::persist::{OptKind, PHandle, PersistMode};
@@ -13,7 +20,7 @@ use crate::{Bst, ConcurrentSet, HarrisList, HashTable, SkipList};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use skipit_core::{
-    CoreHandle, EngineKind, EngineStats, LineAddr, System, SystemBuilder, SystemStats,
+    CoreHandle, EngineKind, EngineStats, LineAddr, Snapshot, System, SystemBuilder, SystemStats,
 };
 use std::sync::Arc;
 
@@ -156,6 +163,24 @@ impl AnySet {
     }
 }
 
+/// Field stride `cfg`'s optimization needs.
+fn stride_of(cfg: &WorkloadCfg) -> FieldStride {
+    if matches!(cfg.opt, OptKind::FlitAdjacent) {
+        FieldStride::WordPlusCounter
+    } else {
+        FieldStride::Word
+    }
+}
+
+/// The system builder for `cfg` (the single source of the platform
+/// geometry, so cold builds and warm restores agree on the configuration).
+fn builder(cfg: &WorkloadCfg) -> SystemBuilder {
+    SystemBuilder::new()
+        .cores(cfg.threads)
+        .skip_it(cfg.opt.wants_skip_it_hardware())
+        .engine(cfg.engine)
+}
+
 /// Builds the system + structure for `cfg` (shared by benchmarks and
 /// tests). Returns the system, the structure and its allocator.
 fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
@@ -165,16 +190,8 @@ fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
         cfg.opt,
         cfg.ds
     );
-    let mut sys = SystemBuilder::new()
-        .cores(cfg.threads)
-        .skip_it(cfg.opt.wants_skip_it_hardware())
-        .engine(cfg.engine)
-        .build();
-    let stride = if matches!(cfg.opt, OptKind::FlitAdjacent) {
-        FieldStride::WordPlusCounter
-    } else {
-        FieldStride::Word
-    };
+    let mut sys = builder(cfg).build();
+    let stride = stride_of(cfg);
     let alloc = Arc::new(SimAlloc::new(HEAP_BASE, HEAP_SIZE, stride));
     let ds = {
         let mut w = |a, v| poke(&mut sys, a, v);
@@ -190,37 +207,36 @@ fn build(cfg: &WorkloadCfg) -> (System, AnySet, Arc<SimAlloc>) {
     (sys, ds, alloc)
 }
 
-/// Runs one §7.4-style benchmark. See the [module docs](self).
-pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
-    let (mut sys, ds, _alloc) = build(cfg);
-
-    // Prefill on core 0 (setup is not measured). The prefill *is*
-    // persistent — under the Manual discipline with the measured
-    // elimination strategy — so measurement starts from a fully persisted
-    // structure, as the paper's runs do. (An unpersisted prefill would
-    // leave every line dirty in the hierarchy and charge the measured
-    // phase for cleaning it up.)
-    {
-        let set = ds.as_set();
-        let prefill_cfg = *cfg;
-        let opt = cfg.opt;
-        sys.run_threads(
-            vec![move |h: CoreHandle| {
-                let ph = PHandle::new(&h, PersistMode::Manual, opt);
-                let mut rng = StdRng::seed_from_u64(prefill_cfg.seed);
-                let mut inserted = 0;
-                while inserted < prefill_cfg.prefill {
-                    let k = rng.gen_range(1..=prefill_cfg.key_range);
-                    if set.insert(&ph, k) {
-                        inserted += 1;
-                    }
+/// The fill phase: inserts `cfg.prefill` keys on core 0 (setup is not
+/// measured). The prefill *is* persistent — under the Manual discipline
+/// with the measured elimination strategy — so measurement starts from a
+/// fully persisted structure, as the paper's runs do. (An unpersisted
+/// prefill would leave every line dirty in the hierarchy and charge the
+/// measured phase for cleaning it up.)
+fn prefill(sys: &mut System, ds: &AnySet, cfg: &WorkloadCfg) {
+    let set = ds.as_set();
+    let prefill_cfg = *cfg;
+    let opt = cfg.opt;
+    sys.run_threads(
+        vec![move |h: CoreHandle| {
+            let ph = PHandle::new(&h, PersistMode::Manual, opt);
+            let mut rng = StdRng::seed_from_u64(prefill_cfg.seed);
+            let mut inserted = 0;
+            while inserted < prefill_cfg.prefill {
+                let k = rng.gen_range(1..=prefill_cfg.key_range);
+                if set.insert(&ph, k) {
+                    inserted += 1;
                 }
-            }],
-            None,
-        );
-    }
+            }
+        }],
+        None,
+    );
+}
 
-    // Measured phase: one worker per core.
+/// The measured phase: one worker per core for `cfg.budget_cycles`,
+/// reporting the phase's own cycle/engine deltas. Identical whether `sys`
+/// just ran the fill phase or was restored from a [`WarmSet`].
+fn measure(sys: &mut System, ds: &AnySet, cfg: &WorkloadCfg) -> BenchResult {
     let set = ds.as_set();
     let mode = cfg.mode;
     let opt = cfg.opt;
@@ -272,6 +288,150 @@ pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
     }
 }
 
+/// Runs one §7.4-style benchmark. See the [module docs](self).
+pub fn run_set_benchmark(cfg: &WorkloadCfg) -> BenchResult {
+    let (mut sys, ds, _alloc) = build(cfg);
+    prefill(&mut sys, &ds, cfg);
+    measure(&mut sys, &ds, cfg)
+}
+
+/// Host-side structure roots of one [`WarmSet`] — everything needed to
+/// rebuild the `ConcurrentSet` facade over restored simulated memory.
+#[derive(Clone, Debug)]
+enum SetRoots {
+    List { head: u64 },
+    Hash { heads: Vec<u64> },
+    Bst { root: u64 },
+    Skip { head: u64 },
+}
+
+impl SetRoots {
+    fn capture(ds: &AnySet) -> SetRoots {
+        match ds {
+            AnySet::List(s) => SetRoots::List {
+                head: s.head_addr(),
+            },
+            AnySet::Hash(s) => SetRoots::Hash {
+                heads: s.bucket_heads(),
+            },
+            AnySet::Bst(s) => SetRoots::Bst {
+                root: s.root_addr(),
+            },
+            AnySet::Skip(s) => SetRoots::Skip {
+                head: s.head_addr(),
+            },
+        }
+    }
+
+    fn rebuild(&self, alloc: &Arc<SimAlloc>) -> AnySet {
+        match self {
+            SetRoots::List { head } => {
+                AnySet::List(HarrisList::with_head(*head, Arc::clone(alloc)))
+            }
+            SetRoots::Hash { heads } => {
+                AnySet::Hash(HashTable::with_heads(heads, Arc::clone(alloc)))
+            }
+            SetRoots::Bst { root } => AnySet::Bst(Bst::with_root(*root, Arc::clone(alloc))),
+            SetRoots::Skip { head } => AnySet::Skip(SkipList::with_head(*head, Arc::clone(alloc))),
+        }
+    }
+}
+
+/// One finished fill phase, captured for reuse: the full-system
+/// [`Snapshot`] of the prefilled platform plus the host-side pieces a
+/// measured phase needs on top (structure roots, the allocator's bump
+/// pointer). Produce one with [`prefill_snapshot`]; consume it any number
+/// of times with [`run_set_benchmark_warm`].
+#[derive(Clone, Debug)]
+pub struct WarmSet {
+    key: String,
+    snapshot: Snapshot,
+    roots: SetRoots,
+    alloc_next: u64,
+    stride: FieldStride,
+}
+
+impl WarmSet {
+    /// The fill-phase identity this warm state was captured under
+    /// (see [`warm_key`]).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Encoded size of the underlying snapshot in bytes.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.snapshot.encoded_len() as u64
+    }
+}
+
+/// The fill-phase identity of `cfg`: every parameter the *prefilled
+/// system* depends on, and none of the measured-phase ones. Grid points
+/// whose keys agree (e.g. Fig. 15's four update ratios of one
+/// structure × method cell) can share one [`WarmSet`].
+///
+/// `mode` is excluded because the fill always runs under the Manual
+/// discipline; `update_pct` and `budget_cycles` shape only the measured
+/// phase; `engine` is excluded because snapshots restore under any engine
+/// with identical simulated behavior.
+pub fn warm_key(cfg: &WorkloadCfg) -> String {
+    format!(
+        "{}/{:?}/t{}/k{}/f{}/s{}/b{}",
+        cfg.ds.name(),
+        cfg.opt,
+        cfg.threads,
+        cfg.key_range,
+        cfg.prefill,
+        cfg.seed,
+        cfg.hash_buckets,
+    )
+}
+
+/// Builds and prefills the platform for `cfg` once, returning the filled
+/// state as a [`WarmSet`]. See the [module docs](self).
+pub fn prefill_snapshot(cfg: &WorkloadCfg) -> WarmSet {
+    let (mut sys, ds, alloc) = build(cfg);
+    prefill(&mut sys, &ds, cfg);
+    let snapshot = sys
+        .snapshot()
+        .expect("fill phase ends with idle frontends, so the system is snapshottable");
+    WarmSet {
+        key: warm_key(cfg),
+        snapshot,
+        roots: SetRoots::capture(&ds),
+        alloc_next: alloc.next_addr(),
+        stride: stride_of(cfg),
+    }
+}
+
+/// Runs the measured phase of one §7.4-style benchmark on a restored
+/// [`WarmSet`] instead of a freshly simulated fill — bit-identical to
+/// [`run_set_benchmark`] of the same `cfg`, at a fraction of the
+/// wall-clock when the warm state is shared across points.
+///
+/// # Panics
+///
+/// Panics when `warm` was captured under a different fill identity than
+/// `cfg` (compare [`warm_key`]s), or when the snapshot does not restore
+/// under `cfg`'s platform configuration.
+pub fn run_set_benchmark_warm(cfg: &WorkloadCfg, warm: &WarmSet) -> BenchResult {
+    let expected = warm_key(cfg);
+    assert!(
+        warm.key == expected,
+        "warm state key mismatch: captured \"{}\", requested \"{expected}\"",
+        warm.key
+    );
+    let mut sys = System::restore(&warm.snapshot, builder(cfg).config())
+        .expect("warm snapshot restores under its own fill configuration");
+    let alloc = Arc::new(SimAlloc::resume(
+        HEAP_BASE,
+        HEAP_SIZE,
+        warm.stride,
+        warm.alloc_next,
+    ));
+    let ds = warm.roots.rebuild(&alloc);
+    measure(&mut sys, &ds, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +449,84 @@ mod tests {
         assert!(r.ops > 0, "no operations completed");
         assert!(r.cycles >= 40_000);
         assert!(r.throughput() > 0.0);
+    }
+
+    /// The warm-start contract: restoring a [`WarmSet`] and running only
+    /// the measured phase is bit-identical to the cold path — same ops,
+    /// same cycles, same full stats, same measured-phase engine deltas —
+    /// for every structure, across measured mixes sharing one fill.
+    #[test]
+    fn warm_benchmark_matches_cold_exactly() {
+        for ds in DsKind::ALL {
+            let base = WorkloadCfg {
+                ds,
+                mode: PersistMode::NvTraverse,
+                opt: OptKind::SkipIt,
+                key_range: 64,
+                prefill: 16,
+                budget_cycles: 15_000,
+                hash_buckets: 32,
+                ..WorkloadCfg::default()
+            };
+            let warm = prefill_snapshot(&base);
+            assert!(warm.encoded_bytes() > 0);
+            for update_pct in [0u32, 20] {
+                let cfg = WorkloadCfg { update_pct, ..base };
+                assert_eq!(warm.key(), warm_key(&cfg), "fill identity is mix-free");
+                let cold = run_set_benchmark(&cfg);
+                let w = run_set_benchmark_warm(&cfg, &warm);
+                assert_eq!(cold.ops, w.ops, "{ds:?}/{update_pct}%");
+                assert_eq!(cold.cycles, w.cycles, "{ds:?}/{update_pct}%");
+                assert_eq!(cold.stats, w.stats, "{ds:?}/{update_pct}%");
+                // The measured phase starts from an identical simulated
+                // state with a freshly planned wheel in both paths, so
+                // even the engine deltas agree.
+                assert_eq!(cold.engine, w.engine, "{ds:?}/{update_pct}%");
+            }
+        }
+    }
+
+    /// A warm set restores under any engine: the fill identity excludes
+    /// the engine kind, and simulated behavior is engine-invariant.
+    #[test]
+    fn warm_set_restores_under_any_engine() {
+        let base = WorkloadCfg {
+            ds: DsKind::List,
+            key_range: 64,
+            prefill: 16,
+            budget_cycles: 15_000,
+            ..WorkloadCfg::default()
+        };
+        let warm = prefill_snapshot(&base);
+        let cold = run_set_benchmark(&base);
+        let naive = run_set_benchmark_warm(
+            &WorkloadCfg {
+                engine: EngineKind::Naive,
+                ..base
+            },
+            &warm,
+        );
+        assert_eq!(cold.ops, naive.ops);
+        assert_eq!(cold.cycles, naive.cycles);
+        assert_eq!(cold.stats, naive.stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm state key mismatch")]
+    fn warm_key_mismatch_rejected() {
+        let base = WorkloadCfg {
+            key_range: 64,
+            prefill: 8,
+            ..WorkloadCfg::default()
+        };
+        let warm = prefill_snapshot(&base);
+        run_set_benchmark_warm(
+            &WorkloadCfg {
+                seed: base.seed + 1,
+                ..base
+            },
+            &warm,
+        );
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Durable sweep checkpoints: completed rows stream to disk as they
+//! finish, and a rerun of the *same* sweep skips them.
+//!
+//! # Format
+//!
+//! ```text
+//! magic  "SKCP"        4 raw bytes
+//! version              varint (currently 1)
+//! fingerprint          varint u64 over (name, seed, every label+params)
+//! records              each: varint byte length, then one encoded SweepRow
+//! ```
+//!
+//! The file is append-only while a sweep runs, so a killed run leaves at
+//! worst a truncated final record; loading tolerates that by stopping at
+//! the first incomplete or undecodable record. A file whose fingerprint
+//! does not match the sweep being run is ignored wholesale — a checkpoint
+//! never leaks rows into a *different* sweep.
+
+use crate::point::{PointOutput, PointStatus};
+use crate::report::SweepRow;
+use skipit_core::{EngineStats, MetricsSnapshot, SystemStats};
+use skipit_snap::{Codec, SnapError, SnapReader, SnapWriter, MAX_ELEMS};
+use std::fs::File;
+use std::hash::{Hash, Hasher};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Leading magic bytes of a sweep checkpoint file.
+pub(crate) const CHECKPOINT_MAGIC: [u8; 4] = *b"SKCP";
+
+/// Checkpoint format version this build reads and writes.
+pub(crate) const CHECKPOINT_VERSION: u64 = 1;
+
+/// Identity hash of a sweep: its name, seed, and the ordered labels and
+/// display parameters of every point. Two sweeps with the same fingerprint
+/// have the same row table shape, so their rows are interchangeable.
+pub(crate) fn fingerprint(
+    name: &str,
+    seed: u64,
+    identities: &[(String, Vec<(String, String)>)],
+) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    seed.hash(&mut h);
+    identities.hash(&mut h);
+    h.finish()
+}
+
+impl Codec for PointStatus {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            PointStatus::Ok => w.put_u8(0),
+            PointStatus::Error { message } => {
+                w.put_u8(1);
+                message.encode(w);
+            }
+            PointStatus::Timeout { budget, cycles } => {
+                w.put_u8(2);
+                w.put_u64(*budget);
+                w.put_u64(*cycles);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(PointStatus::Ok),
+            1 => Ok(PointStatus::Error {
+                message: String::decode(r)?,
+            }),
+            2 => Ok(PointStatus::Timeout {
+                budget: r.get_u64()?,
+                cycles: r.get_u64()?,
+            }),
+            _ => Err(SnapError::Corrupt("point status tag")),
+        }
+    }
+}
+
+impl Codec for PointOutput {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cycles);
+        self.stats.encode(w);
+        self.engine.encode(w);
+        self.metrics.encode(w);
+        self.values.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(PointOutput {
+            cycles: r.get_u64()?,
+            stats: Option::<SystemStats>::decode(r)?,
+            engine: Option::<EngineStats>::decode(r)?,
+            metrics: Option::<MetricsSnapshot>::decode(r)?,
+            values: Vec::<(String, f64)>::decode(r)?,
+        })
+    }
+}
+
+impl Codec for SweepRow {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_u64(self.index as u64);
+        self.label.encode(w);
+        self.params.encode(w);
+        self.status.encode(w);
+        self.output.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SweepRow {
+            index: r.get_count(MAX_ELEMS, "row index")?,
+            label: String::decode(r)?,
+            params: Vec::<(String, String)>::decode(r)?,
+            status: PointStatus::decode(r)?,
+            output: PointOutput::decode(r)?,
+        })
+    }
+}
+
+/// Loads the completed rows a previous run of the *same* sweep left in
+/// `path`. Missing file, foreign file, version or fingerprint mismatch all
+/// load as "nothing completed"; a truncated or corrupt tail keeps every
+/// record before it. Rows are validated against `identities` (index in
+/// range, label and params equal, no duplicates) so a stale file can only
+/// contribute rows that mean what the current sweep says they mean.
+pub(crate) fn load(
+    path: &Path,
+    fingerprint: u64,
+    identities: &[(String, Vec<(String, String)>)],
+) -> Vec<SweepRow> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    let mut r = SnapReader::new(&bytes);
+    let header_ok = (|| -> Result<bool, SnapError> {
+        if r.get_raw(4)? != CHECKPOINT_MAGIC {
+            return Ok(false);
+        }
+        Ok(r.get_u64()? == CHECKPOINT_VERSION && r.get_u64()? == fingerprint)
+    })()
+    .unwrap_or(false);
+    if !header_ok {
+        return Vec::new();
+    }
+    let mut rows: Vec<SweepRow> = Vec::new();
+    while r.remaining() > 0 {
+        let ok = (|| -> Result<Option<SweepRow>, SnapError> {
+            let len = r.get_count(MAX_ELEMS, "record length")?;
+            let body = r.get_raw(len)?;
+            let mut br = SnapReader::new(body);
+            let row = SweepRow::decode(&mut br)?;
+            br.finish()?;
+            Ok(Some(row))
+        })()
+        .unwrap_or(None);
+        let Some(row) = ok else {
+            break; // truncated or corrupt tail: keep what decoded
+        };
+        let identity_holds = identities
+            .get(row.index)
+            .is_some_and(|(label, params)| *label == row.label && *params == row.params);
+        if identity_holds && rows.iter().all(|r| r.index != row.index) {
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// An open checkpoint file, header already written, rows appended as they
+/// complete. Each append goes straight to the OS (no userspace buffering),
+/// so a killed process loses at most the record being written.
+#[derive(Debug)]
+pub(crate) struct Checkpoint {
+    file: File,
+}
+
+impl Checkpoint {
+    /// Creates (or truncates) `path` and writes the header. The caller
+    /// re-appends any rows it salvaged via [`load`] first, so the file
+    /// always describes exactly one sweep execution.
+    pub(crate) fn create(path: &Path, fingerprint: u64) -> std::io::Result<Checkpoint> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut w = SnapWriter::new();
+        w.put_raw(&CHECKPOINT_MAGIC);
+        w.put_u64(CHECKPOINT_VERSION);
+        w.put_u64(fingerprint);
+        let mut file = File::create(path)?;
+        file.write_all(&w.into_bytes())?;
+        Ok(Checkpoint { file })
+    }
+
+    /// Appends one completed row as a length-prefixed record.
+    pub(crate) fn append(&mut self, row: &SweepRow) -> std::io::Result<()> {
+        let mut body = SnapWriter::new();
+        row.encode(&mut body);
+        let body = body.into_bytes();
+        let mut rec = SnapWriter::new();
+        rec.put_u64(body.len() as u64);
+        let mut bytes = rec.into_bytes();
+        bytes.extend_from_slice(&body);
+        self.file.write_all(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize) -> SweepRow {
+        SweepRow {
+            index,
+            label: format!("p{index}"),
+            params: vec![("i".into(), index.to_string())],
+            status: PointStatus::Ok,
+            output: PointOutput::new()
+                .with_cycles(index as u64 * 10)
+                .value("sq", (index * index) as f64),
+        }
+    }
+
+    fn identities(n: usize) -> Vec<(String, Vec<(String, String)>)> {
+        (0..n)
+            .map(|i| (format!("p{i}"), vec![("i".into(), i.to_string())]))
+            .collect()
+    }
+
+    #[test]
+    fn row_codec_roundtrips_every_status() {
+        for status in [
+            PointStatus::Ok,
+            PointStatus::Error {
+                message: "boom".into(),
+            },
+            PointStatus::Timeout {
+                budget: 5,
+                cycles: 9,
+            },
+        ] {
+            let mut r = row(3);
+            r.status = status;
+            let mut w = SnapWriter::new();
+            r.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut rd = SnapReader::new(&bytes);
+            assert_eq!(SweepRow::decode(&mut rd).unwrap(), r);
+            rd.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_identity_filter() {
+        let dir = std::env::temp_dir().join("skipit_ckpt_roundtrip");
+        let path = dir.join("sweep.ckpt");
+        let fp = fingerprint("s", 7, &identities(4));
+        let mut c = Checkpoint::create(&path, fp).unwrap();
+        c.append(&row(2)).unwrap();
+        c.append(&row(0)).unwrap();
+        c.append(&row(2)).unwrap(); // duplicate: first one wins
+        drop(c);
+
+        let rows = load(&path, fp, &identities(4));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], row(2));
+        assert_eq!(rows[1], row(0));
+
+        // A different fingerprint ignores the file wholesale.
+        assert!(load(&path, fp ^ 1, &identities(4)).is_empty());
+        // A shrunken sweep rejects the out-of-range row.
+        assert_eq!(load(&path, fp, &identities(1)).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_tail_keeps_complete_records() {
+        let dir = std::env::temp_dir().join("skipit_ckpt_trunc");
+        let path = dir.join("sweep.ckpt");
+        let fp = fingerprint("s", 7, &identities(4));
+        let mut c = Checkpoint::create(&path, fp).unwrap();
+        c.append(&row(0)).unwrap();
+        c.append(&row(1)).unwrap();
+        drop(c);
+        let full = std::fs::read(&path).unwrap();
+        for cut in 1..8 {
+            std::fs::write(&path, &full[..full.len() - cut]).unwrap();
+            let rows = load(&path, fp, &identities(4));
+            assert_eq!(rows.len(), 1, "cut={cut}");
+            assert_eq!(rows[0], row(0));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_and_missing_files_load_empty() {
+        let dir = std::env::temp_dir().join("skipit_ckpt_foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        assert!(load(&path, 1, &identities(2)).is_empty());
+        assert!(load(&dir.join("missing.ckpt"), 1, &identities(2)).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_covers_name_seed_and_identities() {
+        let ids = identities(3);
+        let fp = fingerprint("s", 7, &ids);
+        assert_ne!(fp, fingerprint("t", 7, &ids));
+        assert_ne!(fp, fingerprint("s", 8, &ids));
+        assert_ne!(fp, fingerprint("s", 7, &identities(2)));
+        assert_eq!(fp, fingerprint("s", 7, &identities(3)));
+    }
+}

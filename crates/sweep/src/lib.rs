@@ -25,6 +25,18 @@
 //! * **Serial fallback.** One worker thread (or a single-point sweep) runs
 //!   inline on the calling thread — no pool, no channels — producing the
 //!   same table.
+//! * **Warm starts.** A [`Sweep::prefill`] closure registered under a key
+//!   runs at most once per execution; every point referencing the key via
+//!   [`Point::warm`] shares its [`WarmState`] read-only through
+//!   [`PointCtx::warm`]. Grids whose points differ only in their measured
+//!   phase simulate the common fill phase once (snapshot it with
+//!   `System::snapshot`) instead of once per point.
+//! * **Resumable campaigns.** With [`SweepRunner::checkpoint`], completed
+//!   rows stream to disk as they finish; rerunning the same sweep loads
+//!   them back and executes only what is missing. A checkpoint left by a
+//!   different sweep (name, seed, or point grid) is ignored, and a
+//!   truncated tail — the signature of a killed run — costs at most one
+//!   row.
 //!
 //! # Example
 //!
@@ -54,10 +66,11 @@
 //! assert!(json.contains("\"bench\": \"skip_it_ablation\""));
 //! ```
 
+mod checkpoint;
 mod point;
 mod report;
 mod runner;
 
-pub use point::{Point, PointCtx, PointOutput, PointStatus};
+pub use point::{Point, PointCtx, PointOutput, PointStatus, WarmState};
 pub use report::{SweepReport, SweepRow};
 pub use runner::{Sweep, SweepRunner};

@@ -1,14 +1,50 @@
-//! One executable point of a sweep: its closure, parameters, budget, and
-//! the output/status it produces.
+//! One executable point of a sweep: its closure, parameters, budget,
+//! warm-start state, and the output/status it produces.
 
 use skipit_core::{EngineStats, MetricsSnapshot, System, SystemStats};
+use std::any::Any;
+use std::sync::Arc;
+
+/// A shared warm-start artifact produced once by a [`crate::Sweep::prefill`]
+/// closure and handed (read-only) to every point that referenced its key
+/// via [`Point::warm`].
+///
+/// The payload is type-erased so the sweep layer stays ignorant of the
+/// simulator's snapshot types; points downcast it back with
+/// [`PointCtx::warm`]. `encoded_bytes` is the serialized size of the state
+/// (0 when nothing was serialized), reported per key by
+/// [`crate::SweepReport::warm_sizes`].
+pub struct WarmState {
+    pub(crate) data: Box<dyn Any + Send + Sync>,
+    pub(crate) encoded_bytes: u64,
+}
+
+impl WarmState {
+    /// Wraps `data` as a warm-start artifact; `encoded_bytes` is its
+    /// serialized size for reporting (pass 0 for host-only state).
+    pub fn new(data: impl Any + Send + Sync, encoded_bytes: u64) -> Self {
+        WarmState {
+            data: Box::new(data),
+            encoded_bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for WarmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmState")
+            .field("encoded_bytes", &self.encoded_bytes)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Execution context handed to a point's closure.
 ///
 /// Everything in here is a pure function of the sweep description — never
 /// of scheduling — which is what makes sweep results bit-identical at any
-/// worker-thread count.
-#[derive(Clone, Copy, Debug)]
+/// worker-thread count. (The warm-start state, too: it is computed once
+/// from the sweep description, then shared read-only.)
+#[derive(Clone)]
 pub struct PointCtx {
     /// The point's insertion index within its sweep.
     pub index: usize,
@@ -22,6 +58,31 @@ pub struct PointCtx {
     /// point whose [`PointOutput::cycles`] exceeds this as
     /// [`PointStatus::Timeout`].
     pub cycle_budget: Option<u64>,
+    /// The shared warm-start payload, when the point referenced a prefill
+    /// key via [`Point::warm`]. Use [`PointCtx::warm`] to downcast it.
+    pub(crate) warm: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl std::fmt::Debug for PointCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PointCtx")
+            .field("index", &self.index)
+            .field("seed", &self.seed)
+            .field("cycle_budget", &self.cycle_budget)
+            .field("warm", &self.warm.is_some())
+            .finish()
+    }
+}
+
+impl PointCtx {
+    /// The warm-start payload downcast to its concrete type: `Some` when
+    /// the point referenced a prefill key via [`Point::warm`] *and* the
+    /// payload is a `T`. Prefill and point must agree on the type; a
+    /// mismatch here reads as "run cold" — assert on it in the point when
+    /// warmth is mandatory.
+    pub fn warm<T: Any>(&self) -> Option<&T> {
+        self.warm.as_deref().and_then(|w| w.downcast_ref::<T>())
+    }
 }
 
 /// What one executed point reports back: simulated-cycle consumption, the
@@ -138,6 +199,7 @@ pub struct Point {
     pub(crate) label: String,
     pub(crate) params: Vec<(String, String)>,
     pub(crate) budget: Option<u64>,
+    pub(crate) warm_key: Option<String>,
     pub(crate) run: PointFn,
 }
 
@@ -161,6 +223,7 @@ impl Point {
             label: label.into(),
             params: Vec::new(),
             budget: None,
+            warm_key: None,
             run: Box::new(run),
         }
     }
@@ -176,6 +239,16 @@ impl Point {
     /// Sets the simulated-cycle budget used for timeout classification.
     pub fn budget(mut self, cycles: u64) -> Self {
         self.budget = Some(cycles);
+        self
+    }
+
+    /// References a shared warm-start artifact: the runner evaluates the
+    /// [`crate::Sweep::prefill`] closure registered under `key` once, and
+    /// every point naming that key receives the result through
+    /// [`PointCtx::warm`]. A key with no registered prefill turns the
+    /// point into an [`PointStatus::Error`] row (fail loudly, not cold).
+    pub fn warm(mut self, key: impl Into<String>) -> Self {
+        self.warm_key = Some(key.into());
         self
     }
 

@@ -47,6 +47,7 @@ pub struct SweepReport {
     pub(crate) unit: Option<String>,
     pub(crate) threads: usize,
     pub(crate) wall: Duration,
+    pub(crate) warm: Vec<(String, u64)>,
     pub(crate) rows: Vec<SweepRow>,
 }
 
@@ -70,6 +71,16 @@ impl SweepReport {
     /// Host wall-clock time of the whole sweep.
     pub fn wall(&self) -> Duration {
         self.wall
+    }
+
+    /// Encoded byte size of every warm-start artifact the run actually
+    /// built, in prefill-evaluation order (`(key, bytes)` pairs). Empty
+    /// when no pending point referenced a prefill — including on a resume
+    /// that salvaged every warm point from the checkpoint. Like
+    /// [`SweepReport::wall`], this describes the *execution*, not the
+    /// result table, so it stays out of [`SweepReport::to_json`].
+    pub fn warm_sizes(&self) -> &[(String, u64)] {
+        &self.warm
     }
 
     /// The rows, in point insertion order.
@@ -250,6 +261,7 @@ mod tests {
             unit: Some("cycles".into()),
             threads: 2,
             wall: Duration::from_millis(5),
+            warm: Vec::new(),
             rows: vec![
                 SweepRow {
                     index: 0,

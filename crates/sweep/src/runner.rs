@@ -1,10 +1,15 @@
 //! The sweep description and the sharded runner that executes it.
 
-use crate::point::{Point, PointCtx, PointFn, PointOutput, PointStatus};
+use crate::checkpoint::{self, Checkpoint};
+use crate::point::{Point, PointCtx, PointFn, PointOutput, PointStatus, WarmState};
 use crate::report::{SweepReport, SweepRow};
 use crossbeam::channel::unbounded;
 use crossbeam::deque::{Injector, Steal};
+use std::any::Any;
+use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default sweep seed (mixed per point; see [`PointCtx::seed`]).
@@ -16,11 +21,14 @@ const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_0001;
 /// the chaining [`Sweep::point`]), and hand it to a [`SweepRunner`]. The
 /// insertion order is the row order of the resulting [`SweepReport`],
 /// regardless of which workers execute which points.
+pub(crate) type PrefillFn = Box<dyn FnOnce() -> WarmState + Send + 'static>;
+
 pub struct Sweep {
     pub(crate) name: String,
     pub(crate) unit: Option<String>,
     pub(crate) seed: u64,
     pub(crate) points: Vec<Point>,
+    pub(crate) prefills: Vec<(String, PrefillFn)>,
 }
 
 impl std::fmt::Debug for Sweep {
@@ -40,7 +48,25 @@ impl Sweep {
             unit: None,
             seed: DEFAULT_SEED,
             points: Vec::new(),
+            prefills: Vec::new(),
         }
+    }
+
+    /// Registers a warm-start prefill under `key`. The closure runs **at
+    /// most once** per sweep execution — and only if some point still to
+    /// be executed references the key via [`Point::warm`] — before any
+    /// point is dispatched; its [`WarmState`] is then shared read-only by
+    /// every referencing point. Registering the same key twice keeps the
+    /// later closure.
+    pub fn prefill(
+        mut self,
+        key: impl Into<String>,
+        f: impl FnOnce() -> WarmState + Send + 'static,
+    ) -> Self {
+        let key = key.into();
+        self.prefills.retain(|(k, _)| *k != key);
+        self.prefills.push((key, Box::new(f)));
+        self
     }
 
     /// Annotates the unit of the points' primary values (export metadata
@@ -80,6 +106,11 @@ impl Sweep {
         self.points.len()
     }
 
+    /// Number of registered warm-start prefills (distinct fill phases).
+    pub fn prefill_count(&self) -> usize {
+        self.prefills.len()
+    }
+
     /// Whether the sweep has no points.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
@@ -103,16 +134,33 @@ struct Task {
     params: Vec<(String, String)>,
     budget: Option<u64>,
     seed: u64,
+    /// The shared warm-start payload — or the error message explaining why
+    /// it is unavailable (unknown key, panicked prefill), which turns the
+    /// task into an error row without running it.
+    warm: Result<Option<Arc<dyn Any + Send + Sync>>, String>,
     run: PointFn,
 }
 
 /// Runs a task to a finished row: panic capture, then budget
 /// classification.
 fn execute(task: Task) -> SweepRow {
+    let warm = match task.warm {
+        Ok(warm) => warm,
+        Err(message) => {
+            return SweepRow {
+                index: task.index,
+                label: task.label,
+                params: task.params,
+                status: PointStatus::Error { message },
+                output: PointOutput::new(),
+            }
+        }
+    };
     let ctx = PointCtx {
         index: task.index,
         seed: task.seed,
         cycle_budget: task.budget,
+        warm,
     };
     let run = task.run;
     let (status, output) = match std::panic::catch_unwind(AssertUnwindSafe(move || run(&ctx))) {
@@ -156,9 +204,14 @@ fn execute(task: Task) -> SweepRow {
 /// [`SweepRunner::threads`] call, the `SKIPIT_SWEEP_THREADS` environment
 /// variable, `std::thread::available_parallelism()`. A count of 1 (or a
 /// single-point sweep) runs inline on the calling thread.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// With [`SweepRunner::checkpoint`], completed rows additionally stream to
+/// a file as they finish, and a rerun of the same sweep resumes: rows
+/// already on disk are loaded instead of re-executed.
+#[derive(Clone, Debug, Default)]
 pub struct SweepRunner {
     threads: Option<usize>,
+    checkpoint: Option<PathBuf>,
 }
 
 impl SweepRunner {
@@ -169,7 +222,19 @@ impl SweepRunner {
 
     /// The serial fallback: everything on the calling thread.
     pub fn serial() -> Self {
-        SweepRunner { threads: Some(1) }
+        SweepRunner {
+            threads: Some(1),
+            checkpoint: None,
+        }
+    }
+
+    /// Streams completed rows to `path` and resumes from it (see
+    /// `src/checkpoint.rs` for the file format and its tolerance rules).
+    /// A file left by a *different* sweep — different name, seed, or point
+    /// grid — is ignored and overwritten, never resumed from.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
     }
 
     /// Pins the worker-thread count (clamped to at least 1; also clamped
@@ -226,6 +291,7 @@ impl SweepRunner {
     pub fn run(&self, sweep: Sweep) -> SweepReport {
         let n = sweep.points.len();
         let threads = self.resolved_threads(n);
+        let started = Instant::now();
         // Identity of every point, kept host-side so a row can be
         // synthesized even if a worker vanishes (defense in depth — the
         // execute path already captures panics).
@@ -234,27 +300,106 @@ impl SweepRunner {
             .iter()
             .map(|p| (p.label.clone(), p.params.clone()))
             .collect();
+
+        // Checkpoint: salvage completed rows from a previous run of this
+        // exact sweep, then rewrite the file fresh (header + salvaged
+        // rows) so it is append-only for the rest of this run.
+        let mut slots: Vec<Option<SweepRow>> = (0..n).map(|_| None).collect();
+        let mut ckpt: Option<Checkpoint> = None;
+        if let Some(path) = &self.checkpoint {
+            let fp = checkpoint::fingerprint(&sweep.name, sweep.seed, &identities);
+            // Salvage before create: create truncates the file.
+            let salvaged = checkpoint::load(path, fp, &identities);
+            let mut c = Checkpoint::create(path, fp).unwrap_or_else(|e| {
+                panic!("cannot write sweep checkpoint {}: {e}", path.display())
+            });
+            for row in salvaged {
+                c.append(&row).unwrap_or_else(|e| {
+                    panic!("cannot write sweep checkpoint {}: {e}", path.display())
+                });
+                let index = row.index;
+                slots[index] = Some(row);
+            }
+            ckpt = Some(c);
+        }
+
+        // Warm-start: evaluate each prefill that a still-pending point
+        // references, exactly once, serially, before dispatch. A panicking
+        // prefill (or a key nobody registered) does not abort the sweep —
+        // it turns every referencing point into an error row.
+        let needed: Vec<&String> = {
+            let mut keys: Vec<&String> = Vec::new();
+            for (i, p) in sweep.points.iter().enumerate() {
+                if let (None, Some(k)) = (&slots[i], &p.warm_key) {
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+            }
+            keys
+        };
+        let mut prefills: BTreeMap<String, PrefillFn> = sweep.prefills.into_iter().collect();
+        let mut warm_sizes: Vec<(String, u64)> = Vec::new();
+        let mut warm_states: BTreeMap<String, Result<Arc<dyn Any + Send + Sync>, String>> =
+            BTreeMap::new();
+        for key in needed {
+            let state = match prefills.remove(key) {
+                None => Err(format!("no prefill registered for warm key \"{key}\"")),
+                Some(f) => match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(ws) => {
+                        warm_sizes.push((key.clone(), ws.encoded_bytes));
+                        Ok(Arc::from(ws.data))
+                    }
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(format!("prefill \"{key}\" panicked: {message}"))
+                    }
+                },
+            };
+            warm_states.insert(key.clone(), state);
+        }
+
+        let sweep_seed = sweep.seed;
         let tasks: Vec<Task> = sweep
             .points
             .into_iter()
             .enumerate()
+            .filter(|(index, _)| slots[*index].is_none())
             .map(|(index, p)| Task {
                 index,
                 label: p.label,
                 params: p.params,
                 budget: p.budget,
-                seed: mix_seed(sweep.seed, index),
+                seed: mix_seed(sweep_seed, index),
+                warm: match &p.warm_key {
+                    None => Ok(None),
+                    Some(k) => match warm_states.get(k) {
+                        Some(Ok(a)) => Ok(Some(Arc::clone(a))),
+                        Some(Err(m)) => Err(m.clone()),
+                        None => Err(format!("no prefill registered for warm key \"{k}\"")),
+                    },
+                },
                 run: p.run,
             })
             .collect();
 
-        let started = Instant::now();
-        let mut slots: Vec<Option<SweepRow>> = (0..n).map(|_| None).collect();
+        let mut commit = |slots: &mut Vec<Option<SweepRow>>, row: SweepRow| {
+            if let Some(c) = &mut ckpt {
+                c.append(&row).unwrap_or_else(|e| {
+                    panic!("cannot append to sweep checkpoint: {e}");
+                });
+            }
+            let index = row.index;
+            slots[index] = Some(row);
+        };
         if threads <= 1 {
             for task in tasks {
                 let row = execute(task);
-                let index = row.index;
-                slots[index] = Some(row);
+                commit(&mut slots, row);
             }
         } else {
             let injector = Injector::new();
@@ -280,8 +425,7 @@ impl SweepRunner {
                 }
                 drop(tx);
                 while let Ok(row) = rx.recv() {
-                    let index = row.index;
-                    slots[index] = Some(row);
+                    commit(&mut slots, row);
                 }
             });
         }
@@ -308,6 +452,7 @@ impl SweepRunner {
             unit: sweep.unit,
             threads,
             wall: started.elapsed(),
+            warm: warm_sizes,
             rows,
         }
     }
@@ -425,6 +570,126 @@ mod tests {
     #[should_panic(expected = "0 threads cannot run a sweep")]
     fn threads_env_rejects_zero_loudly() {
         SweepRunner::parse_threads_env("SKIPIT_SWEEP_THREADS", "0");
+    }
+
+    use crate::point::WarmState;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A sweep of `n` points sharing one warm artifact; `prefills` and
+    /// `executions` count what actually ran.
+    fn warm_sweep(n: usize, prefills: &Arc<AtomicUsize>, executions: &Arc<AtomicUsize>) -> Sweep {
+        let mut sweep = Sweep::new("warm").seed(3);
+        let pf = Arc::clone(prefills);
+        sweep = sweep.prefill("fill", move || {
+            pf.fetch_add(1, Ordering::SeqCst);
+            WarmState::new(41u64, 7)
+        });
+        for i in 0..n {
+            let ex = Arc::clone(executions);
+            sweep = sweep.point(
+                Point::new(format!("w{i}"), move |ctx| {
+                    ex.fetch_add(1, Ordering::SeqCst);
+                    let base = *ctx.warm::<u64>().expect("warm state present");
+                    PointOutput::new().value("v", (base + i as u64) as f64)
+                })
+                .param("i", i)
+                .warm("fill"),
+            );
+        }
+        sweep
+    }
+
+    #[test]
+    fn prefill_runs_once_and_is_shared_at_any_thread_count() {
+        for threads in [1, 4] {
+            let prefills = Arc::new(AtomicUsize::new(0));
+            let executions = Arc::new(AtomicUsize::new(0));
+            let report =
+                SweepRunner::new()
+                    .threads(threads)
+                    .run(warm_sweep(6, &prefills, &executions));
+            assert_eq!(prefills.load(Ordering::SeqCst), 1, "threads={threads}");
+            assert_eq!(executions.load(Ordering::SeqCst), 6);
+            assert!(report.all_ok());
+            assert_eq!(report.warm_sizes(), &[("fill".to_string(), 7)]);
+            for (i, row) in report.rows().iter().enumerate() {
+                assert_eq!(row.value("v"), Some(41.0 + i as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_warm_key_is_an_error_row() {
+        let sweep = Sweep::new("nokey")
+            .point(Point::new("cold", |_| PointOutput::new().with_cycles(1)))
+            .point(Point::new("orphan", |_| PointOutput::new()).warm("missing"));
+        let report = SweepRunner::serial().run(sweep);
+        assert!(report.get("cold").unwrap().is_ok());
+        match &report.get("orphan").unwrap().status {
+            PointStatus::Error { message } => {
+                assert!(message.contains("missing"), "{message}");
+            }
+            other => panic!("expected error row, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_prefill_poisons_only_referencing_points() {
+        let sweep = Sweep::new("poisoned_fill")
+            .prefill("bad", || panic!("fill exploded"))
+            .point(Point::new("warmed", |_| PointOutput::new()).warm("bad"))
+            .point(Point::new("cold", |_| PointOutput::new().with_cycles(2)));
+        let report = SweepRunner::new().threads(2).run(sweep);
+        match &report.get("warmed").unwrap().status {
+            PointStatus::Error { message } => {
+                assert!(message.contains("fill exploded"), "{message}");
+            }
+            other => panic!("expected error row, got {other:?}"),
+        }
+        assert!(report.get("cold").unwrap().is_ok());
+        assert!(report.warm_sizes().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resumes_without_reexecuting_completed_rows() {
+        let dir = std::env::temp_dir().join(format!("skipit_ckpt_resume_{}", std::process::id()));
+        let path = dir.join("warm.ckpt");
+        let runner = SweepRunner::new().threads(2).checkpoint(&path);
+
+        let prefills = Arc::new(AtomicUsize::new(0));
+        let executions = Arc::new(AtomicUsize::new(0));
+        let first = runner.run(warm_sweep(5, &prefills, &executions));
+        assert_eq!(executions.load(Ordering::SeqCst), 5);
+
+        // Rerun: every row comes off disk — no prefill, no execution.
+        let prefills2 = Arc::new(AtomicUsize::new(0));
+        let executions2 = Arc::new(AtomicUsize::new(0));
+        let resumed = runner.run(warm_sweep(5, &prefills2, &executions2));
+        assert_eq!(prefills2.load(Ordering::SeqCst), 0);
+        assert_eq!(executions2.load(Ordering::SeqCst), 0);
+        assert_eq!(first.rows(), resumed.rows());
+        assert_eq!(first.to_json(), resumed.to_json());
+        assert!(resumed.warm_sizes().is_empty());
+
+        // Cut the final record (a killed run): exactly one point re-runs,
+        // and it needs the warm state again.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let prefills3 = Arc::new(AtomicUsize::new(0));
+        let executions3 = Arc::new(AtomicUsize::new(0));
+        let partial = runner.run(warm_sweep(5, &prefills3, &executions3));
+        assert_eq!(prefills3.load(Ordering::SeqCst), 1);
+        assert_eq!(executions3.load(Ordering::SeqCst), 1);
+        assert_eq!(first.rows(), partial.rows());
+
+        // A different sweep shape ignores the file instead of resuming.
+        let prefills4 = Arc::new(AtomicUsize::new(0));
+        let executions4 = Arc::new(AtomicUsize::new(0));
+        let other = runner.run(warm_sweep(3, &prefills4, &executions4));
+        assert_eq!(executions4.load(Ordering::SeqCst), 3);
+        assert_eq!(other.rows().len(), 3);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

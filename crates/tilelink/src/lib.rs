@@ -39,6 +39,7 @@ pub mod link;
 pub mod msg;
 pub mod perm;
 pub mod perturb;
+pub mod snap;
 pub mod staged;
 
 pub use line::{LineAddr, LineData, LINE_BYTES, WORDS_PER_LINE};

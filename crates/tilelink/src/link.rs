@@ -326,6 +326,34 @@ impl<T: Beats + fmt::Debug> Link<T> {
     pub fn next_ready(&self) -> Option<u64> {
         self.queue.front().map(|&(ready, _)| ready)
     }
+
+    /// The link's simulated state, for snapshot encoding (see
+    /// [`crate::snap`]): the arrival-stamped queue, the bandwidth cursor,
+    /// and the cumulative push/pop counters.
+    pub(crate) fn snap_parts(&self) -> (&VecDeque<(u64, T)>, u64, u64, u64) {
+        (&self.queue, self.next_free, self.pushed, self.popped)
+    }
+
+    /// Overwrites the simulated state from decoded parts, keeping the
+    /// host-side configuration (latency, capacity, trace, perturbation).
+    pub(crate) fn snap_restore(
+        &mut self,
+        queue: VecDeque<(u64, T)>,
+        next_free: u64,
+        pushed: u64,
+        popped: u64,
+    ) -> Result<(), skipit_snap::SnapError> {
+        if queue.len() > self.capacity {
+            return Err(skipit_snap::SnapError::Corrupt(
+                "link queue exceeds capacity",
+            ));
+        }
+        self.queue = queue;
+        self.next_free = next_free;
+        self.pushed = pushed;
+        self.popped = popped;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

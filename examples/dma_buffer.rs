@@ -40,7 +40,7 @@ fn run(with_clean: bool) -> (u64, u64) {
     );
     sys.quiesce();
     // The DMA engine reads main memory directly.
-    let dram = sys.crash();
+    let dram = sys.durable_image();
     let mut good = 0;
     for i in 0..BUF_LINES * 8 {
         if dram.read_word_direct(BUF + i * 8) == 0xD0_0000 + i {

@@ -134,7 +134,7 @@ fn main() {
             },
         ]]);
         sys.quiesce();
-        let dram = sys.crash();
+        let dram = sys.durable_image();
         let persisted = (dram.read_word_direct(0x6000) != 0) as u32
             + (dram.read_word_direct(0x6040) != 0) as u32;
         check(

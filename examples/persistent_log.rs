@@ -59,7 +59,7 @@ fn main() {
 
         // Power failure: all caches gone, only DRAM (the persistence
         // domain) survives.
-        let dram = sys.crash();
+        let dram = sys.durable_image();
 
         // Recovery: trust only the committed prefix.
         let count = dram.read_word_direct(HEADER);

@@ -68,7 +68,7 @@ fn main() {
         value: 1234,
     }]]);
     sys.quiesce();
-    let dram = sys.crash();
+    let dram = sys.durable_image();
     assert_eq!(dram.read_word_direct(0x4000), 0);
     println!("un-flushed store was lost in the crash, as §2.5 promises");
 }

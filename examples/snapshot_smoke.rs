@@ -1,0 +1,198 @@
+//! CI smoke test for full-system snapshot/restore (`./ci.sh --quick`).
+//!
+//! Two checks, both against real simulations:
+//!
+//! 1. **Mid-run restartability** — a traced 2-core flush-heavy run is
+//!    snapshotted at an executed cycle boundary while stores are still in
+//!    flight; the restored system resumes and must finish bit-identically
+//!    to the uninterrupted original (cycles, statistics, durable memory
+//!    words, merged trace stream).
+//! 2. **Warm-started sweeps** — a 4-point §7.4 set grid is run cold (every
+//!    point simulates its own fill) and warm (one snapshotted fill shared
+//!    by all four points); the two result tables must export bit-identical
+//!    JSON.
+//!
+//! ```text
+//! cargo run --release --example snapshot_smoke
+//! ```
+
+use skipit::prelude::*;
+use skipit::{prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key};
+use skipit::{DsKind, OptKind, PersistMode, WarmSet, WorkloadCfg};
+
+/// Two cores storing and flushing interleaved lines, then reading back.
+fn programs() -> Vec<Vec<Op>> {
+    (0..2u64)
+        .map(|core| {
+            let line = |i: u64| 0x6000 + (core * 16 + i) * 64;
+            let mut p = Vec::new();
+            for i in 0..16 {
+                p.push(Op::Store {
+                    addr: line(i),
+                    value: core << 32 | i,
+                });
+                p.push(Op::Flush { addr: line(i) });
+            }
+            p.push(Op::Fence);
+            for i in 0..16 {
+                p.push(Op::Load { addr: line(i) });
+            }
+            p
+        })
+        .collect()
+}
+
+/// Everything the bit-identity contract covers, collected from a finished
+/// system. Trace events are compared as the `(cycle, order, event)` stream
+/// from `since` on (a restored system's trace starts empty with fresh
+/// per-sink sequence numbers, so absolute `seq` values differ by design).
+fn fingerprint(sys: &System, since: u64) -> (u64, SystemStats, Vec<u64>, Vec<String>) {
+    let image = sys.durable_image();
+    let words = (0..32u64)
+        .map(|i| image.read_word_direct(0x6000 + i * 64))
+        .collect();
+    let tail = sys
+        .trace_events()
+        .into_iter()
+        .filter(|e| e.cycle >= since)
+        .map(|e| format!("{}/{}/{:?}", e.cycle, e.order, e.event))
+        .collect();
+    (sys.now(), sys.stats(), words, tail)
+}
+
+fn mid_run_restore_is_bit_identical() -> bool {
+    let trace_cfg = || TraceConfig::new().events(1 << 14);
+    let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
+    sys.set_trace(trace_cfg());
+    let mut snap: Option<Snapshot> = None;
+    sys.run_programs_observed(programs(), |s: &System| {
+        // Snapshot once, mid-run: after some traffic but before the end.
+        if snap.is_none() && s.now() >= 200 {
+            snap = Some(s.snapshot().expect("mid-run snapshot"));
+        }
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .unwrap();
+    sys.quiesce();
+
+    let snap = snap.expect("run reached cycle 200");
+    let mut resumed = System::restore(&snap, sys.config()).expect("snapshot restores");
+    let restored_at = resumed.now();
+    resumed.set_trace(trace_cfg()); // observers are host-side: reinstall
+    resumed.resume_programs();
+    resumed.quiesce();
+
+    let reference = fingerprint(&sys, restored_at);
+    let replayed = fingerprint(&resumed, restored_at);
+    let ok = reference == replayed;
+    if ok {
+        println!(
+            "mid-run restore ok: snapshot at cycle {restored_at} ({} bytes), \
+             replay landed on cycle {} with identical stats, durable image \
+             and {} post-snapshot trace events",
+            snap.encoded_len(),
+            replayed.0,
+            replayed.3.len(),
+        );
+    } else {
+        eprintln!("FAIL: mid-run restore diverged from the uninterrupted run");
+        eprintln!(
+            "  reference: cycle {}, {} trace events",
+            reference.0,
+            reference.3.len()
+        );
+        eprintln!(
+            "  replayed:  cycle {}, {} trace events",
+            replayed.0,
+            replayed.3.len()
+        );
+    }
+    ok
+}
+
+/// The 4-point smoke grid: one List fill shared by four measured mixes.
+fn smoke_cfg(update_pct: u32) -> WorkloadCfg {
+    WorkloadCfg {
+        ds: DsKind::List,
+        mode: PersistMode::NvTraverse,
+        opt: OptKind::SkipIt,
+        threads: 2,
+        key_range: 64,
+        prefill: 16,
+        update_pct,
+        budget_cycles: 15_000,
+        seed: 7,
+        hash_buckets: 32,
+        ..WorkloadCfg::default()
+    }
+}
+
+fn smoke_grid(warm: bool) -> Sweep {
+    let mut sweep = Sweep::new("snapshot_smoke_grid")
+        .unit("ops_per_mcycle")
+        .seed(7);
+    if warm {
+        let fill = smoke_cfg(0);
+        sweep = sweep.prefill(warm_key(&fill), move || {
+            let ws = prefill_snapshot(&fill);
+            let bytes = ws.encoded_bytes();
+            WarmState::new(ws, bytes)
+        });
+    }
+    for update_pct in [0u32, 10, 20, 50] {
+        let cfg = smoke_cfg(update_pct);
+        let point = Point::new(format!("list/{update_pct}%"), move |ctx: &PointCtx| {
+            let r = if warm {
+                run_set_benchmark_warm(&cfg, ctx.warm::<WarmSet>().expect("fill registered"))
+            } else {
+                run_set_benchmark(&cfg)
+            };
+            PointOutput::new()
+                .with_cycles(r.cycles)
+                .value("ops_per_mcycle", r.throughput())
+                .value("ops", r.ops as f64)
+        })
+        .param("update_pct", update_pct);
+        sweep.push(if warm {
+            point.warm(warm_key(&cfg))
+        } else {
+            point
+        });
+    }
+    sweep
+}
+
+fn warm_sweep_matches_cold() -> bool {
+    let runner = SweepRunner::serial();
+    let cold = runner.run(smoke_grid(false));
+    let warm = runner.run(smoke_grid(true));
+    let mut ok = true;
+    for report in [&cold, &warm] {
+        for row in report.failed_rows() {
+            eprintln!("FAIL: point {} ended {:?}", row.label, row.status);
+            ok = false;
+        }
+    }
+    if cold.to_json() != warm.to_json() {
+        eprintln!("FAIL: cold and warm-started result tables diverge");
+        eprintln!("--- cold ---\n{}", cold.table());
+        eprintln!("--- warm ---\n{}", warm.table());
+        ok = false;
+    }
+    if ok {
+        let bytes: u64 = warm.warm_sizes().iter().map(|(_, b)| b).sum();
+        println!(
+            "warm sweep ok: {} points share 1 snapshotted fill ({bytes} bytes), \
+             tables bit-identical to the cold run",
+            warm.rows().len(),
+        );
+    }
+    ok
+}
+
+fn main() {
+    let ok = mid_run_restore_is_bit_identical() & warm_sweep_matches_cold();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,10 @@ pub use skipit_sweep as sweep;
 pub use skipit_core::{
     paper_platform, CoreHandle, Op, System, SystemBuilder, SystemConfig, SystemStats,
 };
-pub use skipit_pds::{run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistMode, WorkloadCfg};
+pub use skipit_pds::{
+    prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key, ConcurrentSet, DsKind,
+    OptKind, PersistMode, WarmSet, WorkloadCfg,
+};
 
 /// The one-stop import for programs driving the simulator.
 ///
@@ -40,14 +43,15 @@ pub use skipit_pds::{run_set_benchmark, ConcurrentSet, DsKind, OptKind, PersistM
 pub mod prelude {
     pub use skipit_core::{
         paper_platform, ConfigError, CoreHandle, EngineKind, EngineStats, MetricsSnapshot, Op,
-        PhaseProfile, System, SystemBuilder, SystemConfig, SystemStats, Telemetry, TelemetrySample,
-        TraceConfig, TraceFilter,
+        PhaseProfile, Snapshot, SnapshotError, System, SystemBuilder, SystemConfig, SystemStats,
+        Telemetry, TelemetrySample, TraceConfig, TraceFilter,
     };
     pub use skipit_explore::{
-        explore_one, minimize, scan_crash_points, ExploreConfig, InvariantOracle, Reproducer,
-        Scenario, Violation,
+        explore_one, minimize, scan_crash_points, CrashPoint, ExploreConfig, InvariantOracle,
+        Reproducer, Scenario, Violation,
     };
     pub use skipit_sweep::{
         Point, PointCtx, PointOutput, PointStatus, Sweep, SweepReport, SweepRow, SweepRunner,
+        WarmState,
     };
 }

@@ -23,7 +23,7 @@ fn scenario_a_unflushed_stores_are_volatile() {
         },
     ]]);
     s.quiesce();
-    let dram = s.crash();
+    let dram = s.durable_image();
     assert_eq!(dram.read_word_direct(0x100), 0);
     assert_eq!(dram.read_word_direct(0x140), 0);
 }
@@ -47,7 +47,7 @@ fn scenario_b_writeback_covers_all_prior_writes_to_line() {
         Op::Flush { addr: 0x200 },
         Op::Fence,
     ]]);
-    let dram = s.crash();
+    let dram = s.durable_image();
     assert_eq!(dram.read_word_direct(0x200), 7);
     assert_eq!(
         dram.read_word_direct(0x208),
@@ -222,4 +222,26 @@ fn load_after_flush_same_line_returns_value() {
     // (Program mode discards load values, so assert via cache state: the
     // line was refetched or forwarded without corruption.)
     assert_eq!(s.dram().read_word_direct(0x800), 123);
+}
+
+/// Back-compat: the deprecated consuming `System::crash(self)` must keep
+/// returning exactly what `durable_image()` reports at the same instant.
+#[test]
+fn deprecated_crash_matches_durable_image() {
+    let mut s = sys(1, false);
+    s.run_programs(vec![vec![
+        Op::Store {
+            addr: 0x900,
+            value: 5,
+        },
+        Op::Flush { addr: 0x900 },
+        Op::Fence,
+    ]]);
+    s.quiesce();
+    let image = s.durable_image();
+    #[allow(deprecated)]
+    let crashed = s.crash();
+    for addr in [0x900u64, 0x940] {
+        assert_eq!(crashed.read_word_direct(addr), image.read_word_direct(addr));
+    }
 }

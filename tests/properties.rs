@@ -173,7 +173,7 @@ proptest! {
 
         // No-corruption: every durable word holds 0 or some written value.
         sys.quiesce();
-        let dram = sys.crash();
+        let dram = sys.durable_image();
         for line in 0..12u8 {
             for word in 0..8u8 {
                 let a = addr_of(line, word);
@@ -205,7 +205,7 @@ proptest! {
         }
         prog.push(Op::Fence);
         sys.run_programs(vec![prog]);
-        let dram = sys.crash();
+        let dram = sys.durable_image();
         for (&a, &v) in &model {
             prop_assert_eq!(dram.read_word_direct(a), v, "addr {:#x}", a);
         }
@@ -221,7 +221,7 @@ proptest! {
             let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
             let cycles = sys.run_programs(vec![to_prog(&ops), to_prog(&ops)]);
             sys.quiesce();
-            let dram = sys.crash();
+            let dram = sys.durable_image();
             let image: Vec<u64> = (0..12 * 8)
                 .map(|w| dram.read_word_direct(0x4_0000 + w * 8))
                 .collect();
@@ -263,7 +263,7 @@ proptest! {
                 .into_iter()
                 .filter(|se| !se.event.is_engine_event())
                 .collect();
-            let dram = sys.crash();
+            let dram = sys.durable_image();
             let image: Vec<u64> = (0..12 * 8)
                 .map(|w| dram.read_word_direct(0x4_0000 + w * 8))
                 .chain((0..12 * 8).map(|w| dram.read_word_direct(0x8_0000 + (w / 8) * 0x1000 + (w % 8) * 8)))
@@ -369,7 +369,7 @@ proptest! {
             let samples = sys
                 .telemetry_snapshot()
                 .map(|t| t.samples().cloned().collect::<Vec<_>>());
-            let dram = sys.crash();
+            let dram = sys.durable_image();
             let image: Vec<u64> = (0..12 * 8)
                 .map(|w| dram.read_word_direct(0x4_0000 + w * 8))
                 .collect();

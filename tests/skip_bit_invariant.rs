@@ -129,7 +129,7 @@ fn skip_it_is_functionally_transparent() {
                 .chain(std::iter::once(Op::Fence))
                 .collect();
             s.run_programs(vec![flush_all, vec![]]);
-            let dram = s.crash();
+            let dram = s.durable_image();
             let image: Vec<u64> = (0..16 * 8u64)
                 .map(|w| dram.read_word_direct(0x10_000 + w * 8))
                 .collect();
