@@ -9,7 +9,7 @@ cd "$(dirname "$0")"
 # fmt/doc enumerate the first-party crates.
 FIRST_PARTY=(-p skipit -p skipit-core -p skipit-boom -p skipit-dcache -p skipit-llc
   -p skipit-mem -p skipit-tilelink -p skipit-trace -p skipit-pds -p skipit-bench
-  -p skipit-sweep -p skipit-explore -p skipit-snap)
+  -p skipit-sweep -p skipit-explore -p skipit-snap -p skipit-replay)
 
 cargo fmt --check "${FIRST_PARTY[@]}"
 cargo build --release
@@ -41,6 +41,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 #    memory, post-snapshot trace stream), and a 4-point set grid run warm
 #    (one snapshotted fill shared by all points) must export a result
 #    table bit-identical to the cold run (examples/snapshot_smoke.rs).
+#  - runs the trace-replay smoke: captures a quickstart-shaped run, replays
+#    the trace on fresh systems under all four engines asserting
+#    bit-identical cycles/stats/durable memory, replays the two committed
+#    traces under traces/, corrupts a trace byte to check the decoder
+#    fails with a typed error, and runs the replay_sweep perturbation grid
+#    serially and at 2 worker threads asserting bit-identical tables
+#    (examples/replay_smoke.rs; traces regenerate deterministically via
+#    examples/capture_trace.rs).
 #  - smoke-runs the simspeed benchmark (reduced workloads) and fails if any
 #    workload's engine speedup regresses more than 20 % below the committed
 #    BENCH_simspeed.json — including the warm-started sweep's wall-clock
@@ -52,6 +60,7 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo run --release --example explore_smoke
   cargo run --release --example telemetry_smoke
   cargo run --release --example snapshot_smoke
+  cargo run --release --example replay_smoke
   SKIPIT_BENCH_QUICK=1 \
   SKIPIT_BENCH_BASELINE="$PWD/BENCH_simspeed.json" \
   SKIPIT_BENCH_OUT="$(mktemp)" \

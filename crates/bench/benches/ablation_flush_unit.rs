@@ -6,7 +6,7 @@
 
 use skipit_bench::micro::{dirty_region, fig13_sample, system, writeback_region};
 use skipit_bench::{median, quick};
-use skipit_core::{DramConfig, Op, SystemBuilder};
+use skipit_core::{DramConfig, Op, Programs, SystemBuilder};
 
 fn flush_32k_cycles(fshrs: usize, queue_depth: usize) -> u64 {
     let mut sys = SystemBuilder::new()
@@ -52,7 +52,7 @@ fn main() {
                 prog.push(Op::Clean { addr: 0x9000 });
                 prog.push(Op::Fence);
             }
-            cycles[i] = sys.run_programs(vec![prog]);
+            cycles[i] = sys.run(Programs(vec![prog])).cycles;
         }
         println!("{redundant},{},{}", cycles[0], cycles[1]);
     }

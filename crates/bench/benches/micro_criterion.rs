@@ -5,7 +5,7 @@
 //! bench targets and report simulated cycles.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use skipit_core::{Op, SystemBuilder};
+use skipit_core::{Op, Programs, SystemBuilder};
 
 fn bench_tick_throughput(c: &mut Criterion) {
     c.bench_function("idle_system_tick", |b| {
@@ -20,11 +20,12 @@ fn bench_store_flush_fence(c: &mut Criterion) {
         let mut addr = 0x1_0000u64;
         b.iter(|| {
             addr += 64;
-            sys.run_programs(vec![vec![
+            sys.run(Programs(vec![vec![
                 Op::Store { addr, value: 1 },
                 Op::Flush { addr },
                 Op::Fence,
-            ]])
+            ]]))
+            .cycles
         });
     });
 }
@@ -32,15 +33,21 @@ fn bench_store_flush_fence(c: &mut Criterion) {
 fn bench_skipit_drop(c: &mut Criterion) {
     c.bench_function("skipit_redundant_clean_drop", |b| {
         let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
-        sys.run_programs(vec![vec![
+        sys.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x2_0000,
                 value: 1,
             },
             Op::Clean { addr: 0x2_0000 },
             Op::Fence,
-        ]]);
-        b.iter(|| sys.run_programs(vec![vec![Op::Clean { addr: 0x2_0000 }, Op::Fence]]));
+        ]]));
+        b.iter(|| {
+            sys.run(Programs(vec![vec![
+                Op::Clean { addr: 0x2_0000 },
+                Op::Fence,
+            ]]))
+            .cycles
+        });
     });
 }
 
@@ -50,20 +57,20 @@ fn bench_cross_core_pingpong(c: &mut Criterion) {
         let mut v = 0u64;
         b.iter(|| {
             v += 1;
-            sys.run_programs(vec![
+            sys.run(Programs(vec![
                 vec![Op::Store {
                     addr: 0x3_0000,
                     value: v,
                 }],
                 vec![],
-            ]);
-            sys.run_programs(vec![
+            ]));
+            sys.run(Programs(vec![
                 vec![],
                 vec![Op::Store {
                     addr: 0x3_0000,
                     value: v,
                 }],
-            ]);
+            ]));
         });
     });
 }

@@ -1,6 +1,6 @@
 //! Microbenchmark building blocks shared by Figs. 9, 10, 12, 13.
 
-use skipit_core::{Op, System, SystemBuilder};
+use skipit_core::{Op, Programs, System, SystemBuilder};
 
 /// Per-thread region base (each thread writes back a disjoint region — the
 /// non-contended setup of §7.2).
@@ -29,7 +29,7 @@ pub fn dirty_region(sys: &mut System, threads: u64, total_bytes: u64) {
                 .collect()
         })
         .collect();
-    sys.run_programs(progs);
+    sys.run(Programs(progs));
 }
 
 /// Measured phase of Fig. 9: each thread writes back its region
@@ -50,7 +50,7 @@ pub fn writeback_region(sys: &mut System, threads: u64, total_bytes: u64, clean:
             p
         })
         .collect();
-    sys.run_programs(progs)
+    sys.run(Programs(progs)).cycles
 }
 
 /// One Fig. 9 sample: dirty then measure the writeback+fence.
@@ -81,7 +81,7 @@ pub fn fig9_serialized_sample(sys: &mut System, threads: u64, total_bytes: u64) 
                 .collect()
         })
         .collect();
-    sys.run_programs(progs)
+    sys.run(Programs(progs)).cycles
 }
 
 /// One Fig. 10 sample: ten rounds of (write region, writeback region),
@@ -117,7 +117,7 @@ pub fn fig10_sample(sys: &mut System, threads: u64, total_bytes: u64, clean: boo
             p
         })
         .collect();
-    sys.run_programs(progs)
+    sys.run(Programs(progs)).cycles
 }
 
 /// One Fig. 13 sample: per line, store + writeback + `redundant` redundant
@@ -151,7 +151,7 @@ pub fn fig13_sample(sys: &mut System, threads: u64, total_bytes: u64, redundant:
             p
         })
         .collect();
-    sys.run_programs(progs)
+    sys.run(Programs(progs)).cycles
 }
 
 #[cfg(test)]

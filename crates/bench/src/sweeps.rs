@@ -20,10 +20,12 @@
 
 use crate::micro::{fig9_sample, system};
 use crate::{median, size_sweep, stddev};
+use skipit_core::{PerturbConfig, SystemBuilder};
 use skipit_pds::{
     prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key, DsKind, OptKind,
     PersistMode, WarmSet, WorkloadCfg,
 };
+use skipit_replay::{MemTrace, TraceReplay};
 use skipit_sweep::{Point, PointCtx, PointOutput, Sweep, WarmState};
 use std::collections::BTreeSet;
 
@@ -286,6 +288,37 @@ pub fn fig16_sweep(quick: bool) -> Sweep {
     sweep
 }
 
+/// A trace-replay grid: one point per perturbation seed, every point
+/// replaying the same captured [`MemTrace`] on a fresh platform.
+///
+/// Seed `0` replays unperturbed (the reference timing); every other seed
+/// replays under [`PerturbConfig::exploring`] jitter, which answers "how
+/// sensitive is this recorded workload's cycle count to arbitration
+/// order?" without re-running the original (possibly thread-mode, possibly
+/// expensive) workload. Like every other grid here the points are
+/// independent and relocatable across [`skipit_sweep::SweepRunner`] worker
+/// threads, so the table is bit-identical at any thread count.
+pub fn replay_sweep(name: impl Into<String>, trace: MemTrace, seeds: &[u64]) -> Sweep {
+    let mut sweep = Sweep::new(name).unit("cycles").seed(11);
+    for &seed in seeds {
+        let trace = trace.clone();
+        sweep.push(
+            Point::new(format!("seed{seed}"), move |_ctx| {
+                let cores = trace.cores() as usize;
+                let mut builder = SystemBuilder::new().cores(cores);
+                if seed != 0 {
+                    builder = builder.perturb(PerturbConfig::exploring(seed));
+                }
+                let mut sys = builder.build();
+                let report = sys.run(TraceReplay::new(trace));
+                PointOutput::from_system(&sys).with_cycles(report.cycles)
+            })
+            .param("seed", seed),
+        );
+    }
+    sweep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +363,36 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         // Every FliT-table size is its own fill identity.
         assert_eq!(sweep.prefill_count(), 3);
+    }
+
+    #[test]
+    fn replay_grid_is_one_point_per_seed_and_seed0_is_reference() {
+        use skipit_core::{Op, System, SystemConfig};
+        let mut sys = System::new(SystemConfig {
+            cores: 2,
+            ..SystemConfig::default()
+        });
+        sys.start_capture();
+        let ref_cycles = sys
+            .run(skipit_core::Programs(vec![
+                vec![
+                    Op::Store {
+                        addr: 0x100,
+                        value: 1,
+                    },
+                    Op::Flush { addr: 0x100 },
+                    Op::Fence,
+                ],
+                vec![Op::Load { addr: 0x100 }],
+            ]))
+            .cycles;
+        let trace = MemTrace::from_capture(2, 0, &sys.take_capture());
+
+        let sweep = replay_sweep("replay_jitter", trace, &[0, 1, 2]);
+        assert_eq!(sweep.len(), 3);
+        let report = skipit_sweep::SweepRunner::new().threads(1).run(sweep);
+        assert!(report.all_ok());
+        // Seed 0 replays unperturbed: exactly the captured run's timing.
+        assert_eq!(report.get("seed0").unwrap().output.cycles, ref_cycles);
     }
 }

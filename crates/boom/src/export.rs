@@ -983,7 +983,7 @@ mod tests {
             p.push(Op::Fence);
             programs.push(p);
         }
-        sys.run_programs(programs);
+        sys.run(Programs(programs));
         let fast = sys.export_chrome_trace();
         let slow = reference::export_chrome_trace(&sys);
         assert!(

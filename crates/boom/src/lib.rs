@@ -7,16 +7,20 @@
 //! [`System`] that ties N cores, their L1 data caches, the shared inclusive
 //! L2 and DRAM into one deterministic cycle-stepped simulation.
 //!
-//! Two ways to drive a simulated core:
+//! Every way of driving a simulated core is a [`Workload`] run through the
+//! single [`System::run`] entry point:
 //!
-//! * **Program mode** ([`System::run_programs`]): each core executes a fixed
-//!   [`Op`] sequence; loads fire out of order, stores/writebacks in order —
-//!   ideal for the paper's microbenchmarks (Figs. 9–13).
-//! * **Thread mode** ([`System::run_threads`]): each core is driven by a host
-//!   thread through a [`CoreHandle`] under a strict rendezvous protocol, so
+//! * **Program mode** ([`Programs`]): each core executes a fixed [`Op`]
+//!   sequence; loads fire out of order, stores/writebacks in order — ideal
+//!   for the paper's microbenchmarks (Figs. 9–13).
+//! * **Thread mode** ([`Threads`]): each core is driven by a host thread
+//!   through a [`CoreHandle`] under a strict rendezvous protocol, so
 //!   value-dependent workloads (the persistent lock-free data structures of
 //!   §7.4) run as ordinary Rust code while simulated time stays
 //!   deterministic.
+//! * **Replay mode** ([`ReplaySchedule`]): each core issues a cycle-stamped
+//!   op lane — the replay half of the trace capture/replay subsystem (see
+//!   [`System::start_capture`] and the `skipit-replay` crate).
 
 pub mod export;
 pub mod handle;
@@ -28,6 +32,7 @@ mod snap;
 pub mod snapshot;
 pub mod system;
 pub mod trace;
+pub mod workload;
 
 pub use handle::CoreHandle;
 pub use lsu::Lsu;
@@ -36,3 +41,4 @@ pub use prof::PROFILE_COMPILED;
 pub use snapshot::{Snapshot, SnapshotError};
 pub use system::{EngineKind, EngineStats, PhaseProfile, System, SystemConfig, SystemStats};
 pub use trace::{LatencyHistogram, TraceLog, TraceRecord};
+pub use workload::{CapturedOp, Programs, ReplaySchedule, RunReport, Threads, TimedOp, Workload};

@@ -7,6 +7,7 @@
 
 use crate::op::Op;
 use crate::system::{EngineStats, PhaseProfile, SystemStats};
+use crate::workload::TimedOp;
 use skipit_dcache::L1Stats;
 use skipit_llc::L2Stats;
 use skipit_mem::MemStats;
@@ -99,6 +100,19 @@ impl Codec for Op {
                 cycles: u64::decode(r)?,
             },
             _ => return Err(SnapError::Corrupt("op opcode")),
+        })
+    }
+}
+
+impl Codec for TimedOp {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.at.encode(w);
+        self.op.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TimedOp {
+            at: u64::decode(r)?,
+            op: Op::decode(r)?,
         })
     }
 }

@@ -4,6 +4,7 @@
 use crate::handle::{Cmd, CoreHandle, Resp};
 use crate::lsu::{Lsu, LsuConfig};
 use crate::op::{Op, OpToken};
+use crate::workload::{CapturedOp, RunReport, TimedOp, Workload};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use skipit_dcache::{DataCache, L1Config, L1Stats};
 use skipit_llc::{InclusiveCache, L2Config, L2Ports, L2Stats};
@@ -647,6 +648,16 @@ enum Frontend {
         nop_until: Option<u64>,
         finished: bool,
     },
+    /// Trace replay (see [`crate::workload::ReplaySchedule`]): like
+    /// `Program`, but each op additionally waits for its recorded cycle
+    /// (`base + ops[next].at`) before issuing.
+    Replay {
+        ops: Vec<TimedOp>,
+        next: usize,
+        nop_until: u64,
+        /// Absolute cycle the run started at; stamps are relative to it.
+        base: u64,
+    },
 }
 
 /// The simulated SoC. See the [crate docs](crate) for the two drive modes.
@@ -685,6 +696,11 @@ pub struct System {
     telemetry: Option<Telemetry>,
     /// The tracing setup currently installed (see [`System::set_trace`]).
     trace_cfg: TraceConfig,
+    /// Capture-mode buffer ([`System::start_capture`]): the committed
+    /// memory-op stream of every frontend, in issue order. Host-side
+    /// observation only — never part of simulated state, digests or
+    /// snapshots, and recording changes nothing the simulation can see.
+    capture: Option<Vec<CapturedOp>>,
 }
 
 impl std::fmt::Debug for System {
@@ -731,6 +747,7 @@ impl System {
             engine_sink: None,
             telemetry: None,
             trace_cfg: TraceConfig::off(),
+            capture: None,
             cfg,
         };
         if cfg.perturb.is_active() {
@@ -815,16 +832,31 @@ impl System {
         self.dram.durable_image()
     }
 
-    /// Simulates a terminal power failure, consuming the system. Equivalent
-    /// to [`Self::durable_image`] when the run is over; prefer that when the
-    /// simulation should continue past the crash point.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `durable_image`, which does not consume the system; \
-                combine with `snapshot` to capture a restartable state"
-    )]
-    pub fn crash(self) -> Dram {
-        self.dram.durable_image()
+    /// Starts capture mode: from now on every committed memory operation —
+    /// from any frontend (program, thread or replay mode), on any engine —
+    /// is recorded as a [`CapturedOp`] with its issuing core and the exact
+    /// cycle it entered the LSU ([`Op::Nop`] think time included, so a
+    /// replay reproduces trailing idle cycles too). This is the capture
+    /// hook the trace-replay subsystem builds on: feed the buffer to
+    /// `skipit_replay::MemTrace::from_capture` to obtain a portable trace.
+    ///
+    /// Capture is host-side observation only — it changes nothing the
+    /// simulation can see, is excluded from digests and snapshots, and
+    /// restarting it discards any previous buffer. Stop and harvest with
+    /// [`System::take_capture`].
+    pub fn start_capture(&mut self) {
+        self.capture = Some(Vec::new());
+    }
+
+    /// Whether capture mode is active.
+    pub fn capture_active(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Stops capture mode and returns the recorded op stream, in issue
+    /// order (empty if capture was never started).
+    pub fn take_capture(&mut self) -> Vec<CapturedOp> {
+        self.capture.take().unwrap_or_default()
     }
 
     /// Installs the tracing setup described by `cfg` — the single entry
@@ -2013,6 +2045,14 @@ impl System {
                 } => {
                     let _ = write!(s, "[{i} thr {busy:?} {nop_until:?} {finished}]");
                 }
+                Frontend::Replay {
+                    next,
+                    nop_until,
+                    base,
+                    ..
+                } => {
+                    let _ = write!(s, "[{i} rpl {next} {nop_until} {base}]");
+                }
             }
         }
         let _ = write!(
@@ -2164,6 +2204,27 @@ impl System {
                 // simulated time and must run this cycle.
                 Some(now)
             }
+            Frontend::Replay {
+                ops,
+                next,
+                nop_until,
+                base,
+            } => {
+                if *next >= ops.len() {
+                    return (now < *nop_until).then_some(*nop_until);
+                }
+                // The head op can only issue once both its recorded cycle
+                // and any pending think time have elapsed — the exact gate
+                // is the max, so that is the next self-driven event.
+                let gate = (*nop_until).max(base + ops[*next].at);
+                if now < gate {
+                    return Some(gate);
+                }
+                match ops[*next].op {
+                    Op::Nop { .. } => Some(now),
+                    op => self.lsus[i].has_room(op).then_some(now),
+                }
+            }
         }
     }
 
@@ -2185,8 +2246,20 @@ impl System {
             frontends,
             lsus,
             next_token,
+            capture,
             ..
         } = self;
+        // Capture mode records every committed op with its issue cycle;
+        // recording is observation only and must not influence issue.
+        let mut record = |core: usize, op: Op| {
+            if let Some(cap) = capture.as_mut() {
+                cap.push(CapturedOp {
+                    cycle: now,
+                    core: core as u32,
+                    op,
+                });
+            }
+        };
         for (i, fe) in frontends.iter_mut().enumerate() {
             let bit = 1u64 << i;
             match fe {
@@ -2204,6 +2277,7 @@ impl System {
                                 *nop_until = now + cycles;
                                 *next += 1;
                                 issued += 1;
+                                record(i, Op::Nop { cycles });
                             }
                             op => {
                                 if !lsus[i].has_room(op) {
@@ -2215,6 +2289,45 @@ impl System {
                                 *next += 1;
                                 issued += 1;
                                 enqueued |= bit;
+                                record(i, op);
+                            }
+                        }
+                    }
+                    if issued > 0 {
+                        active |= bit;
+                    }
+                }
+                Frontend::Replay {
+                    ops,
+                    next,
+                    nop_until,
+                    base,
+                } => {
+                    lsus[i].drain_finished();
+                    let mut issued = 0;
+                    while issued < issue_width
+                        && *next < ops.len()
+                        && now >= *nop_until
+                        && now >= *base + ops[*next].at
+                    {
+                        match ops[*next].op {
+                            Op::Nop { cycles } => {
+                                *nop_until = now + cycles;
+                                *next += 1;
+                                issued += 1;
+                                record(i, Op::Nop { cycles });
+                            }
+                            op => {
+                                if !lsus[i].has_room(op) {
+                                    break;
+                                }
+                                let tok = *next_token + 1;
+                                *next_token = tok;
+                                lsus[i].enqueue(tok, op, now);
+                                *next += 1;
+                                issued += 1;
+                                enqueued |= bit;
+                                record(i, op);
                             }
                         }
                     }
@@ -2294,6 +2407,7 @@ impl System {
                             }
                             Ok(Cmd::Op(Op::Nop { cycles })) => {
                                 *nop_until = Some(now + cycles);
+                                record(i, Op::Nop { cycles });
                                 break;
                             }
                             Ok(Cmd::Op(op)) => {
@@ -2304,6 +2418,7 @@ impl System {
                                 lsus[i].enqueue(tok, op, now);
                                 *busy = Some(tok);
                                 enqueued |= bit;
+                                record(i, op);
                                 break;
                             }
                             Ok(Cmd::Done) | Err(_) => {
@@ -2385,23 +2500,105 @@ impl System {
                 nop_until,
             } => *next >= ops.len() && self.now >= *nop_until && self.lsus[core].is_empty(),
             Frontend::Thread { finished, .. } => *finished && self.lsus[core].is_empty(),
+            Frontend::Replay {
+                ops,
+                next,
+                nop_until,
+                ..
+            } => *next >= ops.len() && self.now >= *nop_until && self.lsus[core].is_empty(),
         }
     }
 
+    /// Runs any [`Workload`] to completion — the single entry point for
+    /// every drive mode. See [`crate::workload`] for the first-party
+    /// workloads ([`crate::workload::Programs`],
+    /// [`crate::workload::Threads`], [`crate::workload::ReplaySchedule`])
+    /// and the [`RunReport`] contract. Callable repeatedly — cache and
+    /// memory state persists between runs, which is how benchmarks separate
+    /// warm-up from the measured phase.
+    ///
+    /// ```
+    /// use skipit_boom::{Op, Programs, System, SystemConfig};
+    ///
+    /// let mut sys = System::new(SystemConfig::default());
+    /// let cycles = sys
+    ///     .run(Programs(vec![vec![
+    ///         Op::Store { addr: 0x1000, value: 42 },
+    ///         Op::Flush { addr: 0x1000 },
+    ///         Op::Fence,
+    ///     ]]))
+    ///     .cycles;
+    /// assert!(cycles > 0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As the workload: see its type-level docs.
+    pub fn run<W: Workload>(&mut self, workload: W) -> RunReport<W::Output> {
+        workload.run(self)
+    }
+
     /// Runs one fixed [`Op`] sequence per core (missing cores idle) to
-    /// completion; returns the number of cycles elapsed. Callable repeatedly
-    /// — cache and memory state persists between runs, which is how
-    /// benchmarks separate warm-up from the measured phase.
+    /// completion; returns the number of cycles elapsed.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `run(Programs(programs))` — the unified Workload entry \
+                point; this forwards there"
+    )]
+    pub fn run_programs(&mut self, programs: Vec<Vec<Op>>) -> u64 {
+        self.run_programs_inner(programs)
+    }
+
+    /// Program mode's engine loop ([`crate::workload::Programs`]).
     ///
     /// # Panics
     ///
     /// Panics if more programs than cores are supplied, or if the programs
     /// fail to finish within a watchdog budget (an interlock bug).
-    pub fn run_programs(&mut self, programs: Vec<Vec<Op>>) -> u64 {
+    pub(crate) fn run_programs_inner(&mut self, programs: Vec<Vec<Op>>) -> u64 {
         match self.run_programs_observed(programs, |_| Ok::<(), std::convert::Infallible>(())) {
             Ok(cycles) => cycles,
             Err((_, e)) => match e {},
         }
+    }
+
+    /// Replay mode's engine loop ([`crate::workload::ReplaySchedule`]):
+    /// installs one replay frontend per lane with the current cycle as the
+    /// stamp base and steps the engine until every lane has drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more lanes than cores are supplied, or if the replay fails
+    /// to finish within a watchdog budget.
+    pub(crate) fn run_replay_inner(&mut self, lanes: Vec<Vec<TimedOp>>) -> u64 {
+        assert!(
+            lanes.len() <= self.cfg.cores,
+            "{} replay lanes for {} cores",
+            lanes.len(),
+            self.cfg.cores
+        );
+        let start = self.now;
+        self.wheel.valid = false;
+        for (i, ops) in lanes.into_iter().enumerate() {
+            self.frontends[i] = Frontend::Replay {
+                ops,
+                next: 0,
+                nop_until: 0,
+                base: start,
+            };
+        }
+        let watchdog = self.now + 2_000_000_000;
+        loop {
+            if self.step_engine(|s| (0..s.cfg.cores).all(|i| s.program_done(i))) {
+                break;
+            }
+            assert!(self.now < watchdog, "replay run exceeded watchdog budget");
+        }
+        for fe in &mut self.frontends {
+            *fe = Frontend::Idle;
+        }
+        self.wheel.valid = false;
+        self.now - start
     }
 
     /// [`Self::run_programs`] with a continuous observer: `observe` is called
@@ -2486,16 +2683,41 @@ impl System {
     }
 
     /// Runs one closure per core (missing cores idle), each driving its core
-    /// through a [`CoreHandle`] under the deterministic rendezvous protocol.
+    /// through a [`CoreHandle`]; returns `(elapsed_cycles, results)`.
     ///
-    /// `budget` (cycles, measured from the call) soft-stops the run: once
-    /// exceeded, every response carries `halted = true` and well-behaved
-    /// workloads return. Returns `(elapsed_cycles, per-worker results)`.
+    /// **Budget semantics** (preserved by [`RunReport`]): `budget` is a
+    /// *soft* stop measured from the call. Once `budget` cycles have
+    /// elapsed, every [`CoreHandle`] response carries `halted = true` and
+    /// well-behaved workers wind down — but the run continues until every
+    /// worker actually returns, so the elapsed cycles *include* the
+    /// post-deadline drain and every worker's result is present in the
+    /// returned `Vec` (in worker order). Expiry never truncates results.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `run(Threads::new(workers).budget_opt(budget))` — the \
+                unified Workload entry point; this forwards there"
+    )]
+    pub fn run_threads<R, F>(&mut self, workers: Vec<F>, budget: Option<u64>) -> (u64, Vec<R>)
+    where
+        R: Send,
+        F: FnOnce(CoreHandle) -> R + Send,
+    {
+        let (cycles, results, _expired) = self.run_threads_inner(workers, budget);
+        (cycles, results)
+    }
+
+    /// Thread mode's engine loop ([`crate::workload::Threads`]): returns
+    /// `(elapsed_cycles, results, budget_expired)` under the budget
+    /// semantics documented on [`Self::run_threads`].
     ///
     /// # Panics
     ///
     /// Panics if more workers than cores are supplied or a worker panics.
-    pub fn run_threads<R, F>(&mut self, workers: Vec<F>, budget: Option<u64>) -> (u64, Vec<R>)
+    pub(crate) fn run_threads_inner<R, F>(
+        &mut self,
+        workers: Vec<F>,
+        budget: Option<u64>,
+    ) -> (u64, Vec<R>, bool)
     where
         R: Send,
         F: FnOnce(CoreHandle) -> R + Send,
@@ -2535,12 +2757,13 @@ impl System {
                 .map(|j| j.join().expect("workload thread panicked"))
                 .collect()
         });
+        let expired = self.deadline != u64::MAX && self.now >= self.deadline;
         for fe in &mut self.frontends {
             *fe = Frontend::Idle;
         }
         self.wheel.valid = false;
         self.deadline = u64::MAX;
-        (self.now - start, results)
+        (self.now - start, results, expired)
     }
 }
 
@@ -2566,6 +2789,18 @@ impl Frontend {
                 nop_until.encode(w);
             }
             Frontend::Thread { .. } => return Err(SnapError::LiveThreads),
+            Frontend::Replay {
+                ops,
+                next,
+                nop_until,
+                base,
+            } => {
+                w.put_u8(2);
+                ops.encode(w);
+                next.encode(w);
+                nop_until.encode(w);
+                base.encode(w);
+            }
         }
         Ok(())
     }
@@ -2583,6 +2818,19 @@ impl Frontend {
                     ops,
                     next,
                     nop_until: u64::decode(r)?,
+                })
+            }
+            2 => {
+                let ops = Vec::<TimedOp>::decode(r)?;
+                let next = usize::decode(r)?;
+                if next > ops.len() {
+                    return Err(SnapError::Corrupt("frontend replay cursor"));
+                }
+                Ok(Frontend::Replay {
+                    ops,
+                    next,
+                    nop_until: u64::decode(r)?,
+                    base: u64::decode(r)?,
                 })
             }
             _ => Err(SnapError::Corrupt("frontend tag")),
@@ -2846,7 +3094,7 @@ mod tests {
                     }]
                 })
                 .collect();
-            s.run_programs(progs);
+            s.run(Programs(progs));
             const N: u64 = 1_000_000;
             let t0 = Instant::now();
             for _ in 0..N {
@@ -2913,14 +3161,16 @@ mod tests {
     #[test]
     fn single_core_store_flush_fence_persists() {
         let mut s = sys(1, false);
-        let cycles = s.run_programs(vec![vec![
-            Op::Store {
-                addr: 0x1000,
-                value: 0xdead,
-            },
-            Op::Flush { addr: 0x1000 },
-            Op::Fence,
-        ]]);
+        let cycles = s
+            .run(Programs(vec![vec![
+                Op::Store {
+                    addr: 0x1000,
+                    value: 0xdead,
+                },
+                Op::Flush { addr: 0x1000 },
+                Op::Fence,
+            ]]))
+            .cycles;
         assert!(cycles > 0);
         assert_eq!(s.dram().read_word_direct(0x1000), 0xdead);
     }
@@ -2928,10 +3178,10 @@ mod tests {
     #[test]
     fn store_without_writeback_is_not_persisted() {
         let mut s = sys(1, false);
-        s.run_programs(vec![vec![Op::Store {
+        s.run(Programs(vec![vec![Op::Store {
             addr: 0x1000,
             value: 7,
-        }]]);
+        }]]));
         s.quiesce();
         let dram = s.durable_image();
         assert_eq!(
@@ -2944,7 +3194,7 @@ mod tests {
     #[test]
     fn clean_persists_but_keeps_line() {
         let mut s = sys(1, false);
-        s.run_programs(vec![vec![
+        s.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x2000,
                 value: 3,
@@ -2952,7 +3202,7 @@ mod tests {
             Op::Clean { addr: 0x2000 },
             Op::Fence,
             Op::Load { addr: 0x2000 },
-        ]]);
+        ]]));
         assert_eq!(s.dram().read_word_direct(0x2000), 3);
         assert_eq!(s.stats().l1[0].load_hits, 1, "clean must not invalidate");
     }
@@ -2960,7 +3210,7 @@ mod tests {
     #[test]
     fn flush_forces_refetch() {
         let mut s = sys(1, false);
-        s.run_programs(vec![vec![
+        s.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x3000,
                 value: 4,
@@ -2968,7 +3218,7 @@ mod tests {
             Op::Flush { addr: 0x3000 },
             Op::Fence,
             Op::Load { addr: 0x3000 },
-        ]]);
+        ]]));
         let st = s.stats();
         assert_eq!(st.l1[0].load_hits, 0, "flush must invalidate the line");
         assert_eq!(st.l1[0].loads, 1);
@@ -2978,21 +3228,20 @@ mod tests {
     #[test]
     fn cross_core_coherence_transfers_value() {
         let mut s = sys(2, false);
-        s.run_programs(vec![
+        s.run(Programs(vec![
             vec![Op::Store {
                 addr: 0x4000,
                 value: 11,
             }],
             vec![],
-        ]);
-        let (_, vals) = s.run_threads(
-            vec![|h: CoreHandle| {
+        ]));
+        let (_, vals) = s
+            .run(Threads::new(vec![|h: CoreHandle| {
                 let v = h.load(0x4000);
                 h.finish();
                 v
-            }],
-            None,
-        );
+            }]))
+            .into_parts();
         // Core 0 wrote; core 1 must read 11 through coherence... but note
         // the thread ran on core 0 here (workers map to cores in order), so
         // run a proper 2-core variant below. This checks basic re-read.
@@ -3002,29 +3251,31 @@ mod tests {
     #[test]
     fn two_threads_communicate_through_simulated_memory() {
         let mut s = sys(2, false);
-        let (_, results) = s.run_threads(
-            vec![
-                Box::new(|h: CoreHandle| {
-                    h.store(0x5000, 21);
-                    // Signal readiness through another line.
-                    h.store(0x5040, 1);
-                    h.finish();
-                    0u64
-                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
-                Box::new(|h: CoreHandle| {
-                    // Spin on the flag (coherent read).
-                    while h.load(0x5040) == 0 {
-                        if h.halted() {
-                            return u64::MAX;
+        let (_, results) = s
+            .run(
+                Threads::new(vec![
+                    Box::new(|h: CoreHandle| {
+                        h.store(0x5000, 21);
+                        // Signal readiness through another line.
+                        h.store(0x5040, 1);
+                        h.finish();
+                        0u64
+                    }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                    Box::new(|h: CoreHandle| {
+                        // Spin on the flag (coherent read).
+                        while h.load(0x5040) == 0 {
+                            if h.halted() {
+                                return u64::MAX;
+                            }
                         }
-                    }
-                    let v = h.load(0x5000);
-                    h.finish();
-                    v
-                }),
-            ],
-            Some(2_000_000),
-        );
+                        let v = h.load(0x5000);
+                        h.finish();
+                        v
+                    }),
+                ])
+                .budget(2_000_000),
+            )
+            .into_parts();
         assert_eq!(results[1], 21);
     }
 
@@ -3043,7 +3294,7 @@ mod tests {
             prog.push(Op::Clean { addr: 0x6000 });
             prog.push(Op::Fence);
         }
-        s.run_programs(vec![prog]);
+        s.run(Programs(vec![prog]));
         let st = s.stats();
         assert_eq!(st.l1[0].writebacks_skipped, 10);
         assert_eq!(st.l1[0].writebacks_enqueued, 1);
@@ -3064,7 +3315,7 @@ mod tests {
             prog.push(Op::Clean { addr: 0x6000 });
             prog.push(Op::Fence);
         }
-        s.run_programs(vec![prog]);
+        s.run(Programs(vec![prog]));
         let st = s.stats();
         assert_eq!(st.l1[0].writebacks_skipped, 0);
         assert_eq!(st.l1[0].writebacks_enqueued, 11);
@@ -3090,7 +3341,7 @@ mod tests {
             });
         }
         prog.push(Op::Fence);
-        s.run_programs(vec![prog]);
+        s.run(Programs(vec![prog]));
         for i in 0..32u64 {
             assert_eq!(s.dram().read_word_direct(0x8000 + i * 64), i + 1);
         }
@@ -3101,11 +3352,13 @@ mod tests {
         // §7.2: a single-line clean/flush has a median latency of ≈100
         // cycles. Allow a generous band; EXPERIMENTS.md tracks the value.
         let mut s = sys(1, false);
-        s.run_programs(vec![vec![Op::Store {
+        s.run(Programs(vec![vec![Op::Store {
             addr: 0x9000,
             value: 1,
-        }]]);
-        let cycles = s.run_programs(vec![vec![Op::Flush { addr: 0x9000 }, Op::Fence]]);
+        }]]));
+        let cycles = s
+            .run(Programs(vec![vec![Op::Flush { addr: 0x9000 }, Op::Fence]]))
+            .cycles;
         assert!(
             (40..=250).contains(&cycles),
             "single-line flush+fence took {cycles} cycles"
@@ -3115,50 +3368,50 @@ mod tests {
     #[test]
     fn rdcycle_advances() {
         let mut s = sys(1, false);
-        let (_, vals) = s.run_threads(
-            vec![|h: CoreHandle| {
+        let (_, vals) = s
+            .run(Threads::new(vec![|h: CoreHandle| {
                 let t0 = h.rdcycle();
                 h.store(0x100, 1);
                 let t1 = h.rdcycle();
                 h.finish();
                 (t0, t1)
-            }],
-            None,
-        );
+            }]))
+            .into_parts();
         assert!(vals[0].1 > vals[0].0);
     }
 
     #[test]
     fn work_occupies_cycles() {
         let mut s = sys(1, false);
-        let (_, vals) = s.run_threads(
-            vec![|h: CoreHandle| {
+        let (_, vals) = s
+            .run(Threads::new(vec![|h: CoreHandle| {
                 let t0 = h.rdcycle();
                 h.work(100);
                 let t1 = h.rdcycle();
                 h.finish();
                 t1 - t0
-            }],
-            None,
-        );
+            }]))
+            .into_parts();
         assert!(vals[0] >= 100, "work(100) took only {} cycles", vals[0]);
     }
 
     #[test]
     fn budget_halts_threads() {
         let mut s = sys(1, false);
-        let (_, ops) = s.run_threads(
-            vec![|h: CoreHandle| {
-                let mut n = 0u64;
-                while !h.halted() {
-                    h.store(0x100, n);
-                    n += 1;
-                }
-                h.finish();
-                n
-            }],
-            Some(10_000),
-        );
+        let (_, ops) = s
+            .run(
+                Threads::new(vec![|h: CoreHandle| {
+                    let mut n = 0u64;
+                    while !h.halted() {
+                        h.store(0x100, n);
+                        n += 1;
+                    }
+                    h.finish();
+                    n
+                }])
+                .budget(10_000),
+            )
+            .into_parts();
         assert!(ops[0] > 0);
     }
 
@@ -3198,7 +3451,7 @@ mod tests {
             engine_threads: threads,
             ..SystemConfig::default()
         });
-        let cycles = s.run_programs(contended_programs());
+        let cycles = s.run(Programs(contended_programs())).cycles;
         s.quiesce();
         let words = (0..8)
             .map(|i| s.dram().read_word_direct(0x1_0000 + i * 64))
@@ -3280,7 +3533,7 @@ mod tests {
                     p
                 })
                 .collect();
-            let cycles = s.run_programs(progs);
+            let cycles = s.run(Programs(progs)).cycles;
             s.quiesce();
             let words: Vec<u64> = (0..8u64)
                 .flat_map(|t| (0..24).map(move |i| (0x10_0000 + t * 0x1_0000) + i * 64))
@@ -3320,7 +3573,7 @@ mod tests {
             });
         }
         prog.push(Op::Fence);
-        s.run_programs(vec![prog]);
+        s.run(Programs(vec![prog]));
         let e = s.engine_stats();
         let pct = e.component_skipped_pct().unwrap();
         assert!(
@@ -3336,7 +3589,7 @@ mod tests {
             lockstep_oracle: true,
             ..SystemConfig::default()
         });
-        s.run_programs(contended_programs());
+        s.run(Programs(contended_programs()));
         assert!(
             s.engine_stats().jumps > 0,
             "oracle mode must still take (verified) jumps"
@@ -3351,29 +3604,27 @@ mod tests {
                 engine: kind,
                 ..SystemConfig::default()
             });
-            s.run_threads(
-                vec![
-                    Box::new(|h: CoreHandle| {
-                        for i in 0..6u64 {
-                            h.store(0x7000 + i * 64, i + 1);
-                        }
-                        h.work(200);
-                        let v = h.load(0x7000);
-                        h.flush(0x7000);
-                        h.fence();
-                        h.finish();
-                        v
-                    }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
-                    Box::new(|h: CoreHandle| {
-                        h.work(50);
-                        let v = h.fetch_add(0x7000, 10);
-                        h.fence();
-                        h.finish();
-                        v
-                    }),
-                ],
-                None,
-            )
+            s.run(Threads::new(vec![
+                Box::new(|h: CoreHandle| {
+                    for i in 0..6u64 {
+                        h.store(0x7000 + i * 64, i + 1);
+                    }
+                    h.work(200);
+                    let v = h.load(0x7000);
+                    h.flush(0x7000);
+                    h.fence();
+                    h.finish();
+                    v
+                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                Box::new(|h: CoreHandle| {
+                    h.work(50);
+                    let v = h.fetch_add(0x7000, 10);
+                    h.fence();
+                    h.finish();
+                    v
+                }),
+            ]))
+            .into_parts()
         };
         let naive = run(EngineKind::Naive);
         assert_eq!(naive, run(EngineKind::GlobalGate));
@@ -3385,20 +3636,22 @@ mod tests {
     #[should_panic(expected = "workload thread panicked")]
     fn worker_panic_propagates_instead_of_wedging() {
         let mut s = sys(2, false);
-        let _ = s.run_threads(
-            vec![
-                Box::new(|h: CoreHandle| -> u64 {
-                    h.store(0x100, 1);
-                    panic!("injected workload failure");
-                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
-                Box::new(|h: CoreHandle| {
-                    h.store(0x140, 2);
-                    h.finish();
-                    0
-                }),
-            ],
-            Some(1_000_000),
-        );
+        let _ = s
+            .run(
+                Threads::new(vec![
+                    Box::new(|h: CoreHandle| -> u64 {
+                        h.store(0x100, 1);
+                        panic!("injected workload failure");
+                    }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                    Box::new(|h: CoreHandle| {
+                        h.store(0x140, 2);
+                        h.finish();
+                        0
+                    }),
+                ])
+                .budget(1_000_000),
+            )
+            .into_parts();
     }
 
     /// Snapshots the contended 2-core run at the first observed cycle
@@ -3412,7 +3665,7 @@ mod tests {
         };
         // Uninterrupted reference.
         let mut reference = System::new(base_cfg);
-        let ref_cycles = reference.run_programs(contended_programs());
+        let ref_cycles = reference.run(Programs(contended_programs())).cycles;
         let ref_digest = reference.state_digest();
 
         // Interrupted run: snapshot mid-flight, discard the original.
@@ -3496,7 +3749,7 @@ mod tests {
     #[test]
     fn quiesced_snapshot_roundtrips_exactly() {
         let mut s = sys(2, true);
-        s.run_programs(contended_programs());
+        s.run(Programs(contended_programs()));
         s.quiesce();
         let snap = s.snapshot().unwrap();
         let restored = System::restore(&snap, s.config()).unwrap();
@@ -3510,10 +3763,10 @@ mod tests {
     #[test]
     fn restore_rejects_mismatched_config() {
         let mut s = sys(1, false);
-        s.run_programs(vec![vec![Op::Store {
+        s.run(Programs(vec![vec![Op::Store {
             addr: 0x40,
             value: 1,
-        }]]);
+        }]]));
         let snap = s.snapshot().unwrap();
         let other = SystemConfig {
             cores: 2,

@@ -1,0 +1,222 @@
+//! The unified workload abstraction: one [`System::run`] entry point for
+//! every way of driving the simulated SoC.
+//!
+//! Historically the simulator grew one `run_*` method per drive mode —
+//! [`System::run_programs`] for fixed op scripts, [`System::run_threads`]
+//! for host-thread rendezvous workloads — and each new frontend would have
+//! added another. A [`Workload`] is the value-level unification: anything
+//! that knows how to drive a [`System`] to completion implements the trait,
+//! and `System::run(workload)` returns a [`RunReport`] carrying the elapsed
+//! cycles, the workload's own output, and whether a cycle budget expired.
+//!
+//! Three first-party workloads:
+//!
+//! * [`Programs`] — one fixed [`Op`] script per core (program mode);
+//! * [`Threads`] — one host closure per core, driving its core through a
+//!   [`CoreHandle`] under the deterministic rendezvous protocol (thread
+//!   mode), with an optional soft cycle budget;
+//! * [`ReplaySchedule`] — one cycle-stamped [`TimedOp`] lane per core (the
+//!   replay frontend; `skipit-replay`'s `TraceReplay` lowers a decoded
+//!   trace to this).
+//!
+//! ```
+//! use skipit_boom::{Op, Programs, System, SystemConfig};
+//!
+//! let mut sys = System::new(SystemConfig::default());
+//! let report = sys.run(Programs(vec![vec![
+//!     Op::Store { addr: 0x1000, value: 7 },
+//!     Op::Flush { addr: 0x1000 },
+//!     Op::Fence,
+//! ]]));
+//! assert!(report.cycles > 0);
+//! assert!(!report.budget_expired);
+//! ```
+
+use crate::handle::CoreHandle;
+use crate::op::Op;
+use crate::system::System;
+
+/// Anything that can drive a [`System`] to completion.
+///
+/// Implementations install their frontends, step the engine until done, and
+/// reset the system to the idle, between-runs state — exactly the contract
+/// the old `run_*` methods had. The trait consumes `self`: a workload is a
+/// one-shot description of a run (re-running means re-building it, which
+/// keeps determinism questions out of the trait).
+pub trait Workload {
+    /// What the workload hands back besides timing: per-worker results for
+    /// thread mode, `()` for the script-driven modes.
+    type Output;
+
+    /// Runs `self` on `sys` to completion. Prefer calling
+    /// [`System::run`], which reads better at call sites.
+    fn run(self, sys: &mut System) -> RunReport<Self::Output>;
+}
+
+/// What a completed [`Workload`] run reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport<T = ()> {
+    /// Simulated cycles elapsed from the call to completion. When a
+    /// [`Threads`] budget expired mid-run this *includes* the post-deadline
+    /// drain: the budget is a soft stop (workers are told to wind down via
+    /// `halted` responses, and the run lasts until they do), not a hard
+    /// clock halt.
+    pub cycles: u64,
+    /// The workload's own output ([`Workload::Output`]).
+    pub output: T,
+    /// Whether a cycle budget expired during the run. Always `false` for
+    /// budget-less workloads. When `true`, every worker's result is still
+    /// present in `output` — expiry only flips the `halted` flag workers
+    /// observe; it never discards results.
+    pub budget_expired: bool,
+}
+
+impl<T> RunReport<T> {
+    /// Splits the report into `(cycles, output)` — the tuple shape the
+    /// pre-[`Workload`] `run_threads` returned, for call sites that want
+    /// to destructure both in one binding.
+    pub fn into_parts(self) -> (u64, T) {
+        (self.cycles, self.output)
+    }
+}
+
+/// Program mode as a [`Workload`]: one fixed [`Op`] script per core
+/// (missing cores idle). Output is `()`; the interesting result is
+/// [`RunReport::cycles`].
+///
+/// # Panics
+///
+/// Running panics if more programs than cores are supplied, or if the
+/// programs fail to finish within a watchdog budget (an interlock bug).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Programs(pub Vec<Vec<Op>>);
+
+impl Workload for Programs {
+    type Output = ();
+
+    fn run(self, sys: &mut System) -> RunReport {
+        RunReport {
+            cycles: sys.run_programs_inner(self.0),
+            output: (),
+            budget_expired: false,
+        }
+    }
+}
+
+/// Thread mode as a [`Workload`]: one host closure per core (missing cores
+/// idle), each driving its core through a [`CoreHandle`] under the
+/// deterministic rendezvous protocol. Output is the per-worker results, in
+/// worker order.
+///
+/// An optional [`Threads::budget`] (cycles, measured from the call)
+/// soft-stops the run: once `budget` cycles have elapsed, every response a
+/// worker receives carries `halted = true` and well-behaved workloads
+/// return. The run itself continues until every worker has finished — see
+/// [`RunReport::budget_expired`] for the exact semantics.
+///
+/// # Panics
+///
+/// Running panics if more workers than cores are supplied or a worker
+/// panics.
+#[derive(Debug)]
+pub struct Threads<F> {
+    workers: Vec<F>,
+    budget: Option<u64>,
+}
+
+impl<F> Threads<F> {
+    /// A thread-mode workload with no cycle budget.
+    pub fn new(workers: Vec<F>) -> Self {
+        Threads {
+            workers,
+            budget: None,
+        }
+    }
+
+    /// Sets the soft cycle budget (see the type docs).
+    pub fn budget(mut self, cycles: u64) -> Self {
+        self.budget = Some(cycles);
+        self
+    }
+
+    /// Sets or clears the soft cycle budget from an `Option` (the shape the
+    /// pre-[`Workload`] `run_threads` signature used).
+    pub fn budget_opt(mut self, cycles: Option<u64>) -> Self {
+        self.budget = cycles;
+        self
+    }
+}
+
+impl<R, F> Workload for Threads<F>
+where
+    R: Send,
+    F: FnOnce(CoreHandle) -> R + Send,
+{
+    type Output = Vec<R>;
+
+    fn run(self, sys: &mut System) -> RunReport<Vec<R>> {
+        let (cycles, output, budget_expired) = sys.run_threads_inner(self.workers, self.budget);
+        RunReport {
+            cycles,
+            output,
+            budget_expired,
+        }
+    }
+}
+
+/// One replay-frontend operation: an [`Op`] and the cycle (relative to the
+/// run's first cycle) at which it becomes eligible to issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedOp {
+    /// Earliest issue cycle, relative to the cycle the run started.
+    pub at: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The replay frontend as a [`Workload`]: one cycle-stamped lane per core.
+///
+/// Each lane issues in order, and each [`TimedOp`] no earlier than its
+/// recorded cycle — subject to the same issue-width, `Nop` think-time and
+/// LSU-room rules as program mode. For a lane captured from a real run
+/// (see [`System::start_capture`]) those constraints are satisfiable at
+/// exactly the recorded cycles, so the replay reproduces the original run
+/// bit-identically; for hand-written or perturbed schedules the stamps are
+/// lower bounds and the frontend issues as early as the machine allows.
+///
+/// # Panics
+///
+/// Running panics if more lanes than cores are supplied, or if the replay
+/// fails to finish within a watchdog budget.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplaySchedule {
+    /// Per-core op lanes (missing cores idle). Stamps within a lane must be
+    /// non-decreasing.
+    pub lanes: Vec<Vec<TimedOp>>,
+}
+
+impl Workload for ReplaySchedule {
+    type Output = ();
+
+    fn run(self, sys: &mut System) -> RunReport {
+        RunReport {
+            cycles: sys.run_replay_inner(self.lanes),
+            output: (),
+            budget_expired: false,
+        }
+    }
+}
+
+/// One committed memory operation recorded by capture mode
+/// ([`System::start_capture`]): which core issued what, and at which
+/// absolute cycle it entered the core's LSU (for [`Op::Nop`]: the cycle
+/// the frontend began the think time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapturedOp {
+    /// Absolute cycle of issue.
+    pub cycle: u64,
+    /// Issuing core.
+    pub core: u32,
+    /// The operation.
+    pub op: Op,
+}

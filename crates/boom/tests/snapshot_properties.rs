@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
-use skipit_boom::{EngineKind, Op, Snapshot, SnapshotError, System, SystemConfig};
+use skipit_boom::{EngineKind, Op, Programs, Snapshot, SnapshotError, System, SystemConfig};
 use skipit_tilelink::PerturbConfig;
 
 /// A small address pool keeps cores contending on the same lines.
@@ -53,7 +53,7 @@ fn check_roundtrip(
     at: u64,
 ) -> Result<bool, TestCaseError> {
     let mut reference = System::new(cfg);
-    let ref_cycles = reference.run_programs(programs.clone());
+    let ref_cycles = reference.run(Programs(programs.clone())).cycles;
 
     let mut s = System::new(cfg);
     let mut snap: Option<Snapshot> = None;
@@ -143,10 +143,10 @@ proptest! {
     ) {
         let cfg = SystemConfig { cores: 2, ..SystemConfig::default() };
         let mut s = System::new(cfg);
-        s.run_programs(vec![
+        s.run(Programs(vec![
             vec![Op::Store { addr: 0x4000, value: 1 }, Op::Flush { addr: 0x4000 }],
             vec![Op::Load { addr: 0x4000 }],
-        ]);
+        ]));
         let mut bytes = s.snapshot().unwrap().into_bytes();
         let idx = (flip_pos as usize) % bytes.len();
         if truncate {

@@ -35,7 +35,7 @@
 //! ).unwrap();
 //! assert_eq!(prog.len(), 3);
 //! let mut sys = skipit_core::paper_platform(false);
-//! sys.run_programs(vec![prog]);
+//! sys.run(skipit_core::Programs(vec![prog]));
 //! assert_eq!(sys.dram().read_word_direct(0x1000), 7);
 //! ```
 
@@ -159,13 +159,14 @@ fn parse_imm(tok: &str, line: usize) -> Result<u64, ParseAsmError> {
 }
 
 /// Assembles program text (see [module docs](self)) into an [`Op`] sequence
-/// runnable by [`System::run_programs`].
+/// runnable through [`System::run`] with a [`Programs`] workload.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseAsmError`] naming the first malformed line.
 ///
-/// [`System::run_programs`]: skipit_boom::System::run_programs
+/// [`System::run`]: skipit_boom::System::run
+/// [`Programs`]: skipit_boom::Programs
 pub fn assemble(text: &str) -> Result<Vec<Op>, ParseAsmError> {
     let mut ops = Vec::new();
     for (idx, raw) in text.lines().enumerate() {

@@ -24,7 +24,7 @@
 //! assert!(report.is_consistent(), "{report}");
 //! ```
 
-use skipit_boom::{CoreHandle, Op, System};
+use skipit_boom::{CoreHandle, Op, System, Threads};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -211,8 +211,9 @@ impl ModelChecker {
         let expectations: Vec<Option<u64>> = program.iter().map(|op| model.apply(op)).collect();
         let prog: Vec<Op> = program.to_vec();
         let start = self.sys.now();
-        let (_, loads) = self.sys.run_threads(
-            vec![move |h: CoreHandle| {
+        let (_, loads) = self
+            .sys
+            .run(Threads::new(vec![move |h: CoreHandle| {
                 let mut out = Vec::new();
                 for op in &prog {
                     let v = match *op {
@@ -252,9 +253,8 @@ impl ModelChecker {
                     out.push(v);
                 }
                 out
-            }],
-            None,
-        );
+            }]))
+            .into_parts();
         let mut report = Report {
             ops: program.len(),
             cycles: self.sys.now() - start,

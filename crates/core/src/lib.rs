@@ -21,29 +21,29 @@
 //! # Quickstart
 //!
 //! ```
-//! use skipit_core::{SystemBuilder, Op};
+//! use skipit_core::{Op, Programs, SystemBuilder};
 //!
 //! // A dual-core SoC with Skip It enabled.
 //! let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
 //!
 //! // Persist a value: store, flush, fence (§4 scenario (c)).
-//! let cycles = sys.run_programs(vec![vec![
+//! let report = sys.run(Programs(vec![vec![
 //!     Op::Store { addr: 0x1000, value: 42 },
 //!     Op::Flush { addr: 0x1000 },
 //!     Op::Fence,
-//! ]]);
-//! assert!(cycles > 0);
+//! ]]));
+//! assert!(report.cycles > 0);
 //! assert_eq!(sys.dram().read_word_direct(0x1000), 42);
 //!
 //! // Load the line back and clean it twice: the second clean finds the
 //! // line valid + clean + skip bit set, and is dropped in hardware.
-//! sys.run_programs(vec![vec![
+//! sys.run(Programs(vec![vec![
 //!     Op::Load { addr: 0x1000 },
 //!     Op::Clean { addr: 0x1000 },
 //!     Op::Fence,
-//! ]]);
+//! ]]));
 //! let before = sys.stats().l1[0].writebacks_skipped;
-//! sys.run_programs(vec![vec![Op::Clean { addr: 0x1000 }, Op::Fence]]);
+//! sys.run(Programs(vec![vec![Op::Clean { addr: 0x1000 }, Op::Fence]]));
 //! assert_eq!(sys.stats().l1[0].writebacks_skipped, before + 1);
 //! ```
 //!
@@ -72,8 +72,9 @@ pub mod metrics;
 pub use builder::{ConfigError, SystemBuilder};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use skipit_boom::{
-    CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, PhaseProfile, Snapshot,
-    SnapshotError, System, SystemConfig, SystemStats, TraceLog, TraceRecord, PROFILE_COMPILED,
+    CapturedOp, CoreHandle, EngineKind, EngineStats, LatencyHistogram, Op, PhaseProfile, Programs,
+    ReplaySchedule, RunReport, Snapshot, SnapshotError, System, SystemConfig, SystemStats, Threads,
+    TimedOp, TraceLog, TraceRecord, Workload, PROFILE_COMPILED,
 };
 pub use skipit_dcache::{DataCache, FlushEntry, FlushUnit, Fshr, FshrState, L1Config, L1Stats};
 pub use skipit_llc::{InclusiveCache, L2Config, L2Stats};

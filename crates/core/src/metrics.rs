@@ -250,14 +250,14 @@ mod tests {
         sys.set_trace(skipit_trace::TraceConfig::new().latency(1024));
         let mut reg = MetricsRegistry::new();
         reg.snapshot("start", &sys);
-        sys.run_programs(vec![vec![
+        sys.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x1000,
                 value: 1,
             },
             Op::Flush { addr: 0x1000 },
             Op::Fence,
-        ]]);
+        ]]));
         reg.snapshot("end", &sys);
         let d = reg.diff("start", "end").expect("both snapshots exist");
         assert_eq!(d.get("l1.0.stores"), Some(1));
@@ -292,13 +292,13 @@ mod tests {
         // keys where `earlier` is ahead.
         let one = MetricsSnapshot::capture(&SystemBuilder::new().cores(1).build());
         let mut two = SystemBuilder::new().cores(2).build();
-        two.run_programs(vec![
+        two.run(Programs(vec![
             vec![Op::Store {
                 addr: 0x2000,
                 value: 9,
             }],
             vec![],
-        ]);
+        ]));
         let two = MetricsSnapshot::capture(&two);
         assert_eq!(
             one.get("l1.1.stores"),

@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use skipit_core::{
     CoreHandle, EngineKind, EngineStats, LineAddr, Snapshot, System, SystemBuilder, SystemStats,
+    Threads,
 };
 use std::sync::Arc;
 
@@ -217,20 +218,17 @@ fn prefill(sys: &mut System, ds: &AnySet, cfg: &WorkloadCfg) {
     let set = ds.as_set();
     let prefill_cfg = *cfg;
     let opt = cfg.opt;
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            let ph = PHandle::new(&h, PersistMode::Manual, opt);
-            let mut rng = StdRng::seed_from_u64(prefill_cfg.seed);
-            let mut inserted = 0;
-            while inserted < prefill_cfg.prefill {
-                let k = rng.gen_range(1..=prefill_cfg.key_range);
-                if set.insert(&ph, k) {
-                    inserted += 1;
-                }
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        let ph = PHandle::new(&h, PersistMode::Manual, opt);
+        let mut rng = StdRng::seed_from_u64(prefill_cfg.seed);
+        let mut inserted = 0;
+        while inserted < prefill_cfg.prefill {
+            let k = rng.gen_range(1..=prefill_cfg.key_range);
+            if set.insert(&ph, k) {
+                inserted += 1;
             }
-        }],
-        None,
-    );
+        }
+    }]));
 }
 
 /// The measured phase: one worker per core for `cfg.budget_cycles`,
@@ -271,7 +269,8 @@ fn measure(sys: &mut System, ds: &AnySet, cfg: &WorkloadCfg) -> BenchResult {
                 }
             })
             .collect();
-        sys.run_threads(workers, Some(cfg.budget_cycles))
+        sys.run(Threads::new(workers).budget(cfg.budget_cycles))
+            .into_parts()
     };
     let after = sys.engine_stats();
     BenchResult {

@@ -49,11 +49,11 @@
 //!     sweep.push(
 //!         Point::new(label, move |_ctx| {
 //!             let mut sys = SystemBuilder::new().cores(1).skip_it(skip_it).build();
-//!             let cycles = sys.run_programs(vec![vec![
+//!             let cycles = sys.run(Programs(vec![vec![
 //!                 Op::Store { addr: 0x100, value: 1 },
 //!                 Op::Flush { addr: 0x100 },
 //!                 Op::Fence,
-//!             ]]);
+//!             ]])).cycles;
 //!             PointOutput::from_system(&sys).value("flush_cycles", cycles as f64)
 //!         })
 //!         .param("skip_it", skip_it),

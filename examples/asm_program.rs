@@ -50,7 +50,7 @@ fn main() {
 
     let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
     sys.set_trace(TraceConfig::new().latency(64));
-    let cycles = sys.run_programs(vec![ops]);
+    let cycles = sys.run(Programs(vec![ops])).cycles;
     println!("ran in {cycles} cycles\n");
 
     // Everything committed is durable.

@@ -19,25 +19,22 @@ const BUF_LINES: u64 = 16; // 1 KiB buffer
 
 fn run(with_clean: bool) -> (u64, u64) {
     let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            // Fill the buffer (word per slot, recognisable pattern).
-            for i in 0..BUF_LINES * 8 {
-                h.store(BUF + i * 8, 0xD0_0000 + i);
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        // Fill the buffer (word per slot, recognisable pattern).
+        for i in 0..BUF_LINES * 8 {
+            h.store(BUF + i * 8, 0xD0_0000 + i);
+        }
+        if with_clean {
+            // Make the buffer visible to the device: clean every line
+            // (non-invalidating — we may keep using the cached copy),
+            // then fence so the doorbell write below cannot pass the
+            // writebacks (§4).
+            for l in 0..BUF_LINES {
+                h.clean(BUF + l * 64);
             }
-            if with_clean {
-                // Make the buffer visible to the device: clean every line
-                // (non-invalidating — we may keep using the cached copy),
-                // then fence so the doorbell write below cannot pass the
-                // writebacks (§4).
-                for l in 0..BUF_LINES {
-                    h.clean(BUF + l * 64);
-                }
-                h.fence();
-            }
-        }],
-        None,
-    );
+            h.fence();
+        }
+    }]));
     sys.quiesce();
     // The DMA engine reads main memory directly.
     let dram = sys.durable_image();

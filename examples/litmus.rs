@@ -22,25 +22,27 @@ fn main() {
             let mut sys = SystemBuilder::new().cores(2).build();
             let data = 0x1000 + round * 128;
             let flag = 0x2000 + round * 128;
-            let (_, r) = sys.run_threads(
-                vec![
-                    Box::new(move |h: CoreHandle| {
-                        h.store(data, 1);
-                        h.fence();
-                        h.store(flag, 1);
-                        0u64
-                    }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
-                    Box::new(move |h: CoreHandle| {
-                        while h.load(flag) == 0 {
-                            if h.halted() {
-                                return 1;
+            let (_, r) = sys
+                .run(
+                    Threads::new(vec![
+                        Box::new(move |h: CoreHandle| {
+                            h.store(data, 1);
+                            h.fence();
+                            h.store(flag, 1);
+                            0u64
+                        }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                        Box::new(move |h: CoreHandle| {
+                            while h.load(flag) == 0 {
+                                if h.halted() {
+                                    return 1;
+                                }
                             }
-                        }
-                        h.load(data)
-                    }),
-                ],
-                Some(500_000),
-            );
+                            h.load(data)
+                        }),
+                    ])
+                    .budget(500_000),
+                )
+                .into_parts();
             if r[1] == 0 {
                 forbidden += 1;
             }
@@ -59,8 +61,8 @@ fn main() {
             let mut sys = SystemBuilder::new().cores(2).build();
             let x = 0x3000 + round * 128;
             let y = 0x4000 + round * 128;
-            let (_, r) = sys.run_threads(
-                vec![
+            let (_, r) = sys
+                .run(Threads::new(vec![
                     Box::new(move |h: CoreHandle| {
                         h.store(x, 1);
                         h.fence();
@@ -71,9 +73,8 @@ fn main() {
                         h.fence();
                         h.load(x)
                     }),
-                ],
-                None,
-            );
+                ]))
+                .into_parts();
             if r[0] == 0 && r[1] == 0 {
                 forbidden += 1;
             }
@@ -89,8 +90,8 @@ fn main() {
     // same thread never go backwards.
     {
         let mut sys = SystemBuilder::new().cores(2).build();
-        let (_, r) = sys.run_threads(
-            vec![
+        let (_, r) = sys
+            .run(Threads::new(vec![
                 Box::new(|h: CoreHandle| {
                     for v in 1..100u64 {
                         h.store(0x5000, v);
@@ -109,9 +110,8 @@ fn main() {
                     }
                     violations
                 }),
-            ],
-            None,
-        );
+            ]))
+            .into_parts();
         check(
             "CoRR: same-location reads monotone",
             r[1] == 0,
@@ -123,7 +123,7 @@ fn main() {
     // persistence order (we only check that nothing is guaranteed durable).
     {
         let mut sys = SystemBuilder::new().cores(1).build();
-        sys.run_programs(vec![vec![
+        sys.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x6000,
                 value: 1,
@@ -132,7 +132,7 @@ fn main() {
                 addr: 0x6040,
                 value: 2,
             },
-        ]]);
+        ]]));
         sys.quiesce();
         let dram = sys.durable_image();
         let persisted = (dram.read_word_direct(0x6000) != 0) as u32
@@ -148,7 +148,7 @@ fn main() {
     // after fence, x is durable regardless of what happened to y.
     {
         let mut sys = SystemBuilder::new().cores(1).build();
-        sys.run_programs(vec![vec![
+        sys.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x7000,
                 value: 10,
@@ -159,7 +159,7 @@ fn main() {
                 value: 20,
             },
             Op::Fence,
-        ]]);
+        ]]));
         let x = sys.dram().read_word_direct(0x7000);
         check(
             "Fig5(b): writeback covers prior writes",
@@ -171,14 +171,14 @@ fn main() {
     // Fig. 5 (c): writeback + fence ⇒ durable before the next instruction.
     {
         let mut sys = SystemBuilder::new().cores(1).build();
-        sys.run_programs(vec![vec![
+        sys.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x8000,
                 value: 33,
             },
             Op::Flush { addr: 0x8000 },
             Op::Fence,
-        ]]);
+        ]]));
         let x = sys.dram().read_word_direct(0x8000);
         check("Fig5(c): flush+fence durable", x == 33, format!("x={x}"));
     }

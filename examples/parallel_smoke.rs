@@ -59,7 +59,7 @@ fn fig9_run(engine: EngineKind) -> (u64, SystemStats, EngineStats, Vec<u64>, Vec
         .engine_threads(THREADS)
         .build();
     sys.set_trace(TraceConfig::new().events(1 << 14));
-    let cycles = sys.run_programs(fig9_programs());
+    let cycles = sys.run(Programs(fig9_programs())).cycles;
     sys.quiesce();
     let words = (0..CORES as u64)
         .flat_map(|t| (0..48).map(move |i| 0x20_0000 + t * 0x1_0000 + i * 64))

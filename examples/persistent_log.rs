@@ -32,8 +32,8 @@ fn main() {
         let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
 
         // Writer: append entries until the budget "crashes" us mid-stream.
-        let (_, appended) = sys.run_threads(
-            vec![move |h: CoreHandle| {
+        let (_, appended) = sys
+            .run(Threads::new(vec![move |h: CoreHandle| {
                 let mut committed = 0u64;
                 for i in 0..40u64 {
                     // 1. Write and persist the entry payload.
@@ -53,9 +53,8 @@ fn main() {
                     committed = i + 1;
                 }
                 committed
-            }],
-            None,
-        );
+            }]))
+            .into_parts();
 
         // Power failure: all caches gone, only DRAM (the persistence
         // domain) survives.

@@ -12,20 +12,22 @@ fn main() {
     let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
 
     // 1. Persist a value: store → CBO.FLUSH → FENCE (§4, scenario c).
-    let cycles = sys.run_programs(vec![vec![
-        Op::Store {
-            addr: 0x1000,
-            value: 42,
-        },
-        Op::Flush { addr: 0x1000 },
-        Op::Fence,
-    ]]);
+    let cycles = sys
+        .run(Programs(vec![vec![
+            Op::Store {
+                addr: 0x1000,
+                value: 42,
+            },
+            Op::Flush { addr: 0x1000 },
+            Op::Fence,
+        ]]))
+        .cycles;
     println!("store+flush+fence: {cycles} cycles (paper: ≈100 for the flush)");
     assert_eq!(sys.dram().read_word_direct(0x1000), 42);
     println!("value 42 is durable in main memory");
 
     // 2. CBO.CLEAN keeps the line cached. Re-reading hits the L1.
-    sys.run_programs(vec![vec![
+    sys.run(Programs(vec![vec![
         Op::Store {
             addr: 0x2000,
             value: 7,
@@ -33,7 +35,7 @@ fn main() {
         Op::Clean { addr: 0x2000 },
         Op::Fence,
         Op::Load { addr: 0x2000 },
-    ]]);
+    ]]));
     println!(
         "after CBO.CLEAN the line still hits: {} L1 load hits",
         sys.stats().l1[0].load_hits
@@ -42,7 +44,9 @@ fn main() {
     // 3. Skip It: the line is now clean *and* its skip bit is set (the L2
     //    told us it is persisted). Redundant writebacks die at the L1.
     let before = sys.stats().l1[0].writebacks_skipped;
-    let cycles = sys.run_programs(vec![vec![Op::Clean { addr: 0x2000 }, Op::Fence]]);
+    let cycles = sys
+        .run(Programs(vec![vec![Op::Clean { addr: 0x2000 }, Op::Fence]]))
+        .cycles;
     let skipped = sys.stats().l1[0].writebacks_skipped - before;
     println!(
         "redundant clean: {cycles} cycles, {skipped} writeback dropped in \
@@ -51,22 +55,25 @@ fn main() {
 
     // 4. Cross-core: core 1 flushes a line core 0 dirtied — the L2 probes
     //    the owner and the dirty data still reaches memory (§5.5).
-    sys.run_programs(vec![
+    sys.run(Programs(vec![
         vec![Op::Store {
             addr: 0x3000,
             value: 99,
         }],
         vec![],
-    ]);
-    sys.run_programs(vec![vec![], vec![Op::Flush { addr: 0x3000 }, Op::Fence]]);
+    ]));
+    sys.run(Programs(vec![
+        vec![],
+        vec![Op::Flush { addr: 0x3000 }, Op::Fence],
+    ]));
     assert_eq!(sys.dram().read_word_direct(0x3000), 99);
     println!("cross-core flush wrote back the other core's dirty data");
 
     // 5. Crash semantics: whatever was never written back is lost.
-    sys.run_programs(vec![vec![Op::Store {
+    sys.run(Programs(vec![vec![Op::Store {
         addr: 0x4000,
         value: 1234,
-    }]]);
+    }]]));
     sys.quiesce();
     let dram = sys.durable_image();
     assert_eq!(dram.read_word_direct(0x4000), 0);

@@ -32,14 +32,12 @@ fn main() {
     for flush_on_switch in [false, true] {
         let mut sys = SystemBuilder::new().cores(1).build();
         // Victim: touch every even line (the "secret" = parity).
-        sys.run_threads(
-            vec![move |h: CoreHandle| {
-                for l in (0..LINES).step_by(2) {
-                    h.store(DOMAIN + l * 64, l);
-                }
-            }],
-            None,
-        );
+        sys.run(Threads::new(vec![move |h: CoreHandle| {
+            for l in (0..LINES).step_by(2) {
+                h.store(DOMAIN + l * 64, l);
+            }
+        }]))
+        .into_parts();
         // Context switch: optionally scrub the domain.
         let scrub_cycles = if flush_on_switch {
             let mut prog: Vec<Op> = (0..LINES)
@@ -48,18 +46,19 @@ fn main() {
                 })
                 .collect();
             prog.push(Op::Fence);
-            sys.run_programs(vec![prog])
+            sys.run(Programs(vec![prog])).cycles
         } else {
             0
         };
         // Attacker probe: time every line.
-        let (_, lat) = sys.run_threads(
-            vec![probe_latencies as fn(&CoreHandle) -> Vec<u64>]
-                .into_iter()
-                .map(|f| move |h: CoreHandle| f(&h))
-                .collect(),
-            None,
-        );
+        let (_, lat) = sys
+            .run(Threads::new(
+                vec![probe_latencies as fn(&CoreHandle) -> Vec<u64>]
+                    .into_iter()
+                    .map(|f| move |h: CoreHandle| f(&h))
+                    .collect(),
+            ))
+            .into_parts();
         let lat = &lat[0];
         let threshold = 20; // hit/miss discriminator (hits ≈ 5-8 cycles)
         let leaked: usize = (0..LINES as usize)

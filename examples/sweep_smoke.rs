@@ -46,7 +46,7 @@ fn smoke_sweep() -> Sweep {
                             p
                         })
                         .collect();
-                    let cycles = sys.run_programs(programs);
+                    let cycles = sys.run(Programs(programs)).cycles;
                     sys.quiesce();
                     PointOutput::from_system(&sys).value("program_cycles", cycles as f64)
                 },

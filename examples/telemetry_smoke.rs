@@ -65,7 +65,7 @@ fn run(telemetry: bool) -> (System, u64) {
         cfg = cfg.telemetry(INTERVAL);
     }
     sys.set_trace(cfg);
-    let cycles = sys.run_programs(fig9_programs());
+    let cycles = sys.run(Programs(fig9_programs())).cycles;
     sys.quiesce();
     (sys, cycles)
 }

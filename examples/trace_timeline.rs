@@ -47,7 +47,7 @@ fn main() {
     }
     p1.push(Op::Fence);
 
-    let cycles = sys.run_programs(vec![p0, p1]);
+    let cycles = sys.run(Programs(vec![p0, p1])).cycles;
     sys.quiesce();
     println!(
         "ran {cycles} cycles; {} events buffered",

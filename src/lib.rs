@@ -11,10 +11,12 @@
 pub use skipit_core as core;
 pub use skipit_explore as explore;
 pub use skipit_pds as pds;
+pub use skipit_replay as replay;
 pub use skipit_sweep as sweep;
 
 pub use skipit_core::{
-    paper_platform, CoreHandle, Op, System, SystemBuilder, SystemConfig, SystemStats,
+    paper_platform, CoreHandle, Op, Programs, RunReport, System, SystemBuilder, SystemConfig,
+    SystemStats, Threads, Workload,
 };
 pub use skipit_pds::{
     prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key, ConcurrentSet, DsKind,
@@ -26,30 +28,40 @@ pub use skipit_pds::{
 /// Brings in the system construction surface ([`SystemBuilder`],
 /// [`System`], [`SystemConfig`], typed [`ConfigError`]), the simulation
 /// vocabulary ([`Op`], [`CoreHandle`], [`EngineKind`], [`TraceConfig`]),
+/// the unified workload surface ([`Workload`], [`Programs`], [`Threads`],
+/// [`RunReport`], the trace-replay types [`MemTrace`] / [`TraceReplay`]),
 /// and the sweep-execution types ([`Sweep`], [`SweepRunner`], …):
 ///
 /// ```
 /// use skipit::prelude::*;
 ///
 /// let mut sys = SystemBuilder::new().cores(1).skip_it(true).build();
-/// sys.run_programs(vec![vec![Op::Store { addr: 0x100, value: 1 }, Op::Fence]]);
+/// let report = sys.run(Programs(vec![vec![
+///     Op::Store { addr: 0x100, value: 1 },
+///     Op::Fence,
+/// ]]));
+/// assert!(report.cycles > 0);
 /// ```
 ///
 /// [`ConfigError`]: prelude::ConfigError
 /// [`EngineKind`]: prelude::EngineKind
 /// [`TraceConfig`]: prelude::TraceConfig
+/// [`MemTrace`]: prelude::MemTrace
+/// [`TraceReplay`]: prelude::TraceReplay
 /// [`Sweep`]: prelude::Sweep
 /// [`SweepRunner`]: prelude::SweepRunner
 pub mod prelude {
     pub use skipit_core::{
-        paper_platform, ConfigError, CoreHandle, EngineKind, EngineStats, MetricsSnapshot, Op,
-        PhaseProfile, Snapshot, SnapshotError, System, SystemBuilder, SystemConfig, SystemStats,
-        Telemetry, TelemetrySample, TraceConfig, TraceFilter,
+        paper_platform, CapturedOp, ConfigError, CoreHandle, EngineKind, EngineStats,
+        MetricsSnapshot, Op, PhaseProfile, Programs, ReplaySchedule, RunReport, Snapshot,
+        SnapshotError, System, SystemBuilder, SystemConfig, SystemStats, Telemetry,
+        TelemetrySample, Threads, TimedOp, TraceConfig, TraceFilter, Workload,
     };
     pub use skipit_explore::{
         explore_one, minimize, scan_crash_points, CrashPoint, ExploreConfig, InvariantOracle,
         Reproducer, Scenario, Violation,
     };
+    pub use skipit_replay::{MemTrace, TraceError, TraceReplay};
     pub use skipit_sweep::{
         Point, PointCtx, PointOutput, PointStatus, Sweep, SweepReport, SweepRow, SweepRunner,
         WarmState,

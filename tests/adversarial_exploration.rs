@@ -31,8 +31,8 @@ fn inert_perturbation_is_bit_identical() {
         .skip_it(true)
         .perturb(inert)
         .build();
-    let c0 = base.run_programs(progs.clone());
-    let c1 = cfgd.run_programs(progs);
+    let c0 = base.run(Programs(progs.clone())).cycles;
+    let c1 = cfgd.run(Programs(progs)).cycles;
     base.quiesce();
     cfgd.quiesce();
     assert_eq!(c0, c1, "inert perturbation changed the cycle count");
@@ -60,7 +60,7 @@ fn engines_agree_under_active_perturbation() {
                 .engine(engine)
                 .perturb(PerturbConfig::exploring(seed))
                 .build();
-            let cycles = sys.run_programs(progs.clone());
+            let cycles = sys.run(Programs(progs.clone())).cycles;
             sys.quiesce();
             results.push((engine, cycles, sys.now(), sys.stats(), sys.state_digest()));
         }
@@ -83,7 +83,7 @@ fn engines_agree_under_active_perturbation() {
 fn active_perturbation_changes_schedules() {
     let progs = contended_programs();
     let mut base = SystemBuilder::new().cores(2).skip_it(true).build();
-    let baseline = base.run_programs(progs.clone());
+    let baseline = base.run(Programs(progs.clone())).cycles;
     let mut changed = false;
     for seed in 0..6u64 {
         let mut sys = SystemBuilder::new()
@@ -91,7 +91,7 @@ fn active_perturbation_changes_schedules() {
             .skip_it(true)
             .perturb(PerturbConfig::exploring(seed))
             .build();
-        if sys.run_programs(progs.clone()) != baseline {
+        if sys.run(Programs(progs.clone())).cycles != baseline {
             changed = true;
             break;
         }

@@ -17,8 +17,10 @@ fn cas_increments_are_never_lost() {
             }
         }
     };
-    sys.run_threads(vec![worker, worker], None);
-    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x100)], None);
+    sys.run(Threads::new(vec![worker, worker]));
+    let (_, v) = sys
+        .run(Threads::new(vec![|h: CoreHandle| h.load(0x100)]))
+        .into_parts();
     assert_eq!(v[0], 2 * n);
 }
 
@@ -31,8 +33,10 @@ fn fetch_add_is_atomic_across_cores() {
             h.fetch_add(0x200, 1);
         }
     };
-    sys.run_threads(vec![worker, worker], None);
-    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
+    sys.run(Threads::new(vec![worker, worker]));
+    let (_, v) = sys
+        .run(Threads::new(vec![|h: CoreHandle| h.load(0x200)]))
+        .into_parts();
     assert_eq!(v[0], 2 * n);
 }
 
@@ -40,8 +44,8 @@ fn fetch_add_is_atomic_across_cores() {
 fn store_then_load_other_core_sees_value() {
     let mut sys = SystemBuilder::new().cores(2).build();
     for round in 0..50u64 {
-        let (_, v) = sys.run_threads(
-            vec![
+        let (_, v) = sys
+            .run(Threads::new(vec![
                 Box::new(move |h: CoreHandle| {
                     h.store(0x300, round + 1);
                     0u64
@@ -55,9 +59,8 @@ fn store_then_load_other_core_sees_value() {
                         }
                     }
                 }),
-            ],
-            None,
-        );
+            ]))
+            .into_parts();
         assert_eq!(v[1], round + 1);
     }
 }

@@ -14,7 +14,7 @@ use skipit::prelude::*;
 fn inval_discards_dirty_data() {
     let mut s = SystemBuilder::new().cores(1).build();
     // Persist 1, then overwrite with 2 and discard.
-    s.run_programs(vec![vec![
+    s.run(Programs(vec![vec![
         Op::Store {
             addr: 0x1000,
             value: 1,
@@ -28,7 +28,7 @@ fn inval_discards_dirty_data() {
         Op::Inval { addr: 0x1000 },
         Op::Fence,
         Op::Load { addr: 0x1000 },
-    ]]);
+    ]]));
     // The discarded store must be gone; the load refetched the OLD value.
     assert_eq!(
         s.dram().read_word_direct(0x1000),
@@ -43,15 +43,18 @@ fn inval_discards_dirty_data() {
 #[test]
 fn inval_invalidates_remote_copies_without_writeback() {
     let mut s = SystemBuilder::new().cores(2).build();
-    s.run_programs(vec![
+    s.run(Programs(vec![
         vec![Op::Store {
             addr: 0x2000,
             value: 99,
         }],
         vec![],
-    ]);
+    ]));
     // Core 1 invalidates the line it never owned.
-    s.run_programs(vec![vec![], vec![Op::Inval { addr: 0x2000 }, Op::Fence]]);
+    s.run(Programs(vec![
+        vec![],
+        vec![Op::Inval { addr: 0x2000 }, Op::Fence],
+    ]));
     assert_eq!(
         s.l1(0).peek_state(0x2000),
         ClientState::Invalid,
@@ -71,17 +74,17 @@ fn inval_invalidates_remote_copies_without_writeback() {
 fn skip_it_never_drops_inval() {
     let mut s = SystemBuilder::new().cores(1).skip_it(true).build();
     // Arm the skip bit: store, clean, fence.
-    s.run_programs(vec![vec![
+    s.run(Programs(vec![vec![
         Op::Store {
             addr: 0x3000,
             value: 5,
         },
         Op::Clean { addr: 0x3000 },
         Op::Fence,
-    ]]);
+    ]]));
     assert!(s.l1(0).peek_skip(0x3000));
     // A clean would be dropped; the inval must execute.
-    s.run_programs(vec![vec![Op::Inval { addr: 0x3000 }, Op::Fence]]);
+    s.run(Programs(vec![vec![Op::Inval { addr: 0x3000 }, Op::Fence]]));
     let st = s.stats();
     assert_eq!(st.l1[0].writebacks_skipped, 0);
     assert_eq!(s.l1(0).peek_state(0x3000), ClientState::Invalid);
@@ -115,7 +118,7 @@ fn inval_never_cross_kind_coalesces() {
     prog.push(Op::Clean { addr: 0x4000 });
     prog.push(Op::Inval { addr: 0x4000 });
     prog.push(Op::Fence);
-    s.run_programs(vec![prog]);
+    s.run(Programs(vec![prog]));
     assert_eq!(s.stats().l1[0].writebacks_coalesced, 0);
     // The clean ran first: the store is durable; then the inval removed it.
     assert_eq!(s.dram().read_word_direct(0x4000), 7);

@@ -33,7 +33,7 @@ fn inclusion_and_single_writer_hold_under_random_traffic() {
         let mut s = SystemBuilder::new().cores(4).skip_it(seed % 2 == 0).build();
         for _round in 0..4 {
             let progs = (0..4).map(|_| random_program(&mut rng, 48, 80)).collect();
-            s.run_programs(progs);
+            s.run(Programs(progs));
             s.quiesce();
             // Inclusion: anything in an L1 is in the L2.
             for core in 0..4 {
@@ -76,25 +76,27 @@ fn message_passing_litmus() {
         let mut s = SystemBuilder::new().cores(2).build();
         let data = 0x30_000;
         let flag = 0x30_400; // different line
-        let (_, got) = s.run_threads(
-            vec![
-                Box::new(move |h: CoreHandle| {
-                    h.store(data, 1000 + round);
-                    h.fence();
-                    h.store(flag, 1);
-                    0u64
-                }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
-                Box::new(move |h: CoreHandle| {
-                    while h.load(flag) == 0 {
-                        if h.halted() {
-                            return 0;
+        let (_, got) = s
+            .run(
+                Threads::new(vec![
+                    Box::new(move |h: CoreHandle| {
+                        h.store(data, 1000 + round);
+                        h.fence();
+                        h.store(flag, 1);
+                        0u64
+                    }) as Box<dyn FnOnce(CoreHandle) -> u64 + Send>,
+                    Box::new(move |h: CoreHandle| {
+                        while h.load(flag) == 0 {
+                            if h.halted() {
+                                return 0;
+                            }
                         }
-                    }
-                    h.load(data)
-                }),
-            ],
-            Some(1_000_000),
-        );
+                        h.load(data)
+                    }),
+                ])
+                .budget(1_000_000),
+            )
+            .into_parts();
         assert_eq!(got[1], 1000 + round, "round {round}: stale data after flag");
     }
 }
@@ -108,8 +110,8 @@ fn store_buffer_litmus_with_fences() {
         let mut s = SystemBuilder::new().cores(2).build();
         let x = 0x40_000 + round * 128;
         let y = 0x41_000 + round * 128;
-        let (_, got) = s.run_threads(
-            vec![
+        let (_, got) = s
+            .run(Threads::new(vec![
                 Box::new(move |h: CoreHandle| {
                     h.store(x, 1);
                     h.fence();
@@ -120,9 +122,8 @@ fn store_buffer_litmus_with_fences() {
                     h.fence();
                     h.load(x)
                 }),
-            ],
-            None,
-        );
+            ]))
+            .into_parts();
         assert!(
             got[0] == 1 || got[1] == 1,
             "round {round}: SB litmus forbidden outcome (0, 0)"
@@ -137,7 +138,7 @@ fn cross_core_flush_chain() {
     let mut s = SystemBuilder::new().cores(4).build();
     // Core 0 writes, core 1 reads (spreads Shared copies), core 2 writes
     // again (revokes), core 3 flushes.
-    s.run_programs(vec![
+    s.run(Programs(vec![
         vec![Op::Store {
             addr: 0x50_000,
             value: 1,
@@ -145,14 +146,14 @@ fn cross_core_flush_chain() {
         vec![],
         vec![],
         vec![],
-    ]);
-    s.run_programs(vec![
+    ]));
+    s.run(Programs(vec![
         vec![],
         vec![Op::Load { addr: 0x50_000 }],
         vec![],
         vec![],
-    ]);
-    s.run_programs(vec![
+    ]));
+    s.run(Programs(vec![
         vec![],
         vec![],
         vec![Op::Store {
@@ -160,13 +161,13 @@ fn cross_core_flush_chain() {
             value: 2,
         }],
         vec![],
-    ]);
-    s.run_programs(vec![
+    ]));
+    s.run(Programs(vec![
         vec![],
         vec![],
         vec![],
         vec![Op::Flush { addr: 0x50_000 }, Op::Fence],
-    ]);
+    ]));
     assert_eq!(s.dram().read_word_direct(0x50_000), 2);
     for core in 0..4 {
         assert_eq!(

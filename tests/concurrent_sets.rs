@@ -59,26 +59,23 @@ fn model_check(ds: Ds, mode: PersistMode, opt: OptKind, seed: u64, steps: usize)
     };
     let (_alloc, set) = build(&mut sys, &ds, stride);
     let set_ref: &dyn ConcurrentSet = &*set;
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            let ph = PHandle::new(&h, mode, opt);
-            let mut model = BTreeSet::new();
-            let mut rng = StdRng::seed_from_u64(seed);
-            for _ in 0..steps {
-                let k = rng.gen_range(1..40u64);
-                match rng.gen_range(0..3) {
-                    0 => assert_eq!(set_ref.insert(&ph, k), model.insert(k), "insert {k}"),
-                    1 => assert_eq!(set_ref.remove(&ph, k), model.remove(&k), "remove {k}"),
-                    _ => assert_eq!(set_ref.contains(&ph, k), model.contains(&k), "contains {k}"),
-                }
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        let ph = PHandle::new(&h, mode, opt);
+        let mut model = BTreeSet::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let k = rng.gen_range(1..40u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(set_ref.insert(&ph, k), model.insert(k), "insert {k}"),
+                1 => assert_eq!(set_ref.remove(&ph, k), model.remove(&k), "remove {k}"),
+                _ => assert_eq!(set_ref.contains(&ph, k), model.contains(&k), "contains {k}"),
             }
-            // Final sweep: membership must match exactly.
-            for k in 1..40u64 {
-                assert_eq!(set_ref.contains(&ph, k), model.contains(&k), "final {k}");
-            }
-        }],
-        None,
-    );
+        }
+        // Final sweep: membership must match exactly.
+        for k in 1..40u64 {
+            assert_eq!(set_ref.contains(&ph, k), model.contains(&k), "final {k}");
+        }
+    }]));
 }
 
 #[test]
@@ -182,17 +179,15 @@ fn disjoint_ranges(ds: Ds) {
             }
         }
     };
-    sys.run_threads(vec![worker(1..30), worker(100..130)], None);
+    sys.run(Threads::new(vec![worker(1..30), worker(100..130)]));
     // Verify on core 0.
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
-            for k in (1..30u64).chain(100..130) {
-                assert_eq!(set_ref.contains(&ph, k), k % 2 == 1, "key {k}");
-            }
-        }],
-        None,
-    );
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
+        for k in (1..30u64).chain(100..130) {
+            assert_eq!(set_ref.contains(&ph, k), k % 2 == 1, "key {k}");
+        }
+    }]))
+    .into_parts();
 }
 
 #[test]
@@ -235,21 +230,20 @@ fn contended_inserts(ds: Ds) {
             wins
         }
     };
-    let (_, _wins) = sys.run_threads(vec![worker(1), worker(2)], None);
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
-            // Every key 1..20 was inserted by someone with high probability;
-            // at minimum, no key may be "half-present": a contains followed
-            // by a failing insert must agree.
-            for k in 1..20u64 {
-                let present = set_ref.contains(&ph, k);
-                let inserted = set_ref.insert(&ph, k);
-                assert_eq!(present, !inserted, "key {k} inconsistent");
-            }
-        }],
-        None,
-    );
+    let (_, _wins) = sys
+        .run(Threads::new(vec![worker(1), worker(2)]))
+        .into_parts();
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
+        // Every key 1..20 was inserted by someone with high probability;
+        // at minimum, no key may be "half-present": a contains followed
+        // by a failing insert must agree.
+        for k in 1..20u64 {
+            let present = set_ref.contains(&ph, k);
+            let inserted = set_ref.insert(&ph, k);
+            assert_eq!(present, !inserted, "key {k} inconsistent");
+        }
+    }]));
 }
 
 #[test]
@@ -296,17 +290,17 @@ fn contended_mixed(ds: Ds, seed: u64) {
             balance
         }
     };
-    let (_, balances) = sys.run_threads(vec![worker(seed), worker(seed + 77)], None);
+    let (_, balances) = sys
+        .run(Threads::new(vec![worker(seed), worker(seed + 77)]))
+        .into_parts();
     let net: i64 = balances.iter().sum();
     // The number of present keys must equal the net insertions.
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
-            let present = (1..8u64).filter(|&k| set_ref.contains(&ph, k)).count() as i64;
-            assert_eq!(present, net, "net inserts vs present keys");
-        }],
-        None,
-    );
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
+        let present = (1..8u64).filter(|&k| set_ref.contains(&ph, k)).count() as i64;
+        assert_eq!(present, net, "net inserts vs present keys");
+    }]))
+    .into_parts();
 }
 
 #[test]

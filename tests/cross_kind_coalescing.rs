@@ -40,7 +40,7 @@ fn run_pair(first_clean: bool, cross_kind: bool) -> (skipit::core::SystemStats, 
     prog.push(a);
     prog.push(b);
     prog.push(Op::Fence);
-    sys.run_programs(vec![prog]);
+    sys.run(Programs(vec![prog]));
     assert_eq!(sys.dram().read_word_direct(0x9_0000), 7, "must be durable");
     let state = sys.l1(0).peek_state(0x9_0000);
     (sys.stats(), state)

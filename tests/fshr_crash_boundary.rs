@@ -16,10 +16,10 @@ fn fshr_buffered_line_is_not_durable() {
     let mut sys = SystemBuilder::new().cores(1).build();
     let line = LineAddr::containing(ADDR);
     // Make the line dirty in the L1 first.
-    sys.run_programs(vec![vec![Op::Store {
+    sys.run(Programs(vec![vec![Op::Store {
         addr: ADDR,
         value: 42,
-    }]]);
+    }]]));
     assert_eq!(sys.dram().read_word_direct(ADDR), 0);
 
     // Now flush it, snapshotting the durable image at the first cycle the

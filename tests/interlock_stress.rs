@@ -63,9 +63,9 @@ fn tiny_geometry_survives_random_storms() {
                     p
                 })
                 .collect();
-            // run_programs has a watchdog: a deadlock panics rather than
+            // Program-mode runs have a watchdog: a deadlock panics rather than
             // hanging forever.
-            sys.run_programs(progs);
+            sys.run(Programs(progs));
             sys.quiesce();
         }
         // The system drained completely; stats stay self-consistent.
@@ -100,7 +100,7 @@ fn single_fshr_single_queue_slot_still_drains() {
         });
     }
     prog.push(Op::Fence);
-    sys.run_programs(vec![prog]);
+    sys.run(Programs(vec![prog]));
     for i in 0..64u64 {
         assert_eq!(sys.dram().read_word_direct(0x20_000 + i * 64), i + 1);
     }

@@ -10,7 +10,7 @@ use skipit::prelude::*;
 fn overlapping_clean_and_flush_preserve_interleaved_store() {
     for skip_it in [false, true] {
         let mut s = SystemBuilder::new().cores(1).skip_it(skip_it).build();
-        s.run_programs(vec![vec![
+        s.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x1000,
                 value: 845,
@@ -22,7 +22,7 @@ fn overlapping_clean_and_flush_preserve_interleaved_store() {
             }, // allowed past filled clean
             Op::Flush { addr: 0x1018 }, // same line again, overlaps the clean
             Op::Fence,
-        ]]);
+        ]]));
         assert_eq!(
             s.dram().read_word_direct(0x1010),
             407,
@@ -50,7 +50,7 @@ fn writeback_storm_with_interleaved_stores() {
         });
     }
     prog.push(Op::Fence);
-    s.run_programs(vec![prog]);
+    s.run(Programs(vec![prog]));
     assert_eq!(s.dram().read_word_direct(0x2000), 20);
 }
 
@@ -62,14 +62,14 @@ fn cross_core_overlapping_writebacks() {
     // Core 0 writes A and flushes B; core 1 writes B and flushes A.
     let a = 0x3000u64;
     let b = 0x3100u64;
-    s.run_programs(vec![
+    s.run(Programs(vec![
         vec![Op::Store { addr: a, value: 11 }],
         vec![Op::Store { addr: b, value: 22 }],
-    ]);
-    s.run_programs(vec![
+    ]));
+    s.run(Programs(vec![
         vec![Op::Flush { addr: b }, Op::Fence],
         vec![Op::Flush { addr: a }, Op::Fence],
-    ]);
+    ]));
     assert_eq!(s.dram().read_word_direct(a), 11);
     assert_eq!(s.dram().read_word_direct(b), 22);
 }
@@ -79,7 +79,7 @@ fn cross_core_overlapping_writebacks() {
 #[test]
 fn cross_core_inval_vs_clean_quiesces() {
     let mut s = SystemBuilder::new().cores(2).build();
-    s.run_programs(vec![
+    s.run(Programs(vec![
         vec![Op::Store {
             addr: 0x4000,
             value: 5,
@@ -88,8 +88,8 @@ fn cross_core_inval_vs_clean_quiesces() {
             addr: 0x4100,
             value: 6,
         }],
-    ]);
-    s.run_programs(vec![
+    ]));
+    s.run(Programs(vec![
         vec![
             Op::Clean { addr: 0x4000 },
             Op::Inval { addr: 0x4100 },
@@ -100,7 +100,7 @@ fn cross_core_inval_vs_clean_quiesces() {
             Op::Inval { addr: 0x4000 },
             Op::Fence,
         ],
-    ]);
+    ]));
     s.quiesce();
     // 0x4000: core 0's clean and core 1's inval race — the value is either
     // durable (clean first) or discarded (inval first); never garbage.

@@ -12,7 +12,7 @@ fn sys(cores: usize, skip_it: bool) -> skipit::System {
 #[test]
 fn scenario_a_unflushed_stores_are_volatile() {
     let mut s = sys(1, false);
-    s.run_programs(vec![vec![
+    s.run(Programs(vec![vec![
         Op::Store {
             addr: 0x100,
             value: 1,
@@ -21,7 +21,7 @@ fn scenario_a_unflushed_stores_are_volatile() {
             addr: 0x140,
             value: 2,
         },
-    ]]);
+    ]]));
     s.quiesce();
     let dram = s.durable_image();
     assert_eq!(dram.read_word_direct(0x100), 0);
@@ -35,7 +35,7 @@ fn scenario_a_unflushed_stores_are_volatile() {
 fn scenario_b_writeback_covers_all_prior_writes_to_line() {
     let mut s = sys(1, false);
     // Two words in the same line, then one writeback of the line.
-    s.run_programs(vec![vec![
+    s.run(Programs(vec![vec![
         Op::Store {
             addr: 0x200,
             value: 7,
@@ -46,7 +46,7 @@ fn scenario_b_writeback_covers_all_prior_writes_to_line() {
         },
         Op::Flush { addr: 0x200 },
         Op::Fence,
-    ]]);
+    ]]));
     let dram = s.durable_image();
     assert_eq!(dram.read_word_direct(0x200), 7);
     assert_eq!(
@@ -61,14 +61,14 @@ fn scenario_b_writeback_covers_all_prior_writes_to_line() {
 #[test]
 fn scenario_c_flush_fence_then_read_sees_durable_value() {
     let mut s = sys(1, false);
-    s.run_programs(vec![vec![
+    s.run(Programs(vec![vec![
         Op::Store {
             addr: 0x300,
             value: 42,
         },
         Op::Flush { addr: 0x300 },
         Op::Fence,
-    ]]);
+    ]]));
     // The fence has committed ⇒ durable now.
     assert_eq!(s.dram().read_word_direct(0x300), 42);
 }
@@ -78,7 +78,7 @@ fn scenario_c_flush_fence_then_read_sees_durable_value() {
 fn clean_is_durable_and_keeps_copy() {
     for skip_it in [false, true] {
         let mut s = sys(1, skip_it);
-        s.run_programs(vec![vec![
+        s.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x400,
                 value: 5,
@@ -86,7 +86,7 @@ fn clean_is_durable_and_keeps_copy() {
             Op::Clean { addr: 0x400 },
             Op::Fence,
             Op::Load { addr: 0x400 },
-        ]]);
+        ]]));
         assert_eq!(s.dram().read_word_direct(0x400), 5);
         assert_eq!(
             s.stats().l1[0].load_hits,
@@ -112,7 +112,7 @@ fn flush_storm_with_single_fence_drains() {
         addr: 0x1_0000 + i * 64,
     }));
     prog.push(Op::Fence);
-    s.run_programs(vec![prog]);
+    s.run(Programs(vec![prog]));
     for i in 0..n {
         assert_eq!(s.dram().read_word_direct(0x1_0000 + i * 64), i + 1);
     }
@@ -126,7 +126,9 @@ fn flush_storm_with_single_fence_drains() {
 #[test]
 fn bare_fence_completes() {
     let mut s = sys(1, false);
-    let cycles = s.run_programs(vec![vec![Op::Fence, Op::Fence, Op::Fence]]);
+    let cycles = s
+        .run(Programs(vec![vec![Op::Fence, Op::Fence, Op::Fence]]))
+        .cycles;
     assert!(cycles < 100, "bare fences took {cycles} cycles");
 }
 
@@ -137,14 +139,17 @@ fn bare_fence_completes() {
 fn flush_collects_dirty_data_from_other_core() {
     let mut s = sys(2, false);
     // Core 0 dirties the line; core 1 (which has never touched it) flushes.
-    s.run_programs(vec![
+    s.run(Programs(vec![
         vec![Op::Store {
             addr: 0x500,
             value: 77,
         }],
         vec![],
-    ]);
-    s.run_programs(vec![vec![], vec![Op::Flush { addr: 0x500 }, Op::Fence]]);
+    ]));
+    s.run(Programs(vec![
+        vec![],
+        vec![Op::Flush { addr: 0x500 }, Op::Fence],
+    ]));
     assert_eq!(
         s.dram().read_word_direct(0x500),
         77,
@@ -162,14 +167,17 @@ fn flush_collects_dirty_data_from_other_core() {
 #[test]
 fn clean_downgrades_foreign_owner_but_keeps_copy() {
     let mut s = sys(2, false);
-    s.run_programs(vec![
+    s.run(Programs(vec![
         vec![Op::Store {
             addr: 0x600,
             value: 88,
         }],
         vec![],
-    ]);
-    s.run_programs(vec![vec![], vec![Op::Clean { addr: 0x600 }, Op::Fence]]);
+    ]));
+    s.run(Programs(vec![
+        vec![],
+        vec![Op::Clean { addr: 0x600 }, Op::Fence],
+    ]));
     assert_eq!(s.dram().read_word_direct(0x600), 88);
     assert!(
         s.l1(0).peek_state(0x600).can_read(),
@@ -184,22 +192,25 @@ fn clean_downgrades_foreign_owner_but_keeps_copy() {
 fn alternating_ownership_flushes_are_consistent() {
     let mut s = sys(2, false);
     for round in 0..4u64 {
-        s.run_programs(vec![
+        s.run(Programs(vec![
             vec![Op::Store {
                 addr: 0x700,
                 value: round * 2 + 1,
             }],
             vec![],
-        ]);
-        s.run_programs(vec![
+        ]));
+        s.run(Programs(vec![
             vec![],
             vec![Op::Store {
                 addr: 0x700,
                 value: round * 2 + 2,
             }],
-        ]);
+        ]));
     }
-    s.run_programs(vec![vec![Op::Flush { addr: 0x700 }, Op::Fence], vec![]]);
+    s.run(Programs(vec![
+        vec![Op::Flush { addr: 0x700 }, Op::Fence],
+        vec![],
+    ]));
     assert_eq!(s.dram().read_word_direct(0x700), 8);
 }
 
@@ -209,7 +220,7 @@ fn alternating_ownership_flushes_are_consistent() {
 #[test]
 fn load_after_flush_same_line_returns_value() {
     let mut s = sys(1, false);
-    s.run_programs(vec![vec![
+    s.run(Programs(vec![vec![
         Op::Store {
             addr: 0x800,
             value: 123,
@@ -217,31 +228,9 @@ fn load_after_flush_same_line_returns_value() {
         Op::Flush { addr: 0x800 },
         Op::Load { addr: 0x800 },
         Op::Fence,
-    ]]);
+    ]]));
     // The load's value is checked indirectly: store it elsewhere.
     // (Program mode discards load values, so assert via cache state: the
     // line was refetched or forwarded without corruption.)
     assert_eq!(s.dram().read_word_direct(0x800), 123);
-}
-
-/// Back-compat: the deprecated consuming `System::crash(self)` must keep
-/// returning exactly what `durable_image()` reports at the same instant.
-#[test]
-fn deprecated_crash_matches_durable_image() {
-    let mut s = sys(1, false);
-    s.run_programs(vec![vec![
-        Op::Store {
-            addr: 0x900,
-            value: 5,
-        },
-        Op::Flush { addr: 0x900 },
-        Op::Fence,
-    ]]);
-    s.quiesce();
-    let image = s.durable_image();
-    #[allow(deprecated)]
-    let crashed = s.crash();
-    for addr in [0x900u64, 0x940] {
-        assert_eq!(crashed.read_word_direct(addr), image.read_word_direct(addr));
-    }
 }

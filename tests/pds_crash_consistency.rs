@@ -77,7 +77,9 @@ fn run_crash_trial(mode: PersistMode, opt: OptKind, skip_hw: bool, seed: u64) {
             acc
         }
     };
-    let (_, logs) = sys.run_threads(vec![worker(0), worker(1)], None);
+    let (_, logs) = sys
+        .run(Threads::new(vec![worker(0), worker(1)]))
+        .into_parts();
 
     // Reconstruct the expected final set from the interleaved logs: since
     // both threads' ops are linearizable and completed, the final set is
@@ -148,8 +150,8 @@ fn automatic_flit_adjacent_list_survives_crash() {
     };
     let head = list.head_addr();
     let lref = &list;
-    let (_, committed) = sys.run_threads(
-        vec![move |h: CoreHandle| {
+    let (_, committed) = sys
+        .run(Threads::new(vec![move |h: CoreHandle| {
             let ph = PHandle::new(&h, PersistMode::Automatic, OptKind::FlitAdjacent);
             let mut done = Vec::new();
             for k in [5u64, 9, 2, 30, 17] {
@@ -157,9 +159,8 @@ fn automatic_flit_adjacent_list_survives_crash() {
                 done.push(k);
             }
             done
-        }],
-        None,
-    );
+        }]))
+        .into_parts();
     let dram = sys.durable_image();
     // Walk with 16-byte field stride.
     let mut found = BTreeSet::new();
@@ -205,15 +206,12 @@ fn non_persistent_list_loses_data_on_crash() {
     };
     let head = list.head_addr();
     let lref = &list;
-    sys.run_threads(
-        vec![move |h: CoreHandle| {
-            let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
-            for k in 1..20u64 {
-                lref.insert(&ph, k);
-            }
-        }],
-        None,
-    );
+    sys.run(Threads::new(vec![move |h: CoreHandle| {
+        let ph = PHandle::new(&h, PersistMode::None, OptKind::Plain);
+        for k in 1..20u64 {
+            lref.insert(&ph, k);
+        }
+    }]));
     let dram = sys.durable_image();
     let recovered = recover_list(&dram, head);
     assert!(

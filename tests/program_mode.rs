@@ -8,14 +8,19 @@ use skipit::prelude::*;
 #[test]
 fn empty_programs_finish_immediately() {
     let mut sys = SystemBuilder::new().cores(2).build();
-    let cycles = sys.run_programs(vec![vec![], vec![]]);
+    let cycles = sys.run(Programs(vec![vec![], vec![]])).cycles;
     assert!(cycles <= 2, "empty programs took {cycles} cycles");
 }
 
 #[test]
 fn nop_only_program_consumes_its_cycles() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    let cycles = sys.run_programs(vec![vec![Op::Nop { cycles: 100 }, Op::Nop { cycles: 50 }]]);
+    let cycles = sys
+        .run(Programs(vec![vec![
+            Op::Nop { cycles: 100 },
+            Op::Nop { cycles: 50 },
+        ]]))
+        .cycles;
     assert!(
         (150..200).contains(&cycles),
         "nop program took {cycles} cycles"
@@ -31,7 +36,9 @@ fn uneven_program_lengths_complete() {
             value: i,
         })
         .collect();
-    let cycles = sys.run_programs(vec![long, vec![Op::Fence], vec![]]);
+    let cycles = sys
+        .run(Programs(vec![long, vec![Op::Fence], vec![]]))
+        .cycles;
     assert!(cycles > 0);
     sys.quiesce();
     assert_eq!(sys.l1(0).peek_word(0x1000 + 199 * 8), Some(199));
@@ -41,13 +48,13 @@ fn uneven_program_lengths_complete() {
 fn repeated_phases_accumulate_state() {
     let mut sys = SystemBuilder::new().cores(1).build();
     for i in 0..20u64 {
-        sys.run_programs(vec![vec![Op::FetchAdd {
+        sys.run(Programs(vec![vec![Op::FetchAdd {
             addr: 0x2000,
             operand: 1,
-        }]]);
+        }]]));
         let _ = i;
     }
-    sys.run_programs(vec![vec![Op::Flush { addr: 0x2000 }, Op::Fence]]);
+    sys.run(Programs(vec![vec![Op::Flush { addr: 0x2000 }, Op::Fence]]));
     assert_eq!(sys.dram().read_word_direct(0x2000), 20);
 }
 
@@ -64,7 +71,7 @@ fn stq_saturation_makes_progress() {
     }
     prog.push(Op::Clean { addr: 0x3000 });
     prog.push(Op::Fence);
-    sys.run_programs(vec![prog]);
+    sys.run(Programs(vec![prog]));
     assert_eq!(sys.dram().read_word_direct(0x3000), 499);
 }
 

@@ -127,7 +127,7 @@ proptest! {
         let mut model: HashMap<u64, u64> = HashMap::new();
         // Run in thread mode so load values are observable.
         let ops2 = ops.clone();
-        let (_, mismatches) = sys.run_threads(vec![move |h: CoreHandle| {
+        let (_, mismatches) = sys.run(Threads::new(vec![move |h: CoreHandle| {
             let mut model_t: HashMap<u64, u64> = HashMap::new();
             let mut bad = Vec::new();
             for op in &ops2 {
@@ -162,7 +162,7 @@ proptest! {
                 }
             }
             bad
-        }], None);
+        }])).into_parts();
         // Keep the host-side model in sync for the durability check below.
         for op in &ops {
             if let POp::Store { line, word, tag } = *op {
@@ -204,7 +204,7 @@ proptest! {
             prog.push(if use_clean { Op::Clean { addr } } else { Op::Flush { addr } });
         }
         prog.push(Op::Fence);
-        sys.run_programs(vec![prog]);
+        sys.run(Programs(vec![prog]));
         let dram = sys.durable_image();
         for (&a, &v) in &model {
             prop_assert_eq!(dram.read_word_direct(a), v, "addr {:#x}", a);
@@ -219,7 +219,7 @@ proptest! {
         let mut results = Vec::new();
         for _run in 0..2 {
             let mut sys = SystemBuilder::new().cores(2).skip_it(true).build();
-            let cycles = sys.run_programs(vec![to_prog(&ops), to_prog(&ops)]);
+            let cycles = sys.run(Programs(vec![to_prog(&ops), to_prog(&ops)])).cycles;
             sys.quiesce();
             let dram = sys.durable_image();
             let image: Vec<u64> = (0..12 * 8)
@@ -255,7 +255,7 @@ proptest! {
             let progs = (0..CORES)
                 .map(|i| to_prog(if i % 2 == 0 { &ops0 } else { &ops1 }))
                 .collect();
-            let cycles = sys.run_programs(progs);
+            let cycles = sys.run(Programs(progs)).cycles;
             sys.quiesce();
             let stats = sys.stats();
             let events: Vec<StreamEvent> = sys
@@ -302,7 +302,7 @@ proptest! {
                 .perturb(perturb)
                 .build();
             sys.set_trace(TraceConfig::new().events(1 << 14));
-            let cycles = sys.run_programs(vec![to_prog(&ops); CORES]);
+            let cycles = sys.run(Programs(vec![to_prog(&ops); CORES])).cycles;
             sys.quiesce();
             let stats = sys.stats();
             let events: Vec<StreamEvent> = sys
@@ -358,7 +358,7 @@ proptest! {
                 cfg = cfg.telemetry(interval);
             }
             sys.set_trace(cfg);
-            let cycles = sys.run_programs(vec![to_prog(&ops); CORES]);
+            let cycles = sys.run(Programs(vec![to_prog(&ops); CORES])).cycles;
             sys.quiesce();
             let stats = sys.stats();
             let events: Vec<StreamEvent> = sys
@@ -428,7 +428,7 @@ fn probe_wakes_slept_core_same_cycle_as_naive() {
             Op::Nop { cycles: 400 },
             Op::Load { addr: 0x4_0000 },
         ];
-        let cycles = sys.run_programs(vec![prog0, prog1]);
+        let cycles = sys.run(Programs(vec![prog0, prog1])).cycles;
         let stats = sys.stats();
         assert!(
             stats.l1[1].probes_handled > 0,

@@ -1,0 +1,310 @@
+//! End-to-end checks of the trace capture / replay subsystem
+//! (`skipit-replay`, DESIGN.md §12).
+//!
+//! The load-bearing invariant: capturing the committed memory-op stream of
+//! any run and replaying it on a fresh system reproduces that run
+//! bit-identically — same cycles, same statistics, same durable image —
+//! under every engine at any thread count, with or without adversarial
+//! perturbation. Corrupt or truncated trace bytes decode to typed errors,
+//! never panics, and the text format round-trips through the binary one.
+
+use proptest::prelude::*;
+use skipit::core::PerturbConfig;
+use skipit::prelude::*;
+
+const ENGINES: [(EngineKind, usize); 5] = [
+    (EngineKind::Naive, 0),
+    (EngineKind::GlobalGate, 0),
+    (EngineKind::ComponentWheel, 0),
+    (EngineKind::ParallelWheel, 1),
+    (EngineKind::ParallelWheel, 2),
+];
+
+fn build(
+    cores: usize,
+    engine: EngineKind,
+    threads: usize,
+    perturb: PerturbConfig,
+) -> skipit::System {
+    SystemBuilder::new()
+        .cores(cores)
+        .engine(engine)
+        .engine_threads(threads)
+        .perturb(perturb)
+        .build()
+}
+
+/// Everything a run leaves behind that replay must reproduce.
+fn fingerprint(cycles: u64, sys: &skipit::System) -> (u64, SystemStats, String, u64) {
+    (
+        cycles,
+        sys.stats(),
+        format!("{:?}", sys.durable_image()),
+        sys.state_digest(),
+    )
+}
+
+/// Captures `programs` on a fresh system, returning the reference
+/// fingerprint and the trace after a byte-level round trip.
+fn capture(
+    programs: Vec<Vec<Op>>,
+    perturb: PerturbConfig,
+) -> ((u64, SystemStats, String, u64), MemTrace) {
+    let mut sys = build(2, EngineKind::ComponentWheel, 0, perturb);
+    sys.start_capture();
+    let cycles = sys.run(Programs(programs)).cycles;
+    let trace = MemTrace::from_capture(2, 0, &sys.take_capture());
+    // The committed stream must survive encode → decode unchanged.
+    let trace = MemTrace::from_bytes(&trace.to_bytes()).expect("fresh trace bytes decode");
+    (fingerprint(cycles, &sys), trace)
+}
+
+/// A small contended address pool (same shape as the snapshot properties).
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = || (0u64..24).prop_map(|i| 0x4_0000 + i * 8);
+    let line = || (0u64..24).prop_map(|i| 0x4_0000 + (i / 8) * 64);
+    prop_oneof![
+        addr().prop_map(|addr| Op::Load { addr }),
+        (addr(), 1u64..100).prop_map(|(addr, value)| Op::Store { addr, value }),
+        (addr(), 0u64..4, 1u64..4).prop_map(|(addr, expected, new)| Op::Cas {
+            addr,
+            expected,
+            new
+        }),
+        (addr(), 1u64..10).prop_map(|(addr, operand)| Op::FetchAdd { addr, operand }),
+        (addr(), 1u64..10).prop_map(|(addr, operand)| Op::Swap { addr, operand }),
+        line().prop_map(|addr| Op::Clean { addr }),
+        line().prop_map(|addr| Op::Flush { addr }),
+        line().prop_map(|addr| Op::Inval { addr }),
+        Just(Op::Fence),
+        (1u64..30).prop_map(|cycles| Op::Nop { cycles }),
+    ]
+}
+
+fn arb_programs() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    prop::collection::vec(prop::collection::vec(arb_op(), 1..24), 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// The round-trip invariant: `capture(run(W))` replayed on a fresh
+    /// system reproduces the run bit-identically under every engine at
+    /// every thread count, unperturbed and under adversarial jitter.
+    #[test]
+    fn capture_replay_is_bit_identical_on_every_engine(
+        programs in arb_programs(),
+        seed in 0u64..3,
+    ) {
+        let perturb = if seed == 0 {
+            PerturbConfig::default()
+        } else {
+            PerturbConfig::exploring(seed)
+        };
+        let (reference, trace) = capture(programs, perturb);
+
+        for (engine, threads) in ENGINES {
+            let mut sys = build(2, engine, threads, perturb);
+            let report = sys.run(TraceReplay::new(trace.clone()));
+            let replayed = fingerprint(report.cycles, &sys);
+            prop_assert_eq!(
+                &replayed.0, &reference.0,
+                "cycles diverged under {:?}/{}t", engine, threads
+            );
+            prop_assert_eq!(
+                &replayed.1, &reference.1,
+                "stats diverged under {:?}/{}t", engine, threads
+            );
+            prop_assert_eq!(
+                &replayed.2, &reference.2,
+                "durable image diverged under {:?}/{}t", engine, threads
+            );
+        }
+
+        // Same engine as the capture run: the full state digest matches too.
+        let mut sys = build(2, EngineKind::ComponentWheel, 0, perturb);
+        let report = sys.run(TraceReplay::new(trace));
+        prop_assert_eq!(fingerprint(report.cycles, &sys), reference);
+    }
+}
+
+/// A thread-mode run's committed op stream replays to the same cache
+/// traffic and the same durable image (the replay's end-of-run cycle may
+/// differ from the rendezvous run's by the finish handshake, so timing is
+/// compared through the per-op stream, not the final cycle count).
+#[test]
+fn thread_mode_capture_replays_to_same_traffic_and_image() {
+    let mut sys = skipit::paper_platform(true);
+    sys.start_capture();
+    let (_, sums) = sys
+        .run(Threads::new(vec![
+            |h: CoreHandle| {
+                let mut sum = 0;
+                for i in 0..8u64 {
+                    h.store(0x6000 + i * 64, i + 1);
+                    h.flush(0x6000 + i * 64);
+                    sum += h.load(0x6000 + i * 64);
+                }
+                h.fence();
+                sum
+            },
+            |h: CoreHandle| {
+                let mut sum = 0;
+                for i in 0..8u64 {
+                    sum += h.fetch_add(0x6000 + i * 64, 10);
+                    h.work(5);
+                }
+                h.fence();
+                sum
+            },
+        ]))
+        .into_parts();
+    assert_eq!(sums.len(), 2);
+    let cap = sys.take_capture();
+    assert!(!cap.is_empty(), "thread-mode ops must be captured");
+    let trace = MemTrace::from_capture(2, 0, &cap);
+    let reference = sys.stats();
+    let image = format!("{:?}", sys.durable_image());
+
+    let mut replayed = skipit::paper_platform(true);
+    replayed.run(TraceReplay::new(trace));
+    let rstats = replayed.stats();
+    assert_eq!(rstats.l1, reference.l1, "L1 traffic diverged");
+    assert_eq!(rstats.l2, reference.l2, "L2 traffic diverged");
+    assert_eq!(rstats.mem, reference.mem, "memory traffic diverged");
+    assert_eq!(
+        format!("{:?}", replayed.durable_image()),
+        image,
+        "durable image diverged"
+    );
+}
+
+/// Decoding never panics, and each malformation maps to its typed error.
+#[test]
+fn corrupt_traces_decode_to_typed_errors() {
+    let (_, trace) = capture(
+        vec![
+            vec![
+                Op::Store {
+                    addr: 0x4_0000,
+                    value: 3,
+                },
+                Op::Flush { addr: 0x4_0000 },
+                Op::Fence,
+            ],
+            vec![Op::Load { addr: 0x4_0000 }],
+        ],
+        PerturbConfig::default(),
+    );
+    let bytes = trace.to_bytes();
+
+    // Every truncation point fails with a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        let err = MemTrace::from_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated | TraceError::BadMagic | TraceError::Corrupt(_)
+            ),
+            "cut at {cut} produced unexpected error {err}"
+        );
+    }
+
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        MemTrace::from_bytes(&bad).unwrap_err(),
+        TraceError::BadMagic
+    ));
+
+    let mut bad = bytes.clone();
+    bad[4] = 9; // version varint
+    assert!(matches!(
+        MemTrace::from_bytes(&bad).unwrap_err(),
+        TraceError::BadVersion { found: 9, .. }
+    ));
+
+    let mut bad = bytes.clone();
+    bad.push(0);
+    assert!(matches!(
+        MemTrace::from_bytes(&bad).unwrap_err(),
+        TraceError::TrailingBytes { .. }
+    ));
+}
+
+/// A hand-written text trace means exactly what its binary encoding means:
+/// parse → encode → decode → render is the identity (modulo comments), and
+/// both forms replay identically.
+#[test]
+fn text_and_binary_forms_are_equivalent() {
+    let text = "\
+# store-buffering shape: both cores store then read the other's line
+cores 2
+0 store 0x40000 1
+1 store 0x40040 1
+0 +3 load 0x40040
+1 +3 load 0x40000
+0 flush 0x40000
+1 flush 0x40040
+0 +1 fence
+1 +1 fence
+";
+    let trace = MemTrace::from_text(text).expect("text parses");
+    assert_eq!(trace.cores(), 2);
+    assert_eq!(trace.len(), 8);
+
+    // Binary round trip preserves the records exactly.
+    let binary = MemTrace::from_bytes(&trace.to_bytes()).unwrap();
+    assert_eq!(binary.records(), trace.records());
+
+    // Rendering back to text and re-parsing is the identity too.
+    let reparsed = MemTrace::from_text(&trace.to_text()).expect("rendered text parses");
+    assert_eq!(reparsed.records(), trace.records());
+
+    // Both forms drive the machine identically.
+    let mut a = skipit::paper_platform(false);
+    let ca = a.run(TraceReplay::new(trace)).cycles;
+    let mut b = skipit::paper_platform(false);
+    let cb = b.run(TraceReplay::new(binary)).cycles;
+    assert_eq!(ca, cb);
+    assert_eq!(a.state_digest(), b.state_digest());
+    assert_eq!(a.dram().read_word_direct(0x40000), 1);
+    assert_eq!(a.dram().read_word_direct(0x40040), 1);
+}
+
+/// Replay is a plain [`Workload`]: a captured system can itself be
+/// captured while replaying, and the re-capture is the same trace
+/// (replay is idempotent).
+#[test]
+fn recapturing_a_replay_reproduces_the_trace() {
+    let (_, trace) = capture(
+        vec![
+            vec![
+                Op::Store {
+                    addr: 0x4_0000,
+                    value: 1,
+                },
+                Op::Nop { cycles: 7 },
+                Op::Clean { addr: 0x4_0000 },
+                Op::Fence,
+            ],
+            vec![
+                Op::FetchAdd {
+                    addr: 0x4_0000,
+                    operand: 2,
+                },
+                Op::Fence,
+            ],
+        ],
+        PerturbConfig::default(),
+    );
+
+    let mut sys = skipit::paper_platform(false);
+    sys.start_capture();
+    sys.run(TraceReplay::new(trace.clone()));
+    let recaptured = MemTrace::from_capture(2, 0, &sys.take_capture());
+    assert_eq!(recaptured.records(), trace.records());
+}

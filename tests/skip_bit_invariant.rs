@@ -53,7 +53,7 @@ fn skip_bit_matches_l2_dirty_bit_under_random_traffic() {
         for _round in 0..6 {
             let p0 = random_program(&mut rng, 24, 60);
             let p1 = random_program(&mut rng, 24, 60);
-            s.run_programs(vec![p0, p1]);
+            s.run(Programs(vec![p0, p1]));
             s.quiesce();
             check_skip_invariant(&s);
         }
@@ -70,7 +70,7 @@ fn skip_bit_invariant_with_eviction_pressure() {
         // 1024 lines > 512-line L1.
         let p0 = random_program(&mut rng, 1024, 150);
         let p1 = random_program(&mut rng, 1024, 150);
-        s.run_programs(vec![p0, p1]);
+        s.run(Programs(vec![p0, p1]));
         s.quiesce();
         check_skip_invariant(&s);
     }
@@ -120,7 +120,7 @@ fn skip_it_is_functionally_transparent() {
             let mut s = SystemBuilder::new().cores(2).skip_it(skip_it).build();
             let p0 = random_program_private_stores(&mut rng, 16, 0..8, 80);
             let p1 = random_program_private_stores(&mut rng, 16, 8..16, 80);
-            s.run_programs(vec![p0, p1]);
+            s.run(Programs(vec![p0, p1]));
             // Flush the whole working set so both images are complete.
             let flush_all: Vec<Op> = (0..16u64)
                 .map(|i| Op::Flush {
@@ -128,7 +128,7 @@ fn skip_it_is_functionally_transparent() {
                 })
                 .chain(std::iter::once(Op::Fence))
                 .collect();
-            s.run_programs(vec![flush_all, vec![]]);
+            s.run(Programs(vec![flush_all, vec![]]));
             let dram = s.durable_image();
             let image: Vec<u64> = (0..16 * 8u64)
                 .map(|w| dram.read_word_direct(0x10_000 + w * 8))
@@ -159,7 +159,7 @@ fn skip_counts_differ_between_configs() {
             prog.push(Op::Clean { addr: 0x20_000 });
             prog.push(Op::Fence);
         }
-        s.run_programs(vec![prog]);
+        s.run(Programs(vec![prog]));
         skipped.push(s.stats().l1[0].writebacks_skipped);
     }
     assert_eq!(skipped[0], 0);

@@ -28,7 +28,7 @@ fn simulation_sweep() -> Sweep {
                             p
                         })
                         .collect();
-                    let cycles = sys.run_programs(programs);
+                    let cycles = sys.run(Programs(programs)).cycles;
                     sys.quiesce();
                     PointOutput::from_system(&sys).value("program_cycles", cycles as f64)
                 })
@@ -105,7 +105,7 @@ fn budget_overrun_on_a_real_simulation_is_classified_timeout() {
                     });
                 }
                 p.push(Op::Fence);
-                sys.run_programs(vec![p]);
+                sys.run(Programs(vec![p]));
                 PointOutput::from_system(&sys)
             })
             .budget(budget),

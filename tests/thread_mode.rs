@@ -7,21 +7,25 @@ use skipit::prelude::*;
 #[test]
 fn worker_that_does_nothing_terminates() {
     let mut sys = SystemBuilder::new().cores(2).build();
-    let (cycles, _) = sys.run_threads(vec![|h: CoreHandle| h.finish(), |_h: CoreHandle| {}], None);
+    let (cycles, _) = sys
+        .run(Threads::new(vec![
+            |h: CoreHandle| h.finish(),
+            |_h: CoreHandle| {},
+        ]))
+        .into_parts();
     assert!(cycles < 100);
 }
 
 #[test]
 fn worker_using_only_rdcycle_terminates() {
     let mut sys = SystemBuilder::new().cores(1).build();
-    let (_, v) = sys.run_threads(
-        vec![|h: CoreHandle| {
+    let (_, v) = sys
+        .run(Threads::new(vec![|h: CoreHandle| {
             let a = h.rdcycle();
             let b = h.rdcycle();
             (a, b)
-        }],
-        None,
-    );
+        }]))
+        .into_parts();
     // rdcycle consumes no simulated time.
     assert_eq!(v[0].0, v[0].1);
 }
@@ -29,41 +33,44 @@ fn worker_using_only_rdcycle_terminates() {
 #[test]
 fn fewer_workers_than_cores_is_fine() {
     let mut sys = SystemBuilder::new().cores(4).build();
-    let (_, v) = sys.run_threads(
-        vec![|h: CoreHandle| {
+    let (_, v) = sys
+        .run(Threads::new(vec![|h: CoreHandle| {
             h.store(0x100, 5);
             h.load(0x100)
-        }],
-        None,
-    );
+        }]))
+        .into_parts();
     assert_eq!(v[0], 5);
 }
 
 #[test]
 fn program_and_thread_phases_interleave_on_shared_state() {
     let mut sys = SystemBuilder::new().cores(2).build();
-    sys.run_programs(vec![
+    sys.run(Programs(vec![
         vec![Op::Store {
             addr: 0x200,
             value: 7,
         }],
         vec![],
-    ]);
+    ]));
     sys.quiesce();
-    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
+    let (_, v) = sys
+        .run(Threads::new(vec![|h: CoreHandle| h.load(0x200)]))
+        .into_parts();
     assert_eq!(v[0], 7);
-    sys.run_programs(vec![
+    sys.run(Programs(vec![
         vec![],
         vec![Op::Store {
             addr: 0x200,
             value: 8,
         }],
-    ]);
+    ]));
     // Without quiescing, core 0 may legally still hit its stale Shared copy
     // (store propagation is asynchronous); quiesce() drains the coherence
     // traffic, after which the new value must be visible.
     sys.quiesce();
-    let (_, v) = sys.run_threads(vec![|h: CoreHandle| h.load(0x200)], None);
+    let (_, v) = sys
+        .run(Threads::new(vec![|h: CoreHandle| h.load(0x200)]))
+        .into_parts();
     assert_eq!(v[0], 8);
 }
 
@@ -78,7 +85,9 @@ fn budget_halts_all_workers_eventually() {
         }
         n
     };
-    let (cycles, counts) = sys.run_threads(vec![worker, worker, worker], Some(5_000));
+    let (cycles, counts) = sys
+        .run(Threads::new(vec![worker, worker, worker]).budget(5_000))
+        .into_parts();
     assert!(cycles >= 5_000);
     assert!(
         cycles < 50_000,
@@ -87,6 +96,50 @@ fn budget_halts_all_workers_eventually() {
     for c in counts {
         assert!(c > 0);
     }
+}
+
+/// The documented budget contract, end to end: expiry is a *soft* stop.
+/// `RunReport::cycles` includes the post-deadline drain (so it can exceed
+/// the budget), `budget_expired` reports the expiry, and every worker's
+/// result is present — expiry flips the `halted` flag workers observe, it
+/// never truncates `output`.
+#[test]
+fn budget_expiry_is_reported_and_preserves_every_result() {
+    let mut sys = SystemBuilder::new().cores(2).build();
+    let worker = |h: CoreHandle| {
+        let mut n = 0u64;
+        while !h.halted() {
+            h.fetch_add(0x500, 1);
+            h.work(20);
+            n += 1;
+        }
+        // Post-halt work still executes: the run drains past the deadline.
+        h.store(0x600 + h.core_id() as u64 * 64, n);
+        h.flush(0x600 + h.core_id() as u64 * 64);
+        h.fence();
+        n
+    };
+    let report = sys.run(Threads::new(vec![worker, worker]).budget(4_000));
+    assert!(report.budget_expired, "budget must be reported as expired");
+    assert!(
+        report.cycles >= 4_000,
+        "cycles include the drain, got {}",
+        report.cycles
+    );
+    assert_eq!(report.output.len(), 2, "no result may be dropped");
+    for (i, &n) in report.output.iter().enumerate() {
+        assert!(n > 0);
+        // The post-halt store + fence committed: the drain really ran.
+        assert_eq!(sys.dram().read_word_direct(0x600 + i as u64 * 64), n);
+    }
+
+    // Control: a budget that never expires reports `budget_expired: false`,
+    // as does a budget-less run.
+    let mut sys = SystemBuilder::new().cores(1).build();
+    let report = sys.run(Threads::new(vec![|h: CoreHandle| h.load(0x500)]).budget(u64::MAX / 2));
+    assert!(!report.budget_expired);
+    let report = sys.run(Threads::new(vec![|h: CoreHandle| h.load(0x500)]));
+    assert!(!report.budget_expired);
 }
 
 #[test]
@@ -104,7 +157,9 @@ fn worker_results_are_deterministic_across_runs() {
                 acc
             }
         };
-        let (cycles, v) = sys.run_threads(vec![worker(1), worker(2)], None);
+        let (cycles, v) = sys
+            .run(Threads::new(vec![worker(1), worker(2)]))
+            .into_parts();
         (cycles, v)
     };
     assert_eq!(run(), run(), "rendezvous scheduling must be deterministic");
@@ -113,13 +168,12 @@ fn worker_results_are_deterministic_across_runs() {
 #[test]
 fn handles_expose_core_ids_in_order() {
     let mut sys = SystemBuilder::new().cores(3).build();
-    let (_, ids) = sys.run_threads(
-        vec![
+    let (_, ids) = sys
+        .run(Threads::new(vec![
             |h: CoreHandle| h.core_id(),
             |h: CoreHandle| h.core_id(),
             |h: CoreHandle| h.core_id(),
-        ],
-        None,
-    );
+        ]))
+        .into_parts();
     assert_eq!(ids, vec![0, 1, 2]);
 }

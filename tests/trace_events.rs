@@ -64,7 +64,7 @@ fn legal_transition(from: &str, to: &str) -> bool {
 fn fshr_event_sequences_follow_fig7() {
     let mut sys = SystemBuilder::new().cores(2).build();
     sys.set_trace(TraceConfig::new().events(1 << 16));
-    sys.run_programs(flush_heavy_programs());
+    sys.run(Programs(flush_heavy_programs()));
     sys.quiesce();
     let events = sys.trace_events();
     assert_eq!(sys.trace_events_dropped(), 0, "ring buffers overflowed");
@@ -115,7 +115,7 @@ fn fshr_event_sequences_follow_fig7() {
 fn event_run(engine: EngineKind, progs: Vec<Vec<Op>>) -> Vec<StreamEvent> {
     let mut sys = SystemBuilder::new().cores(2).engine(engine).build();
     sys.set_trace(TraceConfig::new().events(1 << 16));
-    sys.run_programs(progs);
+    sys.run(Programs(progs));
     sys.quiesce();
     sys.trace_events()
         .into_iter()
@@ -138,7 +138,7 @@ fn fast_engine_emits_jump_markers() {
         .engine(EngineKind::ComponentWheel)
         .build();
     sys.set_trace(TraceConfig::new().events(1 << 16));
-    sys.run_programs(flush_heavy_programs());
+    sys.run(Programs(flush_heavy_programs()));
     let jumps: Vec<_> = sys
         .trace_events()
         .into_iter()
@@ -161,7 +161,7 @@ fn fast_engine_emits_jump_markers() {
 fn chrome_export_contains_fshr_and_tilelink_spans() {
     let mut sys = SystemBuilder::new().cores(2).build();
     sys.set_trace(TraceConfig::new().events(1 << 16));
-    sys.run_programs(flush_heavy_programs());
+    sys.run(Programs(flush_heavy_programs()));
     sys.quiesce();
     let json = sys.export_chrome_trace();
     assert!(json.starts_with('{') && json.ends_with('}'));

@@ -7,7 +7,7 @@ use skipit::prelude::*;
 fn trace_records_op_latencies() {
     let mut sys = SystemBuilder::new().cores(1).build();
     sys.set_trace(TraceConfig::new().latency(1024));
-    sys.run_programs(vec![vec![
+    sys.run(Programs(vec![vec![
         Op::Store {
             addr: 0x1000,
             value: 1,
@@ -15,7 +15,7 @@ fn trace_records_op_latencies() {
         Op::Load { addr: 0x1000 },
         Op::Flush { addr: 0x1000 },
         Op::Fence,
-    ]]);
+    ]]));
     let recs = sys.trace_records();
     assert_eq!(recs.len(), 4);
     // Load hit after the store: short latency (hit path + queueing).
@@ -51,7 +51,7 @@ fn trace_is_bounded_and_clearable() {
             value: i,
         })
         .collect();
-    sys.run_programs(vec![prog]);
+    sys.run(Programs(vec![prog]));
     assert_eq!(sys.trace_records().len(), 4, "log must stay bounded");
     sys.clear_traces();
     assert!(sys.trace_records().is_empty());
@@ -65,16 +65,16 @@ fn skip_it_drop_is_visibly_cheaper_in_traces() {
     let mut fence_latency = [0u64; 2];
     for (i, skip_it) in [false, true].into_iter().enumerate() {
         let mut sys = SystemBuilder::new().cores(1).skip_it(skip_it).build();
-        sys.run_programs(vec![vec![
+        sys.run(Programs(vec![vec![
             Op::Store {
                 addr: 0x3000,
                 value: 1,
             },
             Op::Clean { addr: 0x3000 },
             Op::Fence,
-        ]]);
+        ]]));
         sys.set_trace(TraceConfig::new().latency(16));
-        sys.run_programs(vec![vec![Op::Clean { addr: 0x3000 }, Op::Fence]]);
+        sys.run(Programs(vec![vec![Op::Clean { addr: 0x3000 }, Op::Fence]]));
         let recs = sys.trace_records();
         fence_latency[i] = recs
             .iter()
@@ -112,7 +112,7 @@ fn trace_records_merge_cores_by_completion_cycle() {
         p
     };
     // Overlapping line pools so the cores contend and interleave.
-    sys.run_programs(vec![prog(0x9000), prog(0x9100)]);
+    sys.run(Programs(vec![prog(0x9000), prog(0x9100)]));
     let recs = sys.trace_records();
     assert_eq!(recs.len(), 34);
     assert!(
@@ -148,7 +148,7 @@ fn latency_histograms_match_trace_records() {
         });
     }
     prog.push(Op::Fence);
-    sys.run_programs(vec![prog]);
+    sys.run(Programs(vec![prog]));
     let hists = sys.latency_histograms();
     assert_eq!(hists["store"].count(), 16);
     assert_eq!(hists["clean"].count(), 16);
@@ -174,14 +174,14 @@ fn event_and_latency_tracing_compose() {
     sys.set_trace(TraceConfig::new().latency(64).events(1 << 12));
     assert_eq!(sys.trace_config().latency_capacity(), Some(64));
     assert_eq!(sys.trace_config().event_capacity(), Some(1 << 12));
-    sys.run_programs(vec![vec![
+    sys.run(Programs(vec![vec![
         Op::Store {
             addr: 0x3000,
             value: 7,
         },
         Op::Flush { addr: 0x3000 },
         Op::Fence,
-    ]]);
+    ]]));
     assert_eq!(sys.trace_records().len(), 3, "latency tracing inactive");
     assert!(!sys.trace_events().is_empty(), "event tracing inactive");
 }
