@@ -9,7 +9,8 @@ cd "$(dirname "$0")"
 # fmt/doc enumerate the first-party crates.
 FIRST_PARTY=(-p skipit -p skipit-core -p skipit-boom -p skipit-dcache -p skipit-llc
   -p skipit-mem -p skipit-tilelink -p skipit-trace -p skipit-pds -p skipit-bench
-  -p skipit-sweep -p skipit-explore -p skipit-snap -p skipit-replay)
+  -p skipit-sweep -p skipit-explore -p skipit-snap -p skipit-replay
+  -p skipit-service)
 
 cargo fmt --check "${FIRST_PARTY[@]}"
 cargo build --release
@@ -49,6 +50,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${FIRST_PARTY[@]}"
 #    serially and at 2 worker threads asserting bit-identical tables
 #    (examples/replay_smoke.rs; traces regenerate deterministically via
 #    examples/capture_trace.rs).
+#  - runs the service-frontend smoke: one open-loop Zipfian/Poisson SLO
+#    workload executed under all four engines (parallel wheel at 1, 2 and
+#    8 host threads), plain and perturbed, plus both stress patterns
+#    (cache stampede, synchronized expiration storm); fails on any digest,
+#    cycle or stats divergence, or on an internally inconsistent SLO
+#    summary (examples/service_smoke.rs).
 #  - smoke-runs the simspeed benchmark (reduced workloads) and fails if any
 #    workload's engine speedup regresses more than 20 % below the committed
 #    BENCH_simspeed.json — including the warm-started sweep's wall-clock
@@ -61,6 +68,7 @@ if [[ "${1:-}" == "--quick" ]]; then
   cargo run --release --example telemetry_smoke
   cargo run --release --example snapshot_smoke
   cargo run --release --example replay_smoke
+  cargo run --release --example service_smoke
   SKIPIT_BENCH_QUICK=1 \
   SKIPIT_BENCH_BASELINE="$PWD/BENCH_simspeed.json" \
   SKIPIT_BENCH_OUT="$(mktemp)" \

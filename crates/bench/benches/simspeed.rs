@@ -42,7 +42,7 @@
 
 use skipit_bench::micro::{fig9_sample, fig9_serialized_sample};
 use skipit_bench::quick;
-use skipit_bench::sweeps::fig15_reduced_sweep;
+use skipit_bench::sweeps::{fig15_reduced_sweep, service_sweep, SERVICE_SLOS};
 use skipit_core::{EngineKind, SystemBuilder, TraceConfig};
 use skipit_pds::{run_set_benchmark, DsKind, OptKind, PersistMode, WorkloadCfg};
 use skipit_sweep::SweepRunner;
@@ -542,6 +542,84 @@ fn warm_wall() -> WarmWall {
     }
 }
 
+/// The service-frontend SLO grid: executed once serially and once across a
+/// 2-thread worker pool (the determinism cross-check — the tables must be
+/// bit-identical), with the serial table's SLO percentiles and goodput
+/// curves recorded row by row. Unlike the engine rows these are committed
+/// *results*, not host-speed figures, so single-shot wall times suffice.
+struct ServiceWall {
+    points: usize,
+    total_requests: u64,
+    host_cpus: usize,
+    serial_secs: f64,
+    threaded_secs: f64,
+    identical: bool,
+    /// Pre-rendered JSON rows of the serial table.
+    grid_json: String,
+}
+
+fn service_grid(quick: bool) -> ServiceWall {
+    let serial = SweepRunner::serial().run(service_sweep(quick));
+    let threaded = SweepRunner::new().threads(2).run(service_sweep(quick));
+    assert!(serial.all_ok(), "service grid has a failing point");
+    let identical = serial.to_json() == threaded.to_json();
+    let total_requests: u64 = serial
+        .rows()
+        .iter()
+        .map(|r| r.value("requests").unwrap_or(0.0) as u64)
+        .sum();
+    let mut grid_json = String::new();
+    for (i, row) in serial.rows().iter().enumerate() {
+        let v = |name: &str| row.value(name).unwrap_or(f64::NAN);
+        let param = |key: &str| {
+            row.params
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?")
+        };
+        let mut slos = String::new();
+        for slo in SERVICE_SLOS {
+            slos.push_str(&format!(
+                ", \"met_{slo}\": {:.4}, \"goodput_{slo}\": {:.1}",
+                v(&format!("met_{slo}")),
+                v(&format!("goodput_{slo}"))
+            ));
+        }
+        grid_json.push_str(&format!(
+            "      {{\"point\": \"{}\", \"skew\": {}, \"mean_gap\": {}, \"method\": \"{}\", \
+             \"stress\": \"{}\", \"requests\": {:.0}, \"cycles\": {}, \"mean\": {:.1}, \
+             \"p50\": {:.0}, \"p99\": {:.0}, \"p999\": {:.0}{}}}{}\n",
+            row.label,
+            param("skew"),
+            param("mean_gap"),
+            param("method"),
+            param("stress"),
+            v("requests"),
+            row.output.cycles,
+            v("mean"),
+            v("p50"),
+            v("p99"),
+            v("p999"),
+            slos,
+            if i + 1 == serial.rows().len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    ServiceWall {
+        points: serial.rows().len(),
+        total_requests,
+        host_cpus: host_cpus(),
+        serial_secs: serial.wall().as_secs_f64(),
+        threaded_secs: threaded.wall().as_secs_f64(),
+        identical,
+        grid_json,
+    }
+}
+
 fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.1}")
@@ -927,9 +1005,38 @@ fn main() {
         ww.identical
     );
 
+    let sv = service_grid(quick);
+    assert!(
+        sv.identical,
+        "service grid tables diverge between serial and threaded execution"
+    );
+    println!(
+        "# service SLO grid: {} points, {} total requests (host has {} CPUs)",
+        sv.points, sv.total_requests, sv.host_cpus
+    );
+    println!("serial_secs,threaded_secs,identical");
+    println!(
+        "{:.3},{:.3},{}",
+        sv.serial_secs, sv.threaded_secs, sv.identical
+    );
+    // Keys deliberately avoid "workload"/"speedup" (see the sweep section);
+    // grid rows use "point" for the same reason.
+    let service_json = format!(
+        "  \"service\": {{\"name\": \"service_grid\", \"points\": {}, \"total_requests\": {}, \
+         \"host_cpus\": {}, \"serial_secs\": {}, \"threaded_secs\": {}, \"identical\": {}, \
+         \"grid\": [\n{}    ]}},",
+        sv.points,
+        sv.total_requests,
+        sv.host_cpus,
+        format_args!("{:.3}", sv.serial_secs),
+        format_args!("{:.3}", sv.threaded_secs),
+        sv.identical,
+        sv.grid_json
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"simspeed\",\n  \"unit\": \"kilo-simulated-cycles per host second\",\n  \
-         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"quick\": {},\n  \"host_cpus\": {},\n{}\n{}\n{}\n{}\n{}\n{}\n  \"workloads\": [\n{}\n  ]\n}}\n",
         quick,
         host_cpus(),
         parallel_json,
@@ -937,6 +1044,7 @@ fn main() {
         phase_json,
         sweep_json,
         warm_json,
+        service_json,
         entries.join(",\n")
     );
     if let Ok(path) = std::env::var("SKIPIT_BENCH_BASELINE") {

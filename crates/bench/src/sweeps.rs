@@ -26,6 +26,7 @@ use skipit_pds::{
     PersistMode, WarmSet, WorkloadCfg,
 };
 use skipit_replay::{MemTrace, TraceReplay};
+use skipit_service::{Arrivals, KeyDist, ServiceCfg, ServiceWorkload, Stress};
 use skipit_sweep::{Point, PointCtx, PointOutput, Sweep, WarmState};
 use std::collections::BTreeSet;
 
@@ -319,6 +320,123 @@ pub fn replay_sweep(name: impl Into<String>, trace: MemTrace, seeds: &[u64]) -> 
     sweep
 }
 
+/// SLO thresholds (cycles) every service grid point evaluates its goodput
+/// curve at. The base service latency of the platform is ~265 cycles, so
+/// the ladder spans "comfortable" to "only met when unloaded".
+pub const SERVICE_SLOS: [u64; 4] = [400, 800, 1600, 6400];
+
+/// The two service frontends compared by the grid: the plain software on
+/// plain hardware, and the same software on Skip It hardware.
+pub fn service_methods() -> [(&'static str, OptKind); 2] {
+    [("baseline", OptKind::Plain), ("skip-it", OptKind::SkipIt)]
+}
+
+/// Row label of one service grid point.
+pub fn service_label(traffic: &str, gap: u64, method: &str) -> String {
+    format!("{traffic}/g{gap}/{method}")
+}
+
+/// One service grid configuration: `quick` shrinks the per-point request
+/// count the same way the other grids shrink under `SKIPIT_BENCH_QUICK=1`.
+fn service_cfg(quick: bool, skew: f64, gap: u64, opt: OptKind, stress: Stress) -> ServiceCfg {
+    ServiceCfg {
+        cores: 2,
+        requests_per_core: if quick { 300 } else { 24_000 },
+        key_range: if quick { 256 } else { 2048 },
+        prefill: if quick { 128 } else { 1024 },
+        dist: KeyDist::from_skew(skew),
+        arrivals: Arrivals::Poisson { mean_gap: gap },
+        stress,
+        opt,
+        seed: 23,
+        hash_buckets: if quick { 64 } else { 512 },
+        ..ServiceCfg::default()
+    }
+}
+
+/// Lowers one service configuration to a sweep point reporting SLO
+/// percentiles and the goodput curve.
+fn service_point(label: String, cfg: ServiceCfg) -> Point {
+    Point::new(label, move |_ctx| {
+        let mut sys = cfg.builder().build();
+        let r = sys.run(ServiceWorkload::new(cfg.clone())).output;
+        let slo = r.slo(&SERVICE_SLOS);
+        let mut out = PointOutput::new()
+            .with_cycles(r.cycles)
+            .value("requests", r.requests as f64)
+            .value("fill_cycles", r.fill_cycles as f64)
+            .value("kreq_per_mcycle", r.throughput())
+            .value("mean", slo.mean)
+            .value("p50", slo.p50 as f64)
+            .value("p99", slo.p99 as f64)
+            .value("p999", slo.p999 as f64)
+            .value("digest_lo", (r.digest & 0xffff_ffff) as f64);
+        for g in &slo.goodput {
+            out = out
+                .value(format!("met_{}", g.slo), g.met)
+                .value(format!("goodput_{}", g.slo), g.goodput);
+        }
+        out
+    })
+}
+
+/// The service-frontend grid: Zipf skew × open-loop arrival rate ×
+/// {baseline, skip-it}, plus stampede and synchronized-expiration-storm
+/// stress points at the middle rate. Full size executes ≥ 1 M simulated
+/// requests across the grid; every point reports p50/p99/p999 and the
+/// goodput-under-SLO curve at [`SERVICE_SLOS`].
+///
+/// The arrival-rate axis brackets the platform's saturation knee (mean
+/// per-lane service time is ~300–400 cycles depending on skew): the
+/// fastest rate drives the uniform-key points past the knee, so the grid
+/// shows both the stable regime and open-loop queueing collapse.
+pub fn service_sweep(quick: bool) -> Sweep {
+    let mut sweep = Sweep::new("service_grid").unit("cycles").seed(23);
+    for skew in [0.0, 0.99, 1.2] {
+        for gap in [400u64, 560, 880] {
+            for (method, opt) in service_methods() {
+                let cfg = service_cfg(quick, skew, gap, opt, Stress::None);
+                sweep.push(
+                    service_point(service_label(&format!("s{skew}"), gap, method), cfg)
+                        .param("skew", skew)
+                        .param("mean_gap", gap)
+                        .param("method", method)
+                        .param("stress", "none"),
+                );
+            }
+        }
+    }
+    let stresses = [
+        (
+            "stampede",
+            Stress::Stampede {
+                every: 40,
+                herd: 12,
+            },
+        ),
+        (
+            "storm",
+            Stress::ExpirationStorm {
+                every_cycles: if quick { 2_000 } else { 20_000 },
+                lines: if quick { 4 } else { 16 },
+            },
+        ),
+    ];
+    for (name, stress) in stresses {
+        for (method, opt) in service_methods() {
+            let cfg = service_cfg(quick, 0.99, 560, opt, stress);
+            sweep.push(
+                service_point(service_label(name, 560, method), cfg)
+                    .param("skew", 0.99)
+                    .param("mean_gap", 560)
+                    .param("method", method)
+                    .param("stress", name),
+            );
+        }
+    }
+    sweep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +481,34 @@ mod tests {
         assert_eq!(sweep.len(), 3);
         // Every FliT-table size is its own fill identity.
         assert_eq!(sweep.prefill_count(), 3);
+    }
+
+    #[test]
+    fn service_grid_shape_and_request_floor() {
+        let sweep = service_sweep(true);
+        // 3 skews x 3 rates x 2 methods + 2 stresses x 2 methods.
+        assert_eq!(sweep.len(), 3 * 3 * 2 + 2 * 2);
+        // The full-size grid executes at least a million base requests.
+        let full_points = 3 * 3 * 2 + 2 * 2;
+        assert!(full_points as u64 * 2 * 24_000 >= 1_000_000);
+    }
+
+    #[test]
+    fn service_grid_runs_and_reports_slo_values() {
+        let mut sweep = Sweep::new("service_probe").unit("cycles").seed(23);
+        let cfg = service_cfg(true, 0.99, 560, OptKind::Plain, Stress::None);
+        let requests = (cfg.requests_per_core * cfg.cores) as f64;
+        sweep.push(service_point("probe".into(), cfg));
+        let report = skipit_sweep::SweepRunner::new().threads(1).run(sweep);
+        assert!(report.all_ok());
+        let row = report.get("probe").unwrap();
+        assert_eq!(row.value("requests"), Some(requests));
+        let (p50, p999) = (row.value("p50").unwrap(), row.value("p999").unwrap());
+        assert!(p50 > 0.0 && p50 <= p999);
+        for slo in SERVICE_SLOS {
+            let met = row.value(&format!("met_{slo}")).unwrap();
+            assert!((0.0..=1.0).contains(&met), "met_{slo} = {met}");
+        }
     }
 
     #[test]

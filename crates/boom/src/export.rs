@@ -591,6 +591,7 @@ fn event_name(ev: &TraceEvent) -> &'static str {
 mod tests {
     use super::*;
     use crate::system::SystemConfig;
+    use crate::workload::Programs;
     use crate::Op;
 
     /// The original `format!`-per-event exporter, kept verbatim as the

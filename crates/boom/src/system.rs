@@ -2348,7 +2348,8 @@ impl System {
                     // Deliver a completed op's result. A failed send means
                     // the worker is gone (panicked or leaked its handle):
                     // mark the frontend finished so the tick loop can drain
-                    // and `run_threads` surfaces the panic on join instead
+                    // and the thread-mode run loop surfaces the panic on
+                    // join instead
                     // of wedging.
                     if let Some(tok) = *busy {
                         match lsus[i].take_finished(tok) {
@@ -2363,6 +2364,7 @@ impl System {
                                     .is_err()
                                 {
                                     *finished = true;
+                                    record(i, Op::Nop { cycles: 0 });
                                     continue;
                                 }
                             }
@@ -2383,6 +2385,7 @@ impl System {
                             .is_err()
                         {
                             *finished = true;
+                            record(i, Op::Nop { cycles: 0 });
                             continue;
                         }
                     }
@@ -2402,6 +2405,7 @@ impl System {
                                     .is_err()
                                 {
                                     *finished = true;
+                                    record(i, Op::Nop { cycles: 0 });
                                     break;
                                 }
                             }
@@ -2422,7 +2426,16 @@ impl System {
                                 break;
                             }
                             Ok(Cmd::Done) | Err(_) => {
+                                // Capture the end-of-run handshake as a
+                                // zero-cycle think time: the thread run
+                                // executes this cycle to retire the worker,
+                                // so a replay must execute it too for the
+                                // final cycle count to match (a trailing
+                                // Nop's expiry alone is a pure time bound a
+                                // fast-forward engine can satisfy without
+                                // executing the cycle).
                                 *finished = true;
+                                record(i, Op::Nop { cycles: 0 });
                                 break;
                             }
                         }
@@ -2538,17 +2551,6 @@ impl System {
         workload.run(self)
     }
 
-    /// Runs one fixed [`Op`] sequence per core (missing cores idle) to
-    /// completion; returns the number of cycles elapsed.
-    #[deprecated(
-        since = "0.10.0",
-        note = "use `run(Programs(programs))` — the unified Workload entry \
-                point; this forwards there"
-    )]
-    pub fn run_programs(&mut self, programs: Vec<Vec<Op>>) -> u64 {
-        self.run_programs_inner(programs)
-    }
-
     /// Program mode's engine loop ([`crate::workload::Programs`]).
     ///
     /// # Panics
@@ -2601,7 +2603,8 @@ impl System {
         self.now - start
     }
 
-    /// [`Self::run_programs`] with a continuous observer: `observe` is called
+    /// Program mode ([`run(Programs(…))`](Self::run)) with a continuous
+    /// observer: `observe` is called
     /// at every executed cycle boundary (before the cycle runs, and once more
     /// at completion). Cycles the fast-forward engines skip are provably free
     /// of state changes, so observing only executed boundaries sees every
@@ -2615,7 +2618,8 @@ impl System {
     ///
     /// # Panics
     ///
-    /// As [`Self::run_programs`].
+    /// Panics if more programs than cores are supplied, or if the programs
+    /// fail to finish within a watchdog budget (an interlock bug).
     pub fn run_programs_observed<E>(
         &mut self,
         programs: Vec<Vec<Op>>,
@@ -2682,8 +2686,9 @@ impl System {
         }
     }
 
-    /// Runs one closure per core (missing cores idle), each driving its core
-    /// through a [`CoreHandle`]; returns `(elapsed_cycles, results)`.
+    /// Thread mode's engine loop ([`crate::workload::Threads`]): runs one
+    /// closure per core (missing cores idle), each driving its core through
+    /// a [`CoreHandle`]; returns `(elapsed_cycles, results, budget_expired)`.
     ///
     /// **Budget semantics** (preserved by [`RunReport`]): `budget` is a
     /// *soft* stop measured from the call. Once `budget` cycles have
@@ -2692,23 +2697,6 @@ impl System {
     /// worker actually returns, so the elapsed cycles *include* the
     /// post-deadline drain and every worker's result is present in the
     /// returned `Vec` (in worker order). Expiry never truncates results.
-    #[deprecated(
-        since = "0.10.0",
-        note = "use `run(Threads::new(workers).budget_opt(budget))` — the \
-                unified Workload entry point; this forwards there"
-    )]
-    pub fn run_threads<R, F>(&mut self, workers: Vec<F>, budget: Option<u64>) -> (u64, Vec<R>)
-    where
-        R: Send,
-        F: FnOnce(CoreHandle) -> R + Send,
-    {
-        let (cycles, results, _expired) = self.run_threads_inner(workers, budget);
-        (cycles, results)
-    }
-
-    /// Thread mode's engine loop ([`crate::workload::Threads`]): returns
-    /// `(elapsed_cycles, results, budget_expired)` under the budget
-    /// semantics documented on [`Self::run_threads`].
     ///
     /// # Panics
     ///
@@ -2877,9 +2865,9 @@ impl System {
     ///
     /// # Errors
     ///
-    /// [`SnapError::LiveThreads`] if any core is in thread mode (inside
-    /// [`System::run_threads`]): host channel endpoints cannot be encoded.
-    /// Snapshot between runs, or from program mode's observer hook.
+    /// [`SnapError::LiveThreads`] if any core is in thread mode (inside a
+    /// [`crate::workload::Threads`] run): host channel endpoints cannot be
+    /// encoded. Snapshot between runs, or from program mode's observer hook.
     pub fn snapshot(&self) -> Result<Snapshot, SnapError> {
         let mut w = SnapWriter::new();
         Snapshot::write_header(&mut w, config_fingerprint(&self.cfg));
@@ -2967,13 +2955,13 @@ impl System {
     /// Continues a run restored mid-flight: steps the system until every
     /// program frontend has drained (immediately returning `0` if all
     /// cores are idle), then resets frontends to idle — exactly the tail
-    /// of the [`System::run_programs`] the snapshot interrupted, so a
-    /// restore-then-resume reaches the same final state, cycle count and
-    /// statistics as the uninterrupted run.
+    /// of the [`crate::workload::Programs`] run the snapshot interrupted,
+    /// so a restore-then-resume reaches the same final state, cycle count
+    /// and statistics as the uninterrupted run.
     ///
     /// # Panics
     ///
-    /// As [`System::run_programs`] (watchdog budget).
+    /// As a program-mode run (watchdog budget).
     pub fn resume_programs(&mut self) -> u64 {
         let start = self.now;
         self.wheel.valid = false;
@@ -2995,6 +2983,7 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{Programs, Threads};
 
     fn sys(cores: usize, skip_it: bool) -> System {
         System::new(SystemConfig {

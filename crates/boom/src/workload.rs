@@ -2,8 +2,8 @@
 //! every way of driving the simulated SoC.
 //!
 //! Historically the simulator grew one `run_*` method per drive mode —
-//! [`System::run_programs`] for fixed op scripts, [`System::run_threads`]
-//! for host-thread rendezvous workloads — and each new frontend would have
+//! `run_programs` for fixed op scripts, `run_threads` for host-thread
+//! rendezvous workloads (both removed) — and each new frontend would have
 //! added another. A [`Workload`] is the value-level unification: anything
 //! that knows how to drive a [`System`] to completion implements the trait,
 //! and `System::run(workload)` returns a [`RunReport`] carrying the elapsed

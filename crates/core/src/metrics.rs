@@ -242,7 +242,7 @@ impl MetricsRegistry {
 mod tests {
     use super::*;
     use crate::SystemBuilder;
-    use skipit_boom::Op;
+    use skipit_boom::{Op, Programs};
 
     #[test]
     fn capture_diff_and_json() {

@@ -1,0 +1,118 @@
+//! SLO reporting over recorded request latencies: tail percentiles and
+//! goodput-under-SLO curves.
+//!
+//! Latencies are recorded into the simulator's log-linear
+//! [`LatencyHistogram`] (sub-bucket interpolation keeps every reported
+//! percentile within ~3 % of the exact order statistic), and an
+//! [`SloSummary`] condenses one histogram into the numbers a service
+//! operator reads off a dashboard: p50/p99/p999, mean, and for each SLO
+//! threshold the fraction of requests that met it plus the *goodput* — the
+//! delivered rate counting only SLO-compliant requests.
+
+use skipit_core::LatencyHistogram;
+
+/// One point of a goodput-under-SLO curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GoodputPoint {
+    /// The SLO threshold in cycles.
+    pub slo: u64,
+    /// Fraction of requests with latency ≤ `slo` (interpolated CDF).
+    pub met: f64,
+    /// Goodput in requests per million cycles: offered throughput scaled
+    /// by the met fraction.
+    pub goodput: f64,
+}
+
+/// Percentile-and-goodput condensation of one latency histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Cycles the measured phase spanned.
+    pub cycles: u64,
+    /// Mean latency in cycles.
+    pub mean: f64,
+    /// Median latency.
+    pub p50: u64,
+    /// 99th percentile latency.
+    pub p99: u64,
+    /// 99.9th percentile latency.
+    pub p999: u64,
+    /// Maximum observed latency.
+    pub max: u64,
+    /// Goodput-under-SLO curve, one point per requested threshold, in
+    /// threshold order.
+    pub goodput: Vec<GoodputPoint>,
+}
+
+impl SloSummary {
+    /// Summarizes `hist` over a measured phase of `cycles`, evaluating the
+    /// goodput curve at `slos` (cycle thresholds).
+    pub fn from_histogram(hist: &LatencyHistogram, cycles: u64, slos: &[u64]) -> SloSummary {
+        let count = hist.count();
+        let throughput = count as f64 * 1_000_000.0 / cycles.max(1) as f64;
+        SloSummary {
+            count,
+            cycles,
+            mean: hist.mean().unwrap_or(0.0),
+            p50: hist.p50().unwrap_or(0),
+            p99: hist.p99().unwrap_or(0),
+            p999: hist.p999().unwrap_or(0),
+            max: hist.max().unwrap_or(0),
+            goodput: slos
+                .iter()
+                .map(|&slo| {
+                    let met = hist.fraction_le(slo);
+                    GoodputPoint {
+                        slo,
+                        met,
+                        goodput: throughput * met,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Offered throughput in requests per million cycles (goodput at an
+    /// infinite SLO).
+    pub fn throughput(&self) -> f64 {
+        self.count as f64 * 1_000_000.0 / self.cycles.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_orders_percentiles_and_scales_goodput() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i);
+        }
+        let s = SloSummary::from_histogram(&h, 100_000, &[100, 500, 2000]);
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        assert!((s.throughput() - 10_000.0).abs() < 1e-9);
+        // Met fractions are monotone in the threshold and end at 1.
+        assert!(s.goodput[0].met < s.goodput[1].met);
+        assert_eq!(s.goodput[2].met, 1.0);
+        assert!((s.goodput[2].goodput - s.throughput()).abs() < 1e-9);
+        // ~10 % of latencies are ≤ 100 cycles.
+        assert!(
+            (s.goodput[0].met - 0.1).abs() < 0.01,
+            "{}",
+            s.goodput[0].met
+        );
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let h = LatencyHistogram::new();
+        let s = SloSummary::from_histogram(&h, 10, &[100]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, 0);
+        assert_eq!(s.goodput[0].met, 0.0);
+        assert_eq!(s.goodput[0].goodput, 0.0);
+    }
+}

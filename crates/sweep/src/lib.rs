@@ -42,7 +42,7 @@
 //!
 //! ```
 //! use skipit_sweep::{Point, PointOutput, Sweep, SweepRunner};
-//! use skipit_core::{Op, SystemBuilder};
+//! use skipit_core::{Op, Programs, SystemBuilder};
 //!
 //! let mut sweep = Sweep::new("skip_it_ablation").unit("cycles");
 //! for (label, skip_it) in [("off", false), ("on", true)] {

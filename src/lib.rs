@@ -12,6 +12,7 @@ pub use skipit_core as core;
 pub use skipit_explore as explore;
 pub use skipit_pds as pds;
 pub use skipit_replay as replay;
+pub use skipit_service as service;
 pub use skipit_sweep as sweep;
 
 pub use skipit_core::{
@@ -22,6 +23,7 @@ pub use skipit_pds::{
     prefill_snapshot, run_set_benchmark, run_set_benchmark_warm, warm_key, ConcurrentSet, DsKind,
     OptKind, PersistMode, WarmSet, WorkloadCfg,
 };
+pub use skipit_service::{run_service, ServiceCfg, ServiceReport, ServiceWorkload, SloSummary};
 
 /// The one-stop import for programs driving the simulator.
 ///
@@ -62,6 +64,10 @@ pub mod prelude {
         Reproducer, Scenario, Violation,
     };
     pub use skipit_replay::{MemTrace, TraceError, TraceReplay};
+    pub use skipit_service::{
+        run_service, Arrivals, KeyDist, OpMix, ServiceCfg, ServiceReport, ServiceWorkload,
+        SloSummary, Stress,
+    };
     pub use skipit_sweep::{
         Point, PointCtx, PointOutput, PointStatus, Sweep, SweepReport, SweepRow, SweepRunner,
         WarmState,
